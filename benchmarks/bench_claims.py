@@ -1,0 +1,162 @@
+"""Scalar claims of Section VII-C not tied to a single figure.
+
+* 24 h runs at a 40 % cap: SHUT keeps the most work (the paper: ~94 %
+  vs ~85 % for DVFS and MIX) and MIX has the lowest energy;
+* with both mechanisms deactivated (IDLE), work collapses while the
+  energy stays comparable;
+* DVFS degrades fastest below the 60 % cap;
+* frequency scaling is the better policy at the large 80 % cap.
+"""
+
+import pytest
+
+from repro.analysis.report import middle_cap_window, run_cell
+from repro.rjms.config import SchedulerConfig
+from repro.sim.replay import powercap_reservation, run_replay
+
+from conftest import HOUR, write_artifact
+
+_cells_24h: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("policy", ["SHUT", "DVFS", "MIX"])
+def test_claim_24h_40pct(benchmark, machine, workload_24h, policy):
+    cell = benchmark.pedantic(
+        run_cell,
+        args=(machine, workload_24h, "24h", policy, 0.4),
+        kwargs={"duration": 24 * HOUR},
+        rounds=1,
+        iterations=1,
+    )
+    _cells_24h[policy] = cell
+    assert 0.5 <= cell.work_norm <= 1.0
+
+
+def test_claim_24h_shut_most_work_mix_least_energy(benchmark, artifact_dir):
+    """"a work around 85% of the total possible work, while SHUT has a
+    work of 94% ... the energy consumption is at the lowest in the MIX
+    mode" (24 h runs, 40 % cap).
+
+    Reproduced: every policy keeps work in the paper's 85-94 % band
+    (a one-hour cap barely dents a whole day), MIX consumes less
+    energy than SHUT, and in *effective* (slowdown-corrected) work the
+    switch-off policies match or beat DVFS.  Not reproduced: the
+    paper's raw-work ordering SHUT > DVFS — our DVFS raw work is
+    inflated by the runtime stretch, exactly as the paper's own
+    Figure 8 reading ("DVFS mode's work is always larger than SHUT
+    mode's") predicts.  See EXPERIMENTS.md.
+    """
+    assert set(_cells_24h) == {"SHUT", "DVFS", "MIX"}, "run the 24h cells first"
+    shut, dvfs, mix = (_cells_24h[p] for p in ("SHUT", "DVFS", "MIX"))
+    benchmark(lambda: None)
+    for c in (shut, dvfs, mix):
+        assert 0.75 <= c.work_norm <= 1.0, c
+    # MIX lowest energy among the switch-off-capable policies.
+    assert mix.energy_norm <= shut.energy_norm + 1e-6
+    # Effective throughput: switch-off >= DVFS.
+    assert shut.effective_work_norm >= dvfs.effective_work_norm - 0.02
+    assert mix.effective_work_norm >= dvfs.effective_work_norm - 0.02
+    lines = ["24h @ 40% cap (paper: SHUT ~0.94, DVFS/MIX ~0.85, MIX lowest energy):"]
+    for p, c in _cells_24h.items():
+        lines.append(
+            f"  {p:4s}: work={c.work_norm:.3f} eff_work={c.effective_work_norm:.3f} "
+            f"energy={c.energy_norm:.3f} job_energy={c.job_energy_norm:.3f} "
+            f"launched={c.launched_jobs}"
+        )
+    write_artifact("claims_24h_40pct.txt", "\n".join(lines))
+
+
+def test_claim_idle_only_worst_work(benchmark, machine, workloads, artifact_dir):
+    """"this solution has the worst work (about 40% lower than other
+    modes), while keeping about the same energy consumption".
+
+    IDLE cannot prepare for the window (no DVFS, no switch-off); under
+    strict planned-cap gating it starves jobs whose walltime crosses
+    the window — the paper's deactivated-mechanisms regime."""
+    jobs = workloads["medianjob"]
+
+    def run_idle():
+        return run_cell(
+            machine,
+            jobs,
+            "medianjob",
+            "IDLE",
+            0.4,
+            config=SchedulerConfig(strict_future_caps=True),
+        )
+
+    idle = benchmark.pedantic(run_idle, rounds=1, iterations=1)
+    others = [
+        run_cell(machine, jobs, "medianjob", p, 0.4) for p in ("SHUT", "MIX")
+    ]
+    assert all(idle.work_norm < o.work_norm for o in others)
+    best = max(o.work_norm for o in others)
+    assert idle.work_norm < 0.8 * best, (idle.work_norm, best)
+    lines = [
+        f"IDLE(strict): work={idle.work_norm:.3f} energy={idle.energy_norm:.3f}"
+    ] + [
+        f"{o.policy}: work={o.work_norm:.3f} energy={o.energy_norm:.3f}"
+        for o in others
+    ]
+    write_artifact("claims_idle_worst.txt", "\n".join(lines))
+
+
+def test_claim_dvfs_drops_fastest_below_60(benchmark, machine, workloads, artifact_dir):
+    """"DVFS mode seems to be decreasing more rapidly below 60%
+    whereas SHUT and MIX modes appear to be more consistent."
+
+    The mechanism: at a 60 % cap, every node can still compute at
+    1.2 GHz (60 % > Pmin/Pmax = 0.54), so DVFS keeps the whole
+    machine busy; at 40 % the cap is below the all-nodes-at-minimum
+    floor and DVFS utilisation collapses to the idle-power headroom,
+    while SHUT sheds nodes and keeps the survivors at full speed.
+    Measured under a standing cap (active for the whole replay) so
+    the steady state, not the drain transient, is compared."""
+    jobs = workloads["smalljob"]
+
+    def steady_util(policy, fraction):
+        caps = [powercap_reservation(machine, fraction, 0.0, 5 * HOUR)]
+        r = run_replay(machine, jobs, policy, duration=5 * HOUR, powercaps=caps)
+        grid = r.recorder.to_grid(1 * HOUR, 5 * HOUR, 300.0)
+        busy = sum(grid[f"cores@{g:g}"] for g in machine.freq_table.frequencies)
+        return float(busy.mean()) / machine.total_cores
+
+    dvfs60 = benchmark.pedantic(
+        steady_util, args=("DVFS", 0.6), rounds=1, iterations=1
+    )
+    dvfs40 = steady_util("DVFS", 0.4)
+    shut60 = steady_util("SHUT", 0.6)
+    shut40 = steady_util("SHUT", 0.4)
+    # Below the floor, DVFS keeps the least of the machine computing
+    # and shows the steepest 60 % -> 40 % decline (the crossover).
+    # (At 60 % DVFS does not reach its theoretical all-nodes-at-1.2
+    # state: wide pending jobs power-starve under EASY backfill, the
+    # paper's "backfilling does not seem to work" effect.)
+    assert dvfs40 < shut40
+    assert (dvfs60 - dvfs40) > (shut60 - shut40)
+    write_artifact(
+        "claims_dvfs_crossover.txt",
+        f"standing cap, steady-state utilisation:\n"
+        f"  60%: DVFS={dvfs60:.3f} SHUT={shut60:.3f}\n"
+        f"  40%: DVFS={dvfs40:.3f} SHUT={shut40:.3f}\n"
+        f"  drop 60->40: DVFS={dvfs60 - dvfs40:.3f} SHUT={shut60 - shut40:.3f}",
+    )
+
+
+def test_claim_dvfs_best_at_80(benchmark, machine, workloads, artifact_dir):
+    """"frequency scaling provides better results with large powercaps
+    of 80%": DVFS keeps the most work at the mild cap."""
+    jobs = workloads["medianjob"]
+    dvfs = benchmark.pedantic(
+        run_cell,
+        args=(machine, jobs, "medianjob", "DVFS", 0.8),
+        rounds=1,
+        iterations=1,
+    )
+    shut = run_cell(machine, jobs, "medianjob", "SHUT", 0.8)
+    assert dvfs.work_norm >= shut.work_norm - 0.01
+    write_artifact(
+        "claims_80pct.txt",
+        f"DVFS: work={dvfs.work_norm:.3f} energy={dvfs.energy_norm:.3f}\n"
+        f"SHUT: work={shut.work_norm:.3f} energy={shut.energy_norm:.3f}",
+    )

@@ -1,0 +1,93 @@
+"""Simulator micro-benchmarks (throughput of the hot paths).
+
+Not a paper figure: tracks the performance of the event engine, the
+incremental power accountant, the vectorised priority queue and a
+full small replay, so regressions in the substrate are caught.
+"""
+
+import numpy as np
+
+from repro.cluster.curie import curie_machine
+from repro.cluster.states import NodeState
+from repro.rjms.config import PriorityWeights
+from repro.rjms.fairshare import FairShare
+from repro.rjms.job import Job
+from repro.rjms.queue import PendingQueue
+from repro.sim.engine import SimEngine
+from repro.sim.replay import run_replay
+from repro.workload.intervals import generate_interval
+from repro.workload.spec import JobSpec
+
+
+def test_perf_engine_event_throughput(benchmark):
+    def run_10k():
+        eng = SimEngine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            eng.at(float(i % 997), tick)
+        eng.run()
+        return count
+
+    assert benchmark(run_10k) == 10_000
+
+
+def test_perf_accountant_bulk_transitions(benchmark):
+    machine = curie_machine()  # full 5040 nodes
+    acct = machine.new_accountant()
+    nodes = np.arange(0, 5040, 2)
+
+    def flip():
+        acct.set_state(nodes, NodeState.BUSY, freq_index=7)
+        acct.set_state(nodes, NodeState.IDLE)
+        return acct.total_power()
+
+    power = benchmark(flip)
+    assert power == acct.idle_floor()
+
+
+def test_perf_accountant_small_transitions(benchmark):
+    machine = curie_machine()
+    acct = machine.new_accountant()
+    nodes = np.arange(16)
+
+    def flip():
+        acct.set_state(nodes, NodeState.BUSY, freq_index=3)
+        acct.set_state(nodes, NodeState.IDLE)
+
+    benchmark(flip)
+    acct.verify()
+
+
+def test_perf_queue_priority_order(benchmark):
+    fs = FairShare(200)
+    q = PendingQueue(80640, PriorityWeights(), fs)
+    rng = np.random.default_rng(0)
+    for jid in range(5000):
+        spec = JobSpec(
+            jid,
+            float(rng.uniform(0, 1e5)),
+            int(rng.integers(1, 1000)),
+            60.0,
+            86400.0,
+            int(rng.integers(0, 200)),
+        )
+        q.add(Job(spec=spec, n_nodes=1))
+
+    order = benchmark(q.order, 2e5)
+    assert len(order) == 5000
+
+
+def test_perf_small_replay(benchmark):
+    machine = curie_machine(scale=1 / 56)
+    jobs = generate_interval(machine, "medianjob", seed=11)[:600]
+
+    def replay():
+        return run_replay(machine, jobs, "NONE", duration=3600.0)
+
+    result = benchmark.pedantic(replay, rounds=2, iterations=1)
+    assert result.launched_jobs() > 0

@@ -1,0 +1,81 @@
+"""Figure 2 — power consumption and bonus per enclosure level.
+
+Regenerates the table (node/chassis/rack component watts, bonuses and
+accumulated saved power) from the topology model and validates every
+published number, including the Section VI-A worked example (a
+complete chassis beats 20 scattered nodes).
+"""
+
+import numpy as np
+
+from repro.cluster.curie import CURIE_TOPOLOGY
+from repro.rjms.reservations import shutdown_savings_from_idle
+
+from conftest import write_artifact
+
+NODE_MAX = 358.0
+
+
+def build_table() -> list[dict]:
+    return CURIE_TOPOLOGY.bonus_figure_rows(NODE_MAX)
+
+
+def render(rows) -> str:
+    lines = [
+        f"{'level':<10} {'components (W)':>15} {'bonus (W)':>10} {'accumulated (W)':>16}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['level']:<10} {r['component_watts']:>15.0f} "
+            f"{r['bonus_watts']:>10.0f} {r['accumulated_watts']:>16.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig2_power_bonus_table(benchmark, artifact_dir):
+    rows = benchmark(build_table)
+    by = {r["level"]: r for r in rows}
+    # Paper's Figure 2, verbatim.
+    assert by["node"]["component_watts"] == 14
+    assert by["node"]["accumulated_watts"] == 344
+    assert by["chassis"]["component_watts"] == 248
+    assert by["chassis"]["bonus_watts"] == 500
+    assert by["chassis"]["accumulated_watts"] == 6692
+    assert by["rack"]["component_watts"] == 900
+    assert by["rack"]["bonus_watts"] == 3400
+    assert by["rack"]["accumulated_watts"] == 34360
+    write_artifact("fig2_power_bonus.txt", render(rows))
+
+
+def test_fig2_worked_example(benchmark):
+    """Section VI-A: to shave 6600 W, 20 scattered nodes save 6880 W
+    but one grouped chassis (18 nodes) saves 6692 W — still enough,
+    with two extra nodes left computing."""
+
+    def example():
+        scattered = 20 * (NODE_MAX - 14.0)
+        grouped = CURIE_TOPOLOGY.accumulated_chassis_watts(NODE_MAX)
+        return scattered, grouped
+
+    scattered, grouped = benchmark(example)
+    assert scattered == 6880
+    assert grouped == 6692
+    assert grouped >= 6600
+    assert 20 - 18 == 2  # nodes gained back
+
+
+def test_fig2_savings_function_consistency(benchmark):
+    """The runtime savings function agrees with the static table for
+    whole enclosures (relative to busy nodes the accumulated value
+    adds the busy-idle gap)."""
+
+    def savings():
+        topo = CURIE_TOPOLOGY
+        chassis = shutdown_savings_from_idle(topo.nodes_of_chassis(0), topo, 117.0)
+        rack = shutdown_savings_from_idle(topo.nodes_of_rack(0), topo, 117.0)
+        return chassis, rack
+
+    chassis, rack = benchmark(savings)
+    # accumulated(chassis) = savings_from_idle + 18 * (Pmax - idle)
+    assert chassis + 18 * (NODE_MAX - 117.0) == 6692
+    assert rack + 90 * (NODE_MAX - 117.0) == 34360

@@ -1,0 +1,78 @@
+"""Figure 3 — max power vs normalised execution time per application.
+
+Regenerates the Linpack / STREAM / IMB / GROMACS trade-off curves
+across 1.2-2.7 GHz and validates their shape: power monotone in
+frequency, Linpack defining the envelope, GROMACS/STREAM barely
+slowing down, and the Section VI-B observation that the
+energy/performance trade-off is non-monotonic with optima in the
+2.0-2.7 GHz range.
+"""
+
+from repro.apps.models import CURIE_APP_MODELS
+
+from conftest import write_artifact
+
+
+def build_curves():
+    return {name: m.tradeoff_curve() for name, m in CURIE_APP_MODELS().items()}
+
+
+def render(curves) -> str:
+    lines = []
+    for name, curve in curves.items():
+        lines.append(f"== {name} ==")
+        lines.append(f"{'GHz':>5} {'norm. time':>11} {'max power (W)':>14}")
+        for ghz, t, p in curve:
+            lines.append(f"{ghz:>5.1f} {t:>11.3f} {p:>14.1f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_fig3_tradeoff_curves(benchmark, artifact_dir):
+    curves = benchmark(build_curves)
+    assert set(curves) == {"linpack", "STREAM", "IMB", "GROMACS"}
+    for name, curve in curves.items():
+        ghz = [c[0] for c in curve]
+        times = [c[1] for c in curve]
+        powers = [c[2] for c in curve]
+        assert ghz == sorted(ghz)
+        # Time monotone non-increasing in frequency; power monotone
+        # non-decreasing (the paper's "unlike the energy trade-off,
+        # the power/performance trade-off is monotonic").
+        assert all(a >= b for a, b in zip(times, times[1:]))
+        assert all(a <= b for a, b in zip(powers, powers[1:]))
+        assert times[-1] == 1.0
+    write_artifact("fig3_dvfs_tradeoff.txt", render(curves))
+
+
+def test_fig3_degmin_endpoints(benchmark):
+    models = benchmark(CURIE_APP_MODELS)
+    assert models["linpack"].normalized_time(1.2) == 2.14
+    assert models["IMB"].normalized_time(1.2) == 2.13
+    assert models["STREAM"].normalized_time(1.2) == 1.26
+    assert models["GROMACS"].normalized_time(1.2) == 1.16
+
+
+def test_fig3_linpack_defines_envelope(benchmark):
+    models = benchmark(CURIE_APP_MODELS)
+    lp = models["linpack"]
+    # Figure 4's per-state maxima are the Linpack draw.
+    for ghz, watts in ((1.2, 193.0), (2.0, 269.0), (2.7, 358.0)):
+        assert lp.power_watts(ghz) == watts
+    for name in ("STREAM", "IMB", "GROMACS"):
+        for ghz in (1.2, 2.0, 2.7):
+            assert models[name].power_watts(ghz) <= lp.power_watts(ghz)
+
+
+def test_fig3_energy_nonmonotonic_high_optimum(benchmark):
+    """Section VI-B: 'the most optimal points are between 2.7 GHz and
+    2.0 GHz' for the compute/network-bound codes — the rationale for
+    restricting MIX to the high range."""
+    models = benchmark(CURIE_APP_MODELS)
+    for name in ("linpack", "IMB"):
+        best = models[name].best_energy_frequency()
+        assert 2.0 <= best <= 2.7, f"{name} optimum at {best}"
+        # Non-monotonic: the lowest step is NOT the energy optimum.
+        m = models[name]
+        assert m.energy_per_unit_work(1.2) > m.energy_per_unit_work(best)
+        assert m.energy_per_unit_work(2.7) > m.energy_per_unit_work(best) - 1e-9

@@ -1,0 +1,72 @@
+"""Figure 4 — maximum node power per state.
+
+Regenerates the per-state watt table (switch-off, idle, and each DVFS
+step) from the machine description and validates every published
+value, plus the paper's "one order of magnitude" idle-vs-off remark.
+"""
+
+from repro.cluster.curie import (
+    CURIE_FREQ_WATTS,
+    CURIE_FREQUENCY_TABLE,
+    curie_machine,
+)
+
+from conftest import write_artifact
+
+PAPER_TABLE = {
+    "Switch-off": 14.0,
+    "Idle": 117.0,
+    "DVFS 1.2 GHz": 193.0,
+    "DVFS 1.4 GHz": 213.0,
+    "DVFS 1.6 GHz": 234.0,
+    "DVFS 1.8 GHz": 248.0,
+    "DVFS 2.0 GHz": 269.0,
+    "DVFS 2.2 GHz": 289.0,
+    "DVFS 2.4 GHz": 317.0,
+    "DVFS 2.7 GHz": 358.0,
+}
+
+
+def build_table():
+    t = CURIE_FREQUENCY_TABLE
+    rows = {"Switch-off": t.down_watts, "Idle": t.idle_watts}
+    for step in t:
+        rows[f"DVFS {step.ghz} GHz"] = step.watts
+    return rows
+
+
+def test_fig4_node_power_table(benchmark, artifact_dir):
+    rows = benchmark(build_table)
+    assert rows == PAPER_TABLE
+    text = "\n".join(f"{k:<14} {v:>6.0f} W" for k, v in rows.items())
+    write_artifact("fig4_node_power.txt", text)
+
+
+def test_fig4_idle_off_order_of_magnitude(benchmark):
+    """"a switched-off node consumes one order of magnitude less
+    power" than an idle one."""
+    t = benchmark(lambda: CURIE_FREQUENCY_TABLE)
+    assert t.idle_watts / t.down_watts > 8.0
+
+
+def test_fig4_accountant_agrees_with_table(benchmark):
+    """The whole-cluster accountant reproduces per-state node power."""
+    import numpy as np
+
+    from repro.cluster.states import NodeState
+
+    machine = curie_machine(scale=1 / 56)
+
+    def one_node_sweep():
+        acct = machine.new_accountant()
+        floor = acct.idle_floor()
+        readings = {}
+        node = np.array([0])
+        for i, step in enumerate(machine.freq_table):
+            acct.set_state(node, NodeState.BUSY, freq_index=i)
+            readings[step.ghz] = acct.total_power() - floor + machine.freq_table.idle_watts
+        return readings
+
+    readings = benchmark(one_node_sweep)
+    for ghz, watts in CURIE_FREQ_WATTS.items():
+        assert readings[ghz] == watts

@@ -1,0 +1,77 @@
+"""Figure 5 — degmin and rho per benchmark; best mechanism.
+
+Regenerates the comparison table between DVFS and switch-off on Curie
+for every published benchmark degradation, under the table's rho
+convention (see DESIGN.md, model nuances), and the Section VI-B
+idle-fallback corollary under the exact capacity criterion.
+"""
+
+from repro.cluster.curie import CURIE_BENCHMARK_DEGMIN
+from repro.core.powermodel import dvfs_beats_shutdown_exact, rho
+
+from conftest import write_artifact
+
+PMAX, PMIN, POFF, IDLE = 358.0, 193.0, 14.0, 117.0
+
+PAPER_RHO = {
+    "linpack": -0.027,
+    "IMB": -0.029,
+    "SPEC Float": -0.088,
+    "SPEC Integer": -0.134,
+    "Common value": -0.174,
+    "NAS suite": -0.225,
+    "STREAM": -0.350,
+    "GROMACS": -0.422,
+}
+
+
+def build_table():
+    rows = []
+    for name, degmin in CURIE_BENCHMARK_DEGMIN.items():
+        r = rho(degmin, PMAX, PMIN, POFF)
+        rows.append(
+            {
+                "benchmark": name,
+                "degmin": degmin,
+                "rho": r,
+                "best": "Switch-off" if r <= 0 else "DVFS",
+            }
+        )
+    return rows
+
+
+def render(rows) -> str:
+    lines = [f"{'benchmark':<14} {'degmin':>7} {'rho':>8} {'paper rho':>10} {'best':>11}"]
+    for r in rows:
+        lines.append(
+            f"{r['benchmark']:<14} {r['degmin']:>7.2f} {r['rho']:>8.3f} "
+            f"{PAPER_RHO[r['benchmark']]:>10.3f} {r['best']:>11}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig5_rho_table(benchmark, artifact_dir):
+    rows = benchmark(build_table)
+    for r in rows:
+        assert abs(r["rho"] - PAPER_RHO[r["benchmark"]]) < 5e-3, r
+        assert r["best"] == "Switch-off"
+    write_artifact("fig5_rho_table.txt", render(rows))
+
+
+def test_fig5_breakeven_degmin(benchmark):
+    """The NA row: rho crosses zero at degmin ~ 2.27."""
+    r = benchmark(rho, 2.27, PMAX, PMIN, POFF)
+    assert abs(r) < 5e-3
+
+
+def test_fig5_idle_fallback_flips_to_dvfs(benchmark):
+    """Section VI-B: with idling instead of switching off
+    (Poff = 117 W), DVFS becomes the best policy in all cases."""
+
+    def check_all():
+        return [
+            dvfs_beats_shutdown_exact(degmin, PMAX, PMIN, IDLE)
+            for degmin in CURIE_BENCHMARK_DEGMIN.values()
+        ]
+
+    assert all(benchmark(check_all))

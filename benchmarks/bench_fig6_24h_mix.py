@@ -1,0 +1,95 @@
+"""Figure 6 — 24 h workload, MIX policy, one-hour 40 % reservation.
+
+Regenerates the stacked cores-by-frequency and watts-by-state series
+and validates the paper's observations on them:
+
+* the system "prepares itself" — jobs launch at 2.0 GHz ahead of the
+  window;
+* the offline phase switches grouped nodes off during the window and
+  the power bonus appears;
+* after the window, 2.7 GHz launches resume and utilisation rebounds
+  to nearly 100 % while old 2.0 GHz jobs gradually drain.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure_series, middle_window, render_series_ascii
+
+from conftest import HOUR, write_artifact
+
+DURATION = 24 * HOUR
+CAP = 0.4
+
+
+def run(machine, workload_24h):
+    return figure_series(
+        machine,
+        workload_24h,
+        "MIX",
+        duration=DURATION,
+        cap_fraction=CAP,
+        grid_dt=600.0,
+    )
+
+
+def test_fig6_24h_mix_series(benchmark, machine, workload_24h, artifact_dir):
+    series = benchmark.pedantic(
+        run, args=(machine, workload_24h), rounds=1, iterations=1
+    )
+    grid = series["grid"]
+    window = series["window"]
+    assert window == middle_window(DURATION)
+    t = grid["time"]
+    pre = (t >= window[0] - 2 * HOUR) & (t < window[0])
+    inside = (t >= window[0]) & (t < window[1])
+    after = (t >= window[1] + 0.25 * HOUR) & (t < window[1] + 4 * HOUR)
+
+    total = series["total_cores"]
+    at20 = grid["cores@2"]
+    at27 = grid["cores@2.7"]
+    busy = sum(grid[f"cores@{g:g}"] for g in series["frequencies"])
+
+    # Preparation: a substantial 2.0 GHz population before the window.
+    assert at20[pre].mean() > 0.1 * total
+
+    # Inside the window: grouped switch-off visible, bonus harvested.
+    assert grid["off_cores"][inside].max() > 0.2 * total
+    assert grid["bonus"][inside].max() > 0
+
+    # Power approaches the cap inside the window (drain tail allowed,
+    # the paper's default takes "no extreme actions").
+    cap_watts = series["cap_watts"]
+    assert grid["power"][inside].min() <= cap_watts * 1.02
+
+    # Rebound: utilisation returns to nearly 100 % after the window
+    # and 2.7 GHz launches resume.
+    assert busy[after].mean() > 0.85 * total
+    assert at27[after].max() > at27[inside].max()
+
+    result = series["result"]
+    plan = result.controller.shutdown_plans[0]
+    assert plan.any_shutdown and plan.bonus_watts > 0
+
+    text = render_series_ascii(series, width=96, height=12)
+    summary = result.summary()
+    text += "\n\nsummary: " + ", ".join(f"{k}={v:.4g}" for k, v in summary.items())
+    text += (
+        f"\noffline plan: {plan.n_off_selected} nodes "
+        f"({plan.n_full_racks} racks + {plan.n_full_chassis} chassis), "
+        f"bonus {plan.bonus_watts:.0f} W"
+    )
+    write_artifact("fig6_24h_mix.txt", text)
+
+
+def test_fig6_mix_frequencies_restricted(benchmark, machine, workload_24h):
+    """MIX only ever assigns the 2.0-2.7 GHz range (Section VI-B)."""
+    series = benchmark.pedantic(
+        run, args=(machine, workload_24h), rounds=1, iterations=1
+    )
+    freqs = {
+        r.freq_ghz
+        for r in series["result"].recorder.jobs.values()
+        if r.freq_ghz is not None
+    }
+    assert freqs <= {2.0, 2.2, 2.4, 2.7}
+    assert 2.0 in freqs

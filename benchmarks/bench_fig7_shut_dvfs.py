@@ -1,0 +1,99 @@
+"""Figure 7 — (a) bigjob/SHUT/60 % and (b) smalljob/DVFS/40 %.
+
+Regenerates the two five-hour series and validates the paper's
+observations: the SHUT run opens "big space" (grouped switch-off,
+power bonus) and rebounds to ~100 % after the window; the DVFS run
+shifts launches to ever lower frequencies while the window
+approaches, with 2.7 GHz disappearing near/inside it.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure_series, middle_window, render_series_ascii
+
+from conftest import HOUR, write_artifact
+
+DURATION = 5 * HOUR
+
+
+def run(machine, jobs, policy, cap):
+    return figure_series(
+        machine, jobs, policy, duration=DURATION, cap_fraction=cap, grid_dt=300.0
+    )
+
+
+def test_fig7a_bigjob_shut_60(benchmark, machine, workloads, artifact_dir):
+    series = benchmark.pedantic(
+        run, args=(machine, workloads["bigjob"], "SHUT", 0.6), rounds=1, iterations=1
+    )
+    grid = series["grid"]
+    window = series["window"]
+    t = grid["time"]
+    inside = (t >= window[0]) & (t < window[1])
+    after = t >= window[1] + 0.25 * HOUR
+    total = series["total_cores"]
+    busy = sum(grid[f"cores@{g:g}"] for g in series["frequencies"])
+
+    # Shutdown makes "big space" without wasting unused cores: the
+    # switched-off area is a large share of the machine.
+    assert grid["off_cores"][inside].max() > 0.25 * total
+    # Power bonus from grouped switch-off is visible.
+    assert grid["bonus"][inside].max() > 0
+    # All jobs at max frequency (SHUT never scales).
+    freqs = {
+        r.freq_ghz
+        for r in series["result"].recorder.jobs.values()
+        if r.freq_ghz is not None
+    }
+    assert freqs == {2.7}
+    # Rebound to ~100 % after the window.
+    assert busy[after].mean() > 0.85 * total
+    # Power fits the cap once the reserved nodes are off.
+    assert grid["power"][inside].min() <= series["cap_watts"] * 1.02
+
+    write_artifact(
+        "fig7a_bigjob_shut60.txt", render_series_ascii(series, width=96, height=12)
+    )
+
+
+def test_fig7b_smalljob_dvfs_40(benchmark, machine, workloads, artifact_dir):
+    series = benchmark.pedantic(
+        run, args=(machine, workloads["smalljob"], "DVFS", 0.4), rounds=1, iterations=1
+    )
+    grid = series["grid"]
+    window = series["window"]
+    t = grid["time"]
+    total = series["total_cores"]
+    early = t < HOUR
+    near = (t >= window[0] - HOUR) & (t < window[0])
+    inside = (t >= window[0]) & (t < window[1])
+
+    result = series["result"]
+    recs = [r for r in result.recorder.jobs.values() if r.start_time is not None]
+
+    # Low frequencies increase while approaching the window: launches
+    # in the hour before the window are slower on average than the
+    # first hour's.
+    def mean_freq(lo, hi):
+        sel = [r.freq_ghz for r in recs if lo <= r.start_time < hi]
+        return float(np.mean(sel)) if sel else float("nan")
+
+    assert mean_freq(window[0] - HOUR, window[0]) <= mean_freq(0.0, HOUR)
+
+    # 2.7 GHz disappears close to/inside the window: no 2.7 launches.
+    launches_27 = [
+        r for r in recs if r.freq_ghz == 2.7 and window[0] <= r.start_time < window[1]
+    ]
+    assert not launches_27
+
+    # Never any switch-off under DVFS.
+    assert grid["off_cores"].max() == 0
+    assert not result.controller.shutdown_plans[0].any_shutdown
+
+    # The full frequency ladder is exercised somewhere in the run.
+    freqs = {r.freq_ghz for r in recs}
+    assert 1.2 in freqs and 2.7 in freqs
+
+    write_artifact(
+        "fig7b_smalljob_dvfs40.txt", render_series_ascii(series, width=96, height=12)
+    )

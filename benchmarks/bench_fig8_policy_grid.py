@@ -1,0 +1,129 @@
+"""Figure 8 — the full evaluation grid.
+
+{bigjob, medianjob, smalljob} x {100 %/None, 80 %, 60 %, 40 %} x
+{SHUT, DVFS, MIX}: one-hour powercap reservation in the middle of
+each five-hour replay; normalised total energy, launched jobs and
+work per cell.  Shape assertions follow Section VII-C's reading of
+the figure; absolute values are recorded in the artifact.
+"""
+
+import pytest
+
+from repro.analysis.report import GridCell, render_grid, run_cell
+
+from conftest import write_artifact
+
+#: (cap_fraction, policy) rows of the paper's grid.
+ROWS = [
+    (1.0, "NONE"),
+    (0.8, "DVFS"),
+    (0.8, "SHUT"),
+    (0.6, "MIX"),
+    (0.6, "DVFS"),
+    (0.6, "SHUT"),
+    (0.4, "MIX"),
+    (0.4, "DVFS"),
+    (0.4, "SHUT"),
+]
+WORKLOADS = ("bigjob", "medianjob", "smalljob")
+
+_cells: dict[tuple[str, float, str], GridCell] = {}
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("fraction,policy", ROWS)
+def test_fig8_cell(benchmark, machine, workloads, workload, fraction, policy):
+    """Replay one grid cell (timed) and stash it for the shape checks."""
+    cell = benchmark.pedantic(
+        run_cell,
+        args=(machine, workloads[workload], workload, policy, fraction),
+        rounds=1,
+        iterations=1,
+    )
+    _cells[(workload, fraction, policy)] = cell
+    assert 0.0 <= cell.work_norm <= 1.0 + 1e-9
+    assert 0.0 <= cell.energy_norm <= 1.0 + 1e-9
+
+
+def test_fig8_shapes(benchmark, artifact_dir):
+    """Cross-cell shape claims of Section VII-C."""
+    assert len(_cells) == len(ROWS) * len(WORKLOADS), "run the full grid first"
+    cells = [
+        _cells[(w, f, p)] for w in WORKLOADS for (f, p) in ROWS
+    ]
+    benchmark(render_grid, cells)
+
+    for w in WORKLOADS:
+        none = _cells[(w, 1.0, "NONE")]
+        # The replayed intervals saturate the machine without a cap.
+        assert none.work_norm > 0.9
+
+        for policy in ("SHUT", "DVFS", "MIX"):
+            fracs = [f for (f, p) in ROWS if p == policy]
+            # "work and energy decrease proportionally to the powercap
+            # diminution": monotone non-increasing with the cap.
+            works = [_cells[(w, f, policy)].work_norm for f in sorted(fracs, reverse=True)]
+            energies = [
+                _cells[(w, f, policy)].energy_norm for f in sorted(fracs, reverse=True)
+            ]
+            assert all(a >= b - 0.03 for a, b in zip(works, works[1:])), (w, policy, works)
+            assert all(a >= b - 0.02 for a, b in zip(energies, energies[1:])), (
+                w,
+                policy,
+                energies,
+            )
+            # Capped runs consume less energy than the baseline.
+            assert _cells[(w, 0.4, policy)].energy_norm < none.energy_norm
+
+        # "DVFS mode's work is always larger than SHUT mode's work"
+        # (slowed jobs inflate accumulated CPU time).
+        for f in (0.8, 0.6, 0.4):
+            assert (
+                _cells[(w, f, "DVFS")].work_norm
+                >= _cells[(w, f, "SHUT")].work_norm - 0.02
+            ), (w, f)
+
+        # Switch-off mechanisms win the *effective* work per energy
+        # trade-off where the cap binds — inside the window — at low
+        # caps (Section VII-C's closing observation: "related to the
+        # in-advance preparation in the offline part and the gained
+        # power due to the bonus").
+        for f in (0.4,):
+            dvfs = _cells[(w, f, "DVFS")]
+            shut = _cells[(w, f, "SHUT")]
+            mix = _cells[(w, f, "MIX")]
+            eff = lambda c: c.window_effective_work_norm / max(
+                c.window_energy_norm, 1e-9
+            )
+            assert max(eff(shut), eff(mix)) >= eff(dvfs) - 0.02, (w, f)
+
+    # "The MIX mode provides most of the time the best energy
+    # consumption" — against SHUT (its switch-off sibling) in the
+    # majority of capped cells.
+    wins = 0
+    comparisons = 0
+    for w in WORKLOADS:
+        for f in (0.6, 0.4):
+            comparisons += 1
+            if (
+                _cells[(w, f, "MIX")].energy_norm
+                <= _cells[(w, f, "SHUT")].energy_norm + 1e-6
+            ):
+                wins += 1
+    assert wins * 2 >= comparisons, f"MIX beat SHUT on energy in {wins}/{comparisons}"
+
+    lines = [render_grid(cells), ""]
+    lines.append("effective-work / energy trade-off at the 40 % cap:")
+    lines.append("  (whole interval | inside the cap window)")
+    for w in WORKLOADS:
+        for p in ("SHUT", "DVFS", "MIX"):
+            c = _cells[(w, 0.4, p)]
+            lines.append(
+                f"  {w:10s} {p:4s}: eff_work={c.effective_work_norm:.3f} "
+                f"energy={c.energy_norm:.3f} "
+                f"ratio={c.effective_work_norm / c.energy_norm:.3f} | "
+                f"window eff_work={c.window_effective_work_norm:.3f} "
+                f"window energy={c.window_energy_norm:.3f} "
+                f"ratio={c.window_effective_work_norm / c.window_energy_norm:.3f}"
+            )
+    write_artifact("fig8_policy_grid.txt", "\n".join(lines))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  The
+cluster scale is controlled by ``REPRO_SCALE`` (default 0.125 — a
+630-node Curie; all reported quantities are normalised and
+scale-invariant).  Artifacts are written to ``benchmarks/out/`` so
+EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.workload.intervals import generate_interval
+
+HOUR = 3600.0
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def repro_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.125"))
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return curie_machine(scale=repro_scale())
+
+
+@pytest.fixture(scope="session")
+def workloads(machine):
+    """The paper's three 5-hour intervals."""
+    return {
+        name: generate_interval(machine, name)
+        for name in ("bigjob", "medianjob", "smalljob")
+    }
+
+
+@pytest.fixture(scope="session")
+def workload_24h(machine):
+    return generate_interval(machine, "24h")
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, content: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(content, encoding="utf-8")
+    return path

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Demand response: a 24-hour day with a planned grid-power shortage.
+
+The scenario the paper's introduction motivates: the electricity
+provider announces a one-hour window in which the computing centre
+must shed 60 % of its power draw.  The operator registers a powercap
+reservation; the offline phase plans which racks/chassis to switch
+off (harvesting enclosure power bonuses), and the online phase starts
+jobs at frequencies that keep the projected window power within
+budget — the "system prepares itself" behaviour of the paper's
+Figure 6.
+
+Run:  python examples/demand_response_day.py
+"""
+
+from repro.analysis.figures import figure_series, render_series_ascii
+from repro.cluster.curie import curie_machine
+from repro.workload.intervals import generate_interval
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    machine = curie_machine(scale=0.125)
+    jobs = generate_interval(machine, "24h")
+    window = (10 * HOUR, 11 * HOUR)  # announced shortage
+    print(
+        f"{machine.n_nodes}-node cluster; provider allows only 40 % of "
+        f"max power during [{window[0] / HOUR:.0f}h, {window[1] / HOUR:.0f}h)"
+    )
+
+    series = figure_series(
+        machine,
+        jobs,
+        "MIX",
+        duration=24 * HOUR,
+        cap_fraction=0.4,
+        window=window,
+        grid_dt=600.0,
+    )
+    result = series["result"]
+    plan = result.controller.shutdown_plans[0]
+    print(
+        f"offline plan: {plan.n_off_selected} nodes off "
+        f"({plan.n_full_racks} racks + {plan.n_full_chassis} chassis grouped), "
+        f"bonus {plan.bonus_watts / 1e3:.1f} kW, "
+        f"worst-case alive power {plan.worst_case_alive_watts / 1e3:.0f} kW "
+        f"<= cap {series['cap_watts'] / 1e3:.0f} kW"
+    )
+    print()
+    print(render_series_ascii(series, width=96, height=10))
+
+    grid = series["grid"]
+    in_window = (grid["time"] >= window[0]) & (grid["time"] < window[1])
+    peak = grid["power"][in_window].max()
+    print(
+        f"\npeak power inside the window: {peak / 1e3:.0f} kW "
+        f"(cap {series['cap_watts'] / 1e3:.0f} kW) — "
+        f"{'OK' if peak <= series['cap_watts'] * 1.001 else 'over (draining running jobs)'}"
+    )
+    print(f"energy over the day : {result.energy_normalized():.3f} of max")
+    print(f"work over the day   : {result.work_normalized():.3f} of max")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare the powercap policies on one workload — a mini Figure 8.
+
+Replays the ``bigjob`` interval under NONE / IDLE / SHUT / DVFS / MIX
+at 80 %, 60 % and 40 % caps and prints the normalised energy / jobs /
+work grid, plus the Section III model's advice for each cap.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.analysis.report import render_grid, run_policy_grid
+from repro.cluster.curie import curie_machine
+from repro.core.offline import OfflinePlanner
+from repro.core.policies import make_policy
+from repro.sim.replay import powercap_reservation
+from repro.workload.intervals import generate_interval
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    machine = curie_machine(scale=0.125)
+    jobs = generate_interval(machine, "bigjob")
+
+    print("Section III model advice (continuous, node-level):")
+    planner = OfflinePlanner(machine, make_policy("SHUT", machine.freq_table))
+    for fraction in (0.8, 0.6, 0.4):
+        cap = powercap_reservation(machine, fraction, 0.0, HOUR)
+        mp = planner.model_plan(cap.watts)
+        print(
+            f"  cap {fraction:.0%}: case={mp.case.value:13s} "
+            f"Noff={mp.n_off:7.1f}  Ndvfs={mp.n_dvfs:7.1f}  rho={mp.rho:+.3f}"
+        )
+
+    grid = {
+        1.0: ("NONE",),
+        0.8: ("DVFS", "SHUT"),
+        0.6: ("MIX", "DVFS", "SHUT", "IDLE"),
+        0.4: ("MIX", "DVFS", "SHUT", "IDLE"),
+    }
+    cells = run_policy_grid(machine, {"bigjob": jobs}, grid=grid)
+    print()
+    print(render_grid(cells))
+
+    print("\nreading guide (matches the paper's conclusions):")
+    print("  - DVFS keeps raw work high (slowed jobs inflate CPU time)")
+    print("  - SHUT/MIX keep the energy/effective-work tradeoff ahead at low caps")
+    print("  - IDLE (no mechanism) wastes idle watts for the least work")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The normal install path is ``pip install -e .`` (PEP 660).  On offline
+machines without the ``wheel`` package, setuptools cannot build the
+editable wheel; ``python setup.py develop`` provides the fallback.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — reproduction of *Adaptive Resource and Job Management for
+Limited Power Consumption* (Georgiou, Glesser, Trystram; IPDPSW 2015).
+
+A power-capped HPC scheduling library: a SLURM-like RJMS simulator, the
+Curie machine model, the paper's offline/online powercap algorithms
+(SHUT / DVFS / MIX), calibrated synthetic Curie workloads, and the
+harnesses regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import curie_machine, generate_interval, run_replay, powercap_reservation
+
+    machine = curie_machine(scale=0.125)
+    jobs = generate_interval(machine, "medianjob")
+    caps = [powercap_reservation(machine, 0.6, start=2 * 3600, end=3 * 3600)]
+    result = run_replay(machine, jobs, "MIX", duration=5 * 3600, powercaps=caps)
+    print(result.summary())
+"""
+
+from repro.cluster import (
+    Machine,
+    FrequencyTable,
+    Topology,
+    NodeState,
+    PowerAccountant,
+    curie_machine,
+)
+from repro.core import (
+    Policy,
+    PolicyKind,
+    make_policy,
+    plan_nodes,
+    rho,
+    OfflinePlanner,
+    FrequencySelector,
+)
+from repro.rjms import (
+    Controller,
+    SchedulerConfig,
+    PriorityWeights,
+    PowercapReservation,
+    ShutdownReservation,
+)
+from repro.sim import SimEngine, run_replay, powercap_reservation, ReplayResult
+from repro.workload import (
+    JobSpec,
+    CurieWorkloadModel,
+    generate_interval,
+    read_swf,
+    swf_to_jobspecs,
+    workload_stats,
+)
+from repro.analysis import run_policy_grid, render_grid, figure_series
+from repro.apps import CURIE_APP_MODELS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "FrequencyTable",
+    "Topology",
+    "NodeState",
+    "PowerAccountant",
+    "curie_machine",
+    "Policy",
+    "PolicyKind",
+    "make_policy",
+    "plan_nodes",
+    "rho",
+    "OfflinePlanner",
+    "FrequencySelector",
+    "Controller",
+    "SchedulerConfig",
+    "PriorityWeights",
+    "PowercapReservation",
+    "ShutdownReservation",
+    "SimEngine",
+    "run_replay",
+    "powercap_reservation",
+    "ReplayResult",
+    "JobSpec",
+    "CurieWorkloadModel",
+    "generate_interval",
+    "read_swf",
+    "swf_to_jobspecs",
+    "workload_stats",
+    "run_policy_grid",
+    "render_grid",
+    "figure_series",
+    "CURIE_APP_MODELS",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Result post-treatment: the paper's tables, figures and claims."""
+
+from repro.analysis.report import (
+    GridCell,
+    run_cell,
+    run_policy_grid,
+    render_grid,
+    PAPER_GRID_POLICIES,
+)
+from repro.analysis.figures import (
+    figure_series,
+    middle_window,
+    render_series_ascii,
+)
+
+__all__ = [
+    "GridCell",
+    "run_cell",
+    "run_policy_grid",
+    "render_grid",
+    "PAPER_GRID_POLICIES",
+    "figure_series",
+    "middle_window",
+    "render_series_ascii",
+]

@@ -1,0 +1,134 @@
+"""Time-series figures (Figures 6 and 7): utilisation and power.
+
+The paper plots, for one replay, the stacked cores-by-frequency over
+time (top) and the power-by-category over time (bottom), with the
+powercap reservation hatched and the switched-off cores
+cross-hatched.  :func:`figure_series` produces the same series on a
+regular grid; :func:`render_series_ascii` draws a terminal version.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.rjms.config import SchedulerConfig
+from repro.sim.replay import ReplayResult, powercap_reservation, run_replay
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+
+
+def middle_window(duration: float, hours: float = 1.0) -> tuple[float, float]:
+    """A ``hours``-long window centred in the interval."""
+    if duration <= hours * HOUR:
+        raise ValueError("interval shorter than the window")
+    start = (duration - hours * HOUR) / 2.0
+    return start, start + hours * HOUR
+
+
+def figure_series(
+    machine: Machine,
+    jobs: Sequence[JobSpec],
+    policy: str,
+    *,
+    duration: float,
+    cap_fraction: float | None,
+    window: tuple[float, float] | None = None,
+    grid_dt: float = 300.0,
+    config: SchedulerConfig | None = None,
+) -> dict[str, object]:
+    """Replay and export the Figure 6/7 series.
+
+    Returns a dict with the ``grid`` (time series arrays), the
+    ``result`` (full :class:`ReplayResult`), and the window and cap
+    levels needed to draw the hatched areas.
+    """
+    caps = []
+    if cap_fraction is not None:
+        if window is None:
+            window = middle_window(duration)
+        caps = [powercap_reservation(machine, cap_fraction, window[0], window[1])]
+    result = run_replay(
+        machine, jobs, policy, duration=duration, powercaps=caps, config=config
+    )
+    grid = result.recorder.to_grid(0.0, duration, grid_dt)
+    return {
+        "grid": grid,
+        "result": result,
+        "window": window,
+        "cap_watts": caps[0].watts if caps else math.inf,
+        "max_power": machine.max_power(),
+        "total_cores": machine.total_cores,
+        "frequencies": machine.freq_table.frequencies,
+    }
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_series_ascii(
+    series: Mapping[str, object],
+    *,
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Terminal rendering of one replay's utilisation and power rows.
+
+    Top block: core utilisation (darker = higher frequency mix);
+    ``x`` row marks switched-off cores; bottom block: power relative
+    to the machine maximum with the cap level drawn as ``-``.
+    """
+    grid: Mapping[str, np.ndarray] = series["grid"]  # type: ignore[assignment]
+    freqs: Sequence[float] = series["frequencies"]  # type: ignore[assignment]
+    total_cores: float = series["total_cores"]  # type: ignore[assignment]
+    time = grid["time"]
+    n = len(time)
+    cols = np.linspace(0, n - 1, num=min(width, n)).astype(int)
+
+    busy = sum(grid[f"cores@{g:g}"] for g in freqs)
+    # Frequency-weighted shade: fraction of busy cores at the top step.
+    top = grid[f"cores@{freqs[-1]:g}"]
+    util = busy / total_cores
+    off = grid["off_cores"] / total_cores
+    power = grid["power"] / series["max_power"]  # type: ignore[index]
+    cap_frac = (
+        series["cap_watts"] / series["max_power"]  # type: ignore[operator]
+        if math.isfinite(series["cap_watts"])  # type: ignore[arg-type]
+        else None
+    )
+
+    lines = ["cores (darker = more 2.7 GHz; x = switched off)"]
+    for row in range(height, 0, -1):
+        level = row / height
+        chars = []
+        for c in cols:
+            if util[c] >= level:
+                mix = top[c] / busy[c] if busy[c] else 0.0
+                chars.append(_SHADES[min(int(2 + mix * 7), 9)])
+            elif util[c] + off[c] >= level:
+                chars.append("x")
+            else:
+                chars.append(" ")
+        lines.append("".join(chars))
+    lines.append("power (| = cap window, - = cap level)")
+    window = series["window"]
+    for row in range(height, 0, -1):
+        level = row / height
+        chars = []
+        for c in cols:
+            t = time[c]
+            in_window = window is not None and window[0] <= t < window[1]
+            if power[c] >= level:
+                chars.append("#")
+            elif cap_frac is not None and in_window and abs(level - cap_frac) < 0.5 / height:
+                chars.append("-")
+            elif in_window and level > cap_frac if cap_frac else False:
+                chars.append("|")
+            else:
+                chars.append(" ")
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Application power/performance models under DVFS (Figures 3 and 5)."""
+
+from repro.apps.models import (
+    AppModel,
+    CURIE_APP_MODELS,
+    linpack_model,
+    stream_model,
+    imb_model,
+    gromacs_model,
+)
+
+__all__ = [
+    "AppModel",
+    "CURIE_APP_MODELS",
+    "linpack_model",
+    "stream_model",
+    "imb_model",
+    "gromacs_model",
+]

@@ -1,0 +1,134 @@
+"""Per-application DVFS trade-off models.
+
+Section VI-B characterises Curie nodes by running Linpack (compute
+bound), STREAM (memory bound), IMB (network bound) and GROMACS
+(molecular dynamics) at every CPU frequency, measuring through IPMI:
+
+* Figure 3 — maximum node power vs *normalised execution time* for
+  each application across 1.2-2.7 GHz;
+* Figure 4 — the per-state power envelope (the max across
+  applications at each step);
+* Figure 5 — ``degmin``, the completion-time degradation at the
+  lowest frequency.
+
+We model each application by its published ``degmin`` and a power
+scale relative to the Figure 4 envelope (Linpack defines the
+envelope; memory/network-bound codes draw less).  Execution time
+interpolates linearly in frequency between 1.0 at 2.7 GHz and
+``degmin`` at 1.2 GHz, the same interpolation the paper applies to
+walltimes (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.curie import CURIE_FREQUENCY_TABLE
+from repro.cluster.frequency import FrequencyTable, degradation_factor
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """DVFS behaviour of one application on one node type.
+
+    Attributes
+    ----------
+    name:
+        Application name.
+    degmin:
+        Completion-time degradation at the lowest frequency
+        (Figure 5).
+    power_scale:
+        Fraction of the machine's per-state power envelope this
+        application reaches (1.0 = defines the envelope).
+    time_exponent:
+        Convexity of the slowdown curve: execution time grows as
+        ``1 + (degmin-1) * x**time_exponent`` with
+        ``x = (fmax-f)/(fmax-fmin)``.  1.0 is the paper's *walltime*
+        convention (linear, Section V); the measured applications
+        behave convexly (> 1), which is what makes the
+        energy/performance trade-off non-monotonic with optima in the
+        2.0-2.7 GHz range (Section VI-B) — the rationale behind MIX.
+    freq_table:
+        The node's DVFS table (power envelope per step).
+    """
+
+    name: str
+    degmin: float
+    power_scale: float
+    time_exponent: float = 1.0
+    freq_table: FrequencyTable = CURIE_FREQUENCY_TABLE
+
+    def __post_init__(self) -> None:
+        if self.degmin < 1.0:
+            raise ValueError(f"{self.name}: degmin must be >= 1")
+        if not 0 < self.power_scale <= 1.0:
+            raise ValueError(f"{self.name}: power_scale must be in (0, 1]")
+        if self.time_exponent < 1.0:
+            raise ValueError(f"{self.name}: time_exponent must be >= 1")
+
+    def normalized_time(self, ghz: float) -> float:
+        """Execution time at ``ghz`` relative to the top frequency."""
+        if self.time_exponent == 1.0:
+            return degradation_factor(ghz, self.freq_table, self.degmin)
+        ft = self.freq_table
+        lo, hi = ft.min.ghz, ft.max.ghz
+        if not (lo - 1e-9 <= ghz <= hi + 1e-9):
+            raise ValueError(f"{ghz} GHz outside [{lo}, {hi}]")
+        x = (hi - ghz) / (hi - lo)
+        return 1.0 + (self.degmin - 1.0) * x**self.time_exponent
+
+    def power_watts(self, ghz: float) -> float:
+        """Maximum node power while running this application at ``ghz``.
+
+        Never below idle: a running node keeps its baseline draw.
+        """
+        idle = self.freq_table.idle_watts
+        envelope = self.freq_table.watts(ghz)
+        return max(idle, idle + self.power_scale * (envelope - idle))
+
+    def energy_per_unit_work(self, ghz: float) -> float:
+        """Relative node energy to complete a fixed computation at
+        ``ghz`` (power x stretched time, normalised at the top step
+        being ``power(max)``)."""
+        return self.power_watts(ghz) * self.normalized_time(ghz)
+
+    def tradeoff_curve(self) -> list[tuple[float, float, float]]:
+        """``(ghz, normalized_time, power_watts)`` per DVFS step —
+        one Figure 3 line."""
+        return [
+            (s.ghz, self.normalized_time(s.ghz), self.power_watts(s.ghz))
+            for s in self.freq_table
+        ]
+
+    def best_energy_frequency(self) -> float:
+        """Frequency minimising :meth:`energy_per_unit_work`."""
+        return min(
+            self.freq_table.frequencies, key=lambda g: self.energy_per_unit_work(g)
+        )
+
+
+def linpack_model() -> AppModel:
+    """Compute-bound: defines the power envelope, strong degradation."""
+    return AppModel("linpack", degmin=2.14, power_scale=1.0, time_exponent=2.0)
+
+
+def imb_model() -> AppModel:
+    """Network-bound (MPI benchmarks): strong degradation, lower power."""
+    return AppModel("IMB", degmin=2.13, power_scale=0.72, time_exponent=2.0)
+
+
+def stream_model() -> AppModel:
+    """Memory-bound: mild degradation, mid power."""
+    return AppModel("STREAM", degmin=1.26, power_scale=0.86, time_exponent=2.0)
+
+
+def gromacs_model() -> AppModel:
+    """Molecular dynamics: the mildest degradation of Figure 5."""
+    return AppModel("GROMACS", degmin=1.16, power_scale=0.80, time_exponent=2.0)
+
+
+def CURIE_APP_MODELS() -> dict[str, AppModel]:
+    """The four applications the paper measured on Curie."""
+    models = [linpack_model(), stream_model(), imb_model(), gromacs_model()]
+    return {m.name: m for m in models}

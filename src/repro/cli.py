@@ -1,0 +1,164 @@
+"""Command-line interface: ``repro-powercap``.
+
+Subcommands:
+
+* ``replay``  — replay one interval under a policy and cap, print the
+  summary and an ASCII figure;
+* ``grid``    — run the Figure 8 policy grid and print the bars;
+* ``tables``  — print the static paper tables (Figures 2, 4, 5);
+* ``model``   — evaluate the Section III model for a given cap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+HOUR = 3600.0
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.125,
+        help="Curie scale factor (1.0 = 5040 nodes; default 0.125)",
+    )
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import figure_series, render_series_ascii
+    from repro.cluster.curie import curie_machine
+    from repro.workload.intervals import PAPER_INTERVALS, generate_interval
+
+    machine = curie_machine(scale=args.scale)
+    spec = PAPER_INTERVALS[args.interval]
+    jobs = generate_interval(machine, args.interval, seed=args.seed)
+    series = figure_series(
+        machine,
+        jobs,
+        args.policy,
+        duration=spec.duration,
+        cap_fraction=None if args.policy == "NONE" or args.cap >= 1.0 else args.cap,
+        grid_dt=spec.duration / 200,
+    )
+    result = series["result"]
+    print(render_series_ascii(series, width=args.width))
+    print()
+    for key, value in result.summary().items():
+        print(f"{key:>20}: {value:,.4g}")
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_grid, run_policy_grid
+    from repro.cluster.curie import curie_machine
+    from repro.workload.intervals import generate_interval
+
+    machine = curie_machine(scale=args.scale)
+    names = args.workloads.split(",")
+    workloads = {n: generate_interval(machine, n) for n in names}
+    cells = run_policy_grid(machine, workloads)
+    print(render_grid(cells))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.cluster.curie import (
+        CURIE_BENCHMARK_DEGMIN,
+        CURIE_FREQUENCY_TABLE,
+        CURIE_TOPOLOGY,
+    )
+    from repro.core.powermodel import rho
+
+    print("Figure 2 — enclosure power bonus")
+    for row in CURIE_TOPOLOGY.bonus_figure_rows(CURIE_FREQUENCY_TABLE.max.watts):
+        print(
+            f"  {row['level']:<8} components={row['component_watts']:>5.0f} W  "
+            f"bonus={row['bonus_watts']:>5.0f} W  "
+            f"accumulated={row['accumulated_watts']:>6.0f} W"
+        )
+    print("\nFigure 4 — node power per state")
+    print(f"  {'Switch-off':<14}{CURIE_FREQUENCY_TABLE.down_watts:>6.0f} W")
+    print(f"  {'Idle':<14}{CURIE_FREQUENCY_TABLE.idle_watts:>6.0f} W")
+    for step in CURIE_FREQUENCY_TABLE:
+        print(f"  DVFS {step.ghz:<4} GHz{step.watts:>8.0f} W")
+    print("\nFigure 5 — degmin / rho per benchmark")
+    ft = CURIE_FREQUENCY_TABLE
+    for name, degmin in CURIE_BENCHMARK_DEGMIN.items():
+        r = rho(degmin, ft.max.watts, ft.min.watts, ft.down_watts)
+        best = "Switch-off" if r <= 0 else "DVFS"
+        print(f"  {name:<14} degmin={degmin:<5} rho={r:+.3f}  -> {best}")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.cluster.curie import curie_machine
+    from repro.core.offline import OfflinePlanner
+    from repro.core.policies import make_policy
+    from repro.rjms.reservations import PowercapReservation
+
+    machine = curie_machine(scale=args.scale)
+    planner = OfflinePlanner(machine, make_policy(args.policy, machine.freq_table))
+    cap_watts = args.cap * machine.max_power()
+    cap = PowercapReservation(0.0, HOUR, watts=cap_watts)
+    plan = planner.plan(cap)
+    mp = planner.model_plan(cap_watts)
+    print(f"machine      : {machine.n_nodes} nodes, max {machine.max_power()/1e3:.0f} kW")
+    print(f"cap          : {args.cap:.0%} = {cap_watts/1e3:.0f} kW")
+    print(f"model case   : {mp.case.value} (rho={mp.rho:+.3f})")
+    print(f"model Noff   : {mp.n_off:.1f}   model Ndvfs: {mp.n_dvfs:.1f}")
+    if plan.any_shutdown:
+        print(
+            f"offline plan : {plan.n_off_selected} nodes off "
+            f"({plan.n_full_racks} racks + {plan.n_full_chassis} chassis), "
+            f"bonus {plan.bonus_watts/1e3:.2f} kW"
+        )
+        print(f"worst case   : {plan.worst_case_alive_watts/1e3:.0f} kW alive <= cap")
+    else:
+        print("offline plan : no switch-off (policy or cap does not require it)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-powercap",
+        description="Power-capped RJMS scheduling (IPDPSW'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("replay", help="replay one interval under a policy")
+    _add_machine_args(p)
+    p.add_argument("--interval", default="medianjob",
+                   choices=["medianjob", "smalljob", "bigjob", "24h"])
+    p.add_argument("--policy", default="MIX",
+                   choices=["NONE", "IDLE", "SHUT", "DVFS", "MIX"])
+    p.add_argument("--cap", type=float, default=0.6,
+                   help="cap fraction of max power (1.0 disables)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--width", type=int, default=96)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("grid", help="run the Figure 8 policy grid")
+    _add_machine_args(p)
+    p.add_argument("--workloads", default="bigjob,medianjob,smalljob")
+    p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser("tables", help="print the static paper tables")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("model", help="evaluate the Section III model")
+    _add_machine_args(p)
+    p.add_argument("--policy", default="SHUT", choices=["SHUT", "MIX", "DVFS", "IDLE"])
+    p.add_argument("--cap", type=float, required=True)
+    p.set_defaults(func=cmd_model)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

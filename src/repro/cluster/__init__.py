@@ -1,0 +1,37 @@
+"""Cluster hardware substrate.
+
+Models the physical machine the RJMS manages: nodes with DVFS power
+states, the hierarchical enclosure topology (node -> chassis -> rack ->
+cluster) with its "power bonus" levels, vectorised whole-cluster power
+accounting, and the description of the Curie petaflopic supercomputer
+used throughout the paper's evaluation.
+"""
+
+from repro.cluster.states import NodeState
+from repro.cluster.frequency import FrequencyTable, FrequencyStep
+from repro.cluster.topology import Topology, LevelSpec
+from repro.cluster.power import PowerAccountant, PowerBreakdown
+from repro.cluster.machine import Machine
+from repro.cluster.curie import (
+    curie_machine,
+    CURIE_FREQUENCY_TABLE,
+    CURIE_TOPOLOGY,
+    CURIE_NODE_DOWN_WATTS,
+    CURIE_NODE_IDLE_WATTS,
+)
+
+__all__ = [
+    "NodeState",
+    "FrequencyTable",
+    "FrequencyStep",
+    "Topology",
+    "LevelSpec",
+    "PowerAccountant",
+    "PowerBreakdown",
+    "Machine",
+    "curie_machine",
+    "CURIE_FREQUENCY_TABLE",
+    "CURIE_TOPOLOGY",
+    "CURIE_NODE_DOWN_WATTS",
+    "CURIE_NODE_IDLE_WATTS",
+]

@@ -1,0 +1,86 @@
+"""The Curie petaflopic supercomputer, as characterised by the paper.
+
+All constants are taken verbatim from the paper:
+
+* Figure 4 — maximum node power per state (IPMI measurements over
+  Linpack / STREAM / IMB / GROMACS runs on Curie-model nodes).
+* Figure 2 / Section VI-A — enclosure hierarchy and power bonuses.
+* Section VI-A — 280 chassis housing 5040 B510 nodes, 2 x 8-core
+  Sandy Bridge per node, 80640 cores total.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.frequency import FrequencyTable
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Topology
+
+#: DownWatts — switched-off node, BMC powered (Figure 4).
+CURIE_NODE_DOWN_WATTS = 14.0
+#: IdleWatts (Figure 4).
+CURIE_NODE_IDLE_WATTS = 117.0
+
+#: CpuFreqXWatts for every DVFS step (Figure 4).
+CURIE_FREQ_WATTS: dict[float, float] = {
+    1.2: 193.0,
+    1.4: 213.0,
+    1.6: 234.0,
+    1.8: 248.0,
+    2.0: 269.0,
+    2.2: 289.0,
+    2.4: 317.0,
+    2.7: 358.0,
+}
+
+CURIE_FREQUENCY_TABLE = FrequencyTable(
+    CURIE_FREQ_WATTS.items(),
+    idle_watts=CURIE_NODE_IDLE_WATTS,
+    down_watts=CURIE_NODE_DOWN_WATTS,
+)
+
+CURIE_TOPOLOGY = Topology(
+    nodes_per_chassis=18,
+    chassis_per_rack=5,
+    racks=56,
+    chassis_watts=248.0,
+    rack_watts=900.0,
+    node_down_watts=CURIE_NODE_DOWN_WATTS,
+)
+
+#: Performance degradation between 2.7 GHz and 1.2 GHz used for the
+#: replays (Section VII-B), backed by [Etinski et al.] and the paper's
+#: own measurements.
+CURIE_DEGMIN_FULL_RANGE = 1.63
+#: Degradation between 2.7 GHz and 2.0 GHz for the MIX policy.
+CURIE_DEGMIN_MIX_RANGE = 1.29
+#: MIX restricts DVFS to the energy-efficient high range (Section VI-B).
+CURIE_MIX_MIN_GHZ = 2.0
+
+#: degmin measured/collected per benchmark (Figure 5).
+CURIE_BENCHMARK_DEGMIN: dict[str, float] = {
+    "linpack": 2.14,
+    "IMB": 2.13,
+    "SPEC Float": 1.89,
+    "SPEC Integer": 1.74,
+    "Common value": 1.63,
+    "NAS suite": 1.5,
+    "STREAM": 1.26,
+    "GROMACS": 1.16,
+}
+
+
+def curie_machine(scale: float = 1.0) -> Machine:
+    """Curie, optionally scaled down by whole racks.
+
+    ``scale=1.0`` gives the full 5040-node machine; benchmarks use a
+    fraction so the whole evaluation grid replays in minutes.  All
+    reported quantities are normalised, making the figures
+    scale-invariant.
+    """
+    topo = CURIE_TOPOLOGY if scale == 1.0 else CURIE_TOPOLOGY.scaled(scale)
+    return Machine(
+        name="curie" if scale == 1.0 else f"curie-x{scale:g}",
+        topology=topo,
+        freq_table=CURIE_FREQUENCY_TABLE,
+        cores_per_node=16,
+    )

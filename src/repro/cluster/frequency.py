@@ -1,0 +1,253 @@
+"""DVFS frequency steps and their power characteristics.
+
+Section V of the paper introduces per-state watt parameters on each
+node: ``IdleWatts``, ``MaxWatts``, ``DownWatts`` and one
+``CpuFreqXWatts`` per available CPU frequency X.  A
+:class:`FrequencyTable` bundles those values and provides the lookups
+the online scheduling algorithm needs (highest/lowest frequency,
+next-slower step, watts at a step, restriction to a sub-range for the
+MIX policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class FrequencyStep:
+    """A single DVFS operating point.
+
+    Ordering is by frequency so ``max(table)`` is the fastest step.
+    """
+
+    ghz: float
+    watts: float
+
+    def __post_init__(self) -> None:
+        if self.ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.ghz}")
+        if self.watts < 0:
+            raise ValueError(f"watts must be non-negative, got {self.watts}")
+
+
+class FrequencyTable:
+    """Ordered set of DVFS steps plus idle/down power for one node type.
+
+    Parameters
+    ----------
+    steps:
+        Iterable of :class:`FrequencyStep` (or ``(ghz, watts)`` tuples).
+        Power must be non-decreasing in frequency; at least one step is
+        required.
+    idle_watts:
+        Power drawn by a powered-on node with no job (``IdleWatts``).
+    down_watts:
+        Power drawn by a switched-off node whose BMC is still powered
+        (``DownWatts``; 14 W on Curie).
+    """
+
+    def __init__(
+        self,
+        steps: Iterable[FrequencyStep | tuple[float, float]],
+        *,
+        idle_watts: float,
+        down_watts: float,
+    ) -> None:
+        normalized = [
+            s if isinstance(s, FrequencyStep) else FrequencyStep(*s) for s in steps
+        ]
+        if not normalized:
+            raise ValueError("a frequency table needs at least one step")
+        normalized.sort()
+        ghz = [s.ghz for s in normalized]
+        if len(set(ghz)) != len(ghz):
+            raise ValueError(f"duplicate frequency steps: {ghz}")
+        watts = [s.watts for s in normalized]
+        if any(b < a for a, b in zip(watts, watts[1:])):
+            raise ValueError("power must be non-decreasing with frequency")
+        if idle_watts < 0 or down_watts < 0:
+            raise ValueError("idle/down watts must be non-negative")
+        if down_watts > idle_watts:
+            raise ValueError("a switched-off node cannot draw more than an idle one")
+        self._steps: tuple[FrequencyStep, ...] = tuple(normalized)
+        self.idle_watts = float(idle_watts)
+        self.down_watts = float(down_watts)
+        # Vectorised views used by the power accountant.
+        self.ghz_array = np.array(ghz, dtype=np.float64)
+        self.watts_array = np.array(watts, dtype=np.float64)
+        self._index_by_ghz = {s.ghz: i for i, s in enumerate(self._steps)}
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[FrequencyStep]:
+        return iter(self._steps)
+
+    def __getitem__(self, index: int) -> FrequencyStep:
+        return self._steps[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pts = ", ".join(f"{s.ghz}GHz={s.watts}W" for s in self._steps)
+        return (
+            f"FrequencyTable([{pts}], idle={self.idle_watts}W, "
+            f"down={self.down_watts}W)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyTable):
+            return NotImplemented
+        return (
+            self._steps == other._steps
+            and self.idle_watts == other.idle_watts
+            and self.down_watts == other.down_watts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._steps, self.idle_watts, self.down_watts))
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def steps(self) -> tuple[FrequencyStep, ...]:
+        return self._steps
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """All frequencies, ascending."""
+        return tuple(s.ghz for s in self._steps)
+
+    @property
+    def min(self) -> FrequencyStep:
+        """Slowest step (``Pmin`` in the paper's model)."""
+        return self._steps[0]
+
+    @property
+    def max(self) -> FrequencyStep:
+        """Fastest step (``Pmax`` in the paper's model)."""
+        return self._steps[-1]
+
+    @property
+    def max_index(self) -> int:
+        return len(self._steps) - 1
+
+    def index_of(self, ghz: float) -> int:
+        """Index of the step running at exactly ``ghz``.
+
+        Raises ``KeyError`` for a frequency not in the table: the
+        online algorithm only ever iterates over configured steps.
+        """
+        try:
+            return self._index_by_ghz[ghz]
+        except KeyError:
+            raise KeyError(
+                f"{ghz} GHz is not a configured DVFS step; choices: "
+                f"{self.frequencies}"
+            ) from None
+
+    def watts(self, ghz: float) -> float:
+        """``CpuFreqXWatts`` for step X = ``ghz``."""
+        return self._steps[self.index_of(ghz)].watts
+
+    def watts_at_index(self, index: int) -> float:
+        return self._steps[index].watts
+
+    def step_below(self, ghz: float) -> FrequencyStep | None:
+        """Next slower step, or ``None`` when ``ghz`` is the slowest.
+
+        This is the "a slower value of job.DVFS" operation of
+        Algorithm 2 in the paper.
+        """
+        i = self.index_of(ghz)
+        return self._steps[i - 1] if i > 0 else None
+
+    def restrict(self, min_ghz: float, max_ghz: float) -> "FrequencyTable":
+        """Sub-table limited to ``[min_ghz, max_ghz]`` (inclusive).
+
+        Used by the MIX policy, which only permits the
+        energy-efficient high range (2.0-2.7 GHz on Curie).
+        """
+        kept = [s for s in self._steps if min_ghz <= s.ghz <= max_ghz]
+        if not kept:
+            raise ValueError(
+                f"no DVFS step inside [{min_ghz}, {max_ghz}] GHz; "
+                f"available: {self.frequencies}"
+            )
+        return FrequencyTable(
+            kept, idle_watts=self.idle_watts, down_watts=self.down_watts
+        )
+
+    # -- derived quantities used by the Section III model ---------------------------
+
+    def dynamic_range(self) -> float:
+        """``Pmax - Pmin``: watts shaved by DVFS at full depth."""
+        return self.max.watts - self.min.watts
+
+    def normalized_cap_floor(self) -> float:
+        """``Pmin / Pmax``: the lowest normalised cap DVFS alone reaches.
+
+        Below this value of lambda the paper's model (Section III-A,
+        case 4) forces the use of switch-off together with DVFS.
+        """
+        return self.min.watts / self.max.watts
+
+    def interpolate_watts(self, ghz: float) -> float:
+        """Linear interpolation of power between configured steps.
+
+        Only used by application models (Figure 3 reproduction); the
+        scheduler itself never runs between steps.
+        """
+        lo, hi = self.min.ghz, self.max.ghz
+        if not (lo <= ghz <= hi):
+            raise ValueError(f"{ghz} GHz outside table range [{lo}, {hi}]")
+        return float(np.interp(ghz, self.ghz_array, self.watts_array))
+
+
+def degradation_factor(
+    ghz: float,
+    table: FrequencyTable | Sequence[float],
+    degmin: float,
+    *,
+    max_ghz: float | None = None,
+    min_ghz: float | None = None,
+) -> float:
+    """Runtime stretch factor for a job executed at ``ghz``.
+
+    The paper (Sections V, VII-B) models the completion-time
+    degradation as ``degmin`` at the minimum frequency, 1.0 at the
+    maximum frequency, and **linear interpolation** for intermediate
+    steps.  ``degmin`` is 1.63 for the full 1.2-2.7 GHz range and 1.29
+    for the MIX 2.0-2.7 GHz range.
+
+    Parameters
+    ----------
+    ghz:
+        Frequency the job runs at.
+    table:
+        Frequency table (or an ascending frequency sequence) defining
+        the default min/max of the interpolation span.
+    degmin:
+        Degradation at the minimum frequency.
+    max_ghz, min_ghz:
+        Optional overrides for the interpolation span endpoints.
+    """
+    if degmin < 1.0:
+        raise ValueError(f"degmin must be >= 1 (got {degmin})")
+    if isinstance(table, FrequencyTable):
+        lo = table.min.ghz if min_ghz is None else min_ghz
+        hi = table.max.ghz if max_ghz is None else max_ghz
+    else:
+        freqs = sorted(table)
+        lo = freqs[0] if min_ghz is None else min_ghz
+        hi = freqs[-1] if max_ghz is None else max_ghz
+    if hi <= lo:
+        return 1.0
+    if not (lo - 1e-9 <= ghz <= hi + 1e-9):
+        raise ValueError(f"{ghz} GHz outside degradation span [{lo}, {hi}]")
+    frac = (hi - ghz) / (hi - lo)
+    return 1.0 + (degmin - 1.0) * frac

@@ -1,0 +1,79 @@
+"""Machine description: topology + node type bundled together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster.frequency import FrequencyTable
+from repro.cluster.power import PowerAccountant
+from repro.cluster.topology import Topology
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Everything static the RJMS needs to know about the hardware.
+
+    Attributes
+    ----------
+    name:
+        Human-readable machine name.
+    topology:
+        Enclosure hierarchy (node/chassis/rack shape, infra watts).
+    freq_table:
+        DVFS operating points and idle/down watts of one node.
+    cores_per_node:
+        Cores offered per node (16 on Curie).  Jobs are allocated
+        whole nodes — like the paper's power accounting, which "does
+        not make any difference whether nodes are fully or partially
+        used".
+    """
+
+    name: str
+    topology: Topology
+    freq_table: FrequencyTable
+    cores_per_node: int = 16
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.topology.node_down_watts != self.freq_table.down_watts:
+            raise ValueError(
+                "topology.node_down_watts must match freq_table.down_watts "
+                f"({self.topology.node_down_watts} != {self.freq_table.down_watts})"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    def max_power(self) -> float:
+        """All nodes at top frequency plus powered infrastructure."""
+        return (
+            self.n_nodes * self.freq_table.max.watts
+            + self.topology.infrastructure_watts()
+        )
+
+    def idle_power(self) -> float:
+        """All nodes idle plus powered infrastructure."""
+        return (
+            self.n_nodes * self.freq_table.idle_watts
+            + self.topology.infrastructure_watts()
+        )
+
+    def nodes_for_cores(self, cores: int) -> int:
+        """Whole nodes needed for a ``cores``-wide job."""
+        if cores <= 0:
+            raise ValueError(f"job core count must be positive, got {cores}")
+        return -(-cores // self.cores_per_node)
+
+    def new_accountant(self) -> PowerAccountant:
+        """Fresh power accountant with every node IDLE."""
+        return PowerAccountant(self.topology, self.freq_table)
+
+    def scaled(self, factor: float) -> "Machine":
+        """Proportionally smaller/larger machine (same node type)."""
+        return replace(self, topology=self.topology.scaled(factor))

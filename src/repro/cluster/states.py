@@ -1,0 +1,51 @@
+"""Node power/availability states.
+
+The paper (Section IV-A) treats power as a characteristic of each
+resource state: a node that is switched off, idle, or busy at a given
+CPU frequency consumes a different, statically configured amount of
+power.  The controller deduces whole-cluster power by summing the
+per-state values.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeState(enum.IntEnum):
+    """Availability state of a compute node.
+
+    The integer values are stable and used as indices into vectorised
+    state arrays, so they must not be reordered.
+    """
+
+    #: Node is powered off.  Only the BMC remains powered (14 W on
+    #: Curie) unless the enclosing chassis is powered off as well.
+    OFF = 0
+
+    #: Node is powered on and available, no job is running.
+    IDLE = 1
+
+    #: Node is allocated to a running job.  The consumed power depends
+    #: on the CPU frequency the job was started at.
+    BUSY = 2
+
+    #: Node is transitioning from OFF to IDLE (boot in progress).
+    BOOTING = 3
+
+    #: Node is transitioning to OFF (shutdown in progress).
+    SHUTTING_DOWN = 4
+
+    @property
+    def is_transitional(self) -> bool:
+        """True for boot/shutdown transition states."""
+        return self in (NodeState.BOOTING, NodeState.SHUTTING_DOWN)
+
+    @property
+    def is_available_for_jobs(self) -> bool:
+        """True if a job could be dispatched on the node right now."""
+        return self == NodeState.IDLE
+
+
+#: Number of distinct :class:`NodeState` values (for array sizing).
+N_NODE_STATES = len(NodeState)

@@ -1,0 +1,216 @@
+"""Hierarchical enclosure topology and the "power bonus" model.
+
+Section III-B of the paper defines power *levels*: groups of hardware
+components that can be switched off together.  On Curie (Section VI-A,
+Figure 2):
+
+* **node** — 2 sockets x 8 cores.  When off, the BMC stays powered
+  (14 W) so the node can be woken through the network.
+* **chassis** — 18 nodes plus cooling fans, Ethernet/InfiniBand
+  switches, optical cables and ports drawing 248 W.  Powering off a
+  *complete* chassis also cuts the 18 BMCs, for a bonus of
+  ``248 + 18*14 = 500 W``.
+* **rack** — 5 chassis plus fans and the cold door of the liquid
+  cooling, 900 W; bonus ``900 + 5*500 = 3400 W``.
+* **cluster** — 56 racks (no bonus modelled above rack level).
+
+The topology maps node ids to their chassis and rack, tracks which
+enclosures are fully powered off, and computes the bonus watts the
+offline scheduling phase can harvest by *grouping* shutdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Static description of one enclosure level.
+
+    ``component_watts`` is the power drawn by the level's shared
+    infrastructure (fans, switches, cold door) while *any* of its
+    children is powered.
+    """
+
+    name: str
+    children_per_parent: int
+    component_watts: float
+
+    def __post_init__(self) -> None:
+        if self.children_per_parent <= 0:
+            raise ValueError("children_per_parent must be positive")
+        if self.component_watts < 0:
+            raise ValueError("component_watts must be non-negative")
+
+
+class Topology:
+    """node -> chassis -> rack hierarchy with power-bonus accounting.
+
+    Parameters
+    ----------
+    nodes_per_chassis, chassis_per_rack, racks:
+        Shape of the hierarchy.  Curie: 18, 5, 56.
+    chassis_watts, rack_watts:
+        Shared-infrastructure power per chassis / rack.
+    node_down_watts:
+        BMC power of an individual switched-off node; cut when the
+        whole chassis powers down (this is what makes the chassis
+        bonus exceed its own component power).
+    """
+
+    def __init__(
+        self,
+        *,
+        nodes_per_chassis: int = 18,
+        chassis_per_rack: int = 5,
+        racks: int = 56,
+        chassis_watts: float = 248.0,
+        rack_watts: float = 900.0,
+        node_down_watts: float = 14.0,
+    ) -> None:
+        if min(nodes_per_chassis, chassis_per_rack, racks) <= 0:
+            raise ValueError("topology dimensions must be positive")
+        self.nodes_per_chassis = int(nodes_per_chassis)
+        self.chassis_per_rack = int(chassis_per_rack)
+        self.racks = int(racks)
+        self.chassis_watts = float(chassis_watts)
+        self.rack_watts = float(rack_watts)
+        self.node_down_watts = float(node_down_watts)
+
+        self.n_chassis = self.racks * self.chassis_per_rack
+        self.n_nodes = self.n_chassis * self.nodes_per_chassis
+        self.nodes_per_rack = self.nodes_per_chassis * self.chassis_per_rack
+
+        node_ids = np.arange(self.n_nodes)
+        #: chassis id of each node (shape ``(n_nodes,)``)
+        self.chassis_of_node = node_ids // self.nodes_per_chassis
+        #: rack id of each node (shape ``(n_nodes,)``)
+        self.rack_of_node = node_ids // self.nodes_per_rack
+        #: rack id of each chassis (shape ``(n_chassis,)``)
+        self.rack_of_chassis = np.arange(self.n_chassis) // self.chassis_per_rack
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Topology({self.racks} racks x {self.chassis_per_rack} chassis "
+            f"x {self.nodes_per_chassis} nodes = {self.n_nodes} nodes)"
+        )
+
+    # -- membership helpers ---------------------------------------------------------
+
+    def nodes_of_chassis(self, chassis: int) -> np.ndarray:
+        """Node ids housed in ``chassis`` (ascending)."""
+        if not 0 <= chassis < self.n_chassis:
+            raise IndexError(f"chassis {chassis} out of range")
+        start = chassis * self.nodes_per_chassis
+        return np.arange(start, start + self.nodes_per_chassis)
+
+    def nodes_of_rack(self, rack: int) -> np.ndarray:
+        """Node ids housed in ``rack`` (ascending)."""
+        if not 0 <= rack < self.racks:
+            raise IndexError(f"rack {rack} out of range")
+        start = rack * self.nodes_per_rack
+        return np.arange(start, start + self.nodes_per_rack)
+
+    def chassis_of_rack(self, rack: int) -> np.ndarray:
+        """Chassis ids housed in ``rack`` (ascending)."""
+        if not 0 <= rack < self.racks:
+            raise IndexError(f"rack {rack} out of range")
+        start = rack * self.chassis_per_rack
+        return np.arange(start, start + self.chassis_per_rack)
+
+    # -- power bonus model (Figure 2) ------------------------------------------------
+
+    def chassis_bonus_watts(self) -> float:
+        """Extra watts released by powering off one *complete* chassis.
+
+        ``component_watts + nodes_per_chassis * node_down_watts``
+        (the BMCs go dark together with the enclosure): 500 W on Curie.
+        """
+        return self.chassis_watts + self.nodes_per_chassis * self.node_down_watts
+
+    def rack_bonus_watts(self) -> float:
+        """Extra watts released by powering off one *complete* rack.
+
+        ``rack_watts + chassis_per_rack * chassis_bonus``: 3400 W on
+        Curie.
+        """
+        return self.rack_watts + self.chassis_per_rack * self.chassis_bonus_watts()
+
+    def accumulated_node_watts(self, node_max_watts: float) -> float:
+        """Watts saved by switching off one node alone (BMC stays on).
+
+        ``MaxWatts - DownWatts``: 344 W on Curie (Figure 2, node row).
+        """
+        return node_max_watts - self.node_down_watts
+
+    def accumulated_chassis_watts(self, node_max_watts: float) -> float:
+        """Total watts saved by one complete chassis off (Figure 2).
+
+        ``18 * 344 + 500 = 6692 W`` on Curie.
+        """
+        per_node = self.accumulated_node_watts(node_max_watts)
+        return per_node * self.nodes_per_chassis + self.chassis_bonus_watts()
+
+    def accumulated_rack_watts(self, node_max_watts: float) -> float:
+        """Total watts saved by one complete rack off (Figure 2).
+
+        ``5 * 6692 + 900 = 34360 W`` on Curie.  Note the rack row only
+        adds its own 900 W of components: the chassis bonuses are
+        already contained in the per-chassis total.
+        """
+        return (
+            self.accumulated_chassis_watts(node_max_watts) * self.chassis_per_rack
+            + self.rack_watts
+        )
+
+    def infrastructure_watts(self) -> float:
+        """Power of all chassis+rack components when fully powered."""
+        return self.n_chassis * self.chassis_watts + self.racks * self.rack_watts
+
+    def bonus_figure_rows(self, node_max_watts: float) -> list[dict[str, float | str]]:
+        """The rows of the paper's Figure 2 table, computed.
+
+        Returns one mapping per level with the level name, component
+        power, bonus and accumulated saved power.
+        """
+        return [
+            {
+                "level": "node",
+                "component_watts": self.node_down_watts,
+                "bonus_watts": 0.0,
+                "accumulated_watts": self.accumulated_node_watts(node_max_watts),
+            },
+            {
+                "level": "chassis",
+                "component_watts": self.chassis_watts,
+                "bonus_watts": self.chassis_bonus_watts(),
+                "accumulated_watts": self.accumulated_chassis_watts(node_max_watts),
+            },
+            {
+                "level": "rack",
+                "component_watts": self.rack_watts,
+                "bonus_watts": self.rack_bonus_watts(),
+                "accumulated_watts": self.accumulated_rack_watts(node_max_watts),
+            },
+        ]
+
+    def scaled(self, factor: float) -> "Topology":
+        """Smaller/larger topology with the same per-level shape.
+
+        Scales the number of racks (minimum 1), keeping chassis and
+        node counts per enclosure — all normalised results are
+        invariant under this scaling (tested).
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return Topology(
+            nodes_per_chassis=self.nodes_per_chassis,
+            chassis_per_rack=self.chassis_per_rack,
+            racks=max(1, round(self.racks * factor)),
+            chassis_watts=self.chassis_watts,
+            rack_watts=self.rack_watts,
+            node_down_watts=self.node_down_watts,
+        )

@@ -1,0 +1,46 @@
+"""The paper's contribution: power-adaptive scheduling under a cap.
+
+* :mod:`repro.core.powermodel` — Section III analytical model (the
+  DVFS / switch-off trade-off, ``rho``, the four cases);
+* :mod:`repro.core.policies` — NONE / IDLE / SHUT / DVFS / MIX;
+* :mod:`repro.core.offline` — Algorithm 1: planned, grouped node
+  switch-off reservations harvesting power bonuses;
+* :mod:`repro.core.online` — Algorithm 2: per-job CPU-frequency
+  selection against active and planned power caps.
+"""
+
+from repro.core.powermodel import (
+    PowerPlan,
+    ModelCase,
+    rho,
+    dvfs_beats_shutdown_exact,
+    capacity,
+    plan_nodes,
+    plan_nodes_exact,
+    dvfs_only_nodes,
+    shutdown_only_nodes,
+)
+from repro.core.policies import Policy, PolicyKind, make_policy, CURIE_POLICIES
+from repro.core.offline import OfflinePlanner, ShutdownPlan
+from repro.core.online import FrequencySelector, PowercapView, FrequencyDecision
+
+__all__ = [
+    "PowerPlan",
+    "ModelCase",
+    "rho",
+    "dvfs_beats_shutdown_exact",
+    "capacity",
+    "plan_nodes",
+    "plan_nodes_exact",
+    "dvfs_only_nodes",
+    "shutdown_only_nodes",
+    "Policy",
+    "PolicyKind",
+    "make_policy",
+    "CURIE_POLICIES",
+    "OfflinePlanner",
+    "ShutdownPlan",
+    "FrequencySelector",
+    "PowercapView",
+    "FrequencyDecision",
+]

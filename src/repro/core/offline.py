@@ -1,0 +1,236 @@
+"""Algorithm 1 — the offline phase: planned, grouped node switch-off.
+
+When a powercap reservation is registered, the offline phase decides
+*in advance* (Section IV-B) whether nodes must be switched off during
+the window, how many, and — crucially — **which**: grouping the
+switch-off by whole racks and chassis harvests the "power bonus" of
+Section III-B, keeping more nodes alive for the same cap (the paper's
+worked example: an 18-node chassis beats 20 scattered nodes).
+
+The planner works against the *worst-case* alive power: every alive
+node busy at the policy's reference frequency (the top step for SHUT,
+the lowest allowed step for MIX — the model's ``Pmin``), plus the
+enclosure infrastructure of alive groups.  Selection proceeds from
+the highest node ids downward so the selector's low-id packing stays
+out of its way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.core.policies import Policy, PolicyKind
+from repro.core.powermodel import ModelCase, PowerPlan, plan_nodes
+from repro.rjms.reservations import (
+    PowercapReservation,
+    ShutdownReservation,
+    shutdown_savings_from_idle,
+)
+
+
+@dataclass(frozen=True)
+class ShutdownPlan:
+    """Outcome of the offline phase for one powercap reservation."""
+
+    reservation: ShutdownReservation | None
+    model_plan: PowerPlan | None
+    n_off_selected: int
+    n_full_racks: int
+    n_full_chassis: int
+    bonus_watts: float
+    worst_case_alive_watts: float
+
+    @property
+    def any_shutdown(self) -> bool:
+        return self.n_off_selected > 0
+
+
+class OfflinePlanner:
+    """Plans shutdown reservations for powercap windows."""
+
+    def __init__(self, machine: Machine, policy: Policy) -> None:
+        self.machine = machine
+        self.policy = policy
+
+    # -- model interface ------------------------------------------------------------------
+
+    def reference_watts(self) -> float:
+        """Per-node worst-case watts for alive nodes under this policy.
+
+        SHUT/IDLE/NONE run jobs at the top step; MIX plans for all
+        alive nodes at its lowest allowed step (``Pmin`` = 2.0 GHz on
+        Curie), since the online phase may always fall back there.
+        """
+        if self.policy.kind == PolicyKind.MIX:
+            return self.policy.allowed.min.watts
+        return self.policy.freq_table.max.watts
+
+    def model_plan(self, cap_watts: float) -> PowerPlan:
+        """The Section III continuous solution for this cap.
+
+        Uses node-level powers only, like the paper's model; the cap
+        is first stripped of the full-infrastructure share so the
+        comparison is node-to-node.
+        """
+        ft = self.policy.freq_table
+        infra = self.machine.topology.infrastructure_watts()
+        node_budget = cap_watts - infra
+        n = self.machine.n_nodes
+        node_budget = max(node_budget, n * ft.down_watts)
+        return plan_nodes(
+            n,
+            node_budget,
+            pmax=ft.max.watts,
+            pmin=self.policy.allowed.min.watts
+            if self.policy.uses_dvfs
+            else ft.min.watts,
+            poff=ft.down_watts,
+            degmin=max(self.policy.degmin, 1.0 + 1e-9),
+        )
+
+    # -- greedy grouped selection -----------------------------------------------------------
+
+    def plan(self, cap: PowercapReservation) -> ShutdownPlan:
+        """Plan the switch-off set for one cap window.
+
+        Policies without shutdown rights return an empty plan.  For
+        SHUT/MIX, groups are selected greedily — whole racks while the
+        deficit warrants them, then whole chassis, then single nodes —
+        so that the worst-case alive power fits under the cap.
+        """
+        machine = self.machine
+        topo = machine.topology
+        ft = machine.freq_table
+        if not self.policy.uses_shutdown:
+            return ShutdownPlan(
+                None, None, 0, 0, 0, 0.0, self._worst_case_alive(np.array([], int))
+            )
+
+        p_ref = self.reference_watts()
+        node_savings = p_ref - ft.down_watts
+        chassis_savings = (
+            topo.nodes_per_chassis * (p_ref - 0.0) + topo.chassis_watts
+        )  # BMCs dark in a complete chassis
+        rack_savings = (
+            chassis_savings * topo.chassis_per_rack + topo.rack_watts
+        )
+
+        deficit = self._worst_case_alive(np.array([], int)) - cap.watts
+        selected: list[np.ndarray] = []
+        n_racks_taken = 0
+        n_chassis_taken = 0
+        n_singles = 0
+        next_rack = topo.racks - 1
+        # Chassis are consumed from the high end of the still-unselected
+        # racks; single nodes from the high end of the next chassis.
+        while deficit > 1e-9:
+            nodes_equiv = int(np.ceil(deficit / node_savings))
+            if (
+                nodes_equiv >= topo.nodes_per_rack
+                and next_rack >= 0
+                and n_racks_taken < topo.racks
+            ):
+                selected.append(topo.nodes_of_rack(next_rack))
+                deficit -= rack_savings
+                next_rack -= 1
+                n_racks_taken += 1
+            elif nodes_equiv >= topo.nodes_per_chassis and next_rack >= 0:
+                chassis = topo.chassis_of_rack(next_rack)[-(n_chassis_taken + 1)]
+                selected.append(topo.nodes_of_chassis(chassis))
+                deficit -= chassis_savings
+                n_chassis_taken += 1
+                if n_chassis_taken == topo.chassis_per_rack:
+                    # The whole rack got consumed chassis by chassis;
+                    # its rack-level bonus applies too.
+                    deficit -= topo.rack_watts
+                    next_rack -= 1
+                    n_racks_taken += 1
+                    n_chassis_taken = 0
+            elif next_rack >= 0:
+                n_singles = min(
+                    nodes_equiv,
+                    topo.nodes_per_chassis * (topo.chassis_per_rack - n_chassis_taken),
+                )
+                chassis = topo.chassis_of_rack(next_rack)[
+                    topo.chassis_per_rack - n_chassis_taken - 1
+                ]
+                nodes = topo.nodes_of_chassis(chassis)[-n_singles:]
+                selected.append(nodes)
+                deficit -= n_singles * node_savings
+                break
+            else:
+                break  # everything is off; cap unreachable even so
+
+        if not selected:
+            return ShutdownPlan(
+                None,
+                self.model_plan(cap.watts),
+                0,
+                0,
+                0,
+                0.0,
+                self._worst_case_alive(np.array([], int)),
+            )
+
+        nodes = np.unique(np.concatenate(selected))
+        savings = shutdown_savings_from_idle(nodes, topo, ft.idle_watts)
+        reservation = ShutdownReservation(
+            start=cap.start,
+            end=cap.end,
+            nodes=nodes,
+            savings_from_idle_watts=savings,
+        )
+        n_full_chassis = self._count_full(nodes, level="chassis")
+        n_full_racks = self._count_full(nodes, level="rack")
+        bonus = (
+            n_full_chassis * topo.chassis_bonus_watts() + n_full_racks * topo.rack_watts
+        )
+        return ShutdownPlan(
+            reservation=reservation,
+            model_plan=self.model_plan(cap.watts),
+            n_off_selected=int(nodes.size),
+            n_full_racks=n_full_racks,
+            n_full_chassis=n_full_chassis,
+            bonus_watts=bonus,
+            worst_case_alive_watts=self._worst_case_alive(nodes),
+        )
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def _count_full(self, nodes: np.ndarray, *, level: str) -> int:
+        topo = self.machine.topology
+        per_chassis = np.bincount(
+            topo.chassis_of_node[nodes], minlength=topo.n_chassis
+        )
+        full_chassis = per_chassis == topo.nodes_per_chassis
+        if level == "chassis":
+            return int(full_chassis.sum())
+        per_rack = np.bincount(
+            topo.rack_of_chassis[np.nonzero(full_chassis)[0]], minlength=topo.racks
+        )
+        return int((per_rack == topo.chassis_per_rack).sum())
+
+    def _worst_case_alive(self, off_nodes: np.ndarray) -> float:
+        """Cluster power if every alive node ran at the reference step.
+
+        Includes alive enclosure infrastructure and the BMCs of
+        scattered off nodes — the quantity the cap must bound.
+        """
+        machine = self.machine
+        topo = machine.topology
+        ft = machine.freq_table
+        p_ref = self.reference_watts()
+        n_off = int(off_nodes.size)
+        n_full_chassis = self._count_full(off_nodes, level="chassis") if n_off else 0
+        n_full_racks = self._count_full(off_nodes, level="rack") if n_off else 0
+        dark_nodes = n_full_chassis * topo.nodes_per_chassis
+        alive = machine.n_nodes - n_off
+        return (
+            alive * p_ref
+            + (n_off - dark_nodes) * ft.down_watts
+            + (topo.n_chassis - n_full_chassis) * topo.chassis_watts
+            + (topo.racks - n_full_racks) * topo.rack_watts
+        )

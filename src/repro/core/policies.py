@@ -1,0 +1,138 @@
+"""Powercap scheduling policies: NONE, IDLE, SHUT, DVFS, MIX.
+
+Section IV-B defines the three administrator-selectable modes the
+SLURM implementation exposes (``SchedulerParameters``):
+
+* ``SHUT`` — grouped node switch-off (offline phase), jobs always run
+  at the maximum frequency;
+* ``DVFS`` — no switch-off, jobs may be forced to any configured
+  frequency (1.2-2.7 GHz on Curie);
+* ``MIX``  — switch-off *plus* DVFS restricted to the
+  energy-efficient high range (2.0-2.7 GHz on Curie, Section VI-B),
+  with its own degradation constant (1.29).
+
+The evaluation also uses two reference modes: ``NONE`` (powercap
+ignored — the 100 % baseline) and ``IDLE`` (both mechanisms disabled:
+the scheduler can only leave nodes idle, the paper's "worst work"
+variant).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.curie import (
+    CURIE_DEGMIN_FULL_RANGE,
+    CURIE_DEGMIN_MIX_RANGE,
+    CURIE_MIX_MIN_GHZ,
+)
+from repro.cluster.frequency import FrequencyTable, degradation_factor
+
+
+class PolicyKind(enum.Enum):
+    NONE = "NONE"
+    IDLE = "IDLE"
+    SHUT = "SHUT"
+    DVFS = "DVFS"
+    MIX = "MIX"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A powercap scheduling mode bound to a machine's DVFS table.
+
+    Attributes
+    ----------
+    kind:
+        Which of the five modes this is.
+    freq_table:
+        Full machine DVFS table.
+    allowed:
+        Sub-table of frequencies the online algorithm may assign
+        (single-entry table at the max step for NONE/IDLE/SHUT).
+    degmin:
+        Completion-time degradation at the slowest *allowed* step
+        (1.0 when DVFS is not used).
+    """
+
+    kind: PolicyKind
+    freq_table: FrequencyTable
+    allowed: FrequencyTable
+    degmin: float
+
+    @property
+    def name(self) -> str:
+        return self.kind.value
+
+    @property
+    def uses_shutdown(self) -> bool:
+        """Whether the offline phase may plan switch-off reservations."""
+        return self.kind in (PolicyKind.SHUT, PolicyKind.MIX)
+
+    @property
+    def uses_dvfs(self) -> bool:
+        """Whether the online phase may lower job frequencies."""
+        return len(self.allowed) > 1
+
+    @property
+    def enforces_caps(self) -> bool:
+        """NONE ignores power caps entirely."""
+        return self.kind != PolicyKind.NONE
+
+    def degradation(self, ghz: float) -> float:
+        """Runtime stretch for a job at ``ghz``.
+
+        Linear between the policy's extreme allowed frequencies
+        (Sections V, VII-B): 1.0 at the top step, ``degmin`` at the
+        lowest allowed step.
+        """
+        return degradation_factor(ghz, self.allowed, self.degmin)
+
+    def frequency_indices_desc(self) -> list[int]:
+        """Indices (into the *full* table) of allowed steps, fastest first.
+
+        This is the iteration order of Algorithm 2.
+        """
+        return [
+            self.freq_table.index_of(step.ghz) for step in reversed(self.allowed.steps)
+        ]
+
+
+def make_policy(
+    kind: PolicyKind | str,
+    freq_table: FrequencyTable,
+    *,
+    degmin: float | None = None,
+    mix_min_ghz: float = CURIE_MIX_MIN_GHZ,
+) -> Policy:
+    """Build a policy for a machine.
+
+    ``degmin`` defaults to the paper's replay constants: 1.63 for the
+    full range (DVFS), 1.29 for the MIX high range, 1.0 otherwise.
+    """
+    kind = PolicyKind(kind) if isinstance(kind, str) else kind
+    top_only = freq_table.restrict(freq_table.max.ghz, freq_table.max.ghz)
+    if kind in (PolicyKind.NONE, PolicyKind.IDLE, PolicyKind.SHUT):
+        return Policy(kind, freq_table, top_only, 1.0)
+    if kind == PolicyKind.DVFS:
+        return Policy(
+            kind,
+            freq_table,
+            freq_table,
+            CURIE_DEGMIN_FULL_RANGE if degmin is None else degmin,
+        )
+    if kind == PolicyKind.MIX:
+        allowed = freq_table.restrict(mix_min_ghz, freq_table.max.ghz)
+        return Policy(
+            kind,
+            freq_table,
+            allowed,
+            CURIE_DEGMIN_MIX_RANGE if degmin is None else degmin,
+        )
+    raise ValueError(f"unknown policy kind {kind!r}")  # pragma: no cover
+
+
+def CURIE_POLICIES(freq_table: FrequencyTable) -> dict[str, Policy]:
+    """All five policies instantiated for a Curie-like table."""
+    return {k.value: make_policy(k, freq_table) for k in PolicyKind}

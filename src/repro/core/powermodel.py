@@ -1,0 +1,230 @@
+"""Section III analytical model: switch-off vs DVFS under a power cap.
+
+The model maximises the computational capacity
+
+    W = T * ((N - Noff - Ndvfs) / 1 + Ndvfs / degmin)            (C1)
+
+subject to
+
+    Ndvfs + Noff <= N                                            (C2)
+    Noff*Poff + Ndvfs*Pmin + (N - Noff - Ndvfs)*Pmax <= P        (C3)
+
+where ``degmin`` is the slowdown at the lowest frequency, ``Poff`` the
+power of a switched-off node, ``Pmin``/``Pmax`` the node power at the
+lowest/highest frequency and ``P`` the cap.  The sign of
+
+    rho = 1 - 1/degmin - (Pmax - Pdvfs) / (Pmax - Poff)
+
+decides the winner: ``rho > 0`` means DVFS yields more capacity,
+``rho <= 0`` means switching nodes off does (Curie: always switch-off,
+Figure 5).  When ``P < N*Pmin`` (normalised cap below ``Pmin/Pmax``)
+DVFS alone cannot reach the cap and both mechanisms must be combined
+(case 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ModelCase(enum.Enum):
+    """Which of the four Section III-A regimes applies."""
+
+    SHUTDOWN_ONLY = "shutdown-only"
+    DVFS_ONLY = "dvfs-only"
+    TIE = "tie"
+    COMBINED = "combined"
+
+
+def _check_powers(pmax: float, pmin: float, poff: float) -> None:
+    if not (0 <= poff < pmin <= pmax):
+        raise ValueError(
+            f"need 0 <= Poff < Pmin <= Pmax, got Poff={poff}, "
+            f"Pmin={pmin}, Pmax={pmax}"
+        )
+
+
+def rho(degmin: float, pmax: float, pmin: float, poff: float) -> float:
+    """The paper's mechanism-selection indicator, Figure 5 convention.
+
+    ``rho > 0``: DVFS is selected; ``rho <= 0``: switch-off is.
+
+    The formula printed in Section III-A reads
+    ``1 - 1/degmin - (Pmax - Pdvfs)/(Pmax - Poff)``; substituting the
+    obvious ``Pdvfs = Pmin`` does **not** reproduce the published
+    Figure 5 values (it gives -0.093 instead of -0.174 for the common
+    degradation 1.63).  The table is reproduced to within rounding,
+    including its 2.27 break-even row, when ``Pdvfs`` denotes the
+    power *reduction* DVFS achieves (``Pmax - Pmin``), making the
+    ratio ``Pmin / (Pmax - Poff)``.  We implement the table's
+    convention, since it is what the deployed system's decisions
+    (switch-off everywhere on Curie) are consistent with; the exact
+    capacity comparison is available as
+    :func:`dvfs_beats_shutdown_exact`.
+    """
+    if degmin < 1:
+        raise ValueError(f"degmin must be >= 1, got {degmin}")
+    if pmax <= poff:
+        raise ValueError("Pmax must exceed Poff")
+    return 1.0 - 1.0 / degmin - pmin / (pmax - poff)
+
+
+def dvfs_beats_shutdown_exact(
+    degmin: float, pmax: float, pmin: float, poff: float
+) -> bool:
+    """Exact capacity criterion: is ``Wdvfs > Woff`` under C1/C3?
+
+    From the closed forms, DVFS preserves more capacity per shaved
+    watt iff ``1 - 1/degmin < (Pmax - Pmin)/(Pmax - Poff)``.  This is
+    the criterion behind the paper's Section VI-B remark that with
+    switch-off replaced by *idling* nodes (``Poff = IdleWatts``), DVFS
+    becomes the best policy for every benchmark.
+    """
+    if degmin < 1:
+        raise ValueError(f"degmin must be >= 1, got {degmin}")
+    _check_powers(pmax, pmin, poff)
+    return (1.0 - 1.0 / degmin) < (pmax - pmin) / (pmax - poff)
+
+
+def capacity(n: float, noff: float, ndvfs: float, degmin: float) -> float:
+    """Computational capacity W of constraint C1 (T = 1)."""
+    if degmin < 1:
+        raise ValueError(f"degmin must be >= 1, got {degmin}")
+    if noff < 0 or ndvfs < 0 or noff + ndvfs > n + 1e-9:
+        raise ValueError("need Noff, Ndvfs >= 0 and Noff + Ndvfs <= N (C2)")
+    return (n - noff - ndvfs) + ndvfs / degmin
+
+
+def shutdown_only_nodes(n: float, p: float, pmax: float, poff: float) -> float:
+    """``Noff`` when only switch-off is used: (P - N*Pmax)/(Poff - Pmax).
+
+    Clamped to [0, N]: a cap above the cluster maximum needs nothing
+    switched off; a cap below ``N*Poff`` is unreachable (the paper
+    notes it "can not happen practically") and saturates at N.
+    """
+    if pmax <= poff:
+        raise ValueError("Pmax must exceed Poff")
+    noff = (p - n * pmax) / (poff - pmax)
+    return min(max(noff, 0.0), n)
+
+
+def dvfs_only_nodes(n: float, p: float, pmax: float, pmin: float) -> float:
+    """``Ndvfs`` when only DVFS is used: (P - N*Pmax)/(Pmin - Pmax).
+
+    Clamped to [0, N]; N means even all nodes at the lowest frequency
+    exceed the cap (the case-4 trigger).
+    """
+    if pmax <= pmin:
+        raise ValueError("Pmax must exceed Pmin")
+    ndvfs = (p - n * pmax) / (pmin - pmax)
+    return min(max(ndvfs, 0.0), n)
+
+
+@dataclass(frozen=True)
+class PowerPlan:
+    """Outcome of the Section III optimisation."""
+
+    case: ModelCase
+    n_off: float
+    n_dvfs: float
+    capacity: float
+    rho: float
+
+    @property
+    def uses_shutdown(self) -> bool:
+        return self.n_off > 0
+
+    @property
+    def uses_dvfs(self) -> bool:
+        return self.n_dvfs > 0
+
+
+def plan_nodes(
+    n: int,
+    p: float,
+    *,
+    pmax: float,
+    pmin: float,
+    poff: float,
+    degmin: float,
+) -> PowerPlan:
+    """Solve the Section III model for a cluster of ``n`` nodes.
+
+    Returns the capacity-maximising (``Noff``, ``Ndvfs``) pair as
+    *continuous* values (integerisation is the offline planner's
+    concern, which also folds in the power bonuses the model ignores).
+
+    Parameters mirror the paper: ``p`` is the cap in watts over the
+    node population only (no enclosure infrastructure).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    _check_powers(pmax, pmin, poff)
+    if degmin < 1:
+        raise ValueError(f"degmin must be >= 1, got {degmin}")
+    if p < n * poff:
+        raise ValueError(
+            f"cap {p} W below the all-off floor {n * poff} W: infeasible"
+        )
+
+    r = rho(degmin, pmax, pmin, poff)
+
+    if p >= n * pmax:
+        # No throttling needed at all.
+        return PowerPlan(ModelCase.DVFS_ONLY if r > 0 else ModelCase.SHUTDOWN_ONLY,
+                         0.0, 0.0, float(n), r)
+
+    if p < n * pmin:
+        # Case 4: cap below what full-cluster lowest-frequency DVFS
+        # reaches; mix both mechanisms (intersection with C2).
+        ndvfs = (p - n * poff) / (pmin - poff)
+        noff = n - ndvfs
+        return PowerPlan(
+            ModelCase.COMBINED, noff, ndvfs, capacity(n, noff, ndvfs, degmin), r
+        )
+
+    noff = shutdown_only_nodes(n, p, pmax, poff)
+    ndvfs = dvfs_only_nodes(n, p, pmax, pmin)
+    w_off = capacity(n, noff, 0.0, degmin)
+    w_dvfs = capacity(n, 0.0, ndvfs, degmin)
+    # Algorithm 1 decides by the sign of rho (Figure 5 convention).
+    if abs(r) < 1e-12:
+        # Case 3: both mechanisms equivalent; the paper picks either.
+        return PowerPlan(ModelCase.TIE, noff, 0.0, w_off, r)
+    if r <= 0:
+        return PowerPlan(ModelCase.SHUTDOWN_ONLY, noff, 0.0, w_off, r)
+    return PowerPlan(ModelCase.DVFS_ONLY, 0.0, ndvfs, w_dvfs, r)
+
+
+def plan_nodes_exact(
+    n: int,
+    p: float,
+    *,
+    pmax: float,
+    pmin: float,
+    poff: float,
+    degmin: float,
+) -> PowerPlan:
+    """Like :func:`plan_nodes` but deciding the single-mechanism
+    regime by the exact capacity comparison instead of the paper's
+    rho sign (ablation: quantifies what the rho convention costs)."""
+    base = plan_nodes(n, p, pmax=pmax, pmin=pmin, poff=poff, degmin=degmin)
+    if base.case == ModelCase.COMBINED or (base.n_off == 0 and base.n_dvfs == 0):
+        return base
+    noff = shutdown_only_nodes(n, p, pmax, poff)
+    ndvfs = dvfs_only_nodes(n, p, pmax, pmin)
+    w_off = capacity(n, noff, 0.0, degmin)
+    w_dvfs = capacity(n, 0.0, ndvfs, degmin)
+    if abs(w_off - w_dvfs) < 1e-12:
+        return PowerPlan(ModelCase.TIE, noff, 0.0, w_off, base.rho)
+    if w_off > w_dvfs:
+        return PowerPlan(ModelCase.SHUTDOWN_ONLY, noff, 0.0, w_off, base.rho)
+    return PowerPlan(ModelCase.DVFS_ONLY, 0.0, ndvfs, w_dvfs, base.rho)
+
+
+def normalized_cap_floor_dvfs(pmin: float, pmax: float) -> float:
+    """``lambda`` threshold ``Pmin/Pmax`` below which case 4 triggers."""
+    if not 0 < pmin <= pmax:
+        raise ValueError(f"need 0 < Pmin <= Pmax, got {pmin}, {pmax}")
+    return pmin / pmax

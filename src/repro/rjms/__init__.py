@@ -1,0 +1,44 @@
+"""SLURM-like Resource and Job Management System substrate.
+
+Reproduces the decision pipeline the paper's patch plugs into:
+multifactor job priority, FCFS with EASY backfilling, advanced
+reservations, whole-node selection, and the central controller that
+owns cluster state and power accounting.
+"""
+
+from repro.rjms.job import Job, JobState
+from repro.rjms.reservations import (
+    PowercapReservation,
+    ShutdownReservation,
+    ReservationRegistry,
+)
+from repro.rjms.fairshare import FairShare
+from repro.rjms.queue import PendingQueue
+from repro.rjms.backfill import easy_backfill_window, BackfillWindow
+from repro.rjms.config import SchedulerConfig, PriorityWeights
+
+
+def __getattr__(name: str):
+    # Deferred: the controller pulls in repro.core (the powercap
+    # algorithms), which itself depends on this package's reservation
+    # types — a cycle if imported eagerly at package load.
+    if name == "Controller":
+        from repro.rjms.controller import Controller
+
+        return Controller
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Job",
+    "JobState",
+    "PowercapReservation",
+    "ShutdownReservation",
+    "ReservationRegistry",
+    "FairShare",
+    "PendingQueue",
+    "PriorityWeights",
+    "easy_backfill_window",
+    "BackfillWindow",
+    "SchedulerConfig",
+    "Controller",
+]

@@ -1,0 +1,83 @@
+"""Scheduler configuration knobs (SLURM-style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PriorityWeights:
+    """Multifactor priority weights (SLURM ``PriorityWeight*``)."""
+
+    age: float = 1000.0
+    fairshare: float = 1000.0
+    job_size: float = 200.0
+    #: pending age at which the age factor saturates (SLURM
+    #: ``PriorityMaxAge``)
+    max_age: float = 7 * 86400.0
+
+    def __post_init__(self) -> None:
+        if min(self.age, self.fairshare, self.job_size) < 0:
+            raise ValueError("priority weights must be non-negative")
+        if self.max_age <= 0:
+            raise ValueError("max_age must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """All tunables of the controller.
+
+    Defaults mirror the paper's SLURM setup where known, and SLURM
+    defaults otherwise.
+    """
+
+    priority: PriorityWeights = field(default_factory=PriorityWeights)
+    #: jobs examined per scheduling pass (SLURM ``bf_max_job_test``)
+    backfill_depth: int = 100
+    #: EASY backfilling on/off (on in the paper's Curie config)
+    backfill: bool = True
+    #: seconds to power a node off / boot it back (0 = instantaneous,
+    #: like the paper's emulation)
+    shutdown_delay: float = 0.0
+    boot_delay: float = 0.0
+    #: kill running jobs when an activating cap is violated
+    #: (the paper's "extreme actions" variant; default waits for drain)
+    kill_on_violation: bool = False
+    #: rescale the CPU frequency of *running* jobs downward when a cap
+    #: window opens over budget — the paper's Section VIII future-work
+    #: item ("this will allow nodes to adjust the power consumption
+    #: instantly... faster power decrease when a powercap period is
+    #: approaching").  Only effective for DVFS-capable policies.
+    dynamic_rescaling: bool = False
+    #: how long before a planned switch-off window jobs overlapping it
+    #: stop being placed on the reserved nodes.  ``inf`` (default) is
+    #: SLURM's plain reservation semantics: a job whose walltime
+    #: crosses the window is never placed there — reserved nodes keep
+    #: running short-walltime jobs and drain naturally as the window
+    #: approaches.  0 reproduces IGNORE_JOBS semantics (no protection,
+    #: shutdown waits for whatever is running); finite values model an
+    #: operator-style drain starting that long before the window.
+    reservation_drain_horizon: float = float("inf")
+    #: gate job starts on *future* cap windows too (ablation; the
+    #: default soft mode only selects frequencies ahead of the window)
+    strict_future_caps: bool = False
+    #: use the Section IV-B "all idle nodes" frequency rule instead of
+    #: the per-job Algorithm 2 walk (ablation)
+    cluster_frequency_rule: bool = False
+    #: minimum simulated seconds between scheduling passes (0 = every
+    #: event; SLURM ``sched_min_interval`` is microseconds-scale)
+    min_pass_interval: float = 0.0
+    #: user population size for fair-share
+    n_users: int = 200
+
+    def __post_init__(self) -> None:
+        if self.backfill_depth < 1:
+            raise ValueError("backfill_depth must be >= 1")
+        if self.shutdown_delay < 0 or self.boot_delay < 0:
+            raise ValueError("transition delays must be >= 0")
+        if self.reservation_drain_horizon < 0:
+            raise ValueError("reservation_drain_horizon must be >= 0")
+        if self.min_pass_interval < 0:
+            raise ValueError("min_pass_interval must be >= 0")
+        if self.n_users <= 0:
+            raise ValueError("n_users must be positive")

@@ -1,0 +1,521 @@
+"""The central RJMS controller (the simulated ``slurmctld``).
+
+Owns the cluster state (through the power accountant), the pending
+queue, the reservations, and the two-phase powercap algorithm:
+
+* the **offline** phase runs when powercap reservations are
+  registered — it plans grouped switch-off reservations (Algorithm 1,
+  :class:`repro.core.offline.OfflinePlanner`);
+* the **online** phase runs inside every scheduling pass — it selects
+  each starting job's CPU frequency against the active and planned
+  caps (Algorithm 2, :class:`repro.core.online.FrequencySelector`).
+
+Scheduling passes implement SLURM's pipeline: multifactor priority
+ordering, FCFS until the first blocked job, then EASY backfilling
+bounded by ``backfill_depth``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.states import NodeState
+from repro.core.offline import OfflinePlanner, ShutdownPlan
+from repro.core.online import FrequencySelector, PowercapView
+from repro.core.policies import Policy, make_policy
+from repro.rjms.backfill import BackfillWindow, easy_backfill_window
+from repro.rjms.config import SchedulerConfig
+from repro.rjms.fairshare import FairShare
+from repro.rjms.job import Job, JobState
+from repro.rjms.queue import PendingQueue
+from repro.rjms.reservations import (
+    PowercapReservation,
+    ReservationRegistry,
+    ShutdownReservation,
+)
+from repro.sim.engine import EventKind, SimEngine
+from repro.sim.metrics import MetricsRecorder
+from repro.workload.spec import JobSpec
+
+
+class _PassAllocator:
+    """Node allocation bookkeeping for one scheduling pass.
+
+    Free nodes are split into a *reserved* segment (member of some
+    shutdown reservation) and a *clear* segment.  Jobs whose expected
+    execution overlaps a shutdown window may only take clear nodes;
+    other jobs consume reserved nodes first, leaving clear capacity
+    for window-crossing jobs.  Node ids are consumed in ascending
+    order inside each segment, which packs enclosures naturally.
+    """
+
+    def __init__(self, free_ids: np.ndarray, reserved_mask: np.ndarray) -> None:
+        in_res = reserved_mask[free_ids]
+        self._reserved = free_ids[in_res]
+        self._clear = free_ids[~in_res]
+        self._p_res = 0
+        self._p_clear = 0
+
+    @property
+    def free_total(self) -> int:
+        return (len(self._reserved) - self._p_res) + (len(self._clear) - self._p_clear)
+
+    @property
+    def free_clear(self) -> int:
+        return len(self._clear) - self._p_clear
+
+    def take(self, n: int, *, clear_only: bool) -> np.ndarray | None:
+        """Consume ``n`` nodes, or return None without consuming."""
+        if clear_only:
+            if self.free_clear < n:
+                return None
+            out = self._clear[self._p_clear : self._p_clear + n]
+            self._p_clear += n
+            return out
+        if self.free_total < n:
+            return None
+        n_res = min(n, len(self._reserved) - self._p_res)
+        parts = []
+        if n_res:
+            parts.append(self._reserved[self._p_res : self._p_res + n_res])
+            self._p_res += n_res
+        n_clear = n - n_res
+        if n_clear:
+            parts.append(self._clear[self._p_clear : self._p_clear + n_clear])
+            self._p_clear += n_clear
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+class Controller:
+    """Simulated resource and job management controller."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: Policy | str,
+        engine: SimEngine,
+        *,
+        config: SchedulerConfig | None = None,
+        powercaps: Sequence[PowercapReservation] = (),
+        recorder: MetricsRecorder | None = None,
+    ) -> None:
+        self.machine = machine
+        self.policy = (
+            make_policy(policy, machine.freq_table)
+            if isinstance(policy, str)
+            else policy
+        )
+        self.engine = engine
+        self.config = config or SchedulerConfig()
+        self.accountant = machine.new_accountant()
+        self.registry = ReservationRegistry(machine.n_nodes)
+        self.fairshare = FairShare(self.config.n_users)
+        self.queue = PendingQueue(
+            machine.total_cores, self.config.priority, self.fairshare
+        )
+        self.freq_selector = FrequencySelector(
+            self.policy,
+            strict_future=self.config.strict_future_caps,
+            cluster_rule=self.config.cluster_frequency_rule,
+        )
+        self.offline_planner = OfflinePlanner(machine, self.policy)
+        self.recorder = recorder or MetricsRecorder(machine.freq_table.frequencies)
+        self.running: dict[int, Job] = {}
+        self.jobs: dict[int, Job] = {}
+        self.shutdown_plans: list[ShutdownPlan] = []
+        #: jobs too wide for the machine, dropped at submission
+        self.rejected: list[int] = []
+        #: per-node count of active shutdown reservations wanting it off
+        self._shutdown_wanted = np.zeros(machine.n_nodes, dtype=np.int16)
+        #: cores currently computing per DVFS step (utilisation series)
+        self._cores_by_freq = np.zeros(len(machine.freq_table), dtype=np.float64)
+        self._pass_pending = False
+        self._last_pass = -math.inf
+        self._end_events: dict[int, object] = {}
+
+        if self.policy.enforces_caps:
+            for cap in powercaps:
+                self._register_powercap(cap)
+        self._record()
+
+    # -- reservation / offline phase -------------------------------------------------------
+
+    def _register_powercap(self, cap: PowercapReservation) -> None:
+        """Register a cap window and run the offline phase for it."""
+        self.registry.add_powercap(cap)
+        plan = self.offline_planner.plan(cap)
+        self.shutdown_plans.append(plan)
+        if plan.reservation is not None:
+            self.registry.add_shutdown(plan.reservation)
+            self._schedule_window_events(plan.reservation)
+        self.engine.at(
+            max(cap.start, self.engine.now),
+            lambda c=cap: self._on_cap_begin(c),
+            kind=EventKind.POWERCAP_BEGIN,
+        )
+        if math.isfinite(cap.end):
+            self.engine.at(
+                cap.end, lambda: self._request_pass(), kind=EventKind.POWERCAP_END
+            )
+
+    def _schedule_window_events(self, sd: ShutdownReservation) -> None:
+        self.engine.at(
+            max(sd.start, self.engine.now),
+            lambda s=sd: self._on_shutdown_begin(s),
+            kind=EventKind.POWERCAP_BEGIN,
+        )
+        if math.isfinite(sd.end):
+            self.engine.at(
+                sd.end, lambda s=sd: self._on_shutdown_end(s), kind=EventKind.POWERCAP_END
+            )
+
+    # -- job submission --------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job | None:
+        """Accept a job into the pending queue.
+
+        Jobs wider than the machine are rejected (they could never
+        run), mirroring a submit-time limit check.
+        """
+        n_nodes = self.machine.nodes_for_cores(spec.cores)
+        if n_nodes > self.machine.n_nodes:
+            self.rejected.append(spec.job_id)
+            return None
+        job = Job(spec=spec, n_nodes=n_nodes)
+        self.jobs[spec.job_id] = job
+        self.queue.add(job)
+        self.recorder.job_submitted(spec.job_id, spec.cores, n_nodes, self.engine.now)
+        self._request_pass()
+        return job
+
+    # -- event handlers -----------------------------------------------------------------------
+
+    def _on_job_end(self, job: Job, *, killed: bool = False) -> None:
+        now = self.engine.now
+        job.finish(now, killed=killed)
+        self.running.pop(job.job_id)
+        self._end_events.pop(job.job_id, None)
+        assert job.nodes is not None and job.freq_index is not None
+        self._release_nodes(job.nodes)
+        # Utilisation/work is accounted in *allocated* cores (whole
+        # nodes), like SLURM's CPUTime for exclusive-node jobs and the
+        # paper's sleep-job replay.
+        self._cores_by_freq[job.freq_index] -= job.n_nodes * self.machine.cores_per_node
+        elapsed = now - (job.start_time or now)
+        self.fairshare.record_usage(job.user, job.cores * elapsed, now)
+        self.recorder.job_finished(
+            job.job_id, now, state="killed" if killed else "completed"
+        )
+        self._record()
+        self._request_pass()
+
+    def _release_nodes(self, nodes: np.ndarray) -> None:
+        """Return nodes to IDLE — or straight to OFF when a shutdown
+        reservation is waiting for them (deferred switch-off of nodes
+        that were still running jobs at the window start)."""
+        wanted = self._shutdown_wanted[nodes] > 0
+        to_off = nodes[wanted]
+        to_idle = nodes[~wanted]
+        if to_idle.size:
+            self.accountant.set_state(to_idle, NodeState.IDLE)
+        if to_off.size:
+            self._power_off(to_off)
+
+    def _power_off(self, nodes: np.ndarray) -> None:
+        delay = self.config.shutdown_delay
+        if delay > 0:
+            self.accountant.set_state(nodes, NodeState.SHUTTING_DOWN)
+            self.engine.after(
+                delay,
+                lambda n=nodes: self._finish_power_off(n),
+                kind=EventKind.NODE_TRANSITION,
+            )
+        else:
+            self.accountant.set_state(nodes, NodeState.OFF)
+
+    def _finish_power_off(self, nodes: np.ndarray) -> None:
+        still_wanted = self._shutdown_wanted[nodes] > 0
+        if still_wanted.any():
+            self.accountant.set_state(nodes[still_wanted], NodeState.OFF)
+        back = nodes[~still_wanted]
+        if back.size:
+            # The window ended during the transition.
+            self.accountant.set_state(back, NodeState.IDLE)
+        self._record()
+        self._request_pass()
+
+    def _on_shutdown_begin(self, sd: ShutdownReservation) -> None:
+        self._shutdown_wanted[sd.nodes] += 1
+        state = self.accountant.state[sd.nodes]
+        idle = sd.nodes[state == NodeState.IDLE]
+        if idle.size:
+            self._power_off(idle)
+        self._record()
+        self._request_pass()
+
+    def _on_shutdown_end(self, sd: ShutdownReservation) -> None:
+        self._shutdown_wanted[sd.nodes] -= 1
+        free_again = sd.nodes[self._shutdown_wanted[sd.nodes] == 0]
+        state = self.accountant.state[free_again]
+        off = free_again[state == NodeState.OFF]
+        if off.size:
+            delay = self.config.boot_delay
+            if delay > 0:
+                self.accountant.set_state(off, NodeState.BOOTING)
+                self.engine.after(
+                    delay,
+                    lambda n=off: self._finish_boot(n),
+                    kind=EventKind.NODE_TRANSITION,
+                )
+            else:
+                self.accountant.set_state(off, NodeState.IDLE)
+        self._record()
+        self._request_pass()
+
+    def _finish_boot(self, nodes: np.ndarray) -> None:
+        still_wanted = self._shutdown_wanted[nodes] > 0
+        back = nodes[~still_wanted]
+        if back.size:
+            self.accountant.set_state(back, NodeState.IDLE)
+        if still_wanted.any():
+            self.accountant.set_state(nodes[still_wanted], NodeState.OFF)
+        self._record()
+        self._request_pass()
+
+    def _on_cap_begin(self, cap: PowercapReservation) -> None:
+        """Cap window opens.  Default: wait for drain if over budget;
+        with ``dynamic_rescaling``: lower running jobs' frequencies
+        first (Section VIII future work); with ``kill_on_violation``:
+        kill the youngest running jobs until the cluster fits (the
+        paper's "extreme actions")."""
+        if self.config.dynamic_rescaling and self.policy.uses_dvfs:
+            self._rescale_running_jobs(cap.watts)
+        if self.config.kill_on_violation:
+            victims = sorted(
+                self.running.values(),
+                key=lambda j: (-(j.start_time or 0.0), j.job_id),
+            )
+            for job in victims:
+                if self.accountant.total_power() <= cap.watts:
+                    break
+                ev = self._end_events.get(job.job_id)
+                if ev is not None:
+                    SimEngine.cancel(ev)
+                self._on_job_end(job, killed=True)
+        self._record()
+        self._request_pass()
+
+    def _rescale_running_jobs(self, cap_watts: float) -> None:
+        """Step running jobs down the policy's frequency ladder until
+        the cluster fits under ``cap_watts`` (or everything is at the
+        lowest allowed step).
+
+        The remaining execution is re-stretched by the ratio of the
+        new and old degradation factors; the completion event moves
+        accordingly.  Youngest jobs are slowed first (they have the
+        most execution left to benefit from power savings).
+        """
+        allowed_desc = self.policy.frequency_indices_desc()
+        lowest = allowed_desc[-1]
+        victims = sorted(
+            self.running.values(),
+            key=lambda j: (-(j.start_time or 0.0), j.job_id),
+        )
+        now = self.engine.now
+        changed = False
+        while self.accountant.total_power() > cap_watts:
+            stepped = False
+            for job in victims:
+                assert job.freq_index is not None and job.nodes is not None
+                pos = allowed_desc.index(job.freq_index) if job.freq_index in allowed_desc else None
+                if pos is None or job.freq_index == lowest:
+                    continue
+                new_index = allowed_desc[pos + 1]
+                new_ghz = self.machine.freq_table.steps[new_index].ghz
+                new_deg = self.policy.degradation(new_ghz)
+                old_deg = job.degradation
+                old_end = job.start_time + job.stretched_runtime
+                remaining = max(old_end - now, 0.0)
+                # Re-stretch only the remaining execution.
+                new_remaining = remaining * (new_deg / old_deg)
+                self.accountant.set_state(
+                    job.nodes, NodeState.BUSY, freq_index=new_index
+                )
+                cores = job.n_nodes * self.machine.cores_per_node
+                self._cores_by_freq[job.freq_index] -= cores
+                self._cores_by_freq[new_index] += cores
+                job.freq_index = new_index
+                job.freq_ghz = new_ghz
+                job.degradation = new_deg
+                ev = self._end_events.get(job.job_id)
+                if ev is not None:
+                    SimEngine.cancel(ev)
+                new_ev = self.engine.at(
+                    now + new_remaining,
+                    lambda j=job: self._on_job_end(j),
+                    kind=EventKind.JOB_END,
+                )
+                self._end_events[job.job_id] = new_ev
+                rec = self.recorder.jobs.get(job.job_id)
+                if rec is not None:
+                    rec.freq_ghz = new_ghz
+                    rec.degradation = new_deg
+                changed = True
+                stepped = True
+                if self.accountant.total_power() <= cap_watts:
+                    break
+            if not stepped:
+                break
+        if changed:
+            self._record()
+
+    # -- scheduling pass ---------------------------------------------------------------------
+
+    def _request_pass(self) -> None:
+        if self._pass_pending:
+            return
+        now = self.engine.now
+        at = now
+        if self.config.min_pass_interval > 0:
+            at = max(now, self._last_pass + self.config.min_pass_interval)
+        self._pass_pending = True
+        self.engine.at(at, self._sched_pass, kind=EventKind.SCHED_PASS)
+
+    def _sched_pass(self) -> None:
+        self._pass_pending = False
+        now = self.engine.now
+        self._last_pass = now
+        if len(self.queue) == 0:
+            return
+
+        free_ids = np.flatnonzero(self.accountant.state == NodeState.IDLE)
+        if free_ids.size == 0 and not self.config.backfill:
+            return
+        # Shutdown reservations start protecting their nodes one drain
+        # horizon ahead of the window (see SchedulerConfig).
+        horizon = self.config.reservation_drain_horizon
+        reserved_mask = np.zeros(self.machine.n_nodes, dtype=bool)
+        pending_sds = [
+            sd
+            for sd in self.registry.shutdowns
+            if sd.end > now and (math.isinf(horizon) or now >= sd.start - horizon)
+        ]
+        for sd in pending_sds:
+            reserved_mask[sd.nodes] = True
+        alloc = _PassAllocator(free_ids, reserved_mask)
+
+        view = PowercapView(
+            self.registry, self.accountant, now, self.running.values()
+        ) if self.policy.enforces_caps else PowercapView(
+            ReservationRegistry(0), self.accountant, now, ()
+        )
+
+        order = self.queue.order(now)
+        window: BackfillWindow | None = None
+        tested = 0
+        for jid in order:
+            if tested >= self.config.backfill_depth:
+                break
+            tested += 1
+            job = self.queue.job(int(jid))
+            started = self._try_start(job, now, view, alloc, pending_sds, window)
+            if started:
+                continue
+            if window is None:
+                # This is the blocker: compute its EASY reservation.
+                window = easy_backfill_window(
+                    job.n_nodes,
+                    alloc.free_total,
+                    [(j.expected_end, j.n_nodes) for j in self.running.values()],
+                    now,
+                )
+                if not self.config.backfill:
+                    break
+
+    def _try_start(
+        self,
+        job: Job,
+        now: float,
+        view: PowercapView,
+        alloc: _PassAllocator,
+        pending_sds: list[ShutdownReservation],
+        window: BackfillWindow | None,
+    ) -> bool:
+        # Online phase: frequency decision (Algorithm 2).
+        decision = self.freq_selector.decide(job.n_nodes, job.spec.walltime, view)
+        if not decision.ok:
+            return False
+        expected_end = now + job.spec.walltime * decision.degradation
+        # EASY constraint for backfilled jobs.
+        if window is not None and not window.admits(job.n_nodes, expected_end):
+            return False
+        # Node selection: stay off nodes whose shutdown window overlaps
+        # the job's expected execution.
+        overlap = any(sd.overlaps(now, expected_end) for sd in pending_sds)
+        nodes = alloc.take(job.n_nodes, clear_only=overlap)
+        if nodes is None:
+            return False
+        self._start_job(job, nodes, decision, now)
+        view.note_start(job.n_nodes, decision.freq_index, expected_end)
+        return True
+
+    def _start_job(self, job, nodes: np.ndarray, decision, now: float) -> None:
+        self.queue.remove(job.job_id)
+        job.start(
+            now, nodes, decision.freq_index, decision.freq_ghz, decision.degradation
+        )
+        self.running[job.job_id] = job
+        self.accountant.set_state(nodes, NodeState.BUSY, freq_index=decision.freq_index)
+        self._cores_by_freq[decision.freq_index] += job.n_nodes * self.machine.cores_per_node
+        ev = self.engine.at(
+            now + job.stretched_runtime,
+            lambda j=job: self._on_job_end(j),
+            kind=EventKind.JOB_END,
+        )
+        self._end_events[job.job_id] = ev
+        self.recorder.job_started(
+            job.job_id, now, decision.freq_ghz, decision.degradation
+        )
+        self._record()
+
+    # -- instrumentation ------------------------------------------------------------------------
+
+    def _record(self) -> None:
+        acct = self.accountant
+        ft = self.machine.freq_table
+        topo = self.machine.topology
+        counts = acct.count_by_state
+        off_nodes = int(counts[NodeState.OFF] + counts[NodeState.SHUTTING_DOWN])
+        dark_nodes = acct.n_dark_chassis * topo.nodes_per_chassis
+        self.recorder.sample(
+            self.engine.now,
+            cores_by_freq=self._cores_by_freq,
+            off_cores=off_nodes * self.machine.cores_per_node,
+            power_watts=acct.total_power(),
+            idle_watts=float(counts[NodeState.IDLE]) * ft.idle_watts,
+            down_watts=float(counts[NodeState.OFF] - dark_nodes) * ft.down_watts,
+            infra_watts=(
+                (topo.n_chassis - acct.n_dark_chassis) * topo.chassis_watts
+                + (topo.racks - acct.n_dark_racks) * topo.rack_watts
+            ),
+            bonus_watts=acct.bonus_watts(),
+            busy_watts=float((acct.busy_count_by_freq * ft.watts_array).sum()),
+        )
+
+    # -- convenience readings ----------------------------------------------------------------------
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.queue)
+
+    @property
+    def n_running(self) -> int:
+        return len(self.running)
+
+    def utilization(self) -> float:
+        """Fraction of the machine's cores currently computing."""
+        return float(self._cores_by_freq.sum()) / self.machine.total_cores

@@ -1,0 +1,101 @@
+"""Job lifecycle inside the RJMS."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workload.spec import JobSpec
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+@dataclass
+class Job:
+    """A submitted job and its scheduling state.
+
+    ``spec.runtime`` is the execution time at the top frequency; when
+    the online algorithm assigns a lower step, both the actual runtime
+    and the requested walltime are stretched by the policy's
+    degradation factor (Section V: "the walltime of the job needs to
+    be adapted respectively").
+    """
+
+    spec: JobSpec
+    n_nodes: int
+    state: JobState = JobState.PENDING
+    nodes: np.ndarray | None = None
+    freq_index: int | None = None
+    freq_ghz: float | None = None
+    degradation: float = 1.0
+    start_time: float | None = None
+    end_time: float | None = None
+
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    @property
+    def user(self) -> int:
+        return self.spec.user
+
+    @property
+    def stretched_runtime(self) -> float:
+        """Actual execution time at the assigned frequency."""
+        return self.spec.runtime * self.degradation
+
+    @property
+    def stretched_walltime(self) -> float:
+        """Requested limit at the assigned frequency."""
+        return self.spec.walltime * self.degradation
+
+    @property
+    def expected_end(self) -> float:
+        """Upper bound on the end time the scheduler can rely on.
+
+        Based on the (stretched) walltime, as in SLURM — the actual
+        runtime is unknown to the controller.
+        """
+        if self.start_time is None:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time + self.stretched_walltime
+
+    def start(
+        self,
+        time: float,
+        nodes: np.ndarray,
+        freq_index: int,
+        freq_ghz: float,
+        degradation: float,
+    ) -> None:
+        if self.state != JobState.PENDING:
+            raise ValueError(f"job {self.job_id} is {self.state.value}, not pending")
+        if len(nodes) != self.n_nodes:
+            raise ValueError(
+                f"job {self.job_id} needs {self.n_nodes} nodes, got {len(nodes)}"
+            )
+        if degradation < 1.0:
+            raise ValueError("degradation must be >= 1")
+        self.state = JobState.RUNNING
+        self.start_time = time
+        self.nodes = np.asarray(nodes, dtype=np.int64)
+        self.freq_index = freq_index
+        self.freq_ghz = freq_ghz
+        self.degradation = degradation
+
+    def finish(self, time: float, *, killed: bool = False) -> None:
+        if self.state != JobState.RUNNING:
+            raise ValueError(f"job {self.job_id} is {self.state.value}, not running")
+        self.state = JobState.KILLED if killed else JobState.COMPLETED
+        self.end_time = time

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's `multiple-slurmd` emulation testbed: a
+deterministic event engine, a metrics recorder producing the
+time series behind Figures 6/7, and the replay driver that feeds a
+workload into the RJMS controller.
+"""
+
+from repro.sim.engine import SimEngine, Event, EventKind
+from repro.sim.metrics import MetricsRecorder, JobRecord, SeriesSample
+
+__all__ = [
+    "SimEngine",
+    "Event",
+    "EventKind",
+    "MetricsRecorder",
+    "JobRecord",
+    "SeriesSample",
+    "run_replay",
+    "powercap_reservation",
+    "ReplayResult",
+]
+
+
+def __getattr__(name: str):
+    # Deferred: replay pulls in the controller (and with it repro.core),
+    # which imports repro.sim back for the engine types.
+    if name in ("run_replay", "powercap_reservation", "ReplayResult"):
+        from repro.sim import replay
+
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

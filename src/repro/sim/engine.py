@@ -1,0 +1,142 @@
+"""Deterministic discrete-event engine.
+
+A minimal priority-queue scheduler of timestamped callbacks.  Ties are
+broken by (priority, insertion sequence) so replays are bit-for-bit
+reproducible — the property the paper leans on to compare runs against
+each other ("as the replay is deterministic, we can compare the
+different replays").
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class EventKind(enum.IntEnum):
+    """Event categories, in tie-breaking order at equal timestamps.
+
+    Completions are processed before submissions so freed nodes are
+    visible to the scheduling pass triggered at the same instant;
+    scheduling passes run last, after all state changes of the
+    instant have been applied.
+    """
+
+    POWERCAP_BEGIN = 0
+    POWERCAP_END = 1
+    JOB_END = 2
+    NODE_TRANSITION = 3
+    JOB_SUBMIT = 4
+    TIMER = 5
+    SCHED_PASS = 6
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: (time, kind, seq)."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class SimEngine:
+    """Event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(not e.cancelled for e in self._queue)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        kind: EventKind = EventKind.TIMER,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Scheduling in the past is an error: it would silently reorder
+        causality.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"non-finite event time {time}")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        ev = Event(time=float(time), kind=kind, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        kind: EventKind = EventKind.TIMER,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback, kind=kind)
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.cancelled = True
+
+    def run(self, until: float = math.inf) -> float:
+        """Process events up to and including time ``until``.
+
+        Returns the virtual time afterwards: ``until`` if the horizon
+        was reached with events remaining, otherwise the time of the
+        last processed event.
+        """
+        while self._queue:
+            if self._queue[0].time > until:
+                self._now = max(self._now, until) if math.isfinite(until) else self._now
+                return self._now
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            ev.callback()
+        if math.isfinite(until):
+            self._now = max(self._now, until)
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one event.  Returns False when drained."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            ev.callback()
+            return True
+        return False

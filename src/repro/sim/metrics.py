@@ -1,0 +1,277 @@
+"""Replay instrumentation: power/utilisation time series and job records.
+
+The paper's post-treatment phase collects "jobs state, outputs and
+characteristics" after each replay and derives three headline metrics
+(Figure 8): total consumed energy, number of launched jobs, and work
+(accumulated CPU time), plus the utilisation/power stacked time series
+of Figures 6 and 7.
+
+The recorder stores step functions sampled at every change, so energy
+and work are *exact* integrals, not grid approximations; grids are
+only used when exporting plot series.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSample:
+    """One step-function sample (values hold until the next sample)."""
+
+    time: float
+    cores_by_freq: tuple[float, ...]
+    off_cores: float
+    power_watts: float
+    idle_watts: float
+    down_watts: float
+    infra_watts: float
+    bonus_watts: float
+    #: power drawn by allocated (busy) nodes only — the basis of
+    #: SLURM's per-job energy accounting
+    busy_watts: float = 0.0
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one job in a replay."""
+
+    job_id: int
+    cores: int
+    n_nodes: int
+    submit_time: float
+    start_time: float | None = None
+    end_time: float | None = None
+    freq_ghz: float | None = None
+    #: runtime stretch factor of the assigned frequency
+    degradation: float = 1.0
+    state: str = "pending"
+
+    @property
+    def wait_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+class MetricsRecorder:
+    """Collects step-function series and per-job outcomes.
+
+    Parameters
+    ----------
+    frequencies:
+        Ascending DVFS frequencies; ``cores_by_freq`` samples follow
+        this order.
+    """
+
+    def __init__(self, frequencies: Sequence[float]) -> None:
+        self.frequencies = tuple(frequencies)
+        self._times: list[float] = []
+        self._samples: list[SeriesSample] = []
+        self.jobs: dict[int, JobRecord] = {}
+        self._finalized_at: float | None = None
+
+    # -- recording -------------------------------------------------------------------
+
+    def sample(
+        self,
+        time: float,
+        *,
+        cores_by_freq: Sequence[float],
+        off_cores: float,
+        power_watts: float,
+        idle_watts: float,
+        down_watts: float,
+        infra_watts: float,
+        bonus_watts: float,
+        busy_watts: float = 0.0,
+    ) -> None:
+        """Record the cluster state at ``time`` (monotone non-decreasing)."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(f"sample at {time} before last {self._times[-1]}")
+        if len(cores_by_freq) != len(self.frequencies):
+            raise ValueError("cores_by_freq length mismatch")
+        s = SeriesSample(
+            time=time,
+            cores_by_freq=tuple(float(c) for c in cores_by_freq),
+            off_cores=float(off_cores),
+            power_watts=float(power_watts),
+            idle_watts=float(idle_watts),
+            down_watts=float(down_watts),
+            infra_watts=float(infra_watts),
+            bonus_watts=float(bonus_watts),
+            busy_watts=float(busy_watts),
+        )
+        if self._times and time == self._times[-1]:
+            # Same-instant updates collapse onto the last sample.
+            self._samples[-1] = s
+            return
+        self._times.append(time)
+        self._samples.append(s)
+
+    def finalize(self, time: float) -> None:
+        """Close the step functions at the end of the replay window."""
+        if self._samples:
+            last = self._samples[-1]
+            if time > last.time:
+                self.sample(
+                    time,
+                    cores_by_freq=last.cores_by_freq,
+                    off_cores=last.off_cores,
+                    power_watts=last.power_watts,
+                    idle_watts=last.idle_watts,
+                    down_watts=last.down_watts,
+                    infra_watts=last.infra_watts,
+                    bonus_watts=last.bonus_watts,
+                    busy_watts=last.busy_watts,
+                )
+        self._finalized_at = time
+
+    # -- job bookkeeping ----------------------------------------------------------------
+
+    def job_submitted(self, job_id: int, cores: int, n_nodes: int, time: float) -> None:
+        if job_id in self.jobs:
+            raise ValueError(f"job {job_id} already recorded")
+        self.jobs[job_id] = JobRecord(
+            job_id=job_id, cores=cores, n_nodes=n_nodes, submit_time=time
+        )
+
+    def job_started(
+        self, job_id: int, time: float, freq_ghz: float, degradation: float = 1.0
+    ) -> None:
+        rec = self.jobs[job_id]
+        rec.start_time = time
+        rec.freq_ghz = freq_ghz
+        rec.degradation = degradation
+        rec.state = "running"
+
+    def job_finished(self, job_id: int, time: float, state: str = "completed") -> None:
+        rec = self.jobs[job_id]
+        rec.end_time = time
+        rec.state = state
+
+    # -- exact integrals -------------------------------------------------------------------
+
+    def _integrate(self, value_of: "callable", t0: float, t1: float) -> float:
+        """Integral of a per-sample scalar step function over [t0, t1)."""
+        if t1 <= t0 or not self._samples:
+            return 0.0
+        times = self._times
+        total = 0.0
+        # First sample at or before t0.
+        i = bisect.bisect_right(times, t0) - 1
+        i = max(i, 0)
+        t_prev = max(times[i], t0) if times[i] <= t0 else t0
+        # If the first sample is after t0, the step function is
+        # undefined before it; treat it as holding its first value.
+        v_prev = value_of(self._samples[i]) if times[i] <= t0 else value_of(
+            self._samples[0]
+        )
+        for j in range(i + 1, len(times)):
+            t = times[j]
+            if t >= t1:
+                break
+            if t > t_prev:
+                total += v_prev * (t - t_prev)
+                t_prev = t
+            v_prev = value_of(self._samples[j])
+        total += v_prev * (t1 - t_prev)
+        return total
+
+    def energy_joules(self, t0: float, t1: float) -> float:
+        """Exact energy consumed over ``[t0, t1)``."""
+        return self._integrate(lambda s: s.power_watts, t0, t1)
+
+    def work_core_seconds(self, t0: float, t1: float) -> float:
+        """Accumulated CPU time (the paper's "work") over ``[t0, t1)``."""
+        return self._integrate(lambda s: sum(s.cores_by_freq), t0, t1)
+
+    def job_energy_joules(self, t0: float, t1: float) -> float:
+        """Energy drawn by allocated nodes only over ``[t0, t1)`` —
+        what SLURM's per-job energy accounting would report."""
+        return self._integrate(lambda s: s.busy_watts, t0, t1)
+
+    def effective_work_core_seconds(
+        self, t0: float, t1: float, cores_per_node: int
+    ) -> float:
+        """Degradation-corrected work: allocated core-seconds divided
+        by each job's runtime stretch — the *computation* actually
+        delivered, unlike raw accumulated CPU time which inflates for
+        slowed jobs."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for r in self.jobs.values():
+            if r.start_time is None:
+                continue
+            end = r.end_time if r.end_time is not None else t1
+            lo = max(r.start_time, t0)
+            hi = min(end, t1)
+            if hi > lo:
+                total += r.n_nodes * cores_per_node * (hi - lo) / r.degradation
+        return total
+
+    def launched_jobs(self, t0: float, t1: float) -> int:
+        """Jobs whose execution started within ``[t0, t1)``."""
+        return sum(
+            1
+            for r in self.jobs.values()
+            if r.start_time is not None and t0 <= r.start_time < t1
+        )
+
+    def completed_jobs(self, t0: float, t1: float) -> int:
+        return sum(
+            1
+            for r in self.jobs.values()
+            if r.end_time is not None
+            and t0 <= r.end_time < t1
+            and r.state == "completed"
+        )
+
+    def mean_wait_time(self) -> float | None:
+        waits = [r.wait_time for r in self.jobs.values() if r.wait_time is not None]
+        return float(np.mean(waits)) if waits else None
+
+    # -- plot series export --------------------------------------------------------------------
+
+    def to_grid(self, t0: float, t1: float, dt: float) -> Mapping[str, np.ndarray]:
+        """Resample the step functions on a regular grid.
+
+        Returns arrays keyed ``time``, ``cores@<ghz>`` (one per DVFS
+        step), ``off_cores``, ``power``, ``idle_power``, ``bonus`` —
+        the data behind Figures 6 and 7.
+        """
+        if dt <= 0 or t1 <= t0:
+            raise ValueError("need dt > 0 and t1 > t0")
+        grid = np.arange(t0, t1 + dt / 2, dt)
+        out: dict[str, np.ndarray] = {"time": grid}
+        if not self._samples:
+            zero = np.zeros_like(grid)
+            for ghz in self.frequencies:
+                out[f"cores@{ghz:g}"] = zero
+            out["off_cores"] = zero
+            out["power"] = zero
+            out["idle_power"] = zero
+            out["bonus"] = zero
+            return out
+        times = np.array(self._times)
+        idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, None)
+        samples = self._samples
+        for k, ghz in enumerate(self.frequencies):
+            out[f"cores@{ghz:g}"] = np.array(
+                [samples[i].cores_by_freq[k] for i in idx]
+            )
+        out["off_cores"] = np.array([samples[i].off_cores for i in idx])
+        out["power"] = np.array([samples[i].power_watts for i in idx])
+        out["idle_power"] = np.array([samples[i].idle_watts for i in idx])
+        out["bonus"] = np.array([samples[i].bonus_watts for i in idx])
+        return out
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)

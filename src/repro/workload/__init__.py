@@ -1,0 +1,50 @@
+"""Workload substrate.
+
+The paper replays intervals of the 2012 production trace of Curie
+(published later in the Parallel Workloads Archive).  This package
+provides:
+
+* :mod:`repro.workload.spec` — the job description consumed by the
+  RJMS simulator;
+* :mod:`repro.workload.swf` — a complete Standard Workload Format
+  reader/writer, so the real ``CEA-Curie`` log can be dropped in;
+* :mod:`repro.workload.synthetic` — a calibrated synthetic generator
+  reproducing the trace statistics the paper reports (job-size and
+  runtime mix, walltime over-estimation, permanent overload);
+* :mod:`repro.workload.intervals` — extraction of the paper's four
+  replay intervals (``medianjob``, ``smalljob``, ``bigjob``, ``24h``).
+"""
+
+from repro.workload.spec import JobSpec, WorkloadStats, workload_stats
+from repro.workload.swf import SWFJob, SWFTrace, read_swf, write_swf, swf_to_jobspecs
+from repro.workload.synthetic import (
+    CurieWorkloadModel,
+    JobClass,
+    CURIE_JOB_CLASSES,
+)
+from repro.workload.walltime import WalltimeEstimateModel
+from repro.workload.intervals import (
+    IntervalSpec,
+    PAPER_INTERVALS,
+    extract_interval,
+    generate_interval,
+)
+
+__all__ = [
+    "JobSpec",
+    "WorkloadStats",
+    "workload_stats",
+    "SWFJob",
+    "SWFTrace",
+    "read_swf",
+    "write_swf",
+    "swf_to_jobspecs",
+    "CurieWorkloadModel",
+    "JobClass",
+    "CURIE_JOB_CLASSES",
+    "WalltimeEstimateModel",
+    "IntervalSpec",
+    "PAPER_INTERVALS",
+    "extract_interval",
+    "generate_interval",
+]

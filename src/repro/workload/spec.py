@@ -1,0 +1,133 @@
+"""Job descriptions handed to the RJMS.
+
+A :class:`JobSpec` is what a user submission looks like to the
+controller: arrival time, width, a *requested* walltime (the user's
+estimate, wildly pessimistic on Curie) and the actual runtime the job
+would take at the highest CPU frequency (hidden from the scheduler,
+used by the simulator to emit the completion event).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job submission.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id within a workload.
+    submit_time:
+        Seconds from the start of the replayed interval (may be 0 for
+        the initial backlog).
+    cores:
+        Cores requested; allocated as whole nodes by the simulator.
+    runtime:
+        Actual execution time in seconds **at the maximum CPU
+        frequency**.  DVFS stretches it by the degradation factor.
+    walltime:
+        User-requested limit in seconds (>= runtime in our replays, as
+        the paper replaces executions by ``sleep`` jobs that never hit
+        their limit).
+    user:
+        Submitting user id, used by the fair-share priority factor.
+    """
+
+    job_id: int
+    submit_time: float
+    cores: int
+    runtime: float
+    walltime: float
+    user: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"job {self.job_id}: cores must be positive")
+        if self.runtime <= 0:
+            raise ValueError(f"job {self.job_id}: runtime must be positive")
+        if self.walltime < self.runtime:
+            raise ValueError(
+                f"job {self.job_id}: walltime {self.walltime} below "
+                f"runtime {self.runtime}"
+            )
+        if self.submit_time < 0:
+            raise ValueError(f"job {self.job_id}: negative submit time")
+
+    @property
+    def core_seconds(self) -> float:
+        """Work content of the job at full speed."""
+        return self.cores * self.runtime
+
+    @property
+    def walltime_ratio(self) -> float:
+        """Requested over actual runtime (the paper reports ~12000 median)."""
+        return self.walltime / self.runtime
+
+    def shifted(self, delta: float) -> "JobSpec":
+        """Copy with the submit time translated by ``delta`` (clamped at 0)."""
+        return replace(self, submit_time=max(0.0, self.submit_time + delta))
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of a workload (used for calibration tests)."""
+
+    n_jobs: int
+    total_core_seconds: float
+    #: fraction of jobs needing < 512 cores AND running < 2 minutes
+    small_fraction: float
+    #: fraction of jobs bigger than one cluster-hour of work
+    huge_fraction: float
+    median_walltime_ratio: float
+    mean_walltime_ratio: float
+    median_cores: float
+    median_runtime: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_jobs} jobs, {self.total_core_seconds / 3600:.0f} core-hours, "
+            f"{self.small_fraction:.0%} small, {self.huge_fraction:.2%} huge, "
+            f"median walltime ratio {self.median_walltime_ratio:.0f}"
+        )
+
+
+def workload_stats(
+    jobs: Sequence[JobSpec], *, cluster_cores: int = 80640
+) -> WorkloadStats:
+    """Compute the calibration statistics the paper quotes (§VII-B).
+
+    ``cluster_cores`` defines the "huge job" threshold: more work than
+    the whole cluster performs in one hour.
+    """
+    if not jobs:
+        raise ValueError("empty workload")
+    ratios = [j.walltime_ratio for j in jobs]
+    huge_threshold = cluster_cores * 3600.0
+    return WorkloadStats(
+        n_jobs=len(jobs),
+        total_core_seconds=sum(j.core_seconds for j in jobs),
+        small_fraction=sum(j.cores < 512 and j.runtime < 120 for j in jobs)
+        / len(jobs),
+        huge_fraction=sum(j.core_seconds > huge_threshold for j in jobs) / len(jobs),
+        median_walltime_ratio=statistics.median(ratios),
+        mean_walltime_ratio=sum(ratios) / len(ratios),
+        median_cores=statistics.median(j.cores for j in jobs),
+        median_runtime=statistics.median(j.runtime for j in jobs),
+    )
+
+
+def validate_workload(jobs: Iterable[JobSpec]) -> None:
+    """Raise ``ValueError`` on duplicate ids or unsorted gross anomalies."""
+    seen: set[int] = set()
+    for j in jobs:
+        if j.job_id in seen:
+            raise ValueError(f"duplicate job id {j.job_id}")
+        seen.add(j.job_id)
+        if not math.isfinite(j.submit_time + j.runtime + j.walltime):
+            raise ValueError(f"job {j.job_id}: non-finite field")

@@ -1,0 +1,226 @@
+"""Standard Workload Format (SWF) reader/writer.
+
+The Curie trace the paper replays is distributed by the Parallel
+Workloads Archive in SWF: one line per job, 18 whitespace-separated
+fields, ``;`` comment/header lines.  Field semantics follow the
+archive's definition (Chapin et al.):
+
+ 1. job number             2. submit time (s)      3. wait time (s)
+ 4. run time (s)           5. allocated processors 6. average CPU time
+ 7. used memory            8. requested processors 9. requested time
+10. requested memory      11. status              12. user id
+13. group id              14. executable id       15. queue id
+16. partition id          17. preceding job       18. think time
+
+Missing values are ``-1``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Sequence
+
+from repro.workload.spec import JobSpec
+
+#: SWF status codes (field 11).
+STATUS_FAILED = 0
+STATUS_COMPLETED = 1
+STATUS_PARTIAL_TO_BE_CONTINUED = 2
+STATUS_PARTIAL_LAST = 3
+STATUS_CANCELLED = 5
+
+
+@dataclass(frozen=True)
+class SWFJob:
+    """One SWF record, fields verbatim (``-1`` = unknown)."""
+
+    job_number: int
+    submit_time: float
+    wait_time: float
+    run_time: float
+    allocated_procs: int
+    average_cpu_time: float = -1.0
+    used_memory: float = -1.0
+    requested_procs: int = -1
+    requested_time: float = -1.0
+    requested_memory: float = -1.0
+    status: int = -1
+    user_id: int = -1
+    group_id: int = -1
+    executable_id: int = -1
+    queue_id: int = -1
+    partition_id: int = -1
+    preceding_job: int = -1
+    think_time: float = -1.0
+
+    def to_line(self) -> str:
+        """Serialise back to one SWF line."""
+        fields = (
+            self.job_number,
+            _fmt(self.submit_time),
+            _fmt(self.wait_time),
+            _fmt(self.run_time),
+            self.allocated_procs,
+            _fmt(self.average_cpu_time),
+            _fmt(self.used_memory),
+            self.requested_procs,
+            _fmt(self.requested_time),
+            _fmt(self.requested_memory),
+            self.status,
+            self.user_id,
+            self.group_id,
+            self.executable_id,
+            self.queue_id,
+            self.partition_id,
+            self.preceding_job,
+            _fmt(self.think_time),
+        )
+        return " ".join(str(f) for f in fields)
+
+
+def _fmt(x: float) -> str:
+    """Render integral floats without a trailing ``.0`` (SWF style)."""
+    return str(int(x)) if float(x).is_integer() else str(x)
+
+
+@dataclass
+class SWFTrace:
+    """A parsed SWF file: header directives plus job records."""
+
+    jobs: list[SWFJob] = field(default_factory=list)
+    header: dict[str, str] = field(default_factory=dict)
+    comments: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[SWFJob]:
+        return iter(self.jobs)
+
+    @property
+    def max_procs(self) -> int | None:
+        """``MaxProcs`` header directive, if present."""
+        raw = self.header.get("MaxProcs")
+        return int(raw) if raw is not None else None
+
+
+_N_FIELDS = 18
+_INT_FIELDS = {0, 4, 7, 10, 11, 12, 13, 14, 15, 16}
+
+
+def parse_swf_line(line: str) -> SWFJob:
+    """Parse one SWF job record line.
+
+    Tolerates short lines (missing trailing fields become ``-1``) —
+    several archive logs omit the last columns.
+    """
+    parts = line.split()
+    if not parts:
+        raise ValueError("empty SWF record")
+    if len(parts) > _N_FIELDS:
+        raise ValueError(f"SWF record has {len(parts)} fields (max {_N_FIELDS})")
+    values: list[float | int] = []
+    for i in range(_N_FIELDS):
+        raw = parts[i] if i < len(parts) else "-1"
+        try:
+            values.append(int(raw) if i in _INT_FIELDS else float(raw))
+        except ValueError as exc:
+            raise ValueError(f"bad SWF field {i + 1}: {raw!r}") from exc
+    return SWFJob(*values)  # type: ignore[arg-type]
+
+
+def _parse_stream(stream: IO[str]) -> SWFTrace:
+    trace = SWFTrace()
+    for lineno, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(";"):
+            body = stripped.lstrip(";").strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                key = key.strip()
+                if key and " " not in key:
+                    trace.header[key] = value.strip()
+                    continue
+            trace.comments.append(body)
+            continue
+        try:
+            trace.jobs.append(parse_swf_line(stripped))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+    return trace
+
+
+def read_swf(source: str | Path | IO[str]) -> SWFTrace:
+    """Read an SWF file (path or open text stream)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _parse_stream(fh)
+    return _parse_stream(source)
+
+
+def loads_swf(text: str) -> SWFTrace:
+    """Parse SWF content from a string."""
+    return _parse_stream(io.StringIO(text))
+
+
+def write_swf(
+    trace: SWFTrace | Iterable[SWFJob],
+    target: str | Path | IO[str],
+) -> None:
+    """Write jobs (and header, for a full trace) in SWF format."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            write_swf(trace, fh)
+            return
+    if isinstance(trace, SWFTrace):
+        for key, value in trace.header.items():
+            target.write(f"; {key}: {value}\n")
+        jobs: Iterable[SWFJob] = trace.jobs
+    else:
+        jobs = trace
+    for job in jobs:
+        target.write(job.to_line() + "\n")
+
+
+def swf_to_jobspecs(
+    trace: SWFTrace | Sequence[SWFJob],
+    *,
+    min_runtime: float = 1.0,
+    include_failed: bool = False,
+) -> list[JobSpec]:
+    """Convert SWF records to simulator job specs.
+
+    Jobs with unknown width or non-positive runtime are dropped (they
+    never ran).  ``walltime`` falls back to the runtime when the user
+    requested no limit, and is floored at the runtime so replayed jobs
+    are never killed by their own estimate — matching the paper's
+    replay where jobs are ``sleep`` commands that always complete.
+    """
+    jobs = trace.jobs if isinstance(trace, SWFTrace) else list(trace)
+    specs: list[JobSpec] = []
+    for j in jobs:
+        if j.status == STATUS_FAILED and not include_failed:
+            continue
+        cores = j.allocated_procs if j.allocated_procs > 0 else j.requested_procs
+        if cores <= 0:
+            continue
+        runtime = max(float(j.run_time), min_runtime)
+        if j.run_time <= 0:
+            continue
+        walltime = float(j.requested_time) if j.requested_time > 0 else runtime
+        specs.append(
+            JobSpec(
+                job_id=j.job_number,
+                submit_time=float(max(j.submit_time, 0.0)),
+                cores=int(cores),
+                runtime=runtime,
+                walltime=max(walltime, runtime),
+                user=max(j.user_id, 0),
+            )
+        )
+    specs.sort(key=lambda s: (s.submit_time, s.job_id))
+    return specs

@@ -1,0 +1,102 @@
+"""User walltime-estimate model.
+
+Section VII-B: on the replayed Curie traces "users estimate runtimes
+badly: in average they request about 12670 times more walltime than
+needed (median: 12000)", which cripples backfilling.  The dominant
+cause is users keeping the partition's default/maximum limit (86400 s
+on Curie) for jobs that run seconds.
+
+The model assigns a requested walltime to a job given its actual
+runtime:
+
+* with probability ``p_default`` the user keeps the default limit
+  (24 h on Curie);
+* with probability ``p_round`` the user rounds the runtime up to a
+  "human" grain (next hour, minimum 15 min);
+* otherwise the user picks from the site's *menu* of queue limits
+  (30 min ... 12 h), biased toward the longer entries — still wildly
+  pessimistic for the seconds-long jobs that dominate the trace, but
+  short enough that jobs can legally run ahead of an advance
+  reservation.  Without this population, SLURM's reservation
+  semantics would starve every reserved node for the whole replay.
+
+Requests are never below the runtime (replayed jobs always finish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Curie's default/maximum walltime (24 h).
+CURIE_DEFAULT_WALLTIME = 86400.0
+
+#: Site queue-limit menu and selection weights (sums to 1).
+CURIE_WALLTIME_MENU: tuple[tuple[float, float], ...] = (
+    (1800.0, 0.06),
+    (3600.0, 0.12),
+    (7200.0, 0.14),
+    (14400.0, 0.18),
+    (28800.0, 0.20),
+    (43200.0, 0.30),
+)
+
+
+@dataclass(frozen=True)
+class WalltimeEstimateModel:
+    """Stochastic requested-walltime generator."""
+
+    default_walltime: float = CURIE_DEFAULT_WALLTIME
+    p_default: float = 0.55
+    p_round: float = 0.08
+    menu: tuple[tuple[float, float], ...] = CURIE_WALLTIME_MENU
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_default <= 1 or not 0 <= self.p_round <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        if self.p_default + self.p_round > 1:
+            raise ValueError("p_default + p_round must not exceed 1")
+        if self.default_walltime <= 0:
+            raise ValueError("default_walltime must be positive")
+        if not self.menu:
+            raise ValueError("menu cannot be empty")
+        if any(w <= 0 or lim <= 0 for lim, w in self.menu):
+            raise ValueError("menu limits and weights must be positive")
+
+    def _menu_limits(self) -> np.ndarray:
+        return np.array([lim for lim, _ in self.menu])
+
+    def _menu_probs(self) -> np.ndarray:
+        w = np.array([w for _, w in self.menu])
+        return w / w.sum()
+
+    def sample(self, runtime: float, rng: np.random.Generator) -> float:
+        """Requested walltime for a job of actual ``runtime`` seconds."""
+        if runtime <= 0:
+            raise ValueError("runtime must be positive")
+        u = rng.random()
+        if u < self.p_default:
+            request = self.default_walltime
+        elif u < self.p_default + self.p_round:
+            grain = 3600.0 if runtime > 900 else 900.0
+            request = float(np.ceil(runtime / grain) * grain)
+        else:
+            limits = self._menu_limits()
+            pick = float(limits[rng.choice(len(limits), p=self._menu_probs())])
+            if pick < runtime:
+                # The user knows the job runs long: smallest limit
+                # that fits, falling back to the site default.
+                fitting = limits[limits >= runtime]
+                pick = float(fitting.min()) if fitting.size else self.default_walltime
+            request = pick
+        return float(max(request, runtime))
+
+    def sample_many(
+        self, runtimes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """:meth:`sample` over an array of runtimes."""
+        runtimes = np.asarray(runtimes, dtype=np.float64)
+        if (runtimes <= 0).any():
+            raise ValueError("runtimes must be positive")
+        return np.array([self.sample(r, rng) for r in runtimes])

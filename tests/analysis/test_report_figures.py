@@ -1,0 +1,162 @@
+"""Tests for the analysis layer (grid runner, figure series, CLI)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure_series, middle_window, render_series_ascii
+from repro.analysis.report import (
+    GridCell,
+    middle_cap_window,
+    render_grid,
+    run_cell,
+    run_policy_grid,
+)
+from repro.cluster.curie import curie_machine
+from repro.workload.intervals import generate_interval
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return curie_machine(scale=1 / 56)
+
+
+@pytest.fixture(scope="module")
+def jobs(machine):
+    return generate_interval(machine, "smalljob")
+
+
+class TestWindows:
+    def test_middle_cap_window(self):
+        assert middle_cap_window(5 * HOUR) == (2 * HOUR, 3 * HOUR)
+        assert middle_cap_window(24 * HOUR) == (11.5 * HOUR, 12.5 * HOUR)
+
+    def test_too_short_interval_rejected(self):
+        with pytest.raises(ValueError):
+            middle_cap_window(HOUR)
+        with pytest.raises(ValueError):
+            middle_window(0.5 * HOUR)
+
+
+class TestRunCell:
+    def test_uncapped_cell_has_nan_window_metrics(self, machine, jobs):
+        cell = run_cell(machine, jobs, "smalljob", "NONE", 1.0, duration=HOUR)
+        assert math.isnan(cell.window_energy_norm)
+        assert cell.label == "100%/None"
+
+    def test_capped_cell_window_metrics(self, machine, jobs):
+        cell = run_cell(machine, jobs, "smalljob", "SHUT", 0.6, duration=5 * HOUR)
+        assert 0.0 <= cell.window_energy_norm <= 1.0
+        assert 0.0 <= cell.window_work_norm <= 1.0
+        assert cell.window_effective_work_norm <= cell.window_work_norm + 1e-9
+        assert cell.label == "60%/SHUT"
+
+    def test_grid_ordering_and_rendering(self, machine, jobs):
+        grid = {1.0: ("NONE",), 0.6: ("SHUT",)}
+        cells = run_policy_grid(
+            machine, {"smalljob": jobs}, duration=5 * HOUR, grid=grid
+        )
+        assert [c.label for c in cells] == ["100%/None", "60%/SHUT"]
+        text = render_grid(cells)
+        assert "== smalljob ==" in text
+        assert "100%/None" in text and "60%/SHUT" in text
+        # Bars are 24 chars of # and .
+        for line in text.splitlines():
+            if "%/" in line:
+                assert line.count("#") + line.count(".") >= 72
+
+    def test_render_empty(self):
+        assert render_grid([]) == ""
+
+
+class TestFigureSeries:
+    def test_series_contents(self, machine, jobs):
+        series = figure_series(
+            machine, jobs, "SHUT", duration=5 * HOUR, cap_fraction=0.6, grid_dt=600.0
+        )
+        grid = series["grid"]
+        assert "time" in grid and "power" in grid and "off_cores" in grid
+        for ghz in machine.freq_table.frequencies:
+            assert f"cores@{ghz:g}" in grid
+        assert series["window"] == (2 * HOUR, 3 * HOUR)
+        assert series["cap_watts"] == pytest.approx(0.6 * machine.max_power())
+
+    def test_uncapped_series(self, machine, jobs):
+        series = figure_series(
+            machine, jobs, "NONE", duration=HOUR, cap_fraction=None, grid_dt=600.0
+        )
+        assert math.isinf(series["cap_watts"])
+        assert series["window"] is None
+
+    def test_ascii_rendering(self, machine, jobs):
+        series = figure_series(
+            machine, jobs, "SHUT", duration=5 * HOUR, cap_fraction=0.6, grid_dt=600.0
+        )
+        text = render_series_ascii(series, width=40, height=5)
+        lines = text.splitlines()
+        # Header + 5 utilisation rows + header + 5 power rows.
+        assert len(lines) == 12
+        assert all(len(line) <= 40 for line in lines[1:6])
+        assert "#" in text  # some power drawn
+
+    def test_ascii_uncapped(self, machine, jobs):
+        series = figure_series(
+            machine, jobs, "NONE", duration=HOUR, cap_fraction=None, grid_dt=300.0
+        )
+        text = render_series_ascii(series, width=30, height=4)
+        assert "cores" in text and "power" in text
+
+
+class TestCli:
+    def test_tables_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "6692" in out and "34360" in out  # Figure 2
+        assert "358" in out  # Figure 4
+        assert "Switch-off" in out  # Figure 5
+
+    def test_model_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["model", "--cap", "0.5", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "model case" in out
+        assert "offline plan" in out
+
+    def test_replay_command_small(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "replay",
+                "--scale",
+                "0.0179",
+                "--interval",
+                "medianjob",
+                "--policy",
+                "SHUT",
+                "--cap",
+                "0.6",
+                "--width",
+                "40",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "energy_norm" in out
+
+    def test_grid_command_small(self, capsys):
+        from repro.cli import main
+
+        # Keep it cheap: one workload at tiny scale.
+        import repro.analysis.report as report
+
+        rc = main(["grid", "--scale", "0.0179", "--workloads", "smalljob"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "smalljob" in out

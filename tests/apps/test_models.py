@@ -1,0 +1,101 @@
+"""Unit tests for the application DVFS models (Figures 3/5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.models import (
+    AppModel,
+    CURIE_APP_MODELS,
+    gromacs_model,
+    imb_model,
+    linpack_model,
+    stream_model,
+)
+
+
+class TestValidation:
+    def test_rejects_bad_degmin(self):
+        with pytest.raises(ValueError):
+            AppModel("x", degmin=0.9, power_scale=1.0)
+
+    def test_rejects_bad_power_scale(self):
+        with pytest.raises(ValueError):
+            AppModel("x", degmin=1.5, power_scale=0.0)
+        with pytest.raises(ValueError):
+            AppModel("x", degmin=1.5, power_scale=1.1)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            AppModel("x", degmin=1.5, power_scale=1.0, time_exponent=0.5)
+
+
+class TestCurieModels:
+    def test_all_four_present(self):
+        assert set(CURIE_APP_MODELS()) == {"linpack", "STREAM", "IMB", "GROMACS"}
+
+    @pytest.mark.parametrize(
+        "factory,degmin",
+        [
+            (linpack_model, 2.14),
+            (imb_model, 2.13),
+            (stream_model, 1.26),
+            (gromacs_model, 1.16),
+        ],
+    )
+    def test_degmin_endpoints(self, factory, degmin):
+        m = factory()
+        assert m.normalized_time(1.2) == pytest.approx(degmin)
+        assert m.normalized_time(2.7) == 1.0
+
+    def test_time_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            linpack_model().normalized_time(0.8)
+
+    def test_linpack_is_envelope(self):
+        lp = linpack_model()
+        assert lp.power_watts(2.7) == 358.0
+        assert lp.power_watts(1.2) == 193.0
+
+    def test_power_never_below_idle(self):
+        for m in CURIE_APP_MODELS().values():
+            for ghz in m.freq_table.frequencies:
+                assert m.power_watts(ghz) >= m.freq_table.idle_watts
+
+    def test_tradeoff_curve_shape(self):
+        curve = gromacs_model().tradeoff_curve()
+        assert len(curve) == 8
+        ghz, times, powers = zip(*curve)
+        assert list(ghz) == sorted(ghz)
+        assert times[0] == pytest.approx(1.16)
+        assert times[-1] == 1.0
+
+    def test_compute_bound_energy_optimum_in_high_range(self):
+        # Section VI-B: optima between 2.0 and 2.7 GHz for the
+        # strongly degrading codes.
+        for m in (linpack_model(), imb_model()):
+            assert 2.0 <= m.best_energy_frequency() <= 2.7
+
+    def test_memory_bound_prefers_low_frequency(self):
+        # STREAM/GROMACS barely slow down: low frequencies win energy.
+        assert stream_model().best_energy_frequency() <= 2.0
+        assert gromacs_model().best_energy_frequency() <= 2.0
+
+    def test_linear_exponent_matches_scheduler_convention(self):
+        m = AppModel("x", degmin=1.63, power_scale=1.0, time_exponent=1.0)
+        # Linear: 2.0 GHz sits at (2.7-2.0)/1.5 of the span.
+        assert m.normalized_time(2.0) == pytest.approx(1.0 + 0.63 * 0.7 / 1.5)
+
+    @given(
+        ghz=st.sampled_from((1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7)),
+        degmin=st.floats(min_value=1.0, max_value=3.0),
+        exponent=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_time_bounds_property(self, ghz, degmin, exponent):
+        m = AppModel("x", degmin=degmin, power_scale=1.0, time_exponent=exponent)
+        t = m.normalized_time(ghz)
+        assert 1.0 - 1e-12 <= t <= degmin + 1e-12
+
+    def test_energy_per_unit_work_definition(self):
+        m = linpack_model()
+        assert m.energy_per_unit_work(2.7) == pytest.approx(358.0)
+        assert m.energy_per_unit_work(1.2) == pytest.approx(193.0 * 2.14)

@@ -1,0 +1,165 @@
+"""Unit tests for DVFS frequency tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.curie import CURIE_FREQ_WATTS, CURIE_FREQUENCY_TABLE
+from repro.cluster.frequency import FrequencyStep, FrequencyTable, degradation_factor
+
+
+@pytest.fixture
+def table() -> FrequencyTable:
+    return CURIE_FREQUENCY_TABLE
+
+
+class TestFrequencyStep:
+    def test_orders_by_frequency(self):
+        assert FrequencyStep(1.2, 193) < FrequencyStep(2.7, 358)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            FrequencyStep(0.0, 100)
+
+    def test_rejects_negative_watts(self):
+        with pytest.raises(ValueError):
+            FrequencyStep(1.2, -1)
+
+
+class TestFrequencyTable:
+    def test_curie_table_matches_figure4(self, table):
+        assert table.min.ghz == 1.2 and table.min.watts == 193
+        assert table.max.ghz == 2.7 and table.max.watts == 358
+        assert table.idle_watts == 117
+        assert table.down_watts == 14
+        for ghz, watts in CURIE_FREQ_WATTS.items():
+            assert table.watts(ghz) == watts
+
+    def test_sorted_ascending(self, table):
+        freqs = table.frequencies
+        assert list(freqs) == sorted(freqs)
+        assert len(table) == 8
+
+    def test_steps_accept_tuples_and_sort(self):
+        t = FrequencyTable([(2.0, 250), (1.0, 100)], idle_watts=50, down_watts=5)
+        assert t.frequencies == (1.0, 2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([], idle_watts=10, down_watts=1)
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([(1.0, 100), (1.0, 120)], idle_watts=10, down_watts=1)
+
+    def test_rejects_decreasing_power(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([(1.0, 200), (2.0, 100)], idle_watts=10, down_watts=1)
+
+    def test_rejects_down_above_idle(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([(1.0, 100)], idle_watts=10, down_watts=20)
+
+    def test_index_lookup_roundtrip(self, table):
+        for i, step in enumerate(table):
+            assert table.index_of(step.ghz) == i
+            assert table.watts_at_index(i) == step.watts
+
+    def test_index_of_unknown_frequency_raises(self, table):
+        with pytest.raises(KeyError):
+            table.index_of(3.0)
+
+    def test_step_below_walks_down(self, table):
+        # Algorithm 2 walks from the highest step downward.
+        ghz = table.max.ghz
+        seen = []
+        while True:
+            seen.append(ghz)
+            nxt = table.step_below(ghz)
+            if nxt is None:
+                break
+            ghz = nxt.ghz
+        assert seen == sorted(CURIE_FREQ_WATTS, reverse=True)
+
+    def test_restrict_to_mix_range(self, table):
+        mix = table.restrict(2.0, 2.7)
+        assert mix.frequencies == (2.0, 2.2, 2.4, 2.7)
+        assert mix.min.watts == 269
+        assert mix.idle_watts == table.idle_watts
+
+    def test_restrict_empty_raises(self, table):
+        with pytest.raises(ValueError):
+            table.restrict(3.0, 4.0)
+
+    def test_equality_and_hash(self, table):
+        clone = FrequencyTable(
+            CURIE_FREQ_WATTS.items(), idle_watts=117, down_watts=14
+        )
+        assert clone == table
+        assert hash(clone) == hash(table)
+        assert table != table.restrict(2.0, 2.7)
+
+    def test_normalized_cap_floor_is_paper_54_percent(self, table):
+        # Pmin/Pmax = 193/358: below this lambda, DVFS alone cannot
+        # satisfy the cap (Section III-A, case 4).
+        assert table.normalized_cap_floor() == pytest.approx(193 / 358)
+
+    def test_mix_cap_floor_is_paper_75_percent(self, table):
+        mix = table.restrict(2.0, 2.7)
+        # 269/358 = 0.751...: the paper's "below 75% both mechanisms".
+        assert mix.normalized_cap_floor() == pytest.approx(0.751, abs=1e-3)
+
+    def test_dynamic_range(self, table):
+        assert table.dynamic_range() == 358 - 193
+
+    def test_interpolate_watts_endpoints_and_midpoint(self, table):
+        assert table.interpolate_watts(1.2) == 193
+        assert table.interpolate_watts(2.7) == 358
+        mid = table.interpolate_watts(1.3)
+        assert 193 < mid < 213
+
+    def test_interpolate_outside_range_raises(self, table):
+        with pytest.raises(ValueError):
+            table.interpolate_watts(0.5)
+
+
+class TestDegradationFactor:
+    def test_extremes_match_paper(self, table):
+        # 1.63 at 1.2 GHz, 1.0 at 2.7 GHz (Section VII-B).
+        assert degradation_factor(2.7, table, 1.63) == pytest.approx(1.0)
+        assert degradation_factor(1.2, table, 1.63) == pytest.approx(1.63)
+
+    def test_linear_interpolation(self, table):
+        # 2.0 GHz sits at (2.7-2.0)/(2.7-1.2) of the span.
+        expect = 1.0 + 0.63 * (0.7 / 1.5)
+        assert degradation_factor(2.0, table, 1.63) == pytest.approx(expect)
+
+    def test_mix_range_uses_its_own_degmin(self, table):
+        mix = table.restrict(2.0, 2.7)
+        assert degradation_factor(2.0, mix, 1.29) == pytest.approx(1.29)
+        assert degradation_factor(2.7, mix, 1.29) == pytest.approx(1.0)
+
+    def test_degenerate_span_returns_one(self):
+        t = FrequencyTable([(2.0, 100)], idle_watts=50, down_watts=5)
+        assert degradation_factor(2.0, t, 1.63) == 1.0
+
+    def test_rejects_degmin_below_one(self, table):
+        with pytest.raises(ValueError):
+            degradation_factor(2.0, table, 0.9)
+
+    def test_rejects_out_of_span(self, table):
+        with pytest.raises(ValueError):
+            degradation_factor(0.8, table, 1.63)
+
+    @given(
+        ghz=st.sampled_from(sorted(CURIE_FREQ_WATTS)),
+        degmin=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_bounds_property(self, ghz, degmin):
+        # Degradation is always within [1, degmin] on configured steps.
+        d = degradation_factor(ghz, CURIE_FREQUENCY_TABLE, degmin)
+        assert 1.0 - 1e-12 <= d <= degmin + 1e-12
+
+    def test_monotone_decreasing_in_frequency(self, table):
+        degs = [degradation_factor(g, table, 1.63) for g in table.frequencies]
+        assert all(a >= b for a, b in zip(degs, degs[1:]))

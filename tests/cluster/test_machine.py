@@ -1,0 +1,81 @@
+"""Unit tests for Machine and the Curie description."""
+
+import pytest
+
+from repro.cluster.curie import (
+    CURIE_BENCHMARK_DEGMIN,
+    CURIE_DEGMIN_FULL_RANGE,
+    CURIE_DEGMIN_MIX_RANGE,
+    CURIE_FREQUENCY_TABLE,
+    CURIE_TOPOLOGY,
+    curie_machine,
+)
+from repro.cluster.frequency import FrequencyTable
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Topology
+
+
+class TestCurie:
+    def test_full_machine_shape(self):
+        m = curie_machine()
+        assert m.n_nodes == 5040
+        assert m.cores_per_node == 16
+        assert m.total_cores == 80640
+        assert m.name == "curie"
+
+    def test_max_power_includes_infrastructure(self):
+        m = curie_machine()
+        nodes_only = 5040 * 358
+        assert m.max_power() == nodes_only + CURIE_TOPOLOGY.infrastructure_watts()
+
+    def test_idle_power(self):
+        m = curie_machine()
+        assert m.idle_power() == 5040 * 117 + CURIE_TOPOLOGY.infrastructure_watts()
+
+    def test_scaled_name_and_size(self):
+        m = curie_machine(scale=0.25)
+        assert m.n_nodes == 14 * 5 * 18
+        assert "curie-x0.25" == m.name
+
+    def test_benchmark_degmin_table_from_figure5(self):
+        assert CURIE_BENCHMARK_DEGMIN["linpack"] == 2.14
+        assert CURIE_BENCHMARK_DEGMIN["GROMACS"] == 1.16
+        assert len(CURIE_BENCHMARK_DEGMIN) == 8
+
+    def test_replay_degradations(self):
+        assert CURIE_DEGMIN_FULL_RANGE == 1.63
+        assert CURIE_DEGMIN_MIX_RANGE == 1.29
+
+
+class TestMachine:
+    def test_nodes_for_cores_rounds_up(self):
+        m = curie_machine(scale=1 / 56)
+        assert m.nodes_for_cores(1) == 1
+        assert m.nodes_for_cores(16) == 1
+        assert m.nodes_for_cores(17) == 2
+        assert m.nodes_for_cores(512) == 32
+
+    def test_nodes_for_cores_rejects_nonpositive(self):
+        m = curie_machine(scale=1 / 56)
+        with pytest.raises(ValueError):
+            m.nodes_for_cores(0)
+
+    def test_rejects_mismatched_down_watts(self):
+        table = FrequencyTable([(1.0, 100.0)], idle_watts=50.0, down_watts=5.0)
+        topo = Topology(node_down_watts=14.0)
+        with pytest.raises(ValueError):
+            Machine(name="bad", topology=topo, freq_table=table)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            Machine(
+                name="bad",
+                topology=CURIE_TOPOLOGY,
+                freq_table=CURIE_FREQUENCY_TABLE,
+                cores_per_node=0,
+            )
+
+    def test_new_accountant_starts_idle(self):
+        m = curie_machine(scale=1 / 56)
+        acct = m.new_accountant()
+        assert acct.total_power() == pytest.approx(m.idle_power())

@@ -1,0 +1,209 @@
+"""Unit + property tests for the incremental power accountant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.curie import curie_machine
+from repro.cluster.power import PowerAccountant
+from repro.cluster.states import NodeState
+
+
+@pytest.fixture
+def machine():
+    # One rack: 5 chassis x 18 nodes = 90 nodes. Small enough for
+    # exhaustive cross-checks, large enough to exercise the hierarchy.
+    return curie_machine(scale=1 / 56)
+
+
+@pytest.fixture
+def acct(machine) -> PowerAccountant:
+    return machine.new_accountant()
+
+
+def test_initial_state_all_idle(acct, machine):
+    assert acct.count_by_state[NodeState.IDLE] == machine.n_nodes
+    assert acct.total_power() == pytest.approx(machine.idle_power())
+    acct.verify()
+
+
+def test_max_power_matches_machine(acct, machine):
+    assert acct.max_power() == pytest.approx(machine.max_power())
+    acct.set_state(np.arange(machine.n_nodes), NodeState.BUSY, freq_index=acct.freq_table.max_index)
+    assert acct.total_power() == pytest.approx(machine.max_power())
+
+
+def test_busy_at_each_frequency(acct):
+    ft = acct.freq_table
+    node = np.array([0])
+    for i, step in enumerate(ft):
+        acct.set_state(node, NodeState.BUSY, freq_index=i)
+        expected_delta = step.watts - ft.idle_watts
+        assert acct.total_power() == pytest.approx(acct.idle_floor() + expected_delta)
+    acct.verify()
+
+
+def test_busy_requires_freq_index(acct):
+    with pytest.raises(ValueError):
+        acct.set_state(np.array([0]), NodeState.BUSY)
+
+
+def test_empty_id_array_is_noop(acct):
+    before = acct.total_power()
+    acct.set_state(np.array([], dtype=np.int64), NodeState.OFF)
+    assert acct.total_power() == before
+
+
+def test_single_node_off_keeps_bmc(acct):
+    ft = acct.freq_table
+    acct.set_state(np.array([3]), NodeState.OFF)
+    # One node moved idle -> off: saves idle - down watts; chassis
+    # infra stays powered because 17 siblings are on.
+    assert acct.total_power() == pytest.approx(
+        acct.idle_floor() - (ft.idle_watts - ft.down_watts)
+    )
+    assert acct.n_dark_chassis == 0
+    assert acct.bonus_watts() == 0.0
+
+
+def test_complete_chassis_off_harvests_bonus(acct, machine):
+    topo = machine.topology
+    ft = acct.freq_table
+    nodes = topo.nodes_of_chassis(2)
+    acct.set_state(nodes, NodeState.OFF)
+    assert acct.n_dark_chassis == 1
+    assert acct.bonus_watts() == pytest.approx(topo.chassis_bonus_watts())
+    # 18 nodes go from idle to *zero* watts (BMCs dark) and the 248 W
+    # chassis infra disappears.
+    expected = acct.idle_floor() - 18 * ft.idle_watts - topo.chassis_watts
+    assert acct.total_power() == pytest.approx(expected)
+    acct.verify()
+
+
+def test_complete_rack_off_harvests_rack_bonus(acct, machine):
+    topo = machine.topology
+    nodes = topo.nodes_of_rack(0)
+    acct.set_state(nodes, NodeState.OFF)
+    assert acct.n_dark_chassis == topo.chassis_per_rack
+    assert acct.n_dark_racks == 1
+    assert acct.bonus_watts() == pytest.approx(
+        topo.chassis_per_rack * topo.chassis_bonus_watts() + topo.rack_watts
+    )
+    acct.verify()
+
+
+def test_accumulated_savings_match_figure2(acct, machine):
+    """Switching a complete chassis off from full load saves exactly
+    the Figure 2 accumulated value (6692 W)."""
+    topo = machine.topology
+    ft = acct.freq_table
+    all_nodes = np.arange(machine.n_nodes)
+    acct.set_state(all_nodes, NodeState.BUSY, freq_index=ft.max_index)
+    full = acct.total_power()
+    acct.set_state(topo.nodes_of_chassis(0), NodeState.OFF)
+    assert full - acct.total_power() == pytest.approx(
+        topo.accumulated_chassis_watts(ft.max.watts)
+    )
+
+
+def test_rack_off_from_full_load_saves_34360(acct, machine):
+    topo = machine.topology
+    ft = acct.freq_table
+    acct.set_state(np.arange(machine.n_nodes), NodeState.BUSY, freq_index=ft.max_index)
+    full = acct.total_power()
+    acct.set_state(topo.nodes_of_rack(0), NodeState.OFF)
+    assert full - acct.total_power() == pytest.approx(
+        topo.accumulated_rack_watts(ft.max.watts)
+    )
+
+
+def test_boot_back_restores_power(acct, machine):
+    topo = machine.topology
+    nodes = topo.nodes_of_chassis(1)
+    floor = acct.total_power()
+    acct.set_state(nodes, NodeState.OFF)
+    acct.set_state(nodes, NodeState.BOOTING)
+    assert acct.n_dark_chassis == 0
+    acct.set_state(nodes, NodeState.IDLE)
+    assert acct.total_power() == pytest.approx(floor)
+    acct.verify()
+
+
+def test_transition_states_draw_configured_watts(machine):
+    acct = PowerAccountant(
+        machine.topology, machine.freq_table, boot_watts=200.0, shutdown_watts=80.0
+    )
+    floor = acct.total_power()
+    acct.set_state(np.array([0]), NodeState.BOOTING)
+    assert acct.total_power() == pytest.approx(floor - 117 + 200)
+    acct.set_state(np.array([1]), NodeState.SHUTTING_DOWN)
+    assert acct.total_power() == pytest.approx(floor - 117 + 200 - 117 + 80)
+    acct.verify()
+
+
+def test_breakdown_sums_to_total(acct, machine):
+    topo = machine.topology
+    acct.set_state(topo.nodes_of_chassis(0), NodeState.OFF)
+    acct.set_state(np.array([40, 41]), NodeState.BUSY, freq_index=0)
+    acct.set_state(np.array([50]), NodeState.BUSY, freq_index=acct.freq_table.max_index)
+    acct.set_state(np.array([60]), NodeState.OFF)
+    bd = acct.breakdown()
+    assert bd.total == pytest.approx(acct.total_power())
+    assert bd.busy_by_freq[1.2] == pytest.approx(2 * 193)
+    assert bd.busy_by_freq[2.7] == pytest.approx(358)
+    assert bd.down == pytest.approx(14)  # only the lone off node's BMC
+
+
+def test_busy_delta_watts(acct):
+    ft = acct.freq_table
+    assert acct.busy_delta_watts(10, ft.max_index) == pytest.approx(10 * (358 - 117))
+    assert acct.busy_delta_watts(4, 0) == pytest.approx(4 * (193 - 117))
+    assert acct.idle_delta_watts(4, 0) == pytest.approx(-4 * (193 - 117))
+
+
+def test_delta_matches_actual_transition(acct):
+    nodes = np.arange(20, 30)
+    before = acct.total_power()
+    predicted = acct.busy_delta_watts(len(nodes), 3)
+    acct.set_state(nodes, NodeState.BUSY, freq_index=3)
+    assert acct.total_power() - before == pytest.approx(predicted)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=89),
+        st.integers(min_value=0, max_value=26),
+        st.sampled_from(list(NodeState)),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1, max_size=60,
+))
+def test_random_transition_sequences_stay_consistent(ops):
+    """Property: after any sequence of bulk transitions, the
+    incremental accounting equals a from-scratch recomputation."""
+    machine = curie_machine(scale=1 / 56)
+    acct = machine.new_accountant()
+    for start, width, state, freq in ops:
+        ids = np.arange(start, min(90, start + width + 1))
+        if state == NodeState.BUSY:
+            acct.set_state(ids, state, freq_index=freq)
+        else:
+            acct.set_state(ids, state)
+    acct.verify()
+    assert acct.total_power() >= 0.0
+    assert acct.total_power() <= acct.max_power() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=89), min_size=0, max_size=90))
+def test_off_sets_monotone_power(off_ids):
+    """Property: power with a set of nodes off never exceeds the idle
+    floor and never goes below the all-off minimum."""
+    machine = curie_machine(scale=1 / 56)
+    acct = machine.new_accountant()
+    ids = np.array(sorted(off_ids), dtype=np.int64)
+    acct.set_state(ids, NodeState.OFF)
+    assert acct.total_power() <= acct.idle_floor() + 1e-9
+    assert acct.total_power() >= 0.0
+    acct.verify()

@@ -1,0 +1,137 @@
+"""Unit tests for the enclosure topology and power-bonus model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.curie import CURIE_TOPOLOGY
+from repro.cluster.topology import LevelSpec, Topology
+
+
+@pytest.fixture
+def curie() -> Topology:
+    return CURIE_TOPOLOGY
+
+
+class TestShape:
+    def test_curie_dimensions(self, curie):
+        assert curie.n_nodes == 5040
+        assert curie.n_chassis == 280
+        assert curie.racks == 56
+        assert curie.nodes_per_rack == 90
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            Topology(racks=0)
+
+    def test_chassis_of_node_mapping(self, curie):
+        assert curie.chassis_of_node[0] == 0
+        assert curie.chassis_of_node[17] == 0
+        assert curie.chassis_of_node[18] == 1
+        assert curie.chassis_of_node[5039] == 279
+
+    def test_rack_of_node_mapping(self, curie):
+        assert curie.rack_of_node[0] == 0
+        assert curie.rack_of_node[89] == 0
+        assert curie.rack_of_node[90] == 1
+        assert curie.rack_of_node[5039] == 55
+
+    def test_rack_of_chassis_consistent_with_nodes(self, curie):
+        for chassis in (0, 7, 279):
+            nodes = curie.nodes_of_chassis(chassis)
+            racks = np.unique(curie.rack_of_node[nodes])
+            assert racks.tolist() == [curie.rack_of_chassis[chassis]]
+
+    def test_nodes_of_chassis_partition(self, curie):
+        seen = np.concatenate(
+            [curie.nodes_of_chassis(c) for c in range(curie.n_chassis)]
+        )
+        assert np.array_equal(np.sort(seen), np.arange(curie.n_nodes))
+
+    def test_nodes_of_rack_partition(self, curie):
+        seen = np.concatenate([curie.nodes_of_rack(r) for r in range(curie.racks)])
+        assert np.array_equal(np.sort(seen), np.arange(curie.n_nodes))
+
+    def test_membership_bounds_checked(self, curie):
+        with pytest.raises(IndexError):
+            curie.nodes_of_chassis(280)
+        with pytest.raises(IndexError):
+            curie.nodes_of_rack(56)
+        with pytest.raises(IndexError):
+            curie.chassis_of_rack(-1 + 57)
+
+
+class TestPowerBonus:
+    """Figure 2 of the paper, row by row."""
+
+    def test_chassis_bonus_is_500w(self, curie):
+        assert curie.chassis_bonus_watts() == 248 + 18 * 14 == 500
+
+    def test_rack_bonus_is_3400w(self, curie):
+        assert curie.rack_bonus_watts() == 900 + 5 * 500 == 3400
+
+    def test_accumulated_node_344w(self, curie):
+        assert curie.accumulated_node_watts(358.0) == 344
+
+    def test_accumulated_chassis_6692w(self, curie):
+        assert curie.accumulated_chassis_watts(358.0) == 344 * 18 + 500 == 6692
+
+    def test_accumulated_rack_34360w(self, curie):
+        assert curie.accumulated_rack_watts(358.0) == 6692 * 5 + 900 == 34360
+
+    def test_figure2_rows(self, curie):
+        rows = curie.bonus_figure_rows(358.0)
+        by_level = {r["level"]: r for r in rows}
+        assert by_level["node"]["accumulated_watts"] == 344
+        assert by_level["chassis"]["bonus_watts"] == 500
+        assert by_level["chassis"]["accumulated_watts"] == 6692
+        assert by_level["rack"]["bonus_watts"] == 3400
+        assert by_level["rack"]["accumulated_watts"] == 34360
+
+    def test_paper_example_chassis_vs_20_nodes(self, curie):
+        """Section VI-A worked example: a 6600 W reduction needs 20
+        scattered nodes (6880 W) but only 18 grouped as a chassis
+        (6692 W)."""
+        assert 20 * curie.accumulated_node_watts(358.0) == 6880
+        assert curie.accumulated_chassis_watts(358.0) == 6692
+        assert curie.accumulated_chassis_watts(358.0) >= 6600
+
+    def test_infrastructure_watts(self, curie):
+        assert curie.infrastructure_watts() == 280 * 248 + 56 * 900
+
+
+class TestScaling:
+    def test_scaled_keeps_enclosure_shape(self, curie):
+        small = curie.scaled(0.125)
+        assert small.nodes_per_chassis == 18
+        assert small.chassis_per_rack == 5
+        assert small.racks == 7
+        assert small.n_nodes == 7 * 5 * 18
+
+    def test_scaled_never_below_one_rack(self, curie):
+        tiny = curie.scaled(1e-6)
+        assert tiny.racks == 1
+
+    def test_scale_must_be_positive(self, curie):
+        with pytest.raises(ValueError):
+            curie.scaled(0)
+
+    @given(st.floats(min_value=0.01, max_value=2.0))
+    def test_scaled_bonuses_invariant(self, factor):
+        scaled = CURIE_TOPOLOGY.scaled(factor)
+        assert scaled.chassis_bonus_watts() == CURIE_TOPOLOGY.chassis_bonus_watts()
+        assert scaled.rack_bonus_watts() == CURIE_TOPOLOGY.rack_bonus_watts()
+
+
+class TestLevelSpec:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LevelSpec("chassis", 0, 248.0)
+        with pytest.raises(ValueError):
+            LevelSpec("chassis", 18, -1.0)
+
+    def test_holds_fields(self):
+        spec = LevelSpec("rack", 5, 900.0)
+        assert spec.name == "rack"
+        assert spec.children_per_parent == 5
+        assert spec.component_watts == 900.0

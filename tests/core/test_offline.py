@@ -1,0 +1,169 @@
+"""Unit tests for the offline planner (Algorithm 1 + grouped selection)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.curie import curie_machine
+from repro.core.offline import OfflinePlanner
+from repro.core.policies import make_policy
+from repro.core.powermodel import ModelCase
+from repro.rjms.reservations import PowercapReservation
+
+HOUR = 3600.0
+
+
+def planner(policy_name: str, scale: float = 1.0) -> OfflinePlanner:
+    m = curie_machine(scale=scale)
+    return OfflinePlanner(m, make_policy(policy_name, m.freq_table))
+
+
+def cap_for(machine, fraction, start=HOUR, end=2 * HOUR):
+    return PowercapReservation(start=start, end=end, watts=fraction * machine.max_power())
+
+
+class TestPolicyGating:
+    def test_dvfs_never_shuts_down(self):
+        pl = planner("DVFS")
+        plan = pl.plan(cap_for(pl.machine, 0.4))
+        assert plan.reservation is None
+        assert not plan.any_shutdown
+
+    def test_idle_never_shuts_down(self):
+        pl = planner("IDLE")
+        assert not pl.plan(cap_for(pl.machine, 0.4)).any_shutdown
+
+    def test_shut_plans_shutdown(self):
+        pl = planner("SHUT")
+        plan = pl.plan(cap_for(pl.machine, 0.6))
+        assert plan.any_shutdown
+        assert plan.reservation is not None
+        assert plan.reservation.start == HOUR and plan.reservation.end == 2 * HOUR
+
+    def test_mix_plans_shutdown_below_75(self):
+        pl = planner("MIX")
+        plan = pl.plan(cap_for(pl.machine, 0.6))
+        assert plan.any_shutdown
+        assert plan.model_plan.case == ModelCase.COMBINED
+
+    def test_no_shutdown_needed_at_full_cap(self):
+        pl = planner("SHUT")
+        plan = pl.plan(cap_for(pl.machine, 1.0))
+        assert not plan.any_shutdown
+
+
+class TestWorstCaseFitsCap:
+    @pytest.mark.parametrize("policy", ["SHUT", "MIX"])
+    @pytest.mark.parametrize("fraction", [0.8, 0.6, 0.4, 0.3])
+    def test_alive_worst_case_under_cap(self, policy, fraction):
+        pl = planner(policy, scale=0.25)
+        cap = cap_for(pl.machine, fraction)
+        plan = pl.plan(cap)
+        assert plan.worst_case_alive_watts <= cap.watts + 1e-6
+
+    def test_reference_watts(self):
+        assert planner("SHUT").reference_watts() == 358.0
+        assert planner("MIX").reference_watts() == 269.0
+
+
+class TestGroupedSelection:
+    def test_large_deficit_takes_whole_racks(self):
+        pl = planner("SHUT")
+        plan = pl.plan(cap_for(pl.machine, 0.4))
+        assert plan.n_full_racks >= 1
+        # Grouping means the bonus is substantial.
+        assert plan.bonus_watts >= plan.n_full_racks * 3400
+
+    def test_small_deficit_takes_single_nodes(self):
+        pl = planner("SHUT")
+        m = pl.machine
+        # Need to shave just ~5 nodes' worth of power.
+        cap = PowercapReservation(
+            start=HOUR, end=2 * HOUR, watts=m.max_power() - 5 * 344 + 1
+        )
+        plan = pl.plan(cap)
+        assert 0 < plan.n_off_selected <= 6
+        assert plan.n_full_chassis == 0
+
+    def test_chassis_preferred_over_19_singles(self):
+        """The paper's worked example: a ~6600 W reduction is served by
+        one complete chassis (18 nodes, 6692 W) instead of 20
+        scattered nodes."""
+        pl = planner("SHUT")
+        m = pl.machine
+        cap = PowercapReservation(
+            start=HOUR, end=2 * HOUR, watts=m.max_power() - 6600
+        )
+        plan = pl.plan(cap)
+        assert plan.n_full_chassis == 1
+        assert plan.n_off_selected == 18
+        assert plan.bonus_watts == 500
+
+    def test_savings_precomputed_on_reservation(self):
+        pl = planner("SHUT", scale=0.25)
+        plan = pl.plan(cap_for(pl.machine, 0.5))
+        sd = plan.reservation
+        assert sd.savings_from_idle_watts > 0
+        # Savings relative to idle must not exceed savings relative to busy.
+        assert sd.savings_from_idle_watts < plan.n_off_selected * 358
+
+    def test_selection_from_high_node_ids(self):
+        pl = planner("SHUT", scale=0.25)
+        plan = pl.plan(cap_for(pl.machine, 0.6))
+        nodes = plan.reservation.nodes
+        # Shutdown nodes cluster at the top of the id range, leaving
+        # low ids for the selector's packing.
+        assert nodes.min() >= pl.machine.n_nodes - len(nodes) - 90
+
+    def test_nodes_unique_and_in_range(self):
+        pl = planner("MIX", scale=0.25)
+        plan = pl.plan(cap_for(pl.machine, 0.4))
+        nodes = plan.reservation.nodes
+        assert len(np.unique(nodes)) == len(nodes)
+        assert nodes.min() >= 0 and nodes.max() < pl.machine.n_nodes
+
+    def test_mix_shuts_fewer_nodes_than_shut_at_same_cap(self):
+        """MIX keeps more nodes alive (they run at 2.0 GHz) than SHUT
+        (alive nodes at 2.7 GHz) for the same low cap."""
+        cap_fraction = 0.4
+        shut = planner("SHUT", scale=0.25)
+        mix = planner("MIX", scale=0.25)
+        n_shut = shut.plan(cap_for(shut.machine, cap_fraction)).n_off_selected
+        n_mix = mix.plan(cap_for(mix.machine, cap_fraction)).n_off_selected
+        assert 0 < n_mix < n_shut
+
+    @settings(max_examples=30, deadline=None)
+    @given(fraction=st.floats(min_value=0.1, max_value=0.99))
+    def test_any_cap_yields_feasible_plan(self, fraction):
+        pl = planner("SHUT", scale=0.125)
+        cap = cap_for(pl.machine, fraction)
+        plan = pl.plan(cap)
+        assert plan.worst_case_alive_watts <= cap.watts + 1e-6
+        assert 0 <= plan.n_off_selected <= pl.machine.n_nodes
+
+    @settings(max_examples=30, deadline=None)
+    @given(fraction=st.floats(min_value=0.1, max_value=0.99))
+    def test_selection_not_grossly_overshooting(self, fraction):
+        """The greedy selection should not kill far more nodes than a
+        bonus-less scattered selection would."""
+        pl = planner("SHUT", scale=0.125)
+        m = pl.machine
+        cap = cap_for(m, fraction)
+        plan = pl.plan(cap)
+        deficit = pl._worst_case_alive(np.array([], int)) - cap.watts
+        scattered_needed = math.ceil(max(deficit, 0) / 344.0)
+        # Grouping may round up to enclosure sizes, but never worse
+        # than one extra rack over the scattered count.
+        assert plan.n_off_selected <= scattered_needed + 90
+
+
+class TestModelPlan:
+    def test_model_plan_strips_infrastructure(self):
+        pl = planner("SHUT")
+        m = pl.machine
+        cap = cap_for(m, 0.6)
+        mp = pl.model_plan(cap.watts)
+        assert mp.case in (ModelCase.SHUTDOWN_ONLY, ModelCase.COMBINED)
+        assert mp.n_off > 0

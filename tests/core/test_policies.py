@@ -1,0 +1,88 @@
+"""Unit tests for the five powercap policies."""
+
+import pytest
+
+from repro.cluster.curie import CURIE_FREQUENCY_TABLE
+from repro.core.policies import CURIE_POLICIES, Policy, PolicyKind, make_policy
+
+
+@pytest.fixture
+def table():
+    return CURIE_FREQUENCY_TABLE
+
+
+class TestMakePolicy:
+    def test_none_ignores_caps(self, table):
+        p = make_policy("NONE", table)
+        assert not p.enforces_caps
+        assert not p.uses_shutdown
+        assert not p.uses_dvfs
+        assert p.degmin == 1.0
+
+    def test_idle_enforces_but_cannot_act(self, table):
+        p = make_policy("IDLE", table)
+        assert p.enforces_caps
+        assert not p.uses_shutdown
+        assert not p.uses_dvfs
+        assert p.allowed.frequencies == (2.7,)
+
+    def test_shut(self, table):
+        p = make_policy("SHUT", table)
+        assert p.uses_shutdown
+        assert not p.uses_dvfs
+        assert p.allowed.frequencies == (2.7,)
+        assert p.degradation(2.7) == 1.0
+
+    def test_dvfs_full_range(self, table):
+        p = make_policy("DVFS", table)
+        assert not p.uses_shutdown
+        assert p.uses_dvfs
+        assert p.allowed.frequencies == table.frequencies
+        assert p.degmin == 1.63
+        assert p.degradation(1.2) == pytest.approx(1.63)
+        assert p.degradation(2.7) == 1.0
+
+    def test_mix_high_range(self, table):
+        p = make_policy("MIX", table)
+        assert p.uses_shutdown
+        assert p.uses_dvfs
+        assert p.allowed.frequencies == (2.0, 2.2, 2.4, 2.7)
+        assert p.degmin == 1.29
+        assert p.degradation(2.0) == pytest.approx(1.29)
+
+    def test_kind_enum_accepted(self, table):
+        assert make_policy(PolicyKind.SHUT, table).kind == PolicyKind.SHUT
+
+    def test_custom_degmin(self, table):
+        p = make_policy("DVFS", table, degmin=2.14)
+        assert p.degradation(1.2) == pytest.approx(2.14)
+
+    def test_unknown_kind_rejected(self, table):
+        with pytest.raises(ValueError):
+            make_policy("TURBO", table)
+
+
+class TestFrequencyIterationOrder:
+    def test_dvfs_descends_full_table(self, table):
+        p = make_policy("DVFS", table)
+        idx = p.frequency_indices_desc()
+        ghz = [table.steps[i].ghz for i in idx]
+        assert ghz == sorted(table.frequencies, reverse=True)
+
+    def test_mix_descends_high_range_with_full_table_indices(self, table):
+        p = make_policy("MIX", table)
+        idx = p.frequency_indices_desc()
+        ghz = [table.steps[i].ghz for i in idx]
+        assert ghz == [2.7, 2.4, 2.2, 2.0]
+
+    def test_shut_single_step(self, table):
+        p = make_policy("SHUT", table)
+        idx = p.frequency_indices_desc()
+        assert len(idx) == 1
+        assert table.steps[idx[0]].ghz == 2.7
+
+
+def test_curie_policies_factory(table):
+    policies = CURIE_POLICIES(table)
+    assert set(policies) == {"NONE", "IDLE", "SHUT", "DVFS", "MIX"}
+    assert all(isinstance(p, Policy) for p in policies.values())

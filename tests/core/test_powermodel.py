@@ -1,0 +1,240 @@
+"""Unit + property tests for the Section III analytical model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.curie import CURIE_BENCHMARK_DEGMIN, CURIE_FREQUENCY_TABLE
+from repro.core.powermodel import (
+    ModelCase,
+    capacity,
+    dvfs_beats_shutdown_exact,
+    dvfs_only_nodes,
+    normalized_cap_floor_dvfs,
+    plan_nodes,
+    plan_nodes_exact,
+    rho,
+    shutdown_only_nodes,
+)
+
+# Curie node-level constants (Figure 4).
+PMAX, PMIN, POFF = 358.0, 193.0, 14.0
+N = 5040
+
+
+class TestRho:
+    def test_figure5_values(self):
+        """Reproduce the rho column of Figure 5 (switch-off wins for
+        every benchmark on Curie)."""
+        expected = {
+            "linpack": -0.027,
+            "IMB": -0.029,
+            "SPEC Float": -0.088,
+            "SPEC Integer": -0.134,
+            "Common value": -0.174,
+            "NAS suite": -0.225,
+            "STREAM": -0.350,
+            "GROMACS": -0.422,
+        }
+        for name, degmin in CURIE_BENCHMARK_DEGMIN.items():
+            r = rho(degmin, PMAX, PMIN, POFF)
+            # The published table rounds aggressively; all values are
+            # reproduced to ~3e-3 under the Figure 5 convention.
+            assert r == pytest.approx(expected[name], abs=5e-3), name
+            assert r < 0  # switch-off is always the best mechanism
+
+    def test_breakeven_degmin(self):
+        """The degmin at which rho crosses zero (the NA row of Figure 5
+        lists 2.27 as the break-even degradation)."""
+        r = rho(2.27, PMAX, PMIN, POFF)
+        assert abs(r) < 5e-3
+
+    def test_idle_fallback_makes_dvfs_win(self):
+        """Section VI-B: if switch-off is replaced by keeping nodes
+        idle (Poff = idle watts), DVFS becomes the best policy for
+        every benchmark degradation (exact capacity criterion)."""
+        idle = 117.0
+        for degmin in CURIE_BENCHMARK_DEGMIN.values():
+            assert dvfs_beats_shutdown_exact(degmin, PMAX, PMIN, idle)
+
+    def test_real_switchoff_exact_criterion(self):
+        """With true switch-off (14 W), the exact criterion keeps
+        switch-off ahead only for strongly degrading codes — the
+        rho convention of Figure 5 is more switch-off-friendly (see
+        DESIGN.md, model nuances)."""
+        assert not dvfs_beats_shutdown_exact(2.14, PMAX, PMIN, POFF)  # linpack
+        assert dvfs_beats_shutdown_exact(1.16, PMAX, PMIN, POFF)  # GROMACS
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rho(0.9, PMAX, PMIN, POFF)
+        with pytest.raises(ValueError):
+            rho(1.5, 100.0, 90.0, 100.0)
+
+
+class TestCapacity:
+    def test_full_cluster(self):
+        assert capacity(N, 0, 0, 1.63) == N
+
+    def test_off_nodes_contribute_nothing(self):
+        assert capacity(100, 30, 0, 1.63) == 70
+
+    def test_dvfs_nodes_contribute_reduced(self):
+        assert capacity(100, 0, 50, 2.0) == 50 + 25
+
+    def test_rejects_violating_c2(self):
+        with pytest.raises(ValueError):
+            capacity(100, 60, 50, 1.63)
+        with pytest.raises(ValueError):
+            capacity(100, -1, 0, 1.63)
+        with pytest.raises(ValueError):
+            capacity(100, 0, 0, 0.5)
+
+
+class TestClosedForms:
+    def test_shutdown_only_formula(self):
+        # Cap at half the max node power.
+        p = 0.5 * N * PMAX
+        noff = shutdown_only_nodes(N, p, PMAX, POFF)
+        # Remaining nodes at Pmax plus off nodes at Poff meet p exactly.
+        assert noff * POFF + (N - noff) * PMAX == pytest.approx(p)
+
+    def test_dvfs_only_formula(self):
+        p = 0.8 * N * PMAX
+        ndvfs = dvfs_only_nodes(N, p, PMAX, PMIN)
+        assert ndvfs * PMIN + (N - ndvfs) * PMAX == pytest.approx(p)
+
+    def test_clamping(self):
+        assert shutdown_only_nodes(N, N * PMAX * 2, PMAX, POFF) == 0.0
+        assert shutdown_only_nodes(N, 0.0, PMAX, POFF) == N
+        assert dvfs_only_nodes(N, N * PMAX * 2, PMAX, PMIN) == 0.0
+        assert dvfs_only_nodes(N, 0.0, PMAX, PMIN) == N
+
+    def test_cap_floor(self):
+        assert normalized_cap_floor_dvfs(PMIN, PMAX) == pytest.approx(193 / 358)
+        with pytest.raises(ValueError):
+            normalized_cap_floor_dvfs(0, PMAX)
+
+
+class TestPlanNodes:
+    def degmin(self):
+        return 1.63
+
+    def test_no_cap_needed(self):
+        plan = plan_nodes(N, N * PMAX * 1.1, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+        assert plan.n_off == 0 and plan.n_dvfs == 0
+        assert plan.capacity == N
+
+    def test_curie_prefers_shutdown(self):
+        # rho < 0 on Curie: moderate caps choose pure switch-off.
+        p = 0.7 * N * PMAX
+        plan = plan_nodes(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+        assert plan.case == ModelCase.SHUTDOWN_ONLY
+        assert plan.n_dvfs == 0
+        assert 0 < plan.n_off < N
+        assert plan.rho < 0
+
+    def test_dvfs_wins_when_rho_positive(self):
+        # A hypothetical node type with a very low minimum-frequency
+        # power and mild degradation: rho flips positive.
+        pmin = 50.0
+        plan = plan_nodes(N, 0.8 * N * PMAX, pmax=PMAX, pmin=pmin, poff=POFF, degmin=1.5)
+        assert rho(1.5, PMAX, pmin, POFF) > 0
+        assert plan.case == ModelCase.DVFS_ONLY
+        assert plan.n_off == 0
+
+    def test_case4_combined_below_floor(self):
+        """lambda < Pmin/Pmax (54% on Curie) forces both mechanisms."""
+        lam = 0.4
+        p = lam * N * PMAX
+        assert lam < PMIN / PMAX
+        plan = plan_nodes(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+        assert plan.case == ModelCase.COMBINED
+        assert plan.n_off > 0 and plan.n_dvfs > 0
+        # The paper's closed form for case 4.
+        assert plan.n_dvfs == pytest.approx((p - N * POFF) / (PMIN - POFF))
+        assert plan.n_off == pytest.approx(N - plan.n_dvfs)
+
+    def test_case4_satisfies_constraints(self):
+        p = 0.45 * N * PMAX
+        plan = plan_nodes(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+        used = plan.n_off * POFF + plan.n_dvfs * PMIN
+        assert used <= p + 1e-6  # C3 with zero nodes at Pmax
+        assert plan.n_off + plan.n_dvfs == pytest.approx(N)  # C2 tight
+
+    def test_mix_threshold_75_percent(self):
+        """With the MIX range (Pmin = 269 W), case 4 triggers below
+        75% of max node power (Section VI-B)."""
+        pmin_mix = 269.0
+        floor = pmin_mix / PMAX
+        assert floor == pytest.approx(0.751, abs=1e-3)
+        below = plan_nodes(
+            N, 0.74 * N * PMAX, pmax=PMAX, pmin=pmin_mix, poff=POFF, degmin=1.29
+        )
+        above = plan_nodes(
+            N, 0.76 * N * PMAX, pmax=PMAX, pmin=pmin_mix, poff=POFF, degmin=1.29
+        )
+        assert below.case == ModelCase.COMBINED
+        assert above.case != ModelCase.COMBINED
+
+    def test_infeasible_cap_rejected(self):
+        with pytest.raises(ValueError):
+            plan_nodes(N, N * POFF * 0.5, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            plan_nodes(0, 100, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+        with pytest.raises(ValueError):
+            plan_nodes(N, N * PMAX, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=0.5)
+        with pytest.raises(ValueError):
+            plan_nodes(N, N * PMAX, pmax=100, pmin=200, poff=14, degmin=1.63)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lam=st.floats(min_value=0.05, max_value=1.0),
+        degmin=st.floats(min_value=1.01, max_value=3.0),
+    )
+    def test_plan_always_feasible_and_capacity_bounded(self, lam, degmin):
+        """Property: the chosen plan satisfies C2/C3 and its capacity
+        never exceeds the unconstrained cluster."""
+        p = lam * N * PMAX
+        if p < N * POFF:
+            return  # infeasible by construction
+        plan = plan_nodes(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=degmin)
+        assert 0 <= plan.n_off <= N + 1e-9
+        assert 0 <= plan.n_dvfs <= N + 1e-9
+        assert plan.n_off + plan.n_dvfs <= N + 1e-9
+        consumed = (
+            plan.n_off * POFF
+            + plan.n_dvfs * PMIN
+            + (N - plan.n_off - plan.n_dvfs) * PMAX
+        )
+        assert consumed <= p + 1e-6 * max(1.0, p)
+        assert 0 <= plan.capacity <= N + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(lam=st.floats(min_value=0.55, max_value=0.999))
+    def test_algorithm1_follows_rho_sign(self, lam):
+        """Property: in the single-mechanism regime, Algorithm 1 picks
+        the mechanism the rho sign dictates (Figure 5 convention)."""
+        p = lam * N * PMAX
+        plan = plan_nodes(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=1.63)
+        r = rho(1.63, PMAX, PMIN, POFF)
+        if plan.n_off == 0 and plan.n_dvfs == 0:
+            return  # cap above max power, nothing to do
+        if r <= 0:
+            assert plan.case == ModelCase.SHUTDOWN_ONLY
+        else:
+            assert plan.case == ModelCase.DVFS_ONLY
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lam=st.floats(min_value=0.55, max_value=0.999),
+        degmin=st.floats(min_value=1.05, max_value=3.0),
+    )
+    def test_exact_variant_never_worse(self, lam, degmin):
+        """Property: the exact-criterion planner's capacity is always
+        at least the rho-convention planner's (it is the optimum)."""
+        p = lam * N * PMAX
+        table = plan_nodes(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=degmin)
+        exact = plan_nodes_exact(N, p, pmax=PMAX, pmin=PMIN, poff=POFF, degmin=degmin)
+        assert exact.capacity >= table.capacity - 1e-9

@@ -1,0 +1,314 @@
+"""Integration tests for the RJMS controller on hand-crafted scenarios.
+
+One-rack Curie (90 nodes, 5 chassis, 1440 cores) throughout.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.cluster.states import NodeState
+from repro.rjms.config import PriorityWeights, SchedulerConfig
+from repro.rjms.controller import Controller
+from repro.rjms.job import JobState
+from repro.rjms.reservations import PowercapReservation
+from repro.sim.engine import EventKind, SimEngine
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def machine():
+    return curie_machine(scale=1 / 56)
+
+
+def build(machine, policy="NONE", caps=(), **cfg_kw):
+    engine = SimEngine()
+    config = SchedulerConfig(
+        priority=PriorityWeights(age=1000, fairshare=0, job_size=0), **cfg_kw
+    )
+    ctrl = Controller(machine, policy, engine, config=config, powercaps=caps)
+    return engine, ctrl
+
+
+def submit(engine, ctrl, jid, submit_t, cores, runtime, walltime=None, user=0):
+    spec = JobSpec(jid, submit_t, cores, runtime, walltime or max(runtime, 3600.0), user)
+    engine.at(submit_t, lambda: ctrl.submit(spec), kind=EventKind.JOB_SUBMIT)
+    return spec
+
+
+class TestBasicScheduling:
+    def test_single_job_runs_to_completion(self, machine):
+        engine, ctrl = build(machine)
+        submit(engine, ctrl, 1, 0.0, cores=16, runtime=100.0)
+        engine.run()
+        job = ctrl.jobs[1]
+        assert job.state == JobState.COMPLETED
+        assert job.start_time == 0.0
+        assert job.end_time == 100.0
+        assert job.freq_ghz == 2.7
+        assert ctrl.n_running == 0 and ctrl.n_pending == 0
+        ctrl.accountant.verify()
+
+    def test_fcfs_queueing_when_full(self, machine):
+        engine, ctrl = build(machine)
+        # Fill the machine with 90 single-node jobs for 100 s.
+        for jid in range(90):
+            submit(engine, ctrl, jid, 0.0, cores=16, runtime=100.0)
+        submit(engine, ctrl, 999, 1.0, cores=16, runtime=50.0)
+        engine.run()
+        late = ctrl.jobs[999]
+        assert late.start_time == pytest.approx(100.0)
+        assert late.end_time == pytest.approx(150.0)
+
+    def test_whole_node_allocation(self, machine):
+        engine, ctrl = build(machine)
+        submit(engine, ctrl, 1, 0.0, cores=17, runtime=10.0)  # 2 nodes
+        engine.run()
+        assert len(ctrl.jobs[1].nodes) == 2
+
+    def test_too_wide_job_rejected(self, machine):
+        engine, ctrl = build(machine)
+        submit(engine, ctrl, 1, 0.0, cores=machine.total_cores + 16, runtime=10.0)
+        engine.run()
+        assert ctrl.rejected == [1]
+        assert 1 not in ctrl.jobs
+
+    def test_utilization_and_release(self, machine):
+        engine, ctrl = build(machine)
+        submit(engine, ctrl, 1, 0.0, cores=45 * 16, runtime=100.0)
+        engine.run(until=50.0)
+        assert ctrl.utilization() == pytest.approx(0.5)
+        engine.run()
+        assert ctrl.utilization() == 0.0
+        assert ctrl.accountant.count_by_state[NodeState.IDLE] == 90
+
+    def test_determinism(self, machine):
+        def run_once():
+            engine, ctrl = build(machine)
+            rng = np.random.default_rng(5)
+            for jid in range(200):
+                submit(
+                    engine,
+                    ctrl,
+                    jid,
+                    float(rng.uniform(0, 1000)),
+                    cores=int(rng.integers(1, 600)),
+                    runtime=float(rng.uniform(10, 500)),
+                )
+            engine.run()
+            return [(j.job_id, j.start_time, j.end_time) for j in ctrl.jobs.values()]
+
+        assert run_once() == run_once()
+
+
+class TestBackfilling:
+    def test_short_job_backfills_past_blocker(self, machine):
+        engine, ctrl = build(machine)
+        # 60 nodes busy until t=1000 (walltime tight).
+        submit(engine, ctrl, 1, 0.0, cores=60 * 16, runtime=1000.0, walltime=1000.0)
+        # Blocker needs 50 nodes: must wait for job 1.
+        submit(engine, ctrl, 2, 1.0, cores=50 * 16, runtime=100.0, walltime=200.0)
+        # Short narrow job fits in the 30 spare nodes AND ends before
+        # the shadow time.
+        submit(engine, ctrl, 3, 2.0, cores=16, runtime=50.0, walltime=60.0)
+        engine.run()
+        assert ctrl.jobs[3].start_time == pytest.approx(2.0)
+        assert ctrl.jobs[2].start_time == pytest.approx(1000.0)
+
+    def test_long_walltime_job_does_not_delay_blocker(self, machine):
+        engine, ctrl = build(machine)
+        submit(engine, ctrl, 1, 0.0, cores=60 * 16, runtime=1000.0, walltime=1000.0)
+        submit(engine, ctrl, 2, 1.0, cores=50 * 16, runtime=100.0, walltime=200.0)
+        # 40-node job with a huge walltime: would delay the blocker
+        # (only 90-50=40 extra nodes... blocker needs 50 of 90: extra
+        # is 90-60(free at shadow... compute: free 30 now; shadow at
+        # t=1000 frees 60 -> extra = 30+60-50 = 40).  40 nodes <= 40
+        # extra: admitted!  Use 41 nodes to exceed the allowance.
+        submit(engine, ctrl, 3, 2.0, cores=41 * 16, runtime=100.0, walltime=86400.0)
+        engine.run()
+        assert ctrl.jobs[3].start_time >= 1000.0
+
+    def test_backfill_disabled_strict_fcfs(self, machine):
+        engine, ctrl = build(machine, backfill=False)
+        submit(engine, ctrl, 1, 0.0, cores=60 * 16, runtime=1000.0, walltime=1000.0)
+        submit(engine, ctrl, 2, 1.0, cores=50 * 16, runtime=100.0, walltime=200.0)
+        submit(engine, ctrl, 3, 2.0, cores=16, runtime=50.0, walltime=60.0)
+        engine.run()
+        # Without backfilling, job 3 waits behind the blocker.
+        assert ctrl.jobs[3].start_time >= 1000.0
+
+    def test_backfill_depth_limits_scan(self, machine):
+        engine, ctrl = build(machine, backfill_depth=1)
+        submit(engine, ctrl, 1, 0.0, cores=60 * 16, runtime=1000.0, walltime=1000.0)
+        submit(engine, ctrl, 2, 1.0, cores=50 * 16, runtime=100.0, walltime=200.0)
+        # With depth 1, every pass examines only the blocker (job 2):
+        # job 3 is never considered for backfill while 1 runs.
+        submit(engine, ctrl, 3, 2.0, cores=16, runtime=50.0, walltime=60.0)
+        engine.run()
+        assert ctrl.jobs[3].start_time >= 1000.0
+
+
+class TestActiveCap:
+    def test_idle_policy_gates_on_power(self, machine):
+        # Budget: idle floor + 10 busy nodes at 2.7.
+        engine0, ctrl0 = build(machine)
+        floor = ctrl0.accountant.idle_floor()
+        cap = PowercapReservation(0.0, math.inf, watts=floor + 10 * (358 - 117) + 1)
+        engine, ctrl = build(machine, policy="IDLE", caps=[cap])
+        for jid in range(20):
+            submit(engine, ctrl, jid, 0.0, cores=16, runtime=100.0)
+        engine.run(until=50.0)
+        assert ctrl.n_running == 10
+        assert ctrl.accountant.total_power() <= cap.watts
+        engine.run()
+        # They all eventually complete, ten at a time.
+        assert all(j.state == JobState.COMPLETED for j in ctrl.jobs.values())
+
+    def test_dvfs_lowers_frequency_and_stretches(self, machine):
+        engine0, ctrl0 = build(machine)
+        floor = ctrl0.accountant.idle_floor()
+        # Room for 10 nodes at 1.4 GHz (96 W) but not 1.6 (117 W).
+        cap = PowercapReservation(0.0, math.inf, watts=floor + 10 * 96 + 5)
+        engine, ctrl = build(machine, policy="DVFS", caps=[cap])
+        submit(engine, ctrl, 1, 0.0, cores=10 * 16, runtime=100.0)
+        engine.run()
+        job = ctrl.jobs[1]
+        assert job.freq_ghz == 1.4
+        expected_deg = 1.0 + 0.63 * (2.7 - 1.4) / (2.7 - 1.2)
+        assert job.degradation == pytest.approx(expected_deg)
+        assert job.end_time == pytest.approx(100.0 * expected_deg)
+
+    def test_mix_shuts_down_and_keeps_high_frequencies(self, machine):
+        """An immediate low cap under MIX triggers the offline
+        shutdown; alive-node jobs then run inside the MIX range
+        (>= 2.0 GHz) and the cap is honoured throughout."""
+        engine0, ctrl0 = build(machine)
+        floor = ctrl0.accountant.idle_floor()
+        cap = PowercapReservation(0.0, math.inf, watts=floor + 10 * (269 - 117) + 1)
+        engine, ctrl = build(machine, policy="MIX", caps=[cap])
+        for jid in range(30):
+            submit(engine, ctrl, jid, 0.0, cores=10 * 16, runtime=100.0)
+        engine.run(until=10.0)
+        plan = ctrl.shutdown_plans[0]
+        assert plan.any_shutdown
+        assert int(ctrl.accountant.count_by_state[NodeState.OFF]) > 0
+        started = [j for j in ctrl.jobs.values() if j.freq_ghz is not None]
+        assert started
+        assert all(j.freq_ghz >= 2.0 for j in started)
+        assert ctrl.accountant.total_power() <= cap.watts + 1e-6
+
+    def test_none_policy_ignores_caps(self, machine):
+        cap = PowercapReservation(0.0, math.inf, watts=1.0)
+        engine, ctrl = build(machine, policy="NONE", caps=[cap])
+        submit(engine, ctrl, 1, 0.0, cores=90 * 16, runtime=100.0)
+        engine.run()
+        assert ctrl.jobs[1].state == JobState.COMPLETED
+        assert ctrl.jobs[1].freq_ghz == 2.7
+
+
+class TestShutdownWindows:
+    def test_shut_policy_window_lifecycle(self, machine):
+        """Nodes reserved by the offline plan go OFF during the window
+        and come back after; the cap is honoured by construction."""
+        m = machine
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=0.6 * m.max_power())
+        engine, ctrl = build(m, policy="SHUT", caps=[cap])
+        engine.run(until=HOUR + 1)
+        plan = ctrl.shutdown_plans[0]
+        assert plan.any_shutdown
+        n_off = int(ctrl.accountant.count_by_state[NodeState.OFF])
+        assert n_off == plan.n_off_selected
+        assert ctrl.accountant.total_power() <= cap.watts
+        # Grouped selection harvests enclosure bonuses.
+        assert ctrl.accountant.bonus_watts() == pytest.approx(plan.bonus_watts)
+        engine.run(until=2 * HOUR + 1)
+        assert int(ctrl.accountant.count_by_state[NodeState.OFF]) == 0
+        ctrl.accountant.verify()
+
+    def test_running_job_defers_shutdown(self, machine):
+        m = machine
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=0.6 * m.max_power())
+        engine, ctrl = build(m, policy="SHUT", caps=[cap])
+        # A job on ALL nodes (including reserved ones), started before
+        # the reservation exists is impossible here (caps registered at
+        # t=0), so emulate with a short-walltime job that fits before
+        # the window, then one crossing it.
+        submit(engine, ctrl, 1, 0.0, cores=90 * 16, runtime=1.5 * HOUR, walltime=1.6 * HOUR)
+        engine.run(until=HOUR + 10)
+        # The job crosses the window: reserved nodes cannot be off yet.
+        assert ctrl.jobs[1].state == JobState.PENDING or (
+            ctrl.accountant.count_by_state[NodeState.OFF] == 0
+        )
+        engine.run()
+        ctrl.accountant.verify()
+
+    def test_job_overlapping_window_avoids_reserved_nodes(self, machine):
+        m = machine
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=0.6 * m.max_power())
+        engine, ctrl = build(m, policy="SHUT", caps=[cap])
+        plan = ctrl.shutdown_plans[0]
+        reserved = set(plan.reservation.nodes.tolist())
+        # Long-walltime job overlapping the window.
+        submit(engine, ctrl, 1, 0.0, cores=16, runtime=3 * HOUR, walltime=4 * HOUR)
+        # Short job ending before the window may use reserved nodes.
+        submit(engine, ctrl, 2, 0.0, cores=16, runtime=100.0, walltime=0.5 * HOUR)
+        engine.run(until=10.0)
+        assert not (set(ctrl.jobs[1].nodes.tolist()) & reserved)
+        assert set(ctrl.jobs[2].nodes.tolist()) <= reserved
+        engine.run()
+        ctrl.accountant.verify()
+
+    def test_transition_delays(self, machine):
+        m = machine
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=0.6 * m.max_power())
+        engine, ctrl = build(
+            m, policy="SHUT", caps=[cap], shutdown_delay=60.0, boot_delay=300.0
+        )
+        engine.run(until=HOUR + 30)
+        assert int(ctrl.accountant.count_by_state[NodeState.SHUTTING_DOWN]) > 0
+        engine.run(until=HOUR + 61)
+        assert int(ctrl.accountant.count_by_state[NodeState.OFF]) > 0
+        engine.run(until=2 * HOUR + 100)
+        assert int(ctrl.accountant.count_by_state[NodeState.BOOTING]) > 0
+        engine.run(until=2 * HOUR + 301)
+        assert int(ctrl.accountant.count_by_state[NodeState.BOOTING]) == 0
+        assert int(ctrl.accountant.count_by_state[NodeState.OFF]) == 0
+        ctrl.accountant.verify()
+
+
+class TestKillOnViolation:
+    def test_jobs_killed_until_under_cap(self, machine):
+        m = machine
+        cap_watts = m.new_accountant().idle_floor() + 20 * (358 - 117)
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=cap_watts)
+        engine, ctrl = build(
+            m, policy="IDLE", caps=[cap], kill_on_violation=True
+        )
+        # 60 nodes busy with short walltimes (end before window per
+        # walltime? no: walltime crosses the window so they are soft-
+        # checkedā€¦ IDLE has only the top step; soft start applies).
+        for jid in range(60):
+            submit(engine, ctrl, jid, 0.0, cores=16, runtime=3 * HOUR, walltime=4 * HOUR)
+        engine.run(until=HOUR - 1)
+        assert ctrl.n_running == 60
+        engine.run(until=HOUR + 1)
+        killed = [j for j in ctrl.jobs.values() if j.state == JobState.KILLED]
+        assert killed, "over-cap jobs must be killed at window start"
+        assert ctrl.accountant.total_power() <= cap.watts + 1e-6
+        ctrl.accountant.verify()
+
+    def test_no_kill_by_default_waits_for_drain(self, machine):
+        m = machine
+        cap_watts = m.new_accountant().idle_floor() + 20 * (358 - 117)
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=cap_watts)
+        engine, ctrl = build(m, policy="IDLE", caps=[cap])
+        for jid in range(60):
+            submit(engine, ctrl, jid, 0.0, cores=16, runtime=3 * HOUR, walltime=4 * HOUR)
+        engine.run(until=HOUR + 1)
+        assert all(j.state != JobState.KILLED for j in ctrl.jobs.values())
+        # Over cap, tolerated; no new jobs may start.
+        assert ctrl.accountant.total_power() > cap.watts

@@ -1,0 +1,127 @@
+"""Tests for the Section VIII extension: in-flight frequency rescaling."""
+
+import math
+
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.cluster.states import NodeState
+from repro.rjms.config import PriorityWeights, SchedulerConfig
+from repro.rjms.controller import Controller
+from repro.rjms.job import JobState
+from repro.rjms.reservations import PowercapReservation
+from repro.sim.engine import EventKind, SimEngine
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def machine():
+    return curie_machine(scale=1 / 56)
+
+
+def build(machine, policy, caps, **cfg):
+    engine = SimEngine()
+    config = SchedulerConfig(
+        priority=PriorityWeights(age=1000, fairshare=0, job_size=0),
+        dynamic_rescaling=True,
+        **cfg,
+    )
+    ctrl = Controller(machine, policy, engine, config=config, powercaps=caps)
+    return engine, ctrl
+
+
+def submit(engine, ctrl, jid, t, cores, runtime, walltime):
+    spec = JobSpec(jid, t, cores, runtime, walltime)
+    engine.at(t, lambda: ctrl.submit(spec), kind=EventKind.JOB_SUBMIT)
+
+
+class TestDynamicRescaling:
+    def test_running_jobs_slowed_at_window_start(self, machine):
+        floor = machine.new_accountant().idle_floor()
+        # Budget: 60 nodes at 1.2 GHz over the idle floor.
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=floor + 60 * (193 - 117) + 1)
+        engine, ctrl = build(machine, "DVFS", [cap])
+        # A job on 60 nodes with a *short* walltime that nevertheless
+        # crosses the window (starts at 30 min, 1.5 h walltime): at
+        # 2.7 GHz it exceeds the window budget.
+        submit(engine, ctrl, 1, 0.5 * HOUR, cores=60 * 16,
+               runtime=1.4 * HOUR, walltime=1.5 * HOUR)
+        engine.run(until=HOUR + 1)
+        job = ctrl.jobs[1]
+        assert job.state == JobState.RUNNING
+        assert job.freq_ghz == 1.2  # stepped down to fit the cap
+        assert ctrl.accountant.total_power() <= cap.watts + 1e-6
+        engine.run()
+        assert job.state == JobState.COMPLETED
+        ctrl.accountant.verify()
+
+    def test_remaining_runtime_restretched(self, machine):
+        floor = machine.new_accountant().idle_floor()
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=floor + 10 * (193 - 117) + 1)
+        engine, ctrl = build(machine, "DVFS", [cap])
+        # Starts at t=0 at 2.7 GHz (no active cap, but the window is
+        # crossed -> soft mode may already slow it; use a walltime that
+        # avoids the window to get 2.7, then extend runtime past it).
+        submit(engine, ctrl, 1, 0.0, cores=10 * 16,
+               runtime=1.9 * HOUR, walltime=2.0 * HOUR)
+        engine.run(until=1.0)
+        job = ctrl.jobs[1]
+        first_ghz = job.freq_ghz
+        engine.run(until=HOUR + 1)
+        assert job.freq_ghz == 1.2
+        # End time = window start + remaining * (deg_new / deg_old).
+        deg_new = ctrl.policy.degradation(1.2)
+        deg_old = ctrl.policy.degradation(first_ghz)
+        remaining_at_window = job.start_time + 1.9 * HOUR * deg_old - HOUR
+        expected_end = HOUR + remaining_at_window * deg_new / deg_old
+        engine.run()
+        assert job.end_time == pytest.approx(expected_end, rel=1e-9)
+
+    def test_shut_policy_cannot_rescale(self, machine):
+        floor = machine.new_accountant().idle_floor()
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=floor + 10 * (358 - 117))
+        engine, ctrl = build(machine, "SHUT", [cap])
+        submit(engine, ctrl, 1, 0.0, cores=30 * 16,
+               runtime=1.9 * HOUR, walltime=2.0 * HOUR)
+        engine.run(until=HOUR + 1)
+        job = ctrl.jobs[1]
+        if job.state == JobState.RUNNING:
+            assert job.freq_ghz == 2.7  # SHUT has no ladder to walk
+
+    def test_rescaling_reduces_violation_duration(self, machine):
+        """With rescaling, the cluster returns under the cap at the
+        window start instead of waiting for the drain."""
+        floor = machine.new_accountant().idle_floor()
+        cap_watts = floor + 40 * (193 - 117) + 1
+        caps = [PowercapReservation(HOUR, 2 * HOUR, watts=cap_watts)]
+
+        def over_cap_at_window(rescale):
+            engine = SimEngine()
+            config = SchedulerConfig(
+                priority=PriorityWeights(age=1000, fairshare=0, job_size=0),
+                dynamic_rescaling=rescale,
+            )
+            ctrl = Controller(machine, "DVFS", engine, config=config, powercaps=caps)
+            for jid in range(40):
+                submit(engine, ctrl, jid, 0.0, cores=16,
+                       runtime=1.8 * HOUR, walltime=1.9 * HOUR)
+            engine.run(until=HOUR + 1)
+            return ctrl.accountant.total_power() - cap_watts
+
+        assert over_cap_at_window(True) <= 1e-6
+        assert over_cap_at_window(False) > 0
+
+    def test_mix_rescaling_respects_range_floor(self, machine):
+        floor = machine.new_accountant().idle_floor()
+        cap = PowercapReservation(HOUR, 2 * HOUR, watts=floor + 1)
+        engine, ctrl = build(machine, "MIX", [cap])
+        submit(engine, ctrl, 1, 0.0, cores=10 * 16,
+               runtime=1.9 * HOUR, walltime=2.0 * HOUR)
+        engine.run(until=HOUR + 1)
+        job = ctrl.jobs[1]
+        if job.state == JobState.RUNNING:
+            # Even an unreachable cap never pushes MIX below 2.0 GHz.
+            assert job.freq_ghz >= 2.0
+        ctrl.accountant.verify()

@@ -1,0 +1,151 @@
+"""Integration tests: multiple/overlapping cap windows and edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.cluster.states import NodeState
+from repro.rjms.config import PriorityWeights, SchedulerConfig
+from repro.rjms.controller import Controller
+from repro.rjms.reservations import PowercapReservation
+from repro.sim.engine import EventKind, SimEngine
+from repro.sim.replay import powercap_reservation, run_replay
+from repro.workload.intervals import generate_interval
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return curie_machine(scale=1 / 56)
+
+
+@pytest.fixture(scope="module")
+def jobs(machine):
+    return generate_interval(machine, "medianjob")
+
+
+class TestMultipleWindows:
+    def test_two_disjoint_windows(self, machine, jobs):
+        caps = [
+            powercap_reservation(machine, 0.6, 1 * HOUR, 1.5 * HOUR),
+            powercap_reservation(machine, 0.5, 3 * HOUR, 3.5 * HOUR),
+        ]
+        r = run_replay(machine, jobs, "SHUT", duration=5 * HOUR, powercaps=caps)
+        grid = r.recorder.to_grid(0.0, 5 * HOUR, 60.0)
+        t = grid["time"]
+        w1 = (t >= 1 * HOUR) & (t < 1.5 * HOUR)
+        w2 = (t >= 3 * HOUR) & (t < 3.5 * HOUR)
+        between = (t >= 2 * HOUR) & (t < 2.75 * HOUR)
+        # Both windows see switch-offs; the second is deeper.
+        assert grid["off_cores"][w1].max() > 0
+        assert grid["off_cores"][w2].max() > 0
+        assert grid["off_cores"][w2].max() >= grid["off_cores"][w1].max()
+        # Nodes come back between the windows.
+        assert grid["off_cores"][between].min() == 0
+        assert len(r.controller.shutdown_plans) == 2
+
+    def test_overlapping_caps_use_minimum(self, machine):
+        engine = SimEngine()
+        caps = [
+            PowercapReservation(0.0, math.inf, watts=0.8 * machine.max_power()),
+            PowercapReservation(0.0, 2 * HOUR, watts=0.5 * machine.max_power()),
+        ]
+        ctrl = Controller(
+            machine,
+            "IDLE",
+            engine,
+            config=SchedulerConfig(
+                priority=PriorityWeights(age=1000, fairshare=0, job_size=0)
+            ),
+            powercaps=caps,
+        )
+        assert ctrl.registry.cap_at(HOUR) == 0.5 * machine.max_power()
+        assert ctrl.registry.cap_at(3 * HOUR) == 0.8 * machine.max_power()
+
+    def test_open_ended_cap(self, machine, jobs):
+        caps = [powercap_reservation(machine, 0.6, HOUR)]  # end = inf
+        r = run_replay(machine, jobs, "SHUT", duration=3 * HOUR, powercaps=caps)
+        # Nodes stay off through the end of the replay.
+        assert int(r.controller.accountant.count_by_state[NodeState.OFF]) > 0
+
+
+class TestHugeJobBehaviour:
+    def test_machine_wide_job_waits_for_window_end(self, machine):
+        """Fig. 6's observation: a huge job is scheduled directly
+        after the powercap period (it cannot coexist with the
+        reserved shutdown nodes)."""
+        engine = SimEngine()
+        cap = powercap_reservation(machine, 0.6, HOUR, 2 * HOUR)
+        ctrl = Controller(
+            machine,
+            "SHUT",
+            engine,
+            config=SchedulerConfig(
+                priority=PriorityWeights(age=1000, fairshare=0, job_size=0)
+            ),
+            powercaps=[cap],
+        )
+        spec = JobSpec(1, 0.0, machine.total_cores, 1000.0, 4 * HOUR)
+        engine.at(0.0, lambda: ctrl.submit(spec), kind=EventKind.JOB_SUBMIT)
+        engine.run(until=2 * HOUR + 60)
+        job = ctrl.jobs[1]
+        assert job.start_time is not None
+        assert job.start_time >= 2 * HOUR  # right after the window
+
+    def test_machine_wide_job_runs_without_cap(self, machine):
+        engine = SimEngine()
+        ctrl = Controller(machine, "NONE", engine)
+        spec = JobSpec(1, 0.0, machine.total_cores, 1000.0, 4 * HOUR)
+        engine.at(0.0, lambda: ctrl.submit(spec), kind=EventKind.JOB_SUBMIT)
+        engine.run()
+        assert ctrl.jobs[1].start_time == 0.0
+
+
+class TestMinPassInterval:
+    def test_rate_limited_passes_still_schedule_everything(self, machine):
+        engine = SimEngine()
+        ctrl = Controller(
+            machine,
+            "NONE",
+            engine,
+            config=SchedulerConfig(
+                priority=PriorityWeights(age=1000, fairshare=0, job_size=0),
+                min_pass_interval=30.0,
+            ),
+        )
+        for jid in range(50):
+            spec = JobSpec(jid, float(jid), 16, 100.0, HOUR)
+            engine.at(spec.submit_time, lambda s=spec: ctrl.submit(s),
+                      kind=EventKind.JOB_SUBMIT)
+        engine.run()
+        assert all(j.start_time is not None for j in ctrl.jobs.values())
+
+
+class TestFairShareEndToEnd:
+    def test_heavy_user_deprioritised(self, machine):
+        """With fair-share dominating, a fresh user's job jumps ahead
+        of a heavy user's backlog."""
+        engine = SimEngine()
+        ctrl = Controller(
+            machine,
+            "NONE",
+            engine,
+            config=SchedulerConfig(
+                priority=PriorityWeights(age=0, fairshare=10000, job_size=0)
+            ),
+        )
+        # User 0 burns usage first.
+        for jid in range(90):
+            spec = JobSpec(jid, 0.0, 16 * 16, 600.0, HOUR, user=0)
+            engine.at(0.0, lambda s=spec: ctrl.submit(s), kind=EventKind.JOB_SUBMIT)
+        # Later, user 0 and user 1 each queue one more job; user 1
+        # should start first once nodes free.
+        for jid, user in ((1000, 0), (1001, 1)):
+            spec = JobSpec(jid, 10.0, 90 * 16, 600.0, HOUR, user=user)
+            engine.at(10.0, lambda s=spec: ctrl.submit(s), kind=EventKind.JOB_SUBMIT)
+        engine.run()
+        assert ctrl.jobs[1001].start_time <= ctrl.jobs[1000].start_time

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Event, EventKind, SimEngine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = SimEngine()
+        seen = []
+        eng.at(5.0, lambda: seen.append(5))
+        eng.at(1.0, lambda: seen.append(1))
+        eng.at(3.0, lambda: seen.append(3))
+        eng.run()
+        assert seen == [1, 3, 5]
+
+    def test_same_time_kind_order(self):
+        """At equal timestamps, completions precede submissions which
+        precede scheduling passes."""
+        eng = SimEngine()
+        seen = []
+        eng.at(1.0, lambda: seen.append("sched"), kind=EventKind.SCHED_PASS)
+        eng.at(1.0, lambda: seen.append("submit"), kind=EventKind.JOB_SUBMIT)
+        eng.at(1.0, lambda: seen.append("end"), kind=EventKind.JOB_END)
+        eng.run()
+        assert seen == ["end", "submit", "sched"]
+
+    def test_same_time_same_kind_fifo(self):
+        eng = SimEngine()
+        seen = []
+        for i in range(5):
+            eng.at(1.0, lambda i=i: seen.append(i))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_after_relative(self):
+        eng = SimEngine()
+        eng.at(10.0, lambda: eng.after(5.0, lambda: None))
+        eng.run()
+        assert eng.now == 15.0
+
+    def test_run_until_horizon(self):
+        eng = SimEngine()
+        seen = []
+        eng.at(1.0, lambda: seen.append(1))
+        eng.at(100.0, lambda: seen.append(100))
+        assert eng.run(until=50.0) == 50.0
+        assert seen == [1]
+        assert eng.pending_events == 1
+        eng.run()
+        assert seen == [1, 100]
+
+    def test_events_at_horizon_included(self):
+        eng = SimEngine()
+        seen = []
+        eng.at(50.0, lambda: seen.append(50))
+        eng.run(until=50.0)
+        assert seen == [50]
+
+    def test_schedule_in_past_rejected(self):
+        eng = SimEngine()
+        eng.at(10.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            eng.after(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            eng.at(math.nan, lambda: None)
+
+    def test_cancellation(self):
+        eng = SimEngine()
+        seen = []
+        ev = eng.at(1.0, lambda: seen.append("cancelled"))
+        eng.at(2.0, lambda: seen.append("kept"))
+        SimEngine.cancel(ev)
+        eng.run()
+        assert seen == ["kept"]
+        assert eng.processed_events == 1
+
+    def test_step(self):
+        eng = SimEngine()
+        seen = []
+        eng.at(1.0, lambda: seen.append(1))
+        eng.at(2.0, lambda: seen.append(2))
+        assert eng.step() and seen == [1]
+        assert eng.step() and seen == [1, 2]
+        assert not eng.step()
+
+    def test_events_scheduled_during_run_execute(self):
+        eng = SimEngine()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                eng.after(1.0, lambda: chain(depth + 1))
+
+        eng.at(0.0, lambda: chain(0))
+        eng.run()
+        assert seen == [0, 1, 2, 3]
+        assert eng.now == 3.0
+
+    def test_determinism(self):
+        def run_once():
+            eng = SimEngine()
+            seen = []
+            for i in range(100):
+                eng.at((i * 37) % 10, lambda i=i: seen.append(i))
+            eng.run()
+            return seen
+
+        assert run_once() == run_once()

@@ -1,0 +1,164 @@
+"""Unit tests for the metrics recorder (exact integrals, series export)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import MetricsRecorder
+
+FREQS = (1.2, 2.7)
+
+
+def sample(rec, t, cores=(0.0, 0.0), power=0.0, busy=0.0, **kw):
+    defaults = dict(
+        off_cores=0.0, idle_watts=0.0, down_watts=0.0, infra_watts=0.0, bonus_watts=0.0
+    )
+    defaults.update(kw)
+    rec.sample(t, cores_by_freq=cores, power_watts=power, busy_watts=busy, **defaults)
+
+
+class TestSampling:
+    def test_monotone_time_enforced(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 10.0)
+        with pytest.raises(ValueError):
+            sample(rec, 5.0)
+
+    def test_same_instant_collapses(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 1.0, power=10.0)
+        sample(rec, 1.0, power=20.0)
+        assert rec.n_samples == 1
+        assert rec.energy_joules(1.0, 2.0) == pytest.approx(20.0)
+
+    def test_shape_mismatch_rejected(self):
+        rec = MetricsRecorder(FREQS)
+        with pytest.raises(ValueError):
+            rec.sample(
+                0.0,
+                cores_by_freq=(1.0,),
+                off_cores=0,
+                power_watts=0,
+                idle_watts=0,
+                down_watts=0,
+                infra_watts=0,
+                bonus_watts=0,
+            )
+
+
+class TestIntegrals:
+    def test_energy_step_function(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 0.0, power=100.0)
+        sample(rec, 10.0, power=50.0)
+        sample(rec, 20.0, power=0.0)
+        assert rec.energy_joules(0.0, 20.0) == pytest.approx(1500.0)
+        assert rec.energy_joules(5.0, 15.0) == pytest.approx(750.0)
+        assert rec.energy_joules(0.0, 30.0) == pytest.approx(1500.0)
+
+    def test_energy_before_first_sample_holds_first_value(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 10.0, power=100.0)
+        assert rec.energy_joules(0.0, 20.0) == pytest.approx(2000.0)
+
+    def test_work_integral(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 0.0, cores=(10.0, 20.0))
+        sample(rec, 100.0, cores=(0.0, 0.0))
+        assert rec.work_core_seconds(0.0, 100.0) == pytest.approx(3000.0)
+
+    def test_job_energy_uses_busy_watts(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 0.0, power=100.0, busy=40.0)
+        sample(rec, 10.0, power=0.0, busy=0.0)
+        assert rec.job_energy_joules(0.0, 10.0) == pytest.approx(400.0)
+
+    def test_empty_recorder(self):
+        rec = MetricsRecorder(FREQS)
+        assert rec.energy_joules(0.0, 100.0) == 0.0
+        assert rec.work_core_seconds(0.0, 100.0) == 0.0
+
+    def test_degenerate_interval(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 0.0, power=10.0)
+        assert rec.energy_joules(5.0, 5.0) == 0.0
+
+    def test_finalize_extends_last_value(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 0.0, power=10.0)
+        rec.finalize(100.0)
+        assert rec.energy_joules(0.0, 100.0) == pytest.approx(1000.0)
+
+
+class TestJobRecords:
+    def test_lifecycle(self):
+        rec = MetricsRecorder(FREQS)
+        rec.job_submitted(1, cores=32, n_nodes=2, time=0.0)
+        rec.job_started(1, 10.0, 2.7, 1.0)
+        rec.job_finished(1, 50.0)
+        r = rec.jobs[1]
+        assert r.wait_time == 10.0
+        assert r.state == "completed"
+        assert rec.launched_jobs(0.0, 100.0) == 1
+        assert rec.completed_jobs(0.0, 100.0) == 1
+
+    def test_duplicate_submission_rejected(self):
+        rec = MetricsRecorder(FREQS)
+        rec.job_submitted(1, 1, 1, 0.0)
+        with pytest.raises(ValueError):
+            rec.job_submitted(1, 1, 1, 0.0)
+
+    def test_launched_window(self):
+        rec = MetricsRecorder(FREQS)
+        rec.job_submitted(1, 1, 1, 0.0)
+        rec.job_started(1, 200.0, 2.7, 1.0)
+        assert rec.launched_jobs(0.0, 100.0) == 0
+        assert rec.launched_jobs(0.0, 300.0) == 1
+
+    def test_mean_wait(self):
+        rec = MetricsRecorder(FREQS)
+        rec.job_submitted(1, 1, 1, 0.0)
+        rec.job_submitted(2, 1, 1, 0.0)
+        rec.job_started(1, 10.0, 2.7, 1.0)
+        assert rec.mean_wait_time() == pytest.approx(10.0)
+
+    def test_effective_work_divides_by_degradation(self):
+        rec = MetricsRecorder(FREQS)
+        rec.job_submitted(1, 16, 1, 0.0)
+        rec.job_started(1, 0.0, 1.2, 2.0)
+        rec.job_finished(1, 100.0)
+        # 1 node x 16 cores x 100 s / 2.0
+        assert rec.effective_work_core_seconds(0.0, 100.0, 16) == pytest.approx(800.0)
+
+    def test_effective_work_clips_to_window(self):
+        rec = MetricsRecorder(FREQS)
+        rec.job_submitted(1, 16, 1, 0.0)
+        rec.job_started(1, 50.0, 2.7, 1.0)
+        # Still running: counts up to t1.
+        assert rec.effective_work_core_seconds(0.0, 100.0, 16) == pytest.approx(
+            16 * 50.0
+        )
+
+
+class TestGridExport:
+    def test_grid_series(self):
+        rec = MetricsRecorder(FREQS)
+        sample(rec, 0.0, cores=(0.0, 100.0), power=500.0)
+        sample(rec, 10.0, cores=(50.0, 100.0), power=800.0, bonus_watts=30.0)
+        grid = rec.to_grid(0.0, 20.0, 5.0)
+        assert list(grid["time"]) == [0.0, 5.0, 10.0, 15.0, 20.0]
+        assert list(grid["cores@1.2"]) == [0.0, 0.0, 50.0, 50.0, 50.0]
+        assert list(grid["cores@2.7"]) == [100.0] * 5
+        assert list(grid["power"]) == [500.0, 500.0, 800.0, 800.0, 800.0]
+        assert grid["bonus"][-1] == 30.0
+
+    def test_empty_grid(self):
+        rec = MetricsRecorder(FREQS)
+        grid = rec.to_grid(0.0, 10.0, 5.0)
+        assert np.all(grid["power"] == 0.0)
+
+    def test_grid_validation(self):
+        rec = MetricsRecorder(FREQS)
+        with pytest.raises(ValueError):
+            rec.to_grid(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            rec.to_grid(10.0, 0.0, 1.0)

@@ -1,0 +1,166 @@
+"""End-to-end replay tests: the paper's methodology invariants."""
+
+import math
+
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.rjms.config import SchedulerConfig
+from repro.sim.replay import ReplayResult, powercap_reservation, run_replay
+from repro.workload.intervals import generate_interval
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return curie_machine(scale=1 / 56)
+
+
+@pytest.fixture(scope="module")
+def jobs(machine):
+    return generate_interval(machine, "medianjob")
+
+
+@pytest.fixture(scope="module")
+def baseline(machine, jobs) -> ReplayResult:
+    return run_replay(machine, jobs, "NONE", duration=5 * HOUR)
+
+
+def mid_cap(machine, fraction):
+    return [powercap_reservation(machine, fraction, 2 * HOUR, 3 * HOUR)]
+
+
+class TestBaseline:
+    def test_high_utilization_without_cap(self, baseline):
+        # The intervals are chosen overloaded: the machine saturates.
+        assert baseline.work_normalized() > 0.9
+
+    def test_energy_between_idle_floor_and_max(self, baseline, machine):
+        floor = machine.idle_power() / machine.max_power()
+        assert floor <= baseline.energy_normalized() <= 1.0 + 1e-9
+
+    def test_launched_jobs_positive(self, baseline):
+        assert 0 < baseline.launched_jobs() <= baseline.n_submitted
+
+    def test_summary_keys(self, baseline):
+        s = baseline.summary()
+        assert set(s) == {
+            "energy_joules",
+            "job_energy_joules",
+            "work_core_seconds",
+            "launched_jobs",
+            "energy_norm",
+            "work_norm",
+            "effective_work_norm",
+            "jobs_norm",
+        }
+
+    def test_effective_work_equals_work_without_dvfs(self, baseline):
+        # NONE never slows jobs: raw and corrected work coincide.
+        assert baseline.effective_work_normalized() == pytest.approx(
+            baseline.work_normalized(), rel=1e-6
+        )
+
+    def test_job_energy_below_total(self, baseline):
+        assert baseline.job_energy_joules() < baseline.energy_joules()
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self, machine, jobs):
+        a = run_replay(machine, jobs, "MIX", duration=HOUR, powercaps=mid_cap(machine, 0.6))
+        b = run_replay(machine, jobs, "MIX", duration=HOUR, powercaps=mid_cap(machine, 0.6))
+        assert a.summary() == b.summary()
+
+
+class TestCapEffects:
+    @pytest.mark.parametrize("policy", ["SHUT", "DVFS", "MIX", "IDLE"])
+    def test_capped_work_below_baseline(self, machine, jobs, baseline, policy):
+        r = run_replay(
+            machine, jobs, policy, duration=5 * HOUR, powercaps=mid_cap(machine, 0.4)
+        )
+        assert r.work_normalized() <= baseline.work_normalized() + 0.05
+        assert r.energy_normalized() < baseline.energy_normalized()
+
+    def test_shut_respects_cap_inside_window(self, machine, jobs):
+        """SHUT plans shutdowns so the worst case fits: with the cap
+        active from t=0 the power never exceeds it."""
+        cap = [powercap_reservation(machine, 0.6, 0.0, math.inf)]
+        r = run_replay(machine, jobs, "SHUT", duration=HOUR, powercaps=cap)
+        grid = r.recorder.to_grid(0.0, HOUR, 60.0)
+        assert (grid["power"] <= cap[0].watts * (1 + 1e-9)).all()
+
+    def test_dvfs_respects_active_cap_from_start(self, machine, jobs):
+        cap = [powercap_reservation(machine, 0.6, 0.0, math.inf)]
+        r = run_replay(machine, jobs, "DVFS", duration=HOUR, powercaps=cap)
+        grid = r.recorder.to_grid(0.0, HOUR, 60.0)
+        assert (grid["power"] <= cap[0].watts * (1 + 1e-9)).all()
+
+    def test_work_monotone_in_cap(self, machine, jobs):
+        """Work and energy decrease as the cap tightens (paper VII-C)."""
+        results = {
+            frac: run_replay(
+                machine, jobs, "SHUT", duration=5 * HOUR,
+                powercaps=mid_cap(machine, frac),
+            )
+            for frac in (0.8, 0.4)
+        }
+        assert results[0.4].work_normalized() <= results[0.8].work_normalized() + 0.02
+        assert results[0.4].energy_normalized() < results[0.8].energy_normalized()
+
+    def test_shutdown_area_appears_in_series(self, machine, jobs):
+        r = run_replay(
+            machine, jobs, "SHUT", duration=5 * HOUR, powercaps=mid_cap(machine, 0.4)
+        )
+        grid = r.recorder.to_grid(0.0, 5 * HOUR, 60.0)
+        in_window = (grid["time"] >= 2 * HOUR) & (grid["time"] < 3 * HOUR)
+        out_window = grid["time"] < HOUR
+        assert grid["off_cores"][in_window].max() > 0
+        assert grid["off_cores"][out_window].max() == 0
+        # The grouped shutdown harvests a visible power bonus.
+        assert grid["bonus"][in_window].max() > 0
+
+    def test_dvfs_jobs_run_at_lower_frequencies(self, machine, jobs):
+        r = run_replay(
+            machine, jobs, "DVFS", duration=5 * HOUR, powercaps=mid_cap(machine, 0.4)
+        )
+        freqs = {
+            rec.freq_ghz
+            for rec in r.recorder.jobs.values()
+            if rec.freq_ghz is not None
+        }
+        assert 1.2 in freqs  # throttled jobs exist
+        assert 2.7 in freqs  # and unconstrained ones too
+
+    def test_utilization_rebounds_after_window(self, machine, jobs):
+        """Section VII-C: utilisation returns to ~100% right after the
+        powercap interval."""
+        r = run_replay(
+            machine, jobs, "SHUT", duration=5 * HOUR, powercaps=mid_cap(machine, 0.6)
+        )
+        grid = r.recorder.to_grid(0.0, 5 * HOUR, 60.0)
+        total_cores = machine.total_cores
+        after = grid["time"] >= 3.25 * HOUR
+        busy = sum(grid[f"cores@{g:g}"] for g in machine.freq_table.frequencies)
+        assert busy[after].mean() > 0.85 * total_cores
+
+
+class TestValidation:
+    def test_rejects_nonpositive_duration(self, machine, jobs):
+        with pytest.raises(ValueError):
+            run_replay(machine, jobs, "NONE", duration=0.0)
+
+    def test_cap_fraction_validated(self, machine):
+        with pytest.raises(ValueError):
+            powercap_reservation(machine, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            powercap_reservation(machine, 1.5, 0.0)
+
+    def test_submissions_after_horizon_ignored(self, machine):
+        specs = [
+            JobSpec(1, 0.0, 16, 10.0, 3600.0),
+            JobSpec(2, 10 * HOUR, 16, 10.0, 3600.0),
+        ]
+        r = run_replay(machine, specs, "NONE", duration=HOUR)
+        assert r.n_submitted == 1

@@ -1,0 +1,144 @@
+"""Property-based end-to-end fuzzing of the whole stack.
+
+Random workloads, random cap windows, every policy: after any replay
+the controller's incremental power accounting must agree with a
+from-scratch recomputation, all integrals must respect physical
+bounds, and replays must be bit-for-bit deterministic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.curie import curie_machine
+from repro.cluster.states import NodeState
+from repro.rjms.config import SchedulerConfig
+from repro.rjms.job import JobState
+from repro.rjms.reservations import PowercapReservation
+from repro.sim.replay import run_replay
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+MACHINE = curie_machine(scale=1 / 56)  # 90 nodes
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    jobs = []
+    for jid in range(n):
+        submit = draw(st.floats(min_value=0.0, max_value=2 * HOUR))
+        cores = draw(st.integers(min_value=1, max_value=MACHINE.total_cores))
+        runtime = draw(st.floats(min_value=1.0, max_value=HOUR))
+        slack = draw(st.floats(min_value=1.0, max_value=50.0))
+        jobs.append(JobSpec(jid, submit, cores, runtime, runtime * slack))
+    jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+    return jobs
+
+
+#: a cap below the all-idle floor (~0.37 of max here) is unreachable
+#: for policies that cannot switch nodes off; strategies stay above it
+_IDLE_FRACTION = MACHINE.idle_power() / MACHINE.max_power()
+
+
+@st.composite
+def cap_windows(draw):
+    start = draw(st.floats(min_value=0.0, max_value=2 * HOUR))
+    length = draw(st.floats(min_value=600.0, max_value=2 * HOUR))
+    fraction = draw(st.floats(min_value=_IDLE_FRACTION + 0.03, max_value=0.95))
+    return PowercapReservation(
+        start, start + length, watts=fraction * MACHINE.max_power()
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    jobs=workloads(),
+    cap=cap_windows(),
+    policy=st.sampled_from(["NONE", "IDLE", "SHUT", "DVFS", "MIX"]),
+)
+def test_replay_invariants(jobs, cap, policy):
+    duration = 3 * HOUR
+    result = run_replay(
+        MACHINE, jobs, policy, duration=duration, powercaps=[cap]
+    )
+    ctrl = result.controller
+
+    # Incremental power accounting never drifts.
+    ctrl.accountant.verify()
+
+    # Physical bounds on the integrals.
+    assert 0.0 <= result.work_normalized() <= 1.0 + 1e-9
+    idle_frac = MACHINE.idle_power() / MACHINE.max_power()
+    assert result.energy_normalized() <= 1.0 + 1e-9
+    if policy != "SHUT" and policy != "MIX":
+        # Without switch-off the cluster can never dip below idle power.
+        assert result.energy_normalized() >= idle_frac * 0.999
+
+    # Job accounting closes: every job is in exactly one terminal or
+    # live state, and started jobs have consistent chronology.
+    for job in ctrl.jobs.values():
+        if job.start_time is not None:
+            assert job.start_time >= job.spec.submit_time - 1e-9
+            if job.end_time is not None:
+                assert job.end_time >= job.start_time
+                assert job.state in (JobState.COMPLETED, JobState.KILLED)
+    n_terminal = sum(
+        j.state in (JobState.COMPLETED, JobState.KILLED) for j in ctrl.jobs.values()
+    )
+    assert n_terminal + ctrl.n_running + ctrl.n_pending == len(ctrl.jobs)
+
+    # Utilisation series is consistent with running state at the end.
+    running_cores = sum(
+        j.n_nodes * MACHINE.cores_per_node for j in ctrl.running.values()
+    )
+    assert ctrl.utilization() * MACHINE.total_cores == pytest.approx(running_cores)
+
+    # No node is BUSY without a running job owning it, and vice versa.
+    busy = int(ctrl.accountant.count_by_state[NodeState.BUSY])
+    owned = sum(j.n_nodes for j in ctrl.running.values())
+    assert busy == owned
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(jobs=workloads(), cap=cap_windows())
+def test_replay_determinism_fuzz(jobs, cap):
+    a = run_replay(MACHINE, jobs, "MIX", duration=2 * HOUR, powercaps=[cap])
+    b = run_replay(MACHINE, jobs, "MIX", duration=2 * HOUR, powercaps=[cap])
+    assert a.summary() == b.summary()
+    assert [
+        (r.job_id, r.start_time, r.freq_ghz) for r in a.recorder.jobs.values()
+    ] == [(r.job_id, r.start_time, r.freq_ghz) for r in b.recorder.jobs.values()]
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(jobs=workloads(), cap=cap_windows())
+def test_strict_active_cap_never_violated_from_cold_start(jobs, cap):
+    """A cap active from t=0 (cold cluster) is a hard invariant: with
+    no pre-cap jobs to drain, the power must stay under it for the
+    whole replay, for every enforcement policy."""
+    cap0 = PowercapReservation(0.0, math.inf, watts=cap.watts)
+    for policy in ("IDLE", "SHUT", "DVFS", "MIX"):
+        result = run_replay(MACHINE, jobs, policy, duration=2 * HOUR, powercaps=[cap0])
+        grid = result.recorder.to_grid(0.0, 2 * HOUR, 120.0)
+        assert (grid["power"] <= cap0.watts * (1 + 1e-9)).all(), policy
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(jobs=workloads(), cap=cap_windows())
+def test_kill_enforcement_restores_cap_at_window_start(jobs, cap):
+    config = SchedulerConfig(kill_on_violation=True)
+    result = run_replay(
+        MACHINE, jobs, "IDLE", duration=3 * HOUR, powercaps=[cap], config=config
+    )
+    # Immediately after the window opens the cluster fits the budget.
+    t_probe = min(cap.start + 1.0, 3 * HOUR - 1.0)
+    grid = result.recorder.to_grid(t_probe, t_probe + 1.0, 1.0)
+    assert grid["power"][0] <= cap.watts * (1 + 1e-9)
+    result.controller.accountant.verify()

@@ -1,0 +1,60 @@
+"""Scale invariance: normalised results hold across machine scales.
+
+DESIGN.md commits to this property: benchmarks run on a scaled-down
+Curie, and every reported quantity is normalised, so the *shape* of
+each figure must not depend on the scale.  Exact equality is not
+expected (packing granularity differs); the policy orderings and the
+coarse magnitudes must agree.
+"""
+
+import pytest
+
+from repro.analysis.report import run_cell
+from repro.cluster.curie import curie_machine
+from repro.workload.intervals import generate_interval
+
+HOUR = 3600.0
+SCALES = (1 / 56, 1 / 14)
+
+
+@pytest.fixture(scope="module")
+def cells_by_scale():
+    out = {}
+    for scale in SCALES:
+        machine = curie_machine(scale=scale)
+        jobs = generate_interval(machine, "medianjob")
+        out[scale] = {
+            policy: run_cell(machine, jobs, "medianjob", policy, 0.6)
+            for policy in ("NONE", "SHUT", "DVFS")
+        }
+    return out
+
+
+def test_baseline_saturates_at_every_scale(cells_by_scale):
+    for scale, cells in cells_by_scale.items():
+        assert cells["NONE"].work_norm > 0.85, scale
+
+
+def test_work_ordering_stable(cells_by_scale):
+    """DVFS raw work >= SHUT raw work at both scales."""
+    for scale, cells in cells_by_scale.items():
+        assert (
+            cells["DVFS"].work_norm >= cells["SHUT"].work_norm - 0.02
+        ), scale
+
+
+def test_energy_reduction_stable(cells_by_scale):
+    for scale, cells in cells_by_scale.items():
+        assert cells["SHUT"].energy_norm < cells["NONE"].energy_norm, scale
+        assert cells["DVFS"].energy_norm < cells["NONE"].energy_norm, scale
+
+
+def test_normalised_values_close_across_scales(cells_by_scale):
+    small, large = (cells_by_scale[s] for s in SCALES)
+    for policy in ("NONE", "SHUT", "DVFS"):
+        assert small[policy].energy_norm == pytest.approx(
+            large[policy].energy_norm, abs=0.12
+        ), policy
+        assert small[policy].work_norm == pytest.approx(
+            large[policy].work_norm, abs=0.15
+        ), policy

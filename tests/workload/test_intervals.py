@@ -1,0 +1,85 @@
+"""Unit tests for interval extraction from full traces."""
+
+import pytest
+
+from repro.workload.intervals import (
+    HOUR,
+    IntervalSpec,
+    extract_interval,
+    find_interval_start,
+)
+from repro.workload.spec import JobSpec
+
+
+def mkjob(job_id, submit, cores=16, runtime=60.0):
+    return JobSpec(job_id, submit, cores, runtime, 86400.0)
+
+
+@pytest.fixture
+def trace():
+    # 48 hours of submissions: small/short early, big late.
+    jobs = []
+    jid = 0
+    for h in range(48):
+        for k in range(10):
+            jid += 1
+            if h < 24:
+                jobs.append(mkjob(jid, h * HOUR + k * 60, cores=4, runtime=30))
+            else:
+                jobs.append(mkjob(jid, h * HOUR + k * 60, cores=2048, runtime=7200))
+    return jobs
+
+
+class TestExtractInterval:
+    def test_window_shifted_to_zero(self, trace):
+        window = extract_interval(trace, 10 * HOUR, 5 * HOUR, backlog_window=0)
+        assert window
+        assert min(j.submit_time for j in window) < HOUR
+        assert max(j.submit_time for j in window) < 5 * HOUR
+
+    def test_backlog_requeued_at_zero(self, trace):
+        window = extract_interval(trace, 10 * HOUR, 5 * HOUR, backlog_window=2 * HOUR)
+        backlog = [j for j in window if j.submit_time == 0.0]
+        # 2 hours of 10 jobs/h arrive before the window, plus the jobs
+        # submitted exactly at window start.
+        assert len(backlog) >= 20
+
+    def test_jobs_outside_excluded(self, trace):
+        window = extract_interval(trace, 10 * HOUR, HOUR, backlog_window=0)
+        assert all(j.submit_time < HOUR for j in window)
+        assert len(window) == 10
+
+    def test_sorted_output(self, trace):
+        window = extract_interval(trace, 5 * HOUR, 5 * HOUR)
+        submits = [j.submit_time for j in window]
+        assert submits == sorted(submits)
+
+    def test_rejects_bad_args(self, trace):
+        with pytest.raises(ValueError):
+            extract_interval(trace, 0, 0)
+        with pytest.raises(ValueError):
+            extract_interval(trace, 0, 10, backlog_window=-1)
+
+
+class TestFindIntervalStart:
+    def test_smalljob_picks_small_region(self, trace):
+        s = find_interval_start(trace, 5 * HOUR, kind="smalljob")
+        assert s < 24 * HOUR
+
+    def test_bigjob_picks_big_region(self, trace):
+        s = find_interval_start(trace, 5 * HOUR, kind="bigjob")
+        assert s >= 19 * HOUR  # a 5h window starting here reaches the big half
+
+    def test_unknown_kind_rejected(self, trace):
+        with pytest.raises(ValueError):
+            find_interval_start(trace, HOUR, kind="nope")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            find_interval_start([], HOUR)
+
+
+class TestIntervalSpec:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            IntervalSpec("x", 0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for JobSpec and workload statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.spec import JobSpec, validate_workload, workload_stats
+
+
+def mkjob(job_id=1, submit=0.0, cores=16, runtime=60.0, walltime=86400.0, user=0):
+    return JobSpec(job_id, submit, cores, runtime, walltime, user)
+
+
+class TestJobSpec:
+    def test_valid_job(self):
+        j = mkjob()
+        assert j.core_seconds == 16 * 60
+        assert j.walltime_ratio == pytest.approx(86400 / 60)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"cores": -4},
+            {"runtime": 0.0},
+            {"walltime": 30.0},  # below runtime
+            {"submit": -1.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            mkjob(**kwargs)
+
+    def test_shifted_translates_and_clamps(self):
+        j = mkjob(submit=100.0)
+        assert j.shifted(-40).submit_time == 60.0
+        assert j.shifted(-200).submit_time == 0.0
+        assert j.shifted(50).submit_time == 150.0
+        # original untouched (frozen dataclass)
+        assert j.submit_time == 100.0
+
+    @given(
+        cores=st.integers(min_value=1, max_value=100000),
+        runtime=st.floats(min_value=0.1, max_value=1e6),
+        factor=st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_walltime_ratio_property(self, cores, runtime, factor):
+        j = JobSpec(1, 0.0, cores, runtime, runtime * factor)
+        assert j.walltime_ratio == pytest.approx(factor)
+
+
+class TestWorkloadStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            workload_stats([])
+
+    def test_small_fraction(self):
+        jobs = [
+            mkjob(1, cores=16, runtime=30),     # small
+            mkjob(2, cores=511, runtime=119),   # small
+            mkjob(3, cores=512, runtime=30),    # wide
+            mkjob(4, cores=16, runtime=600, walltime=86400),  # long
+        ]
+        s = workload_stats(jobs)
+        assert s.small_fraction == pytest.approx(0.5)
+        assert s.n_jobs == 4
+
+    def test_huge_fraction_uses_cluster_hour(self):
+        huge = mkjob(1, cores=80640, runtime=3700, walltime=86400)
+        tiny = mkjob(2, cores=1, runtime=10)
+        s = workload_stats([huge, tiny], cluster_cores=80640)
+        assert s.huge_fraction == pytest.approx(0.5)
+
+    def test_total_core_seconds(self):
+        jobs = [mkjob(1, cores=2, runtime=100), mkjob(2, cores=3, runtime=10)]
+        assert workload_stats(jobs).total_core_seconds == 230
+
+    def test_medians(self):
+        jobs = [
+            mkjob(1, cores=1, runtime=10),
+            mkjob(2, cores=100, runtime=100),
+            mkjob(3, cores=7, runtime=50),
+        ]
+        s = workload_stats(jobs)
+        assert s.median_cores == 7
+        assert s.median_runtime == 50
+
+
+class TestValidateWorkload:
+    def test_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_workload([mkjob(1), mkjob(1)])
+
+    def test_clean_passes(self):
+        validate_workload([mkjob(1), mkjob(2)])

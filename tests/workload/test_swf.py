@@ -1,0 +1,136 @@
+"""Unit tests for the SWF reader/writer."""
+
+import io
+
+import pytest
+
+from repro.workload.swf import (
+    SWFJob,
+    SWFTrace,
+    loads_swf,
+    parse_swf_line,
+    read_swf,
+    swf_to_jobspecs,
+    write_swf,
+)
+
+SAMPLE = """\
+; Version: 2.2
+; Computer: Bullx B510
+; MaxProcs: 80640
+; UnixStartTime: 1330560000
+; this line is a free comment without structure
+1 0 10 120 512 -1 -1 512 86400 -1 1 3 1 -1 1 -1 -1 -1
+2 5 0 30 16 -1 -1 16 3600 -1 1 4 1 -1 1 -1 -1 -1
+3 9 2 0 32 -1 -1 32 3600 -1 0 4 1 -1 1 -1 -1 -1
+4 12 1 600 -1 -1 -1 128 7200 -1 1 5 1 -1 1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_parses_jobs_and_header(self):
+        trace = loads_swf(SAMPLE)
+        assert len(trace) == 4
+        assert trace.header["MaxProcs"] == "80640"
+        assert trace.header["Computer"] == "Bullx B510"
+        assert trace.max_procs == 80640
+        assert any("free comment" in c for c in trace.comments)
+
+    def test_field_values(self):
+        trace = loads_swf(SAMPLE)
+        j = trace.jobs[0]
+        assert j.job_number == 1
+        assert j.submit_time == 0
+        assert j.wait_time == 10
+        assert j.run_time == 120
+        assert j.allocated_procs == 512
+        assert j.requested_time == 86400
+        assert j.user_id == 3
+
+    def test_short_line_padded_with_unknown(self):
+        j = parse_swf_line("7 100 5 60 8")
+        assert j.job_number == 7
+        assert j.requested_procs == -1
+        assert j.status == -1
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(ValueError, match="fields"):
+            parse_swf_line(" ".join(["1"] * 19))
+
+    def test_garbage_field_rejected(self):
+        with pytest.raises(ValueError, match="bad SWF field"):
+            parse_swf_line("1 0 x 120 512")
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_swf("1 0 1 10 4\nnot a job\n")
+
+    def test_empty_lines_skipped(self):
+        trace = loads_swf("\n\n1 0 1 10 4\n\n")
+        assert len(trace) == 1
+
+    def test_max_procs_absent(self):
+        assert loads_swf("1 0 1 10 4\n").max_procs is None
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        trace = loads_swf(SAMPLE)
+        path = tmp_path / "out.swf"
+        write_swf(trace, path)
+        again = read_swf(path)
+        assert again.jobs == trace.jobs
+        assert again.header == trace.header
+
+    def test_write_iterable_of_jobs(self):
+        jobs = [SWFJob(1, 0, 0, 10, 4), SWFJob(2, 5, 1, 20, 8)]
+        buf = io.StringIO()
+        write_swf(jobs, buf)
+        assert loads_swf(buf.getvalue()).jobs == jobs
+
+    def test_float_fields_preserved(self):
+        job = SWFJob(1, 0.5, 0, 10.25, 4)
+        again = parse_swf_line(job.to_line())
+        assert again.submit_time == 0.5
+        assert again.run_time == 10.25
+
+
+class TestToJobSpecs:
+    def test_conversion_basics(self):
+        specs = swf_to_jobspecs(loads_swf(SAMPLE))
+        # job 3 failed with zero runtime -> dropped
+        assert [s.job_id for s in specs] == [1, 2, 4]
+        s1 = specs[0]
+        assert s1.cores == 512
+        assert s1.runtime == 120
+        assert s1.walltime == 86400
+        assert s1.user == 3
+
+    def test_requested_procs_fallback(self):
+        specs = swf_to_jobspecs(loads_swf(SAMPLE))
+        assert specs[-1].cores == 128  # allocated was -1
+
+    def test_walltime_floored_at_runtime(self):
+        trace = loads_swf("1 0 0 120 4 -1 -1 4 60 -1 1 1 1 -1 1 -1 -1 -1\n")
+        (spec,) = swf_to_jobspecs(trace)
+        assert spec.walltime == 120
+
+    def test_no_requested_time_falls_back_to_runtime(self):
+        trace = loads_swf("1 0 0 120 4\n")
+        (spec,) = swf_to_jobspecs(trace)
+        assert spec.walltime == 120
+
+    def test_include_failed(self):
+        trace = loads_swf("1 0 0 50 4 -1 -1 4 60 -1 0 1 1 -1 1 -1 -1 -1\n")
+        assert swf_to_jobspecs(trace) == []
+        assert len(swf_to_jobspecs(trace, include_failed=True)) == 1
+
+    def test_sorted_by_submit(self):
+        trace = loads_swf("2 50 0 10 4\n1 10 0 10 4\n")
+        specs = swf_to_jobspecs(trace)
+        assert [s.job_id for s in specs] == [1, 2]
+
+    def test_negative_submit_clamped(self):
+        trace = loads_swf("1 -5 0 10 4\n")
+        (spec,) = swf_to_jobspecs(trace)
+        assert spec.submit_time == 0.0

@@ -1,0 +1,66 @@
+"""Property-based round-trip tests for the SWF reader/writer."""
+
+import io
+
+from hypothesis import given, strategies as st
+
+from repro.workload.swf import (
+    SWFJob,
+    SWFTrace,
+    loads_swf,
+    parse_swf_line,
+    swf_to_jobspecs,
+    write_swf,
+)
+
+swf_jobs = st.builds(
+    SWFJob,
+    job_number=st.integers(min_value=1, max_value=10**6),
+    submit_time=st.integers(min_value=0, max_value=10**8).map(float),
+    wait_time=st.integers(min_value=-1, max_value=10**6).map(float),
+    run_time=st.integers(min_value=-1, max_value=10**6).map(float),
+    allocated_procs=st.integers(min_value=-1, max_value=80640),
+    average_cpu_time=st.integers(min_value=-1, max_value=10**6).map(float),
+    used_memory=st.integers(min_value=-1, max_value=10**6).map(float),
+    requested_procs=st.integers(min_value=-1, max_value=80640),
+    requested_time=st.integers(min_value=-1, max_value=10**6).map(float),
+    requested_memory=st.integers(min_value=-1, max_value=10**6).map(float),
+    status=st.sampled_from((-1, 0, 1, 5)),
+    user_id=st.integers(min_value=-1, max_value=1000),
+    group_id=st.integers(min_value=-1, max_value=100),
+    executable_id=st.integers(min_value=-1, max_value=1000),
+    queue_id=st.integers(min_value=-1, max_value=10),
+    partition_id=st.integers(min_value=-1, max_value=10),
+    preceding_job=st.integers(min_value=-1, max_value=10**6),
+    think_time=st.integers(min_value=-1, max_value=10**4).map(float),
+)
+
+
+@given(job=swf_jobs)
+def test_line_roundtrip(job):
+    assert parse_swf_line(job.to_line()) == job
+
+
+@given(jobs=st.lists(swf_jobs, max_size=20))
+def test_trace_roundtrip(jobs):
+    trace = SWFTrace(jobs=jobs, header={"MaxProcs": "80640"})
+    buf = io.StringIO()
+    write_swf(trace, buf)
+    again = loads_swf(buf.getvalue())
+    assert again.jobs == jobs
+    assert again.header == trace.header
+
+
+@given(jobs=st.lists(swf_jobs, max_size=30))
+def test_jobspec_conversion_invariants(jobs):
+    """Converted specs always satisfy JobSpec's own invariants and are
+    sorted by submission."""
+    specs = swf_to_jobspecs(SWFTrace(jobs=jobs))
+    submits = [s.submit_time for s in specs]
+    assert submits == sorted(submits)
+    for s in specs:
+        assert s.cores > 0
+        assert s.runtime > 0
+        assert s.walltime >= s.runtime
+        assert s.submit_time >= 0
+        assert s.user >= 0

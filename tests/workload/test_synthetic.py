@@ -1,0 +1,222 @@
+"""Calibration and determinism tests for the synthetic Curie workload."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.workload.intervals import PAPER_INTERVALS, generate_interval
+from repro.workload.spec import validate_workload, workload_stats
+from repro.workload.synthetic import (
+    BIGJOB_CLASSES,
+    CURIE_JOB_CLASSES,
+    SMALLJOB_CLASSES,
+    CurieWorkloadModel,
+    JobClass,
+)
+from repro.workload.walltime import WalltimeEstimateModel
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return curie_machine(scale=0.125)  # 630 nodes, keeps runtimes sane
+
+
+@pytest.fixture(scope="module")
+def medianjob(machine):
+    return generate_interval(machine, "medianjob")
+
+
+class TestJobClass:
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            JobClass("x", 1.0, 0, 10, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            JobClass("x", 1.0, 10, 5, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            JobClass("x", 1.0, 1, 10, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            JobClass("x", -0.1, 1, 10, 1.0, 10.0)
+
+    def test_sample_cores_within_range_and_node_aligned(self):
+        rng = np.random.default_rng(7)
+        cls = JobClass("m", 1.0, 512, 4096, 60, 120)
+        for _ in range(200):
+            c = cls.sample_cores(rng, 1.0)
+            assert 496 <= c <= 4112  # rounding to 16 may nudge past bounds
+            assert c % 16 == 0
+
+    def test_sample_cores_small_jobs_keep_odd_sizes(self):
+        rng = np.random.default_rng(7)
+        cls = JobClass("t", 1.0, 1, 8, 1, 10)
+        sizes = {cls.sample_cores(rng, 1.0) for _ in range(200)}
+        assert sizes <= set(range(1, 9))
+        assert len(sizes) > 3
+
+    def test_sample_runtime_within_range(self):
+        rng = np.random.default_rng(7)
+        cls = JobClass("t", 1.0, 1, 8, 5.0, 50.0)
+        for _ in range(200):
+            assert 5.0 <= cls.sample_runtime(rng) <= 50.0
+
+
+class TestModelValidation:
+    def test_rejects_bad_parameters(self, machine):
+        with pytest.raises(ValueError):
+            CurieWorkloadModel(machine, overload=0)
+        with pytest.raises(ValueError):
+            CurieWorkloadModel(machine, backlog_cluster_fraction=-1)
+        with pytest.raises(ValueError):
+            CurieWorkloadModel(machine, huge_per_hour=-0.1)
+        with pytest.raises(ValueError):
+            CurieWorkloadModel(machine, n_users=0)
+        with pytest.raises(ValueError):
+            CurieWorkloadModel(machine, classes=[])
+
+    def test_rejects_zero_weight_mix(self, machine):
+        zero = [JobClass("z", 0.0, 1, 2, 1.0, 2.0)]
+        with pytest.raises(ValueError):
+            CurieWorkloadModel(machine, classes=zero)
+
+    def test_rejects_nonpositive_duration(self, machine):
+        model = CurieWorkloadModel(machine)
+        with pytest.raises(ValueError):
+            model.generate(0)
+
+
+class TestCalibration:
+    """The workload must reproduce the statistics of Section VII-B."""
+
+    def test_small_fraction_near_69_percent(self, machine, medianjob):
+        s = workload_stats(medianjob, cluster_cores=machine.total_cores)
+        assert 0.60 <= s.small_fraction <= 0.78
+
+    def test_walltime_overestimation_is_huge(self, machine, medianjob):
+        s = workload_stats(medianjob, cluster_cores=machine.total_cores)
+        # The paper quotes ~12000x median; anything in the thousands
+        # reproduces the "backfilling is broken" regime.
+        assert s.median_walltime_ratio > 1000
+        assert s.mean_walltime_ratio > 1000
+
+    def test_overload_met(self, machine, medianjob):
+        s = workload_stats(medianjob, cluster_cores=machine.total_cores)
+        capacity = machine.total_cores * PAPER_INTERVALS["medianjob"].duration
+        assert s.total_core_seconds >= 1.5 * capacity
+
+    def test_backlog_fills_a_second_cluster(self, machine, medianjob):
+        backlog = [j for j in medianjob if j.submit_time == 0.0]
+        assert sum(j.cores for j in backlog) >= machine.total_cores
+
+    def test_huge_jobs_exceed_cluster_hour(self, machine):
+        model = CurieWorkloadModel(machine, seed=3, huge_per_hour=2.0)
+        jobs = model.generate(5 * 3600.0)
+        threshold = machine.total_cores * 3600.0
+        huge = [j for j in jobs if j.core_seconds > threshold]
+        assert huge, "expected at least one huge job at rate 2/h over 5h"
+
+    def test_ids_unique_and_sorted(self, medianjob):
+        validate_workload(medianjob)
+        submits = [j.submit_time for j in medianjob]
+        assert submits == sorted(submits)
+
+    def test_cores_never_exceed_machine(self, machine, medianjob):
+        assert max(j.cores for j in medianjob) <= machine.total_cores
+
+    def test_users_spread(self, medianjob):
+        users = {j.user for j in medianjob}
+        assert len(users) > 20
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self, machine):
+        a = CurieWorkloadModel(machine, seed=9).generate(3600)
+        b = CurieWorkloadModel(machine, seed=9).generate(3600)
+        assert a == b
+
+    def test_different_seed_different_workload(self, machine):
+        a = CurieWorkloadModel(machine, seed=9).generate(3600)
+        b = CurieWorkloadModel(machine, seed=10).generate(3600)
+        assert a != b
+
+
+class TestIntervalFlavours:
+    def test_smalljob_has_more_small_than_bigjob(self, machine):
+        small = generate_interval(machine, "smalljob")
+        big = generate_interval(machine, "bigjob")
+        s_small = workload_stats(small, cluster_cores=machine.total_cores)
+        s_big = workload_stats(big, cluster_cores=machine.total_cores)
+        assert s_small.small_fraction > s_big.small_fraction
+
+    def test_bigjob_heavier_median_width(self, machine):
+        median = generate_interval(machine, "medianjob")
+        big = generate_interval(machine, "bigjob")
+        widths_median = np.mean([j.cores for j in median])
+        widths_big = np.mean([j.cores for j in big])
+        assert widths_big > widths_median
+
+    def test_24h_duration(self, machine):
+        jobs = generate_interval(machine, "24h")
+        assert max(j.submit_time for j in jobs) > 20 * 3600
+
+    def test_unknown_interval_raises(self, machine):
+        with pytest.raises(KeyError):
+            generate_interval(machine, "weekend")
+
+    def test_class_mix_weights(self):
+        assert sum(c.weight for c in CURIE_JOB_CLASSES) == pytest.approx(1.0)
+        assert sum(c.weight for c in SMALLJOB_CLASSES) == pytest.approx(1.0)
+        assert sum(c.weight for c in BIGJOB_CLASSES) == pytest.approx(1.0)
+
+
+class TestWalltimeModel:
+    def test_sample_at_least_runtime(self):
+        rng = np.random.default_rng(0)
+        m = WalltimeEstimateModel()
+        for runtime in (1.0, 59.0, 7000.0, 2 * 86400.0):
+            for _ in range(50):
+                assert m.sample(runtime, rng) >= runtime
+
+    def test_sample_many_matches_semantics(self):
+        m = WalltimeEstimateModel()
+        runtimes = np.array([1.0, 10.0, 1000.0, 100000.0])
+        out = m.sample_many(runtimes, np.random.default_rng(1))
+        assert (out >= runtimes).all()
+
+    def test_default_walltime_is_the_median_choice(self):
+        rng = np.random.default_rng(0)
+        m = WalltimeEstimateModel()
+        samples = [m.sample(7.0, rng) for _ in range(1000)]
+        frac_default = np.mean([s == m.default_walltime for s in samples])
+        assert 0.45 < frac_default < 0.70
+
+    def test_menu_limits_appear(self):
+        rng = np.random.default_rng(0)
+        m = WalltimeEstimateModel()
+        samples = {m.sample(7.0, rng) for _ in range(2000)}
+        menu_limits = {lim for lim, _ in m.menu}
+        assert menu_limits <= samples | {m.default_walltime}
+
+    def test_menu_respects_runtime(self):
+        rng = np.random.default_rng(0)
+        m = WalltimeEstimateModel(p_default=0.0, p_round=0.0)
+        # Runtime longer than every menu entry: falls back to default.
+        for _ in range(50):
+            assert m.sample(50000.0, rng) >= 50000.0
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            WalltimeEstimateModel(p_default=0.9, p_round=0.2)
+        with pytest.raises(ValueError):
+            WalltimeEstimateModel(p_default=-0.1)
+        with pytest.raises(ValueError):
+            WalltimeEstimateModel(menu=())
+        with pytest.raises(ValueError):
+            WalltimeEstimateModel(menu=((0.0, 1.0),))
+        with pytest.raises(ValueError):
+            WalltimeEstimateModel(default_walltime=0)
+
+    def test_rejects_nonpositive_runtime(self):
+        m = WalltimeEstimateModel()
+        with pytest.raises(ValueError):
+            m.sample(0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            m.sample_many(np.array([1.0, -1.0]), np.random.default_rng(0))
