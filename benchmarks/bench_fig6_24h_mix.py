@@ -1,7 +1,8 @@
 """Figure 6 — 24 h workload, MIX policy, one-hour 40 % reservation.
 
-Regenerates the stacked cores-by-frequency and watts-by-state series
-and validates the paper's observations on them:
+Runs the library scenario ``fig6-24h-mix-40`` through the experiment
+harness (:mod:`repro.exp`), regenerates the stacked cores-by-frequency
+and watts-by-state series and validates the paper's observations:
 
 * the system "prepares itself" — jobs launch at 2.0 GHz ahead of the
   window;
@@ -9,33 +10,32 @@ and validates the paper's observations on them:
   the power bonus appears;
 * after the window, 2.7 GHz launches resume and utilisation rebounds
   to nearly 100 % while old 2.0 GHz jobs gradually drain.
+
+Timing note: the benchmarked region is the *end-to-end scenario*
+(machine construction + workload synthesis + replay), not the bare
+replay of the pre-harness version — timings are not comparable with
+pre-PR-1 artifacts.
 """
 
 import numpy as np
 
-from repro.analysis.figures import figure_series, middle_window, render_series_ascii
+from repro.analysis.figures import middle_window, render_series_ascii
+from repro.exp import get_scenario, scenario_series
 
-from conftest import HOUR, write_artifact
+from conftest import HOUR, repro_scale, write_artifact
 
 DURATION = 24 * HOUR
 CAP = 0.4
 
-
-def run(machine, workload_24h):
-    return figure_series(
-        machine,
-        workload_24h,
-        "MIX",
-        duration=DURATION,
-        cap_fraction=CAP,
-        grid_dt=600.0,
-    )
+SCENARIO = get_scenario("fig6-24h-mix-40")
 
 
-def test_fig6_24h_mix_series(benchmark, machine, workload_24h, artifact_dir):
-    series = benchmark.pedantic(
-        run, args=(machine, workload_24h), rounds=1, iterations=1
-    )
+def run(scale):
+    return scenario_series(SCENARIO.with_(scale=scale), grid_dt=600.0)
+
+
+def test_fig6_24h_mix_series(benchmark, artifact_dir):
+    series = benchmark.pedantic(run, args=(repro_scale(),), rounds=1, iterations=1)
     grid = series["grid"]
     window = series["window"]
     assert window == middle_window(DURATION)
@@ -81,11 +81,9 @@ def test_fig6_24h_mix_series(benchmark, machine, workload_24h, artifact_dir):
     write_artifact("fig6_24h_mix.txt", text)
 
 
-def test_fig6_mix_frequencies_restricted(benchmark, machine, workload_24h):
+def test_fig6_mix_frequencies_restricted(benchmark):
     """MIX only ever assigns the 2.0-2.7 GHz range (Section VI-B)."""
-    series = benchmark.pedantic(
-        run, args=(machine, workload_24h), rounds=1, iterations=1
-    )
+    series = benchmark.pedantic(run, args=(repro_scale(),), rounds=1, iterations=1)
     freqs = {
         r.freq_ghz
         for r in series["result"].recorder.jobs.values()

@@ -1,30 +1,34 @@
 """Figure 7 — (a) bigjob/SHUT/60 % and (b) smalljob/DVFS/40 %.
 
-Regenerates the two five-hour series and validates the paper's
-observations: the SHUT run opens "big space" (grouped switch-off,
-power bonus) and rebounds to ~100 % after the window; the DVFS run
-shifts launches to ever lower frequencies while the window
-approaches, with 2.7 GHz disappearing near/inside it.
+Runs the library scenarios ``fig7a-bigjob-shut-60`` and
+``fig7b-smalljob-dvfs-40`` through the experiment harness and
+validates the paper's observations: the SHUT run opens "big space"
+(grouped switch-off, power bonus) and rebounds to ~100 % after the
+window; the DVFS run shifts launches to ever lower frequencies while
+the window approaches, with 2.7 GHz disappearing near/inside it.
+
+Timing note: the benchmarked region is the end-to-end scenario
+(machine + workload + replay), not the bare replay as before PR 1.
 """
 
 import numpy as np
 
-from repro.analysis.figures import figure_series, middle_window, render_series_ascii
+from repro.analysis.figures import render_series_ascii
+from repro.exp import get_scenario, scenario_series
 
-from conftest import HOUR, write_artifact
+from conftest import HOUR, repro_scale, write_artifact
 
 DURATION = 5 * HOUR
 
 
-def run(machine, jobs, policy, cap):
-    return figure_series(
-        machine, jobs, policy, duration=DURATION, cap_fraction=cap, grid_dt=300.0
-    )
+def run(scenario_name, scale):
+    scenario = get_scenario(scenario_name).with_(scale=scale)
+    return scenario_series(scenario, grid_dt=300.0)
 
 
-def test_fig7a_bigjob_shut_60(benchmark, machine, workloads, artifact_dir):
+def test_fig7a_bigjob_shut_60(benchmark, artifact_dir):
     series = benchmark.pedantic(
-        run, args=(machine, workloads["bigjob"], "SHUT", 0.6), rounds=1, iterations=1
+        run, args=("fig7a-bigjob-shut-60", repro_scale()), rounds=1, iterations=1
     )
     grid = series["grid"]
     window = series["window"]
@@ -56,9 +60,9 @@ def test_fig7a_bigjob_shut_60(benchmark, machine, workloads, artifact_dir):
     )
 
 
-def test_fig7b_smalljob_dvfs_40(benchmark, machine, workloads, artifact_dir):
+def test_fig7b_smalljob_dvfs_40(benchmark, artifact_dir):
     series = benchmark.pedantic(
-        run, args=(machine, workloads["smalljob"], "DVFS", 0.4), rounds=1, iterations=1
+        run, args=("fig7b-smalljob-dvfs-40", repro_scale()), rounds=1, iterations=1
     )
     grid = series["grid"]
     window = series["window"]

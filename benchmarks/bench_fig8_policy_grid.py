@@ -1,17 +1,29 @@
-"""Figure 8 — the full evaluation grid.
+"""Figure 8 — the full evaluation grid, via the experiment harness.
 
 {bigjob, medianjob, smalljob} x {100 %/None, 80 %, 60 %, 40 %} x
 {SHUT, DVFS, MIX}: one-hour powercap reservation in the middle of
 each five-hour replay; normalised total energy, launched jobs and
-work per cell.  Shape assertions follow Section VII-C's reading of
-the figure; absolute values are recorded in the artifact.
+work per cell.  The 27 cells are expanded by
+:func:`repro.exp.paper_grid_scenarios` and executed by a
+:class:`repro.exp.GridRunner` worker pool (``REPRO_BENCH_WORKERS``,
+default 2) — parallel results are bit-identical to serial ones, which
+is what makes the grid comparable at all.  Shape assertions follow
+Section VII-C's reading of the figure; absolute values are recorded
+in the artifact.
+
+Timing note: the single benchmarked region is the whole grid —
+pool startup, per-worker workload synthesis and all 27 replays —
+replacing the pre-harness per-cell replay timings.
 """
+
+import os
 
 import pytest
 
-from repro.analysis.report import GridCell, render_grid, run_cell
+from repro.analysis.report import GridCell, render_grid
+from repro.exp import GridRunner, cell_from_result, paper_grid_scenarios
 
-from conftest import write_artifact
+from conftest import repro_scale, write_artifact
 
 #: (cap_fraction, policy) rows of the paper's grid.
 ROWS = [
@@ -30,19 +42,25 @@ WORKLOADS = ("bigjob", "medianjob", "smalljob")
 _cells: dict[tuple[str, float, str], GridCell] = {}
 
 
-@pytest.mark.parametrize("workload", WORKLOADS)
-@pytest.mark.parametrize("fraction,policy", ROWS)
-def test_fig8_cell(benchmark, machine, workloads, workload, fraction, policy):
-    """Replay one grid cell (timed) and stash it for the shape checks."""
-    cell = benchmark.pedantic(
-        run_cell,
-        args=(machine, workloads[workload], workload, policy, fraction),
-        rounds=1,
-        iterations=1,
-    )
-    _cells[(workload, fraction, policy)] = cell
-    assert 0.0 <= cell.work_norm <= 1.0 + 1e-9
-    assert 0.0 <= cell.energy_norm <= 1.0 + 1e-9
+def _run_grid():
+    scenarios = paper_grid_scenarios(scale=repro_scale())
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    return GridRunner(workers=workers).run(scenarios)
+
+
+def test_fig8_grid_runner(benchmark):
+    """Execute the full 27-cell grid through the worker pool (timed)."""
+    results = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+    assert len(results) == len(ROWS) * len(WORKLOADS)
+    for r in results:
+        cell = cell_from_result(r)
+        _cells[(cell.workload, cell.cap_fraction, cell.policy)] = cell
+        assert 0.0 <= cell.work_norm <= 1.0 + 1e-9
+        assert 0.0 <= cell.energy_norm <= 1.0 + 1e-9
+    # The expansion covered exactly the paper's rows.
+    assert set(_cells) == {
+        (w, f, p) for w in WORKLOADS for (f, p) in ROWS
+    }
 
 
 def test_fig8_shapes(benchmark, artifact_dir):

@@ -52,8 +52,18 @@ from repro.workload import (
 )
 from repro.analysis import run_policy_grid, render_grid, figure_series
 from repro.apps import CURIE_APP_MODELS
+from repro.exp import (
+    CapWindow,
+    GridRunner,
+    RunResult,
+    SCENARIO_LIBRARY,
+    Scenario,
+    expand_grid,
+    get_scenario,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Machine",
@@ -88,5 +98,13 @@ __all__ = [
     "render_grid",
     "figure_series",
     "CURIE_APP_MODELS",
+    "CapWindow",
+    "GridRunner",
+    "RunResult",
+    "SCENARIO_LIBRARY",
+    "Scenario",
+    "expand_grid",
+    "get_scenario",
+    "run_scenario",
     "__version__",
 ]

@@ -61,6 +61,31 @@ def middle_cap_window(duration: float, cap_hours: float = 1.0) -> tuple[float, f
     return start, start + cap_hours * HOUR
 
 
+def window_norms(
+    result: ReplayResult, t0: float, t1: float
+) -> tuple[float, float, float]:
+    """Normalised (energy, work, effective work) over ``[t0, t1)``.
+
+    The cap-window triple behind Figure 8's trade-off reading — the
+    single definition shared by :func:`run_cell` and the experiment
+    harness, so the two paths can never diverge.  ``t1`` is clamped
+    to the replay end; an empty window yields NaNs.
+    """
+    machine = result.machine
+    t1 = min(t1, result.duration)
+    span = t1 - t0
+    if span <= 0:
+        nan = float("nan")
+        return nan, nan, nan
+    rec = result.recorder
+    return (
+        rec.energy_joules(t0, t1) / (machine.max_power() * span),
+        rec.work_core_seconds(t0, t1) / (machine.total_cores * span),
+        rec.effective_work_core_seconds(t0, t1, machine.cores_per_node)
+        / (machine.total_cores * span),
+    )
+
+
 def run_cell(
     machine: Machine,
     jobs: Sequence[JobSpec],
@@ -95,14 +120,7 @@ def _to_cell(
     nan = float("nan")
     w_energy = w_work = w_eff = nan
     if window is not None:
-        t0, t1 = window
-        span = t1 - t0
-        rec = result.recorder
-        w_energy = rec.energy_joules(t0, t1) / (machine.max_power() * span)
-        w_work = rec.work_core_seconds(t0, t1) / (machine.total_cores * span)
-        w_eff = rec.effective_work_core_seconds(
-            t0, t1, machine.cores_per_node
-        ) / (machine.total_cores * span)
+        w_energy, w_work, w_eff = window_norms(result, window[0], window[1])
     return GridCell(
         workload=workload,
         cap_fraction=cap_fraction,

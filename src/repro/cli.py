@@ -6,7 +6,13 @@ Subcommands:
   summary and an ASCII figure;
 * ``grid``    — run the Figure 8 policy grid and print the bars;
 * ``tables``  — print the static paper tables (Figures 2, 4, 5);
-* ``model``   — evaluate the Section III model for a given cap.
+* ``model``   — evaluate the Section III model for a given cap;
+* ``exp``     — the experiment harness (:mod:`repro.exp`):
+
+  * ``exp list``     — the built-in scenario library;
+  * ``exp run``      — run named scenarios and/or a parameter grid,
+    optionally across worker processes with result caching;
+  * ``exp compare``  — metric-by-metric diff of two scenarios.
 """
 
 from __future__ import annotations
@@ -120,6 +126,123 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid_spec(tokens: list[str]) -> dict[str, list]:
+    """Parse ``key=v1,v2`` tokens into :func:`expand_grid` axes.
+
+    Example: ``interval=bigjob,smalljob policy=SHUT,DVFS cap=0.8,0.4``.
+    """
+    convert = {"cap": float, "seed": int, "interval": str, "policy": str}
+    axes: dict[str, list] = {}
+    for token in tokens:
+        key, _, values = token.partition("=")
+        if not values:
+            raise SystemExit(f"bad grid token {token!r}: expected key=v1,v2,...")
+        if key not in convert:
+            raise SystemExit(
+                f"unknown grid axis {key!r}; allowed: {', '.join(convert)}"
+            )
+        if key in axes:
+            raise SystemExit(
+                f"duplicate grid axis {key!r}: merge the values into one token"
+            )
+        axes[key] = [convert[key](v) for v in values.split(",") if v]
+        if not axes[key]:
+            raise SystemExit(f"empty value list in grid token {token!r}")
+    return axes
+
+
+def _gather_scenarios(args: argparse.Namespace) -> list:
+    from repro.exp import expand_grid, get_scenario
+
+    scenarios = []
+    try:
+        for name in args.scenario or ():
+            sc = get_scenario(name)
+            if args.scale is not None:
+                sc = sc.with_(scale=args.scale)
+            if args.duration is not None:
+                # Revalidated by Scenario: a window beyond the new
+                # duration is rejected rather than silently kept.
+                sc = sc.with_(duration=args.duration * HOUR)
+            scenarios.append(sc)
+        if args.grid:
+            axes = _parse_grid_spec(args.grid)
+            kwargs = {}
+            if args.scale is not None:
+                kwargs["scale"] = args.scale
+            if args.duration is not None:
+                kwargs["duration"] = args.duration * HOUR
+            scenarios.extend(expand_grid(axes, **kwargs))
+    except (ValueError, KeyError) as exc:
+        # Scenario validation errors are user input errors at the CLI.
+        raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
+    if not scenarios:
+        raise SystemExit("nothing to run: pass --scenario and/or --grid")
+    return scenarios
+
+
+def cmd_exp_list(args: argparse.Namespace) -> int:
+    from repro.exp import SCENARIO_LIBRARY
+
+    header = (
+        f"{'name':<28} {'hash':<16} {'interval':>9} {'policy':>6} "
+        f"{'dur(h)':>6} {'caps':<24}"
+    )
+    print(header)
+    print("-" * len(header))
+    for sc in SCENARIO_LIBRARY:
+        caps = " ".join(
+            f"{c.fraction:.0%}@[{c.start / HOUR:g},{c.end / HOUR:g}h)" for c in sc.caps
+        ) or "-"
+        print(
+            f"{sc.name:<28} {sc.scenario_hash():<16} {sc.interval:>9} "
+            f"{sc.policy:>6} {sc.effective_duration / HOUR:>6g} {caps:<24}"
+        )
+    return 0
+
+
+def cmd_exp_run(args: argparse.Namespace) -> int:
+    from repro.exp import GridRunner, render_results_grid, results_table
+
+    scenarios = _gather_scenarios(args)
+    runner = GridRunner(workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"running {len(scenarios)} scenario(s) "
+        f"on {max(args.workers, 1)} worker(s)"
+        + (f", cache {args.cache_dir}" if args.cache_dir else "")
+    )
+    done = 0
+
+    def progress(result) -> None:
+        nonlocal done
+        done += 1
+        src = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
+        print(f"  [{done}/{len(scenarios)}] {result.scenario.name} ({src})")
+
+    results = runner.run(scenarios, progress=progress)
+    print()
+    print(results_table(results))
+    if args.bars:
+        print()
+        print(render_results_grid(results))
+    return 0
+
+
+def cmd_exp_compare(args: argparse.Namespace) -> int:
+    from repro.exp import GridRunner, compare_results, get_scenario
+
+    try:
+        a, b = get_scenario(args.a), get_scenario(args.b)
+        if args.scale is not None:
+            a, b = a.with_(scale=args.scale), b.with_(scale=args.scale)
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
+    runner = GridRunner(workers=args.workers, cache_dir=args.cache_dir)
+    ra, rb = runner.run([a, b])
+    print(compare_results(ra, rb))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-powercap",
@@ -152,6 +275,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="SHUT", choices=["SHUT", "MIX", "DVFS", "IDLE"])
     p.add_argument("--cap", type=float, required=True)
     p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("exp", help="experiment harness (scenario sweeps)")
+    exp_sub = p.add_subparsers(dest="exp_command", required=True)
+
+    p = exp_sub.add_parser("list", help="list the built-in scenario library")
+    p.set_defaults(func=cmd_exp_list)
+
+    p = exp_sub.add_parser("run", help="run scenarios / a parameter grid")
+    p.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="library scenario to run (repeatable)",
+    )
+    p.add_argument(
+        "--grid",
+        nargs="+",
+        metavar="AXIS=V1,V2",
+        help="parameter grid, e.g. interval=bigjob,smalljob policy=SHUT,MIX cap=0.8,0.4",
+    )
+    p.add_argument("--scale", type=float, default=None,
+                   help="override the machine scale of every scenario")
+    p.add_argument("--duration", type=float, default=None,
+                   help="replay length in hours (overrides the scenario/interval "
+                        "default; cap windows keep their absolute placement, and "
+                        "shrinking below a window is rejected)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="per-scenario result cache directory")
+    p.add_argument("--bars", action="store_true",
+                   help="also print the Figure 8 bar rendering")
+    p.set_defaults(func=cmd_exp_run)
+
+    p = exp_sub.add_parser("compare", help="compare two library scenarios")
+    p.add_argument("a", help="first scenario name")
+    p.add_argument("b", help="second scenario name")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-dir", default=None)
+    p.set_defaults(func=cmd_exp_compare)
     return parser
 
 

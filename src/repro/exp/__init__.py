@@ -1,0 +1,60 @@
+"""Experiment harness: declarative scenarios, parallel grid runs.
+
+The subsystem behind ``repro exp run/list/compare``:
+
+* :class:`Scenario` / :class:`CapWindow` — declarative replay specs
+  with stable content-hash identity (:mod:`repro.exp.spec`);
+* :func:`run_scenario` / :class:`GridRunner` — serial and
+  multi-process execution with per-scenario result caching
+  (:mod:`repro.exp.runner`);
+* :data:`SCENARIO_LIBRARY` — named, ready-to-run scenarios
+  (:mod:`repro.exp.library`);
+* aggregation into the Figure 8 reporting layer
+  (:mod:`repro.exp.aggregate`).
+"""
+
+from repro.exp.spec import CapWindow, Scenario, expand_grid
+from repro.exp.runner import (
+    GridRunner,
+    RunResult,
+    replay_scenario,
+    run_scenario,
+    scenario_series,
+    trace_digest,
+)
+from repro.exp.library import (
+    PAPER_GRID_ROWS,
+    SCENARIO_LIBRARY,
+    get_scenario,
+    paper_grid_scenarios,
+    scenario_names,
+)
+from repro.exp.aggregate import (
+    cell_from_result,
+    compare_results,
+    render_results_grid,
+    results_table,
+    results_to_cells,
+)
+
+__all__ = [
+    "CapWindow",
+    "Scenario",
+    "expand_grid",
+    "GridRunner",
+    "RunResult",
+    "replay_scenario",
+    "run_scenario",
+    "scenario_series",
+    "trace_digest",
+    "PAPER_GRID_ROWS",
+    "SCENARIO_LIBRARY",
+    "get_scenario",
+    "paper_grid_scenarios",
+    "scenario_names",
+    "cell_from_result",
+    "compare_results",
+    "render_results_grid",
+    "results_table",
+    "results_to_cells",
+]

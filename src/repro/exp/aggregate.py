@@ -1,0 +1,92 @@
+"""Aggregation of :class:`RunResult` lists into the reporting layer.
+
+Bridges the experiment harness to :mod:`repro.analysis.report`: grid
+results become :class:`GridCell` rows renderable with
+:func:`repro.analysis.report.render_grid`, and plain-text tables and
+pairwise comparisons serve the ``repro exp`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.analysis.report import GridCell, render_grid
+from repro.exp.runner import RunResult
+
+
+def cell_from_result(result: RunResult) -> GridCell:
+    """One Figure 8 grid cell from a condensed run result."""
+    sc = result.scenario
+    m = result.metrics
+    return GridCell(
+        workload=sc.interval,
+        cap_fraction=sc.cap_fraction,
+        policy=sc.policy,
+        energy_norm=m["energy_norm"],
+        job_energy_norm=m["job_energy_norm"],
+        jobs_norm=m["jobs_norm"],
+        work_norm=m["work_norm"],
+        effective_work_norm=m["effective_work_norm"],
+        launched_jobs=int(m["launched_jobs"]),
+        energy_joules=m["energy_joules"],
+        window_energy_norm=m.get("window_energy_norm", float("nan")),
+        window_work_norm=m.get("window_work_norm", float("nan")),
+        window_effective_work_norm=m.get("window_effective_work_norm", float("nan")),
+    )
+
+
+def results_to_cells(results: Iterable[RunResult]) -> list[GridCell]:
+    return [cell_from_result(r) for r in results]
+
+
+def render_results_grid(results: Iterable[RunResult]) -> str:
+    """The Figure 8 bar rendering, straight from run results."""
+    return render_grid(results_to_cells(results))
+
+
+def results_table(results: Sequence[RunResult]) -> str:
+    """One line per result: identity, headline metrics, provenance."""
+    header = (
+        f"{'scenario':<28} {'hash':<16} {'policy':>6} {'cap':>5} "
+        f"{'energy':>7} {'work':>6} {'jobs':>6} {'digest':>12} {'wall':>7} src"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        sc = r.scenario
+        cap = f"{sc.cap_fraction:.0%}" if sc.caps else "-"
+        lines.append(
+            f"{sc.name:<28.28} {r.scenario_hash:<16} {sc.policy:>6} {cap:>5} "
+            f"{r.metrics['energy_norm']:>7.3f} {r.metrics['work_norm']:>6.3f} "
+            f"{int(r.metrics['launched_jobs']):>6d} {r.trace_digest[:12]:>12} "
+            f"{r.wall_seconds:>6.1f}s {'cache' if r.cached else 'run'}"
+        )
+    return "\n".join(lines)
+
+
+def compare_results(a: RunResult, b: RunResult) -> str:
+    """Metric-by-metric comparison of two runs (the paper's method:
+    deterministic replays compared against each other)."""
+    keys = sorted(set(a.metrics) | set(b.metrics))
+    name_a, name_b = a.scenario.name, b.scenario.name
+    width = max(len(name_a), len(name_b), 12)
+    lines = [
+        f"{'metric':<26} {name_a:>{width}} {name_b:>{width}} {'delta':>12} {'rel':>8}",
+    ]
+    for key in keys:
+        va = a.metrics.get(key, float("nan"))
+        vb = b.metrics.get(key, float("nan"))
+        delta = vb - va
+        rel = delta / va if va not in (0.0,) and not math.isnan(va) else float("nan")
+        rel_s = f"{rel:+.1%}" if not math.isnan(rel) else "-"
+        lines.append(
+            f"{key:<26} {va:>{width}.4g} {vb:>{width}.4g} {delta:>+12.4g} {rel_s:>8}"
+        )
+    lines.append("")
+    if a.trace_digest == b.trace_digest:
+        lines.append(f"traces identical (digest {a.trace_digest[:16]})")
+    else:
+        lines.append(
+            f"traces differ: {a.trace_digest[:16]} vs {b.trace_digest[:16]}"
+        )
+    return "\n".join(lines)

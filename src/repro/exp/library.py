@@ -1,0 +1,144 @@
+"""Built-in scenario library.
+
+Named, ready-to-run scenarios covering the paper's figures, the
+demand-response shapes utilities actually ask for, cap staircases, and
+the rho-regime extremes of the Section III model
+(:mod:`repro.core.powermodel`):
+
+* the DVFS-only floor sits at ``Pmin/Pmax`` of the node power range
+  (193/358 ≈ 0.54 of node power on Curie) — caps just above it leave
+  DVFS barely feasible, caps below force the combined regime (case 4);
+* the idle floor (117/358 plus infrastructure, ≈ 0.37 of machine max)
+  bounds what any non-shutdown policy can reach at all.
+
+Every scenario replays deterministically; `repro exp run` executes any
+of them by name, and the figure benchmarks consume the ``fig*`` ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.report import PAPER_GRID_POLICIES
+from repro.exp.spec import CapWindow, HOUR, Scenario
+
+
+def _build_library() -> tuple[Scenario, ...]:
+    day = 24 * HOUR
+    return (
+        # -- the paper's figures ---------------------------------------------------
+        Scenario.paper_cell(
+            "24h", "MIX", 0.4, name="fig6-24h-mix-40"
+        ),
+        Scenario.paper_cell(
+            "bigjob", "SHUT", 0.6, name="fig7a-bigjob-shut-60"
+        ),
+        Scenario.paper_cell(
+            "smalljob", "DVFS", 0.4, name="fig7b-smalljob-dvfs-40"
+        ),
+        Scenario.paper_cell(
+            "medianjob", "NONE", name="baseline-medianjob-uncapped"
+        ),
+        # -- demand-response day: morning and evening grid-peak windows -------------
+        Scenario(
+            name="demand-response-day",
+            interval="24h",
+            policy="MIX",
+            caps=(
+                CapWindow(9 * HOUR, 11 * HOUR, 0.6),
+                CapWindow(18 * HOUR, 20 * HOUR, 0.5),
+            ),
+        ),
+        # -- descending cap staircase across a day ----------------------------------
+        Scenario(
+            name="cap-staircase-24h",
+            interval="24h",
+            policy="MIX",
+            caps=(
+                CapWindow(6 * HOUR, 10 * HOUR, 0.8),
+                CapWindow(10 * HOUR, 14 * HOUR, 0.6),
+                CapWindow(14 * HOUR, 18 * HOUR, 0.4),
+            ),
+        ),
+        # -- overnight economy window starting cold ----------------------------------
+        Scenario(
+            name="night-valley-shut",
+            interval="24h",
+            policy="SHUT",
+            caps=(CapWindow(0.0, 6 * HOUR, 0.5),),
+        ),
+        # -- rho-regime extremes (Section III) ----------------------------------------
+        # Just above the DVFS-only floor: throttling alone still fits.
+        Scenario.paper_cell(
+            "medianjob", "DVFS", 0.55, name="rho-floor-dvfs-55"
+        ),
+        # Below the floor: the model's combined regime (case 4); MIX
+        # must pair switch-off with high-range DVFS.
+        Scenario.paper_cell(
+            "medianjob", "MIX", 0.45, name="rho-combined-mix-45"
+        ),
+        # -- enforcement variants ------------------------------------------------------
+        Scenario.paper_cell(
+            "medianjob",
+            "IDLE",
+            0.5,
+            name="extreme-kill-idle-50",
+            config={"kill_on_violation": True},
+        ),
+        Scenario.paper_cell(
+            "smalljob",
+            "DVFS",
+            0.5,
+            name="dynamic-rescaling-dvfs-50",
+            config={"dynamic_rescaling": True},
+        ),
+        Scenario.paper_cell(
+            "bigjob",
+            "MIX",
+            0.6,
+            name="strict-future-mix-60",
+            config={"strict_future_caps": True},
+        ),
+    )
+
+
+SCENARIO_LIBRARY: tuple[Scenario, ...] = _build_library()
+
+_BY_NAME = {sc.name: sc for sc in SCENARIO_LIBRARY}
+assert len(_BY_NAME) == len(SCENARIO_LIBRARY), "duplicate scenario names"
+
+
+def scenario_names() -> list[str]:
+    return [sc.name for sc in SCENARIO_LIBRARY]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a library scenario up by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+
+
+#: (cap_fraction, policy) rows of the paper's Figure 8 grid, in
+#: publication order (caps descending, policies as configured).
+PAPER_GRID_ROWS: tuple[tuple[float, str], ...] = tuple(
+    (fraction, policy)
+    for fraction in sorted(PAPER_GRID_POLICIES, reverse=True)
+    for policy in PAPER_GRID_POLICIES[fraction]
+)
+
+
+def paper_grid_scenarios(
+    *,
+    scale: float = 0.125,
+    intervals: Sequence[str] = ("bigjob", "medianjob", "smalljob"),
+) -> list[Scenario]:
+    """The full Figure 8 evaluation grid as scenarios (27 cells)."""
+    return [
+        Scenario.paper_cell(interval, policy, fraction, scale=scale)
+        for interval in intervals
+        for fraction, policy in PAPER_GRID_ROWS
+    ]

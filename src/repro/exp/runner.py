@@ -1,0 +1,417 @@
+"""Scenario execution: serial, parallel, and cached.
+
+:func:`run_scenario` replays one :class:`~repro.exp.spec.Scenario` and
+condenses it into a :class:`RunResult` — the metrics summary plus an
+event-trace digest.  The digest covers every job outcome and every
+power/utilisation sample with bit-exact float encoding, so two results
+are equal iff the replays were byte-for-byte identical; that is what
+makes serial and multi-process grid runs directly comparable.
+
+:class:`GridRunner` executes scenario lists across ``multiprocessing``
+workers with per-scenario JSON caching keyed by the scenario content
+hash.  Results always come back in input order, and a worker pool
+produces exactly the output a serial run would (each worker rebuilds
+the scenario from scratch; nothing is shared), so parallelism never
+changes results — only wall time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from functools import lru_cache
+
+from repro.analysis.report import window_norms
+from repro.exp.spec import Scenario
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.replay import ReplayResult, run_replay
+
+#: cache file schema version
+_CACHE_SCHEMA = 1
+
+
+def _hexfloat(x: float) -> str:
+    """Bit-exact, platform-independent float encoding for digests."""
+    if x != x:  # NaN
+        return "nan"
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    return float(x).hex()
+
+
+def trace_digest(recorder: MetricsRecorder) -> str:
+    """SHA-256 digest of a replay's full observable trace.
+
+    Covers every job record (identity, placement width, chronology,
+    assigned frequency, terminal state) and every recorded series
+    sample.  Floats are hashed via :func:`float.hex`, so the digest is
+    equal exactly when the traces are bit-identical.
+    """
+    h = hashlib.sha256()
+    for jid in sorted(recorder.jobs):
+        r = recorder.jobs[jid]
+        h.update(
+            "|".join(
+                (
+                    str(r.job_id),
+                    str(r.cores),
+                    str(r.n_nodes),
+                    _hexfloat(r.submit_time),
+                    _hexfloat(r.start_time) if r.start_time is not None else "-",
+                    _hexfloat(r.end_time) if r.end_time is not None else "-",
+                    _hexfloat(r.freq_ghz) if r.freq_ghz is not None else "-",
+                    _hexfloat(r.degradation),
+                    r.state,
+                )
+            ).encode()
+        )
+        h.update(b"\n")
+    for s in recorder.samples:
+        h.update(
+            "|".join(
+                (
+                    _hexfloat(s.time),
+                    *(_hexfloat(c) for c in s.cores_by_freq),
+                    _hexfloat(s.off_cores),
+                    _hexfloat(s.power_watts),
+                    _hexfloat(s.idle_watts),
+                    _hexfloat(s.down_watts),
+                    _hexfloat(s.infra_watts),
+                    _hexfloat(s.bonus_watts),
+                    _hexfloat(s.busy_watts),
+                )
+            ).encode()
+        )
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Condensed outcome of one scenario replay.
+
+    Small enough to pickle across process boundaries and to cache as
+    JSON, yet carrying everything the aggregation layer needs: the
+    scenario itself, the metric summary (whole-interval and
+    cap-window), and the trace digest that certifies determinism.
+    """
+
+    scenario: Scenario
+    metrics: Mapping[str, float]
+    trace_digest: str
+    n_jobs: int
+    n_rejected: int
+    n_events: int
+    n_samples: int
+    wall_seconds: float
+    cached: bool = False
+
+    @property
+    def scenario_hash(self) -> str:
+        return self.scenario.scenario_hash()
+
+    def same_outcome(self, other: "RunResult") -> bool:
+        """Bit-identical replay: same trace digest and metrics.
+
+        NaN-aware (uncapped scenarios carry NaN window metrics, and
+        ``nan != nan`` would make every comparison fail after a JSON
+        round-trip breaks object identity).
+        """
+        if self.trace_digest != other.trace_digest:
+            return False
+        a, b = dict(self.metrics), dict(other.metrics)
+        if set(a) != set(b):
+            return False
+        return all(
+            a[k] == b[k] or (math.isnan(a[k]) and math.isnan(b[k])) for k in a
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        # NaN encodes as null so cache files stay strict RFC 8259 JSON
+        # (bare NaN tokens would break non-Python consumers).
+        return {
+            "schema": _CACHE_SCHEMA,
+            "scenario": self.scenario.to_dict(),
+            "scenario_hash": self.scenario_hash,
+            "metrics": {
+                k: (None if math.isnan(v) else v) for k, v in self.metrics.items()
+            },
+            "trace_digest": self.trace_digest,
+            "n_jobs": self.n_jobs,
+            "n_rejected": self.n_rejected,
+            "n_events": self.n_events,
+            "n_samples": self.n_samples,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any], *, cached: bool = False) -> "RunResult":
+        if d.get("schema") != _CACHE_SCHEMA:
+            raise ValueError(f"unsupported result schema {d.get('schema')}")
+        return cls(
+            scenario=Scenario.from_dict(d["scenario"]),
+            metrics={
+                k: (float("nan") if v is None else float(v))
+                for k, v in d["metrics"].items()
+            },
+            trace_digest=str(d["trace_digest"]),
+            n_jobs=int(d["n_jobs"]),
+            n_rejected=int(d["n_rejected"]),
+            n_events=int(d["n_events"]),
+            n_samples=int(d["n_samples"]),
+            wall_seconds=float(d["wall_seconds"]),
+            cached=cached,
+        )
+
+
+@lru_cache(maxsize=16)
+def _machine_for(scale: float):
+    from repro.cluster.curie import curie_machine
+
+    return curie_machine(scale=scale)
+
+
+@lru_cache(maxsize=8)
+def _jobs_for(
+    interval: str, seed: int, duration: float, overload: float, scale: float
+):
+    """Per-process workload memo — a grid run replays only a handful
+    of distinct workloads across many cells, and generation is pure
+    (fully keyed by its inputs), so caching cannot affect results.
+    Returns a tuple: callers must not see a mutable shared list."""
+    from repro.exp.spec import build_workload
+
+    return tuple(
+        build_workload(
+            _machine_for(scale),
+            interval,
+            seed=seed,
+            duration=duration,
+            overload=overload,
+        )
+    )
+
+
+def replay_scenario(scenario: Scenario) -> ReplayResult:
+    """Run the full replay of a scenario (in-process, full telemetry)."""
+    machine = _machine_for(scenario.scale)
+    jobs = _jobs_for(
+        scenario.interval,
+        scenario.effective_seed,
+        scenario.effective_duration,
+        scenario.overload,
+        scenario.scale,
+    )
+    return run_replay(
+        machine,
+        jobs,
+        scenario.policy,
+        duration=scenario.effective_duration,
+        powercaps=scenario.build_caps(machine),
+        config=scenario.build_config(),
+    )
+
+
+def scenario_series(scenario: Scenario, *, grid_dt: float = 300.0) -> dict[str, object]:
+    """Replay a scenario and export the Figure 6/7 time-series bundle.
+
+    Same shape as :func:`repro.analysis.figures.figure_series`; the
+    hatched window/cap levels come from the scenario's first cap.
+    """
+    result = replay_scenario(scenario)
+    machine = result.machine
+    grid = result.recorder.to_grid(0.0, result.duration, grid_dt)
+    first = scenario.caps[0] if scenario.caps else None
+    return {
+        "grid": grid,
+        "result": result,
+        "window": (first.start, first.end) if first is not None else None,
+        "cap_watts": first.fraction * machine.max_power() if first else math.inf,
+        "max_power": machine.max_power(),
+        "total_cores": machine.total_cores,
+        "frequencies": machine.freq_table.frequencies,
+    }
+
+
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Replay one scenario and condense it into a :class:`RunResult`."""
+    t0 = time.perf_counter()
+    result = replay_scenario(scenario)
+    machine = result.machine
+    rec = result.recorder
+    metrics: dict[str, float] = dict(result.summary())
+    metrics["job_energy_norm"] = result.job_energy_joules() / (
+        machine.max_power() * result.duration
+    )
+    metrics["completed_jobs"] = float(rec.completed_jobs(0.0, result.duration))
+    wait = rec.mean_wait_time()
+    metrics["mean_wait_seconds"] = float(wait) if wait is not None else float("nan")
+
+    # Cap-window metrics (the quantities Figure 8's trade-off reading
+    # needs): normalised over the first cap window, NaN when uncapped.
+    nan = float("nan")
+    w_energy = w_work = w_eff = nan
+    if scenario.caps:
+        w_energy, w_work, w_eff = window_norms(
+            result, scenario.caps[0].start, scenario.caps[0].end
+        )
+    metrics["window_energy_norm"] = w_energy
+    metrics["window_work_norm"] = w_work
+    metrics["window_effective_work_norm"] = w_eff
+
+    return RunResult(
+        scenario=scenario,
+        metrics=metrics,
+        trace_digest=trace_digest(rec),
+        n_jobs=result.n_submitted,
+        n_rejected=len(result.controller.rejected),
+        n_events=result.controller.engine.processed_events,
+        n_samples=rec.n_samples,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+class GridRunner:
+    """Executes scenario lists, optionally in parallel, with caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` or ``<= 1`` runs serially in-process.
+        Parallel execution is deterministic: results are identical to
+        a serial run of the same list, in the same order.
+    cache_dir:
+        When set, each finished scenario is written to
+        ``<cache_dir>/<scenario_hash>.json`` and later runs of the
+        same content skip straight to the stored result.
+    mp_context:
+        ``multiprocessing`` start method; default picks ``fork`` where
+        available (cheap, and harmless here: workers rebuild every
+        scenario from its spec, so inherited state cannot leak into
+        results) and ``spawn`` elsewhere.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        cache_dir: str | Path | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        self.workers = int(workers) if workers is not None else 1
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.mp_context = mp_context
+
+    # -- cache ------------------------------------------------------------------------
+
+    def _cache_path(self, scenario_hash: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{scenario_hash}.json"
+
+    def _load_cached(self, scenario: Scenario) -> RunResult | None:
+        path = self._cache_path(scenario.scenario_hash())
+        if path is None or not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            result = RunResult.from_dict(data, cached=True)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None  # corrupt/stale cache entry: re-run
+        if result.scenario.scenario_hash() != scenario.scenario_hash():
+            return None
+        # The cached label may be stale; the content is what matters.
+        return RunResult(
+            scenario=scenario,
+            metrics=result.metrics,
+            trace_digest=result.trace_digest,
+            n_jobs=result.n_jobs,
+            n_rejected=result.n_rejected,
+            n_events=result.n_events,
+            n_samples=result.n_samples,
+            wall_seconds=result.wall_seconds,
+            cached=True,
+        )
+
+    def _store(self, result: RunResult) -> None:
+        path = self._cache_path(result.scenario_hash)
+        if path is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(result.to_dict(), allow_nan=False), encoding="utf-8"
+        )
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(
+        self,
+        scenarios: Sequence[Scenario],
+        *,
+        progress: Callable[[RunResult], None] | None = None,
+    ) -> list[RunResult]:
+        """Execute ``scenarios`` and return results in input order.
+
+        Cached scenarios are skipped; duplicates (same content hash)
+        are executed once and the result is shared.
+        """
+        scenarios = list(scenarios)
+        results: list[RunResult | None] = [None] * len(scenarios)
+
+        # Cache hits and content-hash deduplication.
+        to_run: list[Scenario] = []
+        slot_of: dict[str, list[int]] = {}
+        for i, sc in enumerate(scenarios):
+            key = sc.scenario_hash()
+            if key in slot_of:
+                slot_of[key].append(i)
+                continue
+            cached = self._load_cached(sc)
+            if cached is not None:
+                results[i] = cached
+                if progress is not None:
+                    progress(cached)
+                continue
+            slot_of[key] = [i]
+            to_run.append(sc)
+
+        def collect(fresh: Iterable[RunResult]) -> None:
+            for result in fresh:
+                self._store(result)
+                for i in slot_of[result.scenario_hash]:
+                    # Duplicate slots keep their own scenario label
+                    # (content-identical, possibly differently named).
+                    slot_result = (
+                        result
+                        if scenarios[i] == result.scenario
+                        else replace(result, scenario=scenarios[i])
+                    )
+                    results[i] = slot_result
+                    if progress is not None:
+                        progress(slot_result)
+
+        if self.workers > 1 and len(to_run) > 1:
+            ctx = multiprocessing.get_context(self.mp_context)
+            n = min(self.workers, len(to_run))
+            with ctx.Pool(processes=n) as pool:
+                collect(pool.imap(run_scenario, to_run, chunksize=1))
+        else:
+            collect(run_scenario(sc) for sc in to_run)
+
+        out = [r for r in results if r is not None]
+        if len(out) != len(scenarios):  # pragma: no cover - defensive
+            raise RuntimeError("scenario execution dropped results")
+        return out

@@ -1,0 +1,350 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` captures everything a replay depends on — machine
+scale, workload interval and seed, powercap schedule, policy, and the
+scheduler configuration — as plain data.  Two properties make large
+comparative sweeps practical:
+
+* **content-hash identity**: :meth:`Scenario.scenario_hash` digests the
+  canonical serialised form (the ``name`` is excluded — it is a label,
+  not content), so result caches key on *what was simulated*;
+* **full declarativity**: a scenario can be shipped to a worker
+  process, written to JSON, or rebuilt from JSON, and always replays to
+  the bit-identical result ("as the replay is deterministic, we can
+  compare the different replays").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.figures import middle_window
+from repro.cluster.curie import curie_machine
+from repro.cluster.machine import Machine
+from repro.rjms.config import SchedulerConfig
+from repro.rjms.reservations import PowercapReservation
+from repro.workload.intervals import PAPER_INTERVALS
+from repro.workload.spec import JobSpec
+
+HOUR = 3600.0
+
+#: policies the controller understands (see repro.core.policies)
+POLICIES = ("NONE", "IDLE", "SHUT", "DVFS", "MIX")
+
+#: hash/serialisation schema version; bump when Scenario semantics change
+SCHEMA_VERSION = 1
+
+#: SchedulerConfig fields a scenario may override (scalars only; the
+#: multifactor priority weights stay at their defaults)
+_CONFIG_FIELDS = frozenset(
+    f.name for f in fields(SchedulerConfig) if f.name != "priority"
+)
+
+
+@dataclass(frozen=True)
+class CapWindow:
+    """One powercap window as a fraction of the machine's max power."""
+
+    start: float
+    end: float
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"cap fraction must be in (0, 1], got {self.fraction}")
+        if not self.start < self.end:
+            raise ValueError(f"empty cap window [{self.start}, {self.end})")
+        if self.start < 0:
+            raise ValueError("cap window cannot start before the replay")
+
+    @classmethod
+    def middle(cls, duration: float, fraction: float, hours: float = 1.0) -> "CapWindow":
+        """The paper's setup: an ``hours``-long window centred in the
+        interval (same placement the figure benchmarks assert on)."""
+        start, end = middle_window(duration, hours)
+        return cls(start=start, end=end, fraction=fraction)
+
+    def reservation(self, machine: Machine) -> PowercapReservation:
+        return PowercapReservation(
+            start=self.start, end=self.end, watts=self.fraction * machine.max_power()
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {"start": self.start, "end": self.end, "fraction": self.fraction}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, float]) -> "CapWindow":
+        return cls(
+            start=float(d["start"]), end=float(d["end"]), fraction=float(d["fraction"])
+        )
+
+
+def build_workload(
+    machine: Machine,
+    interval: str,
+    *,
+    seed: int,
+    duration: float,
+    overload: float,
+) -> list[JobSpec]:
+    """The one workload-construction path of the harness.
+
+    Both :meth:`Scenario.build_jobs` and the runner's per-process memo
+    go through here, so spec-driven and harness-driven workloads can
+    never diverge.
+    """
+    from repro.workload.intervals import generate_interval
+
+    spec = replace(PAPER_INTERVALS[interval], duration=duration, seed=seed)
+    return generate_interval(machine, spec, overload=overload)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified replay experiment.
+
+    Attributes
+    ----------
+    name:
+        Human label; excluded from the content hash.
+    interval:
+        Paper interval flavour (``medianjob``/``smalljob``/``bigjob``/
+        ``24h``) selecting the job-class mix and default duration/seed.
+    policy:
+        Powercap policy (``NONE``/``IDLE``/``SHUT``/``DVFS``/``MIX``).
+    scale:
+        Curie scale factor (1.0 = 5040 nodes).
+    duration:
+        Replay length in seconds; ``None`` uses the interval default.
+    seed:
+        Workload RNG seed; ``None`` uses the interval default.
+    overload:
+        Offered work as a multiple of machine capacity.
+    caps:
+        Powercap windows, as fractions of the machine's max power.
+    config:
+        ``SchedulerConfig`` overrides as sorted ``(field, value)``
+        pairs (a mapping is accepted and normalised).
+    """
+
+    name: str
+    interval: str
+    policy: str
+    scale: float = 0.125
+    duration: float | None = None
+    seed: int | None = None
+    overload: float = 1.6
+    caps: tuple[CapWindow, ...] = ()
+    config: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.interval not in PAPER_INTERVALS:
+            raise ValueError(
+                f"unknown interval {self.interval!r}; "
+                f"expected one of {sorted(PAPER_INTERVALS)}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.overload <= 0:
+            raise ValueError("overload must be positive")
+        caps = tuple(
+            c if isinstance(c, CapWindow) else CapWindow(**c) for c in self.caps
+        )
+        object.__setattr__(self, "caps", caps)
+        cfg = self.config
+        if isinstance(cfg, Mapping):
+            cfg = tuple(sorted(cfg.items()))
+        else:
+            cfg = tuple(sorted((str(k), v) for k, v in cfg))
+        unknown = [k for k, _ in cfg if k not in _CONFIG_FIELDS]
+        if unknown:
+            raise ValueError(f"unknown SchedulerConfig overrides: {unknown}")
+        object.__setattr__(self, "config", cfg)
+        for cap in caps:
+            if cap.start >= self.effective_duration:
+                raise ValueError(
+                    f"cap window starting at {cap.start} lies beyond the "
+                    f"{self.effective_duration}s replay"
+                )
+
+    # -- derived ---------------------------------------------------------------------
+
+    @property
+    def effective_duration(self) -> float:
+        return (
+            self.duration
+            if self.duration is not None
+            else PAPER_INTERVALS[self.interval].duration
+        )
+
+    @property
+    def effective_seed(self) -> int:
+        return self.seed if self.seed is not None else PAPER_INTERVALS[self.interval].seed
+
+    @property
+    def cap_fraction(self) -> float:
+        """First cap window's fraction, 1.0 when uncapped.
+
+        The grid-cell label; the first window is also the one the
+        ``window_*`` metrics are measured over, so label and
+        measurement always refer to the same cap.
+        """
+        return self.caps[0].fraction if self.caps else 1.0
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """Copy with fields replaced (``dataclasses.replace`` wrapper)."""
+        return replace(self, **changes)
+
+    # -- identity ---------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "interval": self.interval,
+            "policy": self.policy,
+            "scale": self.scale,
+            "duration": self.duration,
+            "seed": self.seed,
+            "overload": self.overload,
+            "caps": [c.to_dict() for c in self.caps],
+            "config": {k: v for k, v in self.config},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Scenario":
+        schema = d.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(f"unsupported scenario schema {schema}")
+        return cls(
+            name=str(d["name"]),
+            interval=str(d["interval"]),
+            policy=str(d["policy"]),
+            scale=float(d["scale"]),
+            duration=None if d.get("duration") is None else float(d["duration"]),
+            seed=None if d.get("seed") is None else int(d["seed"]),
+            overload=float(d.get("overload", 1.6)),
+            caps=tuple(CapWindow.from_dict(c) for c in d.get("caps", ())),
+            config=dict(d.get("config", {})),
+        )
+
+    def scenario_hash(self) -> str:
+        """Stable 16-hex-digit content hash (name excluded)."""
+        content = self.to_dict()
+        del content["name"]
+        canon = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    # -- build the replay inputs ---------------------------------------------------------
+
+    def build_machine(self) -> Machine:
+        return curie_machine(scale=self.scale)
+
+    def build_jobs(self, machine: Machine) -> list[JobSpec]:
+        return build_workload(
+            machine,
+            self.interval,
+            seed=self.effective_seed,
+            duration=self.effective_duration,
+            overload=self.overload,
+        )
+
+    def build_caps(self, machine: Machine) -> list[PowercapReservation]:
+        return [c.reservation(machine) for c in self.caps]
+
+    def build_config(self) -> SchedulerConfig:
+        return SchedulerConfig(**{k: v for k, v in self.config})
+
+    # -- convenience constructors ----------------------------------------------------------
+
+    @classmethod
+    def paper_cell(
+        cls,
+        interval: str,
+        policy: str,
+        cap: float = 1.0,
+        *,
+        scale: float = 0.125,
+        duration: float | None = None,
+        seed: int | None = None,
+        name: str | None = None,
+        config: Mapping[str, Any] | None = None,
+    ) -> "Scenario":
+        """One Figure 8 grid cell: a one-hour cap window of ``cap``
+        fraction centred in the interval (no window when uncapped or
+        the policy does not enforce caps)."""
+        if interval not in PAPER_INTERVALS:
+            raise ValueError(f"unknown interval {interval!r}")
+        if not 0.0 < cap <= 1.0:
+            raise ValueError(f"cap fraction must be in (0, 1], got {cap}")
+        eff_duration = duration if duration is not None else PAPER_INTERVALS[interval].duration
+        caps: tuple[CapWindow, ...] = ()
+        if policy != "NONE" and cap < 1.0:
+            caps = (CapWindow.middle(eff_duration, cap),)
+        if name is None:
+            # No cap window, no cap suffix: a NONE/uncapped cell must
+            # not masquerade as a capped run in tables and caches.
+            name = f"{interval}-{policy.lower()}"
+            if caps:
+                name += f"-{int(round(cap * 100))}"
+            if seed is not None:
+                name += f"-s{seed}"
+        return cls(
+            name=name,
+            interval=interval,
+            policy=policy,
+            scale=scale,
+            duration=duration,
+            seed=seed,
+            caps=caps,
+            config=dict(config or {}),
+        )
+
+
+def expand_grid(
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    scale: float = 0.125,
+    duration: float | None = None,
+    config: Mapping[str, Any] | None = None,
+) -> list[Scenario]:
+    """Expand a parameter grid into scenarios via :meth:`Scenario.paper_cell`.
+
+    ``axes`` maps axis names to value lists; recognised axes are
+    ``interval``, ``policy``, ``cap`` and ``seed``.  The cartesian
+    product is taken in the axes' insertion order, so the expansion
+    (and therefore a grid run's output order) is deterministic.
+    """
+    allowed = {"interval", "policy", "cap", "seed"}
+    unknown = set(axes) - allowed
+    if unknown:
+        raise ValueError(f"unknown grid axes {sorted(unknown)}; allowed: {sorted(allowed)}")
+    if not axes:
+        raise ValueError("empty grid")
+    defaults: dict[str, Any] = {"interval": "medianjob", "policy": "MIX", "cap": 1.0, "seed": None}
+    keys = list(axes)
+    scenarios: list[Scenario] = []
+    for combo in itertools.product(*(axes[k] for k in keys)):
+        kw = dict(defaults)
+        kw.update(zip(keys, combo))
+        scenarios.append(
+            Scenario.paper_cell(
+                kw["interval"],
+                kw["policy"],
+                float(kw["cap"]),
+                seed=kw["seed"],
+                scale=scale,
+                duration=duration,
+                config=config,
+            )
+        )
+    return scenarios

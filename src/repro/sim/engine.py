@@ -43,16 +43,30 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: back-reference for cancellation accounting; cleared once the
+    #: event leaves the queue so late cancels stay no-ops
+    engine: "SimEngine | None" = field(default=None, compare=False, repr=False)
 
 
 class SimEngine:
-    """Event loop with a virtual clock."""
+    """Event loop with a virtual clock.
+
+    Cancelled events are dropped lazily on pop, but their count is
+    tracked so :attr:`pending_events` is O(1) and the heap is compacted
+    whenever cancelled entries outnumber live ones — long replays that
+    reschedule job completions (dynamic rescaling, kills) no longer
+    accumulate dead heap entries.
+    """
+
+    #: below this queue size compaction is pointless bookkeeping
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._n_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -66,7 +80,8 @@ class SimEngine:
 
     @property
     def pending_events(self) -> int:
-        return sum(not e.cancelled for e in self._queue)
+        """Live (non-cancelled) events still queued.  O(1)."""
+        return len(self._queue) - self._n_cancelled
 
     def at(
         self,
@@ -86,7 +101,9 @@ class SimEngine:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        ev = Event(time=float(time), kind=kind, seq=self._seq, callback=callback)
+        ev = Event(
+            time=float(time), kind=kind, seq=self._seq, callback=callback, engine=self
+        )
         self._seq += 1
         heapq.heappush(self._queue, ev)
         return ev
@@ -106,7 +123,40 @@ class SimEngine:
     @staticmethod
     def cancel(event: Event) -> None:
         """Cancel a pending event (no-op if it already ran)."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        if event.engine is not None:
+            event.engine._note_cancelled()
+
+    def _note_cancelled(self) -> None:
+        self._n_cancelled += 1
+        if (
+            len(self._queue) >= self._COMPACT_MIN
+            and self._n_cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Event ordering is total ((time, kind, seq) is unique), so
+        heapify cannot reorder ties and replay determinism holds.
+        """
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._n_cancelled = 0
+
+    def _pop(self) -> Event | None:
+        """Next live event off the heap, or None when drained."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            ev.engine = None
+            if ev.cancelled:
+                self._n_cancelled -= 1
+                continue
+            return ev
+        return None
 
     def run(self, until: float = math.inf) -> float:
         """Process events up to and including time ``until``.
@@ -116,12 +166,17 @@ class SimEngine:
         last processed event.
         """
         while self._queue:
-            if self._queue[0].time > until:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                head.engine = None
+                self._n_cancelled -= 1
+                continue
+            if head.time > until:
                 self._now = max(self._now, until) if math.isfinite(until) else self._now
                 return self._now
             ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
+            ev.engine = None
             self._now = ev.time
             self._processed += 1
             ev.callback()
@@ -131,12 +186,10 @@ class SimEngine:
 
     def step(self) -> bool:
         """Process exactly one event.  Returns False when drained."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            self._processed += 1
-            ev.callback()
-            return True
-        return False
+        ev = self._pop()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self._processed += 1
+        ev.callback()
+        return True

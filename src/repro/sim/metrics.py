@@ -275,3 +275,8 @@ class MetricsRecorder:
     @property
     def n_samples(self) -> int:
         return len(self._samples)
+
+    @property
+    def samples(self) -> tuple[SeriesSample, ...]:
+        """The recorded step-function samples, in time order."""
+        return tuple(self._samples)

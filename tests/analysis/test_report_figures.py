@@ -150,6 +150,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "energy_norm" in out
 
+    @pytest.mark.slow
     def test_grid_command_small(self, capsys):
         from repro.cli import main
 

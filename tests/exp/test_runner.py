@@ -1,0 +1,191 @@
+"""GridRunner mechanics: caching, deduplication, aggregation, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.exp import (
+    CapWindow,
+    GridRunner,
+    RunResult,
+    Scenario,
+    cell_from_result,
+    compare_results,
+    results_table,
+    results_to_cells,
+    run_scenario,
+)
+
+HOUR = 3600.0
+
+#: tiny, fast scenario shared by the tests below (90-node Curie, 1 h)
+TINY = Scenario(
+    name="tiny",
+    interval="medianjob",
+    policy="MIX",
+    scale=1 / 56,
+    duration=HOUR,
+    caps=(),
+)
+TINY_CAPPED = TINY.with_(
+    name="tiny-capped",
+    caps=(CapWindow(0.25 * HOUR, 0.75 * HOUR, 0.6),),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_scenario(TINY)
+
+
+class TestRunResult:
+    def test_dict_roundtrip(self, tiny_result):
+        back = RunResult.from_dict(tiny_result.to_dict())
+        assert back.same_outcome(tiny_result)
+        assert back.scenario == tiny_result.scenario
+        assert back.n_jobs == tiny_result.n_jobs
+        assert back.n_events == tiny_result.n_events
+
+    def test_metrics_complete(self, tiny_result):
+        for key in (
+            "energy_norm",
+            "work_norm",
+            "jobs_norm",
+            "effective_work_norm",
+            "job_energy_norm",
+            "launched_jobs",
+            "completed_jobs",
+            "window_energy_norm",
+        ):
+            assert key in tiny_result.metrics, key
+        # Uncapped: window metrics are NaN.
+        assert math.isnan(tiny_result.metrics["window_energy_norm"])
+
+    def test_window_metrics_when_capped(self):
+        r = run_scenario(TINY_CAPPED)
+        assert 0.0 < r.metrics["window_energy_norm"] <= 1.0 + 1e-9
+        assert 0.0 <= r.metrics["window_work_norm"] <= 1.0 + 1e-9
+
+    def test_digest_shape(self, tiny_result):
+        assert len(tiny_result.trace_digest) == 64
+        assert tiny_result.n_samples > 0 and tiny_result.n_events > 0
+
+
+class TestCache:
+    def test_cache_roundtrip_and_skip(self, tmp_path):
+        runner = GridRunner(cache_dir=tmp_path)
+        first = runner.run([TINY])[0]
+        assert not first.cached
+        assert (tmp_path / f"{TINY.scenario_hash()}.json").is_file()
+        second = runner.run([TINY])[0]
+        assert second.cached
+        assert second.same_outcome(first)
+
+    def test_renamed_scenario_hits_cache(self, tmp_path):
+        runner = GridRunner(cache_dir=tmp_path)
+        first = runner.run([TINY])[0]
+        renamed = TINY.with_(name="same-content-other-label")
+        second = runner.run([renamed])[0]
+        assert second.cached and second.same_outcome(first)
+        assert second.scenario.name == "same-content-other-label"
+
+    def test_corrupt_cache_entry_reruns(self, tmp_path):
+        runner = GridRunner(cache_dir=tmp_path)
+        first = runner.run([TINY])[0]
+        path = tmp_path / f"{TINY.scenario_hash()}.json"
+        path.write_text("{not json", encoding="utf-8")
+        second = runner.run([TINY])[0]
+        assert not second.cached
+        assert second.same_outcome(first)
+        # And the cache healed itself.
+        assert json.loads(path.read_text())["trace_digest"] == first.trace_digest
+
+    def test_changed_content_misses_cache(self, tmp_path):
+        runner = GridRunner(cache_dir=tmp_path)
+        runner.run([TINY])
+        other = TINY.with_(seed=123)
+        result = runner.run([other])[0]
+        assert not result.cached
+
+
+class TestDeduplication:
+    def test_duplicate_content_runs_once(self, tmp_path):
+        calls = []
+        runner = GridRunner(cache_dir=tmp_path)
+        results = runner.run(
+            [TINY, TINY.with_(name="twin")], progress=calls.append
+        )
+        # One execution (one cache file appears), two result slots in
+        # input order, each keeping its own label, progress per slot.
+        assert len(results) == 2
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert len(calls) == 2
+        assert [r.scenario.name for r in results] == ["tiny", "twin"]
+        assert results[0].same_outcome(results[1])
+
+
+class TestAggregation:
+    def test_cell_from_result(self):
+        r = run_scenario(TINY_CAPPED)
+        cell = cell_from_result(r)
+        assert cell.workload == "medianjob"
+        assert cell.policy == "MIX"
+        assert cell.cap_fraction == 0.6
+        assert cell.energy_norm == pytest.approx(r.metrics["energy_norm"])
+        assert cell.window_energy_norm == pytest.approx(
+            r.metrics["window_energy_norm"]
+        )
+
+    def test_results_table_renders(self, tiny_result):
+        text = results_table([tiny_result])
+        assert "tiny" in text and tiny_result.scenario_hash in text
+
+    def test_compare_results_reports_identity(self, tiny_result):
+        text = compare_results(tiny_result, run_scenario(TINY))
+        assert "traces identical" in text
+
+    def test_results_to_cells_renderable(self):
+        from repro.analysis.report import render_grid
+
+        cells = results_to_cells([run_scenario(TINY_CAPPED)])
+        assert "medianjob" in render_grid(cells)
+
+
+class TestCli:
+    def test_exp_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["exp", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6-24h-mix-40" in out and "demand-response-day" in out
+
+    def test_exp_run_grid_serial_with_cache(self, capsys, tmp_path):
+        from repro.cli import main
+
+        argv = [
+            "exp", "run",
+            "--grid", "policy=SHUT,DVFS", "cap=0.6",
+            "--scale", str(1 / 56),
+            "--duration", "1.5",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "medianjob-shut-60" in out and "medianjob-dvfs-60" in out
+        # Re-run: everything served from cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("(cache)") == 2
+
+    def test_exp_run_requires_work(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["exp", "run"])
+
+    def test_bad_grid_axis_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["exp", "run", "--grid", "colour=red"])

