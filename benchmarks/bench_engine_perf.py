@@ -1,20 +1,30 @@
 """Simulator micro-benchmarks (throughput of the hot paths).
 
 Not a paper figure: tracks the performance of the event engine, the
-incremental power accountant, the vectorised priority queue and a
-full small replay, so regressions in the substrate are caught.
+incremental power accountant, the vectorised priority queue, the
+columnar metrics recorder, the scheduling pass, and both a small and a
+full-scale (5040-node) replay, so regressions in the substrate are
+caught.  CI runs this module with ``--benchmark-json`` and
+``benchmarks/check_perf_regression.py`` compares the means against the
+committed ``BENCH_pr2.json`` baseline (>2x regression fails the job).
 """
 
+import math
+
 import numpy as np
+import pytest
 
 from repro.cluster.curie import curie_machine
 from repro.cluster.states import NodeState
 from repro.rjms.config import PriorityWeights
+from repro.rjms.controller import Controller
 from repro.rjms.fairshare import FairShare
 from repro.rjms.job import Job
 from repro.rjms.queue import PendingQueue
+from repro.rjms.reservations import PowercapReservation
 from repro.sim.engine import SimEngine
-from repro.sim.replay import run_replay
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.replay import powercap_reservation, run_replay
 from repro.workload.intervals import generate_interval
 from repro.workload.spec import JobSpec
 
@@ -91,3 +101,151 @@ def test_perf_small_replay(benchmark):
 
     result = benchmark.pedantic(replay, rounds=2, iterations=1)
     assert result.launched_jobs() > 0
+
+
+@pytest.mark.slow
+def test_perf_full_scale_replay(benchmark):
+    """The headline case: 5040 nodes, MIX policy, a 50 % cap window —
+    the shape of the paper's Figures 6-8 replays."""
+    machine = curie_machine()  # full Curie
+    jobs = generate_interval(machine, "medianjob", seed=3)
+    caps = [powercap_reservation(machine, 0.5, 3600.0, 2 * 3600.0)]
+
+    def replay():
+        return run_replay(
+            machine, jobs, "MIX", duration=3 * 3600.0, powercaps=caps
+        )
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert result.launched_jobs() > 1000
+
+
+# -- columnar recorder ---------------------------------------------------------------
+
+_REC_FREQS = (1.2, 1.5, 1.8, 2.1, 2.4, 2.7)
+
+
+def _filled_recorder(n_samples: int) -> MetricsRecorder:
+    rec = MetricsRecorder(_REC_FREQS)
+    rng = np.random.default_rng(0)
+    cores = rng.integers(0, 2000, size=(n_samples, len(_REC_FREQS))) * 16.0
+    power = rng.uniform(0.0, 2.5e6, size=n_samples)
+    for i in range(n_samples):
+        rec.sample(
+            float(i),
+            cores_by_freq=cores[i],
+            off_cores=0.0,
+            power_watts=power[i],
+            idle_watts=1e5,
+            down_watts=1e4,
+            infra_watts=4e5,
+            bonus_watts=0.0,
+            busy_watts=power[i] * 0.8,
+        )
+    return rec
+
+
+def test_perf_recorder_sample_throughput(benchmark):
+    """Recording 5k samples (plus same-instant collapses) must stay
+    allocation-free per event."""
+    cores = np.zeros(len(_REC_FREQS))
+
+    def record():
+        rec = MetricsRecorder(_REC_FREQS)
+        for i in range(5000):
+            t = float(i // 2)  # every other sample collapses in place
+            rec.sample(
+                t,
+                cores_by_freq=cores,
+                off_cores=0.0,
+                power_watts=1e6,
+                idle_watts=1e5,
+                down_watts=0.0,
+                infra_watts=4e5,
+                bonus_watts=0.0,
+                busy_watts=9e5,
+            )
+        return rec.n_samples
+
+    assert benchmark(record) == 2500
+
+
+def test_perf_recorder_integrals(benchmark):
+    """Exact integrals over a 20k-sample series (vectorised, no Python
+    loop over samples)."""
+    rec = _filled_recorder(20_000)
+
+    def integrate():
+        return (
+            rec.energy_joules(1000.0, 19_000.0)
+            + rec.work_core_seconds(1000.0, 19_000.0)
+            + rec.job_energy_joules(1000.0, 19_000.0)
+        )
+
+    assert benchmark(integrate) > 0.0
+
+
+def test_perf_recorder_to_grid(benchmark):
+    rec = _filled_recorder(20_000)
+
+    grid = benchmark(rec.to_grid, 0.0, 20_000.0, 10.0)
+    assert len(grid["time"]) == 2001
+
+
+# -- scheduling pass -----------------------------------------------------------------
+
+
+def _pass_controller(*, blocked: bool) -> Controller:
+    """A full-scale controller with 500 pending jobs.
+
+    ``blocked=True``: every node idle but an active cap rejects every
+    candidate (the drain regime during a cap window).  ``blocked=False``
+    with all nodes busy: the drained fast path (no free nodes).
+    Either way a pass starts nothing, so benchmarking it is repeatable.
+    """
+    machine = curie_machine()
+    engine = SimEngine()
+    caps = []
+    if blocked:
+        floor = machine.idle_power()
+        caps = [PowercapReservation(start=0.0, end=math.inf, watts=floor + 1.0)]
+    controller = Controller(machine, "DVFS", engine, powercaps=caps)
+    rng = np.random.default_rng(1)
+    walltime_menu = (1800.0, 14400.0, 43200.0, 86400.0)
+    for jid in range(500):
+        controller.submit(
+            JobSpec(
+                jid,
+                0.0,
+                int(rng.integers(1, 64)) * machine.cores_per_node,
+                60.0,
+                float(walltime_menu[int(rng.integers(0, 4))]),
+                int(rng.integers(0, 200)),
+            )
+        )
+    if not blocked:
+        controller.accountant.set_state(
+            np.arange(machine.n_nodes), NodeState.BUSY, freq_index=7
+        )
+    return controller
+
+
+def test_perf_sched_pass_power_blocked(benchmark):
+    controller = _pass_controller(blocked=True)
+
+    def one_pass():
+        controller._sched_pass()
+        return controller.n_running
+
+    assert benchmark(one_pass) == 0
+
+
+def test_perf_sched_pass_drained(benchmark):
+    """No idle nodes: the pass must cost O(1), not O(n_nodes + queue)."""
+    controller = _pass_controller(blocked=False)
+
+    def one_pass():
+        controller._sched_pass()
+        return controller.n_running
+
+    assert benchmark(one_pass) == 0

@@ -45,7 +45,8 @@ _cells: dict[tuple[str, float, str], GridCell] = {}
 def _run_grid():
     scenarios = paper_grid_scenarios(scale=repro_scale())
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
-    return GridRunner(workers=workers).run(scenarios)
+    with GridRunner(workers=workers) as runner:
+        return runner.run(scenarios)
 
 
 def test_fig8_grid_runner(benchmark):

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py bench.json [BENCH_pr2.json]
+
+Exits non-zero when any benchmark's mean exceeds ``threshold`` times
+the committed mean (default 2.0 — CI machines are noisy, so only a
+genuine regression trips it).  Benchmarks whose committed mean sits
+below ``--min-seconds`` (default 100 us) are reported but never fail:
+at that scale timer jitter and host differences routinely exceed 2x,
+so they would only produce false alarms.  Benchmarks present in only
+one of the two files are likewise reported but never fail, so adding a
+benchmark does not require regenerating the baseline in the same
+commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
+
+
+def load_means(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if "benchmarks" not in data:
+        raise SystemExit(f"{path}: no 'benchmarks' key")
+    entries = data["benchmarks"]
+    if isinstance(entries, list):  # raw pytest-benchmark output
+        return {b["name"]: float(b["stats"]["mean"]) for b in entries}
+    # committed trajectory format
+    return {name: float(e["mean_s"]) for name, e in entries.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "baseline", type=Path, nargs="?", default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="fail when current mean > threshold * baseline mean (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=1e-4,
+        help="baselines below this never fail (timer noise; default 1e-4)",
+    )
+    parser.add_argument(
+        "--calibrate", metavar="NAME", default=None,
+        help=(
+            "normalise by this benchmark's current/baseline ratio before "
+            "comparing, so a uniformly slower host (e.g. a CI runner vs the "
+            "machine that recorded the baseline) does not trip the gate — "
+            "only regressions *relative* to the calibration case fail"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+
+    host_factor = 1.0
+    if args.calibrate is not None:
+        cal_cur = current.get(args.calibrate)
+        cal_base = baseline.get(args.calibrate)
+        if cal_cur and cal_base:
+            host_factor = cal_cur / cal_base
+            if host_factor > args.threshold:
+                # A uniform regression inflates the calibration case
+                # too; normalising by it would hide exactly that.  A
+                # hardware gap this large is indistinguishable from a
+                # regression, so fail loudly either way (regenerate
+                # the baseline from a CI artifact if it is hardware).
+                print(
+                    f"FAIL: calibration benchmark {args.calibrate} is "
+                    f"{host_factor:.2f}x its baseline (> threshold "
+                    f"{args.threshold:.1f}x) — either the event loop "
+                    "regressed or the baseline was recorded on far "
+                    "faster hardware; regenerate BENCH_*.json if the "
+                    "latter.",
+                    file=sys.stderr,
+                )
+                return 1
+            # Floor the factor on fast hosts: if only the calibration
+            # case sped up (a targeted event-loop optimisation), a raw
+            # sub-1 factor would inflate every other ratio and
+            # false-fail them.  The cost is bounded leniency — a host
+            # twice as fast masks regressions up to 2x threshold.
+            host_factor = max(host_factor, 0.5)
+            print(
+                f"calibrated on {args.calibrate}: host factor "
+                f"{host_factor:.2f}x\n"
+            )
+        else:
+            print(f"warning: calibration benchmark {args.calibrate!r} "
+                  "missing; comparing raw means\n")
+
+    failures = []
+    width = max((len(n) for n in current), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'-':>12}  {cur:>12.6f}  (new)")
+            continue
+        ratio = cur / (base * host_factor) if base > 0 else float("inf")
+        regressed = ratio > args.threshold
+        if base < args.min_seconds:
+            flag = " (below noise floor)" if regressed else ""
+            regressed = False
+        else:
+            flag = " REGRESSION" if regressed else ""
+        print(f"{name:<{width}}  {base:>12.6f}  {cur:>12.6f}  {ratio:5.2f}x{flag}")
+        if regressed:
+            failures.append((name, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  {baseline[name]:>12.6f}  {'-':>12}  (missing)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
+            f"{args.threshold:.1f}x: " + ", ".join(n for n, _ in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

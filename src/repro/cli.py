@@ -205,7 +205,6 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
     from repro.exp import GridRunner, render_results_grid, results_table
 
     scenarios = _gather_scenarios(args)
-    runner = GridRunner(workers=args.workers, cache_dir=args.cache_dir)
     print(
         f"running {len(scenarios)} scenario(s) "
         f"on {max(args.workers, 1)} worker(s)"
@@ -219,7 +218,8 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
         src = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
         print(f"  [{done}/{len(scenarios)}] {result.scenario.name} ({src})")
 
-    results = runner.run(scenarios, progress=progress)
+    with GridRunner(workers=args.workers, cache_dir=args.cache_dir) as runner:
+        results = runner.run(scenarios, progress=progress)
     print()
     print(results_table(results))
     if args.bars:
@@ -237,8 +237,8 @@ def cmd_exp_compare(args: argparse.Namespace) -> int:
             a, b = a.with_(scale=args.scale), b.with_(scale=args.scale)
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
-    runner = GridRunner(workers=args.workers, cache_dir=args.cache_dir)
-    ra, rb = runner.run([a, b])
+    with GridRunner(workers=args.workers, cache_dir=args.cache_dir) as runner:
+        ra, rb = runner.run([a, b])
     print(compare_results(ra, rb))
     return 0
 

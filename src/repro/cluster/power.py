@@ -75,6 +75,10 @@ class PowerAccountant:
         )
 
         n = topology.n_nodes
+        #: bumped on every state mutation; readers may key caches
+        #: derived from the state vector (e.g. the controller's idle
+        #: free list) on it
+        self.version = 0
         #: per-node state (NodeState values)
         self.state = np.full(n, NodeState.IDLE, dtype=np.int8)
         #: per-node DVFS index; only meaningful while BUSY
@@ -145,6 +149,7 @@ class PowerAccountant:
             return
         if state == NodeState.BUSY and freq_index is None:
             raise ValueError("freq_index is required when setting nodes BUSY")
+        self.version += 1
 
         old_states = self.state[ids]
         old_watts = self._node_watts[ids]

@@ -151,6 +151,21 @@ class FrequencySelector:
         #: instead of the per-job Algorithm 2 walk (ablation)
         self.cluster_rule = cluster_rule
         self._indices_desc = policy.frequency_indices_desc()
+        # The ladder walk runs ~backfill_depth times per scheduling
+        # pass; everything per-step that does not depend on the
+        # candidate job is precomputed once (same expressions, so the
+        # decisions stay bit-identical to recomputing them inline).
+        ft = policy.freq_table
+        self._deg_desc = [
+            policy.degradation(ft.steps[idx].ghz) for idx in self._indices_desc
+        ]
+        self._delta_per_node_desc = [
+            ft.watts_array[idx] - ft.idle_watts for idx in self._indices_desc
+        ]
+        self._step_info = {
+            idx: (ft.steps[idx].ghz, self._deg_desc[pos])
+            for pos, idx in enumerate(self._indices_desc)
+        }
 
     def decide(
         self,
@@ -169,29 +184,29 @@ class FrequencySelector:
         if self.cluster_rule:
             return self._decide_cluster_rule(n_nodes, walltime, view)
 
-        acct = view.accountant
+        active = view.cap_is_active
         active_room = view.headroom_active()
-        for idx in self._indices_desc:
-            ghz = acct.freq_table.steps[idx].ghz
-            deg = self.policy.degradation(ghz)
-            delta = acct.busy_delta_watts(n_nodes, idx)
-            tol = _EPS * max(1.0, abs(view.active_cap if view.cap_is_active else 1.0))
-            if view.cap_is_active and delta > active_room + tol:
+        tol = _EPS * max(1.0, abs(view.active_cap)) if active else _EPS
+        windows = view.windows
+        now = view.now
+        deltas = self._delta_per_node_desc
+        for pos, idx in enumerate(self._indices_desc):
+            delta = n_nodes * deltas[pos]
+            if active and delta > active_room + tol:
                 continue
-            future_room = view.window_headroom(view.now + walltime * deg)
-            if delta > future_room + tol:
-                continue
+            if windows:
+                future_room = view.window_headroom(
+                    now + walltime * self._deg_desc[pos]
+                )
+                if delta > future_room + tol:
+                    continue
             return self._mk(True, idx, soft=False)
 
         # Nothing fits.  The strict gate applies for the active cap;
         # future-only violations fall back to the lowest allowed step.
         lowest = self._indices_desc[-1]
-        ghz = acct.freq_table.steps[lowest].ghz
-        deg = self.policy.degradation(ghz)
-        delta = acct.busy_delta_watts(n_nodes, lowest)
-        if view.cap_is_active and delta > active_room + _EPS * max(
-            1.0, view.active_cap
-        ):
+        delta = n_nodes * deltas[-1]
+        if active and delta > active_room + _EPS * max(1.0, view.active_cap):
             return self._mk(False, lowest, reason="active powercap")
         if self.strict_future:
             return self._mk(False, lowest, reason="planned powercap")
@@ -239,12 +254,12 @@ class FrequencySelector:
     def _mk(
         self, ok: bool, idx: int, *, soft: bool = False, reason: str = ""
     ) -> FrequencyDecision:
-        step = self.policy.freq_table.steps[idx]
+        ghz, deg = self._step_info[idx]
         return FrequencyDecision(
             ok=ok,
             freq_index=idx,
-            freq_ghz=step.ghz,
-            degradation=self.policy.degradation(step.ghz),
+            freq_ghz=ghz,
+            degradation=deg,
             soft=soft,
             reason=reason,
         )

@@ -19,6 +19,7 @@ from repro.exp.runner import (
     RunResult,
     replay_scenario,
     run_scenario,
+    run_scenario_with_series,
     scenario_series,
     trace_digest,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "RunResult",
     "replay_scenario",
     "run_scenario",
+    "run_scenario_with_series",
     "scenario_series",
     "trace_digest",
     "PAPER_GRID_ROWS",

@@ -27,7 +27,9 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from functools import lru_cache
+from functools import lru_cache, partial
+
+import numpy as np
 
 from repro.analysis.report import window_norms
 from repro.exp.spec import Scenario
@@ -245,6 +247,22 @@ def run_scenario(scenario: Scenario) -> RunResult:
     """Replay one scenario and condense it into a :class:`RunResult`."""
     t0 = time.perf_counter()
     result = replay_scenario(scenario)
+    return _condense(scenario, result, t0)
+
+
+def run_scenario_with_series(
+    scenario: Scenario, *, grid_dt: float = 300.0
+) -> tuple[RunResult, dict[str, np.ndarray]]:
+    """Replay one scenario; return the condensed result *and* the
+    Figure 6/7 grid series (the payload behind ``.npz`` caching)."""
+    t0 = time.perf_counter()
+    result = replay_scenario(scenario)
+    run = _condense(scenario, result, t0)
+    grid = dict(result.recorder.to_grid(0.0, result.duration, grid_dt))
+    return run, grid
+
+
+def _condense(scenario: Scenario, result: ReplayResult, t0: float) -> RunResult:
     machine = result.machine
     rec = result.recorder
     metrics: dict[str, float] = dict(result.summary())
@@ -279,6 +297,10 @@ def run_scenario(scenario: Scenario) -> RunResult:
     )
 
 
+#: default grid step of the ``.npz`` series payload (seconds)
+DEFAULT_SERIES_DT = 300.0
+
+
 class GridRunner:
     """Executes scenario lists, optionally in parallel, with caching.
 
@@ -297,6 +319,21 @@ class GridRunner:
         available (cheap, and harmless here: workers rebuild every
         scenario from its spec, so inherited state cannot leak into
         results) and ``spawn`` elsewhere.
+    persistent:
+        Keep the worker pool alive between :meth:`run` calls (fork
+        once, stream scenarios).  Workers then retain their per-process
+        machine/workload memos across calls, so iterative grid sweeps
+        stop paying a pool spin-up plus cold caches per batch.  Off by
+        default: a persistent pool outlives ``run()``, so callers must
+        release it via :meth:`close` or a ``with`` block.
+    series:
+        Also export each scenario's Figure 6/7 grid series and store it
+        as ``<cache_dir>/<scenario_hash>.npz`` next to the JSON result
+        (loadable via :meth:`load_series`).  A cached scenario missing
+        its ``.npz`` is treated as a cache miss so the payload is
+        (re)produced.
+    series_dt:
+        Grid step of the exported series, in seconds.
     """
 
     def __init__(
@@ -305,6 +342,9 @@ class GridRunner:
         *,
         cache_dir: str | Path | None = None,
         mp_context: str | None = None,
+        persistent: bool = False,
+        series: bool = False,
+        series_dt: float = DEFAULT_SERIES_DT,
     ) -> None:
         self.workers = int(workers) if workers is not None else 1
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -312,6 +352,52 @@ class GridRunner:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
         self.mp_context = mp_context
+        self.persistent = bool(persistent)
+        self.series = bool(series)
+        if series_dt <= 0:
+            raise ValueError("series_dt must be positive")
+        self.series_dt = float(series_dt)
+        self._pool = None
+        self._pool_size = 0
+
+    # -- worker pool ------------------------------------------------------------------
+
+    def _get_pool(self, n_tasks: int):
+        """The persistent pool, sized ``min(workers, n_tasks)``.
+
+        An existing pool is reused when it is big enough; a larger
+        batch grows it (workers are re-forked, a one-off cost).
+        """
+        n = min(self.workers, max(n_tasks, 1))
+        if self._pool is not None and self._pool_size < n:
+            self.close()
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._pool = ctx.Pool(processes=n)
+            self._pool_size = n
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (no-op when absent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "GridRunner":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+            except Exception:
+                pass
 
     # -- cache ------------------------------------------------------------------------
 
@@ -320,10 +406,17 @@ class GridRunner:
             return None
         return self.cache_dir / f"{scenario_hash}.json"
 
+    def _series_path(self, scenario_hash: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{scenario_hash}.npz"
+
     def _load_cached(self, scenario: Scenario) -> RunResult | None:
         path = self._cache_path(scenario.scenario_hash())
         if path is None or not path.is_file():
             return None
+        if self.series and not self._series_ok(scenario.scenario_hash()):
+            return None  # series payload missing/stale: re-run to produce it
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             result = RunResult.from_dict(data, cached=True)
@@ -354,6 +447,50 @@ class GridRunner:
             json.dumps(result.to_dict(), allow_nan=False), encoding="utf-8"
         )
         tmp.replace(path)  # atomic: concurrent writers race benignly
+
+    def _series_ok(self, scenario_hash: str) -> bool:
+        """A usable cached series: present, readable, at this dt.
+
+        Any unreadable payload (truncated write, corrupted zip) is a
+        cache miss, mirroring the JSON cache's self-healing.
+        """
+        path = self._series_path(scenario_hash)
+        if path is None or not path.is_file():
+            return False
+        try:
+            with np.load(path) as z:
+                return float(z["_series_dt"]) == self.series_dt
+        except Exception:
+            return False
+
+    def _store_series(self, scenario_hash: str, series: Mapping[str, np.ndarray]) -> None:
+        path = self._series_path(scenario_hash)
+        if path is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.cache_dir / f"{scenario_hash}.tmp.{os.getpid()}.npz"
+        # The grid step is stored alongside the arrays so a runner with
+        # a different series_dt treats the payload as stale, not a hit.
+        np.savez_compressed(tmp, _series_dt=np.float64(self.series_dt), **series)
+        tmp.replace(path)
+
+    def load_series(self, scenario: Scenario) -> dict[str, np.ndarray] | None:
+        """Load a scenario's cached ``.npz`` series payload, if any.
+
+        A payload recorded at a different grid step than this runner's
+        ``series_dt`` is treated as absent, matching :meth:`run`'s
+        cache-miss behaviour for stale resolutions.
+        """
+        path = self._series_path(scenario.scenario_hash())
+        if path is None or not path.is_file():
+            return None
+        try:
+            with np.load(path) as z:
+                if "_series_dt" in z.files and float(z["_series_dt"]) != self.series_dt:
+                    return None
+                return {k: z[k] for k in z.files if k != "_series_dt"}
+        except Exception:
+            return None  # corrupted payload: same as absent
 
     # -- execution --------------------------------------------------------------------
 
@@ -388,8 +525,13 @@ class GridRunner:
             slot_of[key] = [i]
             to_run.append(sc)
 
-        def collect(fresh: Iterable[RunResult]) -> None:
-            for result in fresh:
+        def collect(fresh: Iterable[Any]) -> None:
+            for item in fresh:
+                if want_series:
+                    result, series = item
+                    self._store_series(result.scenario_hash, series)
+                else:
+                    result = item
                 self._store(result)
                 for i in slot_of[result.scenario_hash]:
                     # Duplicate slots keep their own scenario label
@@ -403,13 +545,24 @@ class GridRunner:
                     if progress is not None:
                         progress(slot_result)
 
-        if self.workers > 1 and len(to_run) > 1:
-            ctx = multiprocessing.get_context(self.mp_context)
-            n = min(self.workers, len(to_run))
-            with ctx.Pool(processes=n) as pool:
-                collect(pool.imap(run_scenario, to_run, chunksize=1))
+        task: Callable[[Scenario], Any]
+        want_series = self.series and self.cache_dir is not None
+        if want_series:
+            task = partial(run_scenario_with_series, grid_dt=self.series_dt)
         else:
-            collect(run_scenario(sc) for sc in to_run)
+            task = run_scenario
+
+        if self.workers > 1 and len(to_run) > 1:
+            if self.persistent:
+                pool = self._get_pool(len(to_run))
+                collect(pool.imap(task, to_run, chunksize=1))
+            else:
+                ctx = multiprocessing.get_context(self.mp_context)
+                n = min(self.workers, len(to_run))
+                with ctx.Pool(processes=n) as pool:
+                    collect(pool.imap(task, to_run, chunksize=1))
+        else:
+            collect(task(sc) for sc in to_run)
 
         out = [r for r in results if r is not None]
         if len(out) != len(scenarios):  # pragma: no cover - defensive

@@ -40,6 +40,8 @@ def easy_backfill_window(
     free_nodes: int,
     running: Iterable[tuple[float, int]],
     now: float,
+    *,
+    presorted: bool = False,
 ) -> BackfillWindow:
     """Compute the blocker's shadow time and spare-node allowance.
 
@@ -54,6 +56,10 @@ def easy_backfill_window(
         per stretched walltime).
     now:
         Current time.
+    presorted:
+        ``running`` is already sorted by expected end (stably), so the
+        per-call sort can be skipped — the controller maintains such a
+        snapshot across scheduling passes.
 
     A blocker already satisfiable node-wise (blocked by power, not by
     nodes) gets ``shadow_time = now``: backfilled jobs must then fit
@@ -67,7 +73,8 @@ def easy_backfill_window(
     if free_nodes >= blocker_nodes:
         return BackfillWindow(now, free_nodes - blocker_nodes)
     available = free_nodes
-    for end, n in sorted(running, key=lambda r: r[0]):
+    ordered = running if presorted else sorted(running, key=lambda r: r[0])
+    for end, n in ordered:
         if end < now:
             # Job overdue vs its walltime (possible only through
             # clock skew); treat as freeing now.

@@ -136,6 +136,19 @@ class Controller:
         self._pass_pending = False
         self._last_pass = -math.inf
         self._end_events: dict[int, object] = {}
+        #: idle free list, cached against the accountant's version so a
+        #: pass skips the O(n_nodes) scan when no node changed state
+        self._free_ids = np.empty(0, dtype=np.int64)
+        self._free_version = -1
+        #: reservation mask cache, keyed by the indices of the pending
+        #: shutdown reservations (their node sets never change)
+        self._reserved_mask = np.zeros(machine.n_nodes, dtype=bool)
+        self._mask_key: tuple[int, ...] | None = None
+        #: running-set generation counter + cached (expected_end,
+        #: n_nodes) snapshot, pre-sorted for the backfill window
+        self._running_version = 0
+        self._snapshot_version = -1
+        self._running_snapshot: list[tuple[float, int]] = []
 
         if self.policy.enforces_caps:
             for cap in powercaps:
@@ -198,6 +211,7 @@ class Controller:
         now = self.engine.now
         job.finish(now, killed=killed)
         self.running.pop(job.job_id)
+        self._running_version += 1
         self._end_events.pop(job.job_id, None)
         assert job.nodes is not None and job.freq_index is not None
         self._release_nodes(job.nodes)
@@ -321,6 +335,7 @@ class Controller:
         """
         allowed_desc = self.policy.frequency_indices_desc()
         lowest = allowed_desc[-1]
+        pos_of = {idx: pos for pos, idx in enumerate(allowed_desc)}
         victims = sorted(
             self.running.values(),
             key=lambda j: (-(j.start_time or 0.0), j.job_id),
@@ -331,7 +346,7 @@ class Controller:
             stepped = False
             for job in victims:
                 assert job.freq_index is not None and job.nodes is not None
-                pos = allowed_desc.index(job.freq_index) if job.freq_index in allowed_desc else None
+                pos = pos_of.get(job.freq_index)
                 if pos is None or job.freq_index == lowest:
                     continue
                 new_index = allowed_desc[pos + 1]
@@ -351,6 +366,8 @@ class Controller:
                 job.freq_index = new_index
                 job.freq_ghz = new_ghz
                 job.degradation = new_deg
+                # expected_end stretches with the new degradation
+                self._running_version += 1
                 ev = self._end_events.get(job.job_id)
                 if ev is not None:
                     SimEngine.cancel(ev)
@@ -385,6 +402,49 @@ class Controller:
         self._pass_pending = True
         self.engine.at(at, self._sched_pass, kind=EventKind.SCHED_PASS)
 
+    def _free_idle_ids(self) -> np.ndarray:
+        """Idle node ids, rescanned only when the accountant changed."""
+        acct = self.accountant
+        if self._free_version != acct.version:
+            self._free_ids = np.flatnonzero(acct.state == NodeState.IDLE)
+            self._free_version = acct.version
+        return self._free_ids
+
+    def _pending_shutdowns(self, now: float) -> list[ShutdownReservation]:
+        """Shutdown reservations protecting nodes at ``now``, with the
+        reservation mask refreshed only when the pending set changes.
+
+        Reservations start protecting their nodes one drain horizon
+        ahead of the window (see SchedulerConfig); their node sets are
+        immutable, so the mask is keyed by the identities of the
+        pending reservations (the registry keeps them alive, and —
+        unlike list positions — identities survive the registry
+        re-sorting on a later ``add_shutdown``).
+        """
+        horizon = self.config.reservation_drain_horizon
+        pending = [
+            sd
+            for sd in self.registry.shutdowns
+            if sd.end > now and (math.isinf(horizon) or now >= sd.start - horizon)
+        ]
+        key = tuple(id(sd) for sd in pending)
+        if key != self._mask_key:
+            self._reserved_mask[:] = False
+            for sd in pending:
+                self._reserved_mask[sd.nodes] = True
+            self._mask_key = key
+        return pending
+
+    def _running_snapshot_sorted(self) -> list[tuple[float, int]]:
+        """``(expected_end, n_nodes)`` of the running jobs, pre-sorted
+        by end time; rebuilt only when the running set changed."""
+        if self._snapshot_version != self._running_version:
+            snap = [(j.expected_end, j.n_nodes) for j in self.running.values()]
+            snap.sort(key=lambda r: r[0])
+            self._running_snapshot = snap
+            self._snapshot_version = self._running_version
+        return self._running_snapshot
+
     def _sched_pass(self) -> None:
         self._pass_pending = False
         now = self.engine.now
@@ -392,21 +452,19 @@ class Controller:
         if len(self.queue) == 0:
             return
 
-        free_ids = np.flatnonzero(self.accountant.state == NodeState.IDLE)
-        if free_ids.size == 0 and not self.config.backfill:
+        free_ids = self._free_idle_ids()
+        if free_ids.size == 0:
+            if not self.config.backfill:
+                return
+            # Nothing can start (every allocation needs >= 1 node) and
+            # a pass mutates nothing else — except that the priority
+            # ordering it would have computed advances the fair-share
+            # usage decay.  Apply that decay step explicitly so the
+            # fast path leaves bit-identical state behind.
+            self.fairshare.decay_to(now)
             return
-        # Shutdown reservations start protecting their nodes one drain
-        # horizon ahead of the window (see SchedulerConfig).
-        horizon = self.config.reservation_drain_horizon
-        reserved_mask = np.zeros(self.machine.n_nodes, dtype=bool)
-        pending_sds = [
-            sd
-            for sd in self.registry.shutdowns
-            if sd.end > now and (math.isinf(horizon) or now >= sd.start - horizon)
-        ]
-        for sd in pending_sds:
-            reserved_mask[sd.nodes] = True
-        alloc = _PassAllocator(free_ids, reserved_mask)
+        pending_sds = self._pending_shutdowns(now)
+        alloc = _PassAllocator(free_ids, self._reserved_mask)
 
         view = PowercapView(
             self.registry, self.accountant, now, self.running.values()
@@ -414,27 +472,38 @@ class Controller:
             ReservationRegistry(0), self.accountant, now, ()
         )
 
-        order = self.queue.order(now)
+        order = self.queue.order(now, limit=self.config.backfill_depth)
         window: BackfillWindow | None = None
         tested = 0
+        #: per-pass memo of frequency decisions keyed by the decision's
+        #: full input (n_nodes, walltime); the view only changes when a
+        #: job starts, which clears the memo (walltimes cluster on the
+        #: default limit and the queue-menu grains, so blocked passes
+        #: collapse to a handful of distinct ladder walks)
+        decide_cache: dict[tuple[int, float], object] = {}
         for jid in order:
             if tested >= self.config.backfill_depth:
                 break
             tested += 1
             job = self.queue.job(int(jid))
-            started = self._try_start(job, now, view, alloc, pending_sds, window)
-            if started:
-                continue
-            if window is None:
+            started = self._try_start(
+                job, now, view, alloc, pending_sds, window, decide_cache
+            )
+            if not started and window is None:
                 # This is the blocker: compute its EASY reservation.
                 window = easy_backfill_window(
                     job.n_nodes,
                     alloc.free_total,
-                    [(j.expected_end, j.n_nodes) for j in self.running.values()],
+                    self._running_snapshot_sorted(),
                     now,
+                    presorted=True,
                 )
                 if not self.config.backfill:
                     break
+            if alloc.free_total == 0:
+                # No allocation can succeed any more; the remaining
+                # candidates could only be tested and rejected.
+                break
 
     def _try_start(
         self,
@@ -444,9 +513,18 @@ class Controller:
         alloc: _PassAllocator,
         pending_sds: list[ShutdownReservation],
         window: BackfillWindow | None,
+        decide_cache: dict[tuple[int, float], object] | None = None,
     ) -> bool:
-        # Online phase: frequency decision (Algorithm 2).
-        decision = self.freq_selector.decide(job.n_nodes, job.spec.walltime, view)
+        # Online phase: frequency decision (Algorithm 2).  The decision
+        # is a pure function of (n_nodes, walltime) and the pass view,
+        # so identical candidates reuse the memoised result until a
+        # start changes the view.
+        key = (job.n_nodes, job.spec.walltime)
+        decision = decide_cache.get(key) if decide_cache is not None else None
+        if decision is None:
+            decision = self.freq_selector.decide(job.n_nodes, job.spec.walltime, view)
+            if decide_cache is not None:
+                decide_cache[key] = decision
         if not decision.ok:
             return False
         expected_end = now + job.spec.walltime * decision.degradation
@@ -461,6 +539,8 @@ class Controller:
             return False
         self._start_job(job, nodes, decision, now)
         view.note_start(job.n_nodes, decision.freq_index, expected_end)
+        if decide_cache is not None:
+            decide_cache.clear()
         return True
 
     def _start_job(self, job, nodes: np.ndarray, decision, now: float) -> None:
@@ -469,6 +549,7 @@ class Controller:
             now, nodes, decision.freq_index, decision.freq_ghz, decision.degradation
         )
         self.running[job.job_id] = job
+        self._running_version += 1
         self.accountant.set_state(nodes, NodeState.BUSY, freq_index=decision.freq_index)
         self._cores_by_freq[decision.freq_index] += job.n_nodes * self.machine.cores_per_node
         ev = self.engine.at(

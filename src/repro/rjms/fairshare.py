@@ -38,6 +38,16 @@ class FairShare:
             self._usage *= 0.5 ** ((t - self._last_decay) / self.half_life)
         self._last_decay = t
 
+    def decay_to(self, t: float) -> None:
+        """Advance the lazy usage decay to time ``t``.
+
+        Reading :meth:`factors` advances the decay as a side effect, so
+        fast paths that skip a priority computation must still call
+        this to keep the decay chain — and therefore every later
+        factor — bit-identical to the full computation.
+        """
+        self._decay_to(t)
+
     def record_usage(self, user: int, core_seconds: float, t: float) -> None:
         """Charge ``core_seconds`` of usage to ``user`` at time ``t``."""
         if not 0 <= user < self.n_users:

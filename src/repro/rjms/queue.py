@@ -101,18 +101,34 @@ class PendingQueue:
         fs = self.fairshare.factors(now)[self._users[:n]]
         return w.age * age + w.fairshare * fs + w.job_size * size
 
-    def order(self, now: float) -> np.ndarray:
+    def order(self, now: float, limit: int | None = None) -> np.ndarray:
         """Pending job ids, highest priority first.
 
         Ties break deterministically by (submit time, job id) — FCFS.
+        ``limit`` returns only the first ``limit`` ids — the same
+        prefix a full ordering would produce, but via an O(n) partial
+        selection instead of an O(n log n) sort of the whole queue
+        (the scheduling pass only ever examines ``backfill_depth``
+        candidates).
         """
         n = self._n
         if n == 0:
             return np.empty(0, dtype=np.int64)
         prio = self.priorities(now)
+        ids = self._ids[:n]
+        submit = self._submit[:n]
+        if limit is not None and 0 < limit < n:
+            # Smallest value of the top-`limit` priorities; keeping
+            # *every* entry at that value makes the boundary ties
+            # resolve exactly as the full lexsort would.
+            part = np.argpartition(prio, n - limit)
+            thresh = prio[part[n - limit]]
+            cand = np.flatnonzero(prio >= thresh)
+            idx = np.lexsort((ids[cand], submit[cand], -prio[cand]))
+            return ids[cand][idx][:limit]
         # lexsort: last key is primary.
-        idx = np.lexsort((self._ids[:n], self._submit[:n], -prio))
-        return self._ids[:n][idx].copy()
+        idx = np.lexsort((ids, submit, -prio))
+        return ids[idx].copy()
 
     def jobs_in_order(self, now: float) -> list[Job]:
         return [self._jobs[int(j)] for j in self.order(now)]

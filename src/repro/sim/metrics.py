@@ -9,15 +9,33 @@ of Figures 6 and 7.
 The recorder stores step functions sampled at every change, so energy
 and work are *exact* integrals, not grid approximations; grids are
 only used when exporting plot series.
+
+Storage is columnar (structure-of-arrays): one preallocated float64
+time column, a 2D ``cores_by_freq`` matrix, and a 2D scalar-field
+matrix, all grown by amortized doubling.  Recording a sample is a few
+row writes with no per-event allocation, same-timestamp updates
+collapse onto the last row in place, and the integrals/grid exports
+are vectorised ``searchsorted``/``diff`` expressions.  The integrals
+accumulate with ``cumsum`` (strictly sequential, like the scalar
+running total the original per-sample implementation used), so every
+metric is bit-identical to the historical list-of-dataclasses
+recorder; :class:`SeriesSample` survives as a thin row view for the
+trace digest, the analysis layer, and the tests.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
+
+#: scalar column layout of the structure-of-arrays store
+_OFF, _POWER, _IDLE, _DOWN, _INFRA, _BONUS, _BUSY = range(7)
+_N_SCALARS = 7
+
+_INITIAL_CAPACITY = 1024
 
 
 @dataclass(frozen=True)
@@ -71,12 +89,34 @@ class MetricsRecorder:
 
     def __init__(self, frequencies: Sequence[float]) -> None:
         self.frequencies = tuple(frequencies)
-        self._times: list[float] = []
-        self._samples: list[SeriesSample] = []
+        self._nf = len(self.frequencies)
+        cap = _INITIAL_CAPACITY
+        self._t = np.empty(cap, dtype=np.float64)
+        self._cbf = np.empty((cap, self._nf), dtype=np.float64)
+        self._scal = np.empty((cap, _N_SCALARS), dtype=np.float64)
+        self._n = 0
         self.jobs: dict[int, JobRecord] = {}
         self._finalized_at: float | None = None
+        #: job start times in recording order (engine time is monotone,
+        #: so these stay sorted; the flag guards the general case)
+        self._launch_times: list[float] = []
+        self._launch_sorted = True
+        #: end times of jobs that finished in state "completed"
+        self._completion_times: list[float] = []
+        self._completion_sorted = True
 
     # -- recording -------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        cap = len(self._t) * 2
+        n = self._n
+        t = np.empty(cap, dtype=np.float64)
+        t[:n] = self._t[:n]
+        cbf = np.empty((cap, self._nf), dtype=np.float64)
+        cbf[:n] = self._cbf[:n]
+        scal = np.empty((cap, _N_SCALARS), dtype=np.float64)
+        scal[:n] = self._scal[:n]
+        self._t, self._cbf, self._scal = t, cbf, scal
 
     def sample(
         self,
@@ -91,45 +131,52 @@ class MetricsRecorder:
         bonus_watts: float,
         busy_watts: float = 0.0,
     ) -> None:
-        """Record the cluster state at ``time`` (monotone non-decreasing)."""
-        if self._times and time < self._times[-1]:
-            raise ValueError(f"sample at {time} before last {self._times[-1]}")
-        if len(cores_by_freq) != len(self.frequencies):
+        """Record the cluster state at ``time`` (monotone non-decreasing).
+
+        A sample at the same instant as the previous one overwrites it
+        in place (same-timestamp collapse), so bursts of events at one
+        simulated instant cost one row, not many.
+        """
+        n = self._n
+        if len(cores_by_freq) != self._nf:
             raise ValueError("cores_by_freq length mismatch")
-        s = SeriesSample(
-            time=time,
-            cores_by_freq=tuple(float(c) for c in cores_by_freq),
-            off_cores=float(off_cores),
-            power_watts=float(power_watts),
-            idle_watts=float(idle_watts),
-            down_watts=float(down_watts),
-            infra_watts=float(infra_watts),
-            bonus_watts=float(bonus_watts),
-            busy_watts=float(busy_watts),
+        if n:
+            last = self._t[n - 1]
+            if time < last:
+                raise ValueError(f"sample at {time} before last {last}")
+            if time == last:
+                row = n - 1
+            else:
+                if n == len(self._t):
+                    self._grow()
+                row = n
+                self._t[row] = time
+                self._n = n + 1
+        else:
+            row = 0
+            self._t[0] = time
+            self._n = 1
+        self._cbf[row] = cores_by_freq
+        self._scal[row] = (
+            off_cores,
+            power_watts,
+            idle_watts,
+            down_watts,
+            infra_watts,
+            bonus_watts,
+            busy_watts,
         )
-        if self._times and time == self._times[-1]:
-            # Same-instant updates collapse onto the last sample.
-            self._samples[-1] = s
-            return
-        self._times.append(time)
-        self._samples.append(s)
 
     def finalize(self, time: float) -> None:
         """Close the step functions at the end of the replay window."""
-        if self._samples:
-            last = self._samples[-1]
-            if time > last.time:
-                self.sample(
-                    time,
-                    cores_by_freq=last.cores_by_freq,
-                    off_cores=last.off_cores,
-                    power_watts=last.power_watts,
-                    idle_watts=last.idle_watts,
-                    down_watts=last.down_watts,
-                    infra_watts=last.infra_watts,
-                    bonus_watts=last.bonus_watts,
-                    busy_watts=last.busy_watts,
-                )
+        n = self._n
+        if n and time > self._t[n - 1]:
+            if n == len(self._t):
+                self._grow()
+            self._t[n] = time
+            self._cbf[n] = self._cbf[n - 1]
+            self._scal[n] = self._scal[n - 1]
+            self._n = n + 1
         self._finalized_at = time
 
     # -- job bookkeeping ----------------------------------------------------------------
@@ -149,52 +196,99 @@ class MetricsRecorder:
         rec.freq_ghz = freq_ghz
         rec.degradation = degradation
         rec.state = "running"
+        lt = self._launch_times
+        if lt and time < lt[-1]:
+            self._launch_sorted = False
+        lt.append(time)
 
     def job_finished(self, job_id: int, time: float, state: str = "completed") -> None:
         rec = self.jobs[job_id]
         rec.end_time = time
         rec.state = state
+        if state == "completed":
+            ct = self._completion_times
+            if ct and time < ct[-1]:
+                self._completion_sorted = False
+            ct.append(time)
 
     # -- exact integrals -------------------------------------------------------------------
 
-    def _integrate(self, value_of: "callable", t0: float, t1: float) -> float:
-        """Integral of a per-sample scalar step function over [t0, t1)."""
-        if t1 <= t0 or not self._samples:
+    def _segment_bounds(
+        self, t0: float, t1: float
+    ) -> tuple[int, int, int, np.ndarray] | None:
+        """Step-function segmentation of [t0, t1): sample indices
+        ``(i, start, j1)`` and the segment boundary array.
+
+        ``i`` is the sample at or before t0 (clamped to the first
+        sample when t0 precedes the series — the first value then
+        holds from t0, with *no* segment split at ``t[0]``, exactly
+        like the original running-total loop); interior boundaries are
+        the sample times in ``[start, j1)``.
+        """
+        n = self._n
+        if t1 <= t0 or n == 0:
+            return None
+        t = self._t[:n]
+        j0 = int(np.searchsorted(t, t0, side="right"))
+        j1 = int(np.searchsorted(t, t1, side="left"))
+        i = j0 - 1 if j0 > 0 else 0
+        start = i + 1
+        m = max(j1 - start, 0)
+        bounds = np.empty(m + 2, dtype=np.float64)
+        bounds[0] = t0
+        bounds[1:-1] = t[start:j1]
+        bounds[-1] = t1
+        return i, start, j1, bounds
+
+    @staticmethod
+    def _accumulate(vals: np.ndarray, bounds: np.ndarray) -> float:
+        """Sum of per-segment products, accumulated sequentially
+        (``cumsum``) — reproducing the scalar running total of the
+        original implementation bit for bit."""
+        prods = vals * np.diff(bounds)
+        return float(prods.cumsum()[-1])
+
+    def _integral(self, values: np.ndarray, t0: float, t1: float) -> float:
+        """Integral of a per-sample step function (column) over [t0, t1).
+
+        The value before the first sample holds the first value; the
+        value after the last sample holds the last.
+        """
+        seg = self._segment_bounds(t0, t1)
+        if seg is None:
             return 0.0
-        times = self._times
-        total = 0.0
-        # First sample at or before t0.
-        i = bisect.bisect_right(times, t0) - 1
-        i = max(i, 0)
-        t_prev = max(times[i], t0) if times[i] <= t0 else t0
-        # If the first sample is after t0, the step function is
-        # undefined before it; treat it as holding its first value.
-        v_prev = value_of(self._samples[i]) if times[i] <= t0 else value_of(
-            self._samples[0]
-        )
-        for j in range(i + 1, len(times)):
-            t = times[j]
-            if t >= t1:
-                break
-            if t > t_prev:
-                total += v_prev * (t - t_prev)
-                t_prev = t
-            v_prev = value_of(self._samples[j])
-        total += v_prev * (t1 - t_prev)
-        return total
+        i, start, j1, bounds = seg
+        vals = np.empty(max(j1 - start, 0) + 1, dtype=np.float64)
+        vals[0] = values[i]
+        vals[1:] = values[start:j1]
+        return self._accumulate(vals, bounds)
 
     def energy_joules(self, t0: float, t1: float) -> float:
         """Exact energy consumed over ``[t0, t1)``."""
-        return self._integrate(lambda s: s.power_watts, t0, t1)
+        return self._integral(self._scal[: self._n, _POWER], t0, t1)
 
     def work_core_seconds(self, t0: float, t1: float) -> float:
         """Accumulated CPU time (the paper's "work") over ``[t0, t1)``."""
-        return self._integrate(lambda s: sum(s.cores_by_freq), t0, t1)
+        if self._nf == 0:
+            return 0.0
+        seg = self._segment_bounds(t0, t1)
+        if seg is None:
+            return 0.0
+        i, start, j1, bounds = seg
+        # Row sums only over the covered samples.  Sequential per-row
+        # accumulation (cumsum) matches Python's left-to-right sum over
+        # the historical per-sample tuples.
+        hi = max(j1, start)
+        sums = self._cbf[i:hi].cumsum(axis=1)[:, -1]
+        vals = np.empty(max(j1 - start, 0) + 1, dtype=np.float64)
+        vals[0] = sums[0]
+        vals[1:] = sums[start - i : j1 - i]
+        return self._accumulate(vals, bounds)
 
     def job_energy_joules(self, t0: float, t1: float) -> float:
         """Energy drawn by allocated nodes only over ``[t0, t1)`` —
         what SLURM's per-job energy accounting would report."""
-        return self._integrate(lambda s: s.busy_watts, t0, t1)
+        return self._integral(self._scal[: self._n, _BUSY], t0, t1)
 
     def effective_work_core_seconds(
         self, t0: float, t1: float, cores_per_node: int
@@ -216,22 +310,28 @@ class MetricsRecorder:
                 total += r.n_nodes * cores_per_node * (hi - lo) / r.degradation
         return total
 
+    def _sorted_launches(self) -> list[float]:
+        if not self._launch_sorted:
+            self._launch_times.sort()
+            self._launch_sorted = True
+        return self._launch_times
+
+    def _sorted_completions(self) -> list[float]:
+        if not self._completion_sorted:
+            self._completion_times.sort()
+            self._completion_sorted = True
+        return self._completion_times
+
     def launched_jobs(self, t0: float, t1: float) -> int:
         """Jobs whose execution started within ``[t0, t1)``."""
-        return sum(
-            1
-            for r in self.jobs.values()
-            if r.start_time is not None and t0 <= r.start_time < t1
+        starts = self._sorted_launches()
+        return max(
+            0, bisect.bisect_left(starts, t1) - bisect.bisect_left(starts, t0)
         )
 
     def completed_jobs(self, t0: float, t1: float) -> int:
-        return sum(
-            1
-            for r in self.jobs.values()
-            if r.end_time is not None
-            and t0 <= r.end_time < t1
-            and r.state == "completed"
-        )
+        ends = self._sorted_completions()
+        return max(0, bisect.bisect_left(ends, t1) - bisect.bisect_left(ends, t0))
 
     def mean_wait_time(self) -> float | None:
         waits = [r.wait_time for r in self.jobs.values() if r.wait_time is not None]
@@ -250,7 +350,8 @@ class MetricsRecorder:
             raise ValueError("need dt > 0 and t1 > t0")
         grid = np.arange(t0, t1 + dt / 2, dt)
         out: dict[str, np.ndarray] = {"time": grid}
-        if not self._samples:
+        n = self._n
+        if n == 0:
             zero = np.zeros_like(grid)
             for ghz in self.frequencies:
                 out[f"cores@{ghz:g}"] = zero
@@ -259,24 +360,47 @@ class MetricsRecorder:
             out["idle_power"] = zero
             out["bonus"] = zero
             return out
-        times = np.array(self._times)
-        idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, None)
-        samples = self._samples
+        idx = np.clip(np.searchsorted(self._t[:n], grid, side="right") - 1, 0, None)
         for k, ghz in enumerate(self.frequencies):
-            out[f"cores@{ghz:g}"] = np.array(
-                [samples[i].cores_by_freq[k] for i in idx]
-            )
-        out["off_cores"] = np.array([samples[i].off_cores for i in idx])
-        out["power"] = np.array([samples[i].power_watts for i in idx])
-        out["idle_power"] = np.array([samples[i].idle_watts for i in idx])
-        out["bonus"] = np.array([samples[i].bonus_watts for i in idx])
+            out[f"cores@{ghz:g}"] = self._cbf[idx, k]
+        out["off_cores"] = self._scal[idx, _OFF]
+        out["power"] = self._scal[idx, _POWER]
+        out["idle_power"] = self._scal[idx, _IDLE]
+        out["bonus"] = self._scal[idx, _BONUS]
         return out
 
     @property
     def n_samples(self) -> int:
-        return len(self._samples)
+        return self._n
+
+    @property
+    def times(self) -> np.ndarray:
+        """Recorded sample times (read-only view, in time order)."""
+        view = self._t[: self._n]
+        view.flags.writeable = False
+        return view
 
     @property
     def samples(self) -> tuple[SeriesSample, ...]:
-        """The recorded step-function samples, in time order."""
-        return tuple(self._samples)
+        """The recorded step-function samples, in time order.
+
+        A materialised row view over the columnar store, kept for the
+        trace digest, the analysis layer, and the invariant tests.
+        """
+        t = self._t
+        cbf = self._cbf
+        scal = self._scal
+        return tuple(
+            SeriesSample(
+                time=float(t[i]),
+                cores_by_freq=tuple(cbf[i].tolist()),
+                off_cores=scal[i, _OFF].item(),
+                power_watts=scal[i, _POWER].item(),
+                idle_watts=scal[i, _IDLE].item(),
+                down_watts=scal[i, _DOWN].item(),
+                infra_watts=scal[i, _INFRA].item(),
+                bonus_watts=scal[i, _BONUS].item(),
+                busy_watts=scal[i, _BUSY].item(),
+            )
+            for i in range(self._n)
+        )

@@ -27,10 +27,53 @@ GOLDEN = Scenario(
     caps=(CapWindow(0.5 * HOUR, 1.5 * HOUR, 0.5),),
 )
 
+#: trace digest of GOLDEN produced by the seed (pre-columnar,
+#: pre-fast-path) implementation.  The optimised replay must
+#: reproduce it bit for bit; a change here is a *semantic* change to
+#: the simulator, not a refactor.
+GOLDEN_SEED_DIGEST = (
+    "b5209bf308602357c99afa59ae85ed9e957ca591c24c204861c28f36ef707880"
+)
+
+#: trace digests of the full 12-scenario library at 1/56 scale (one
+#: Curie rack), recorded with the seed implementation.
+LIBRARY_SEED_DIGESTS = {
+    "fig6-24h-mix-40": "ebdc5b672b8729ec0087e55b9562c52126fa4d394826850364eadc446713b759",
+    "fig7a-bigjob-shut-60": "906d12911b081f7b3cd2feea7dd8528d8ff202991c1cab4ae5c6e60baf5295df",
+    "fig7b-smalljob-dvfs-40": "6c5c21ebaf1afc0dd625e255427ab5b18fb2a8c925580c54d65047ce6cfccd8a",
+    "baseline-medianjob-uncapped": "4421f9305a6f1f9b3997745cbdb5369d36299a95bd515760453c5fb068b21d9a",
+    "demand-response-day": "d6885098a73b331b3be0605a8059e0fe9fd36cf93ba9f1b5ad11b80cdbc1cbad",
+    "cap-staircase-24h": "52bf1da1e37839fc2fce70eb53ec2e66228ad43755284f1f1436fe374133d022",
+    "night-valley-shut": "e54c5c412c0953ab9494f40df4747119e44f45e7600615d0521c9fa87250ad46",
+    "rho-floor-dvfs-55": "b9e10fbd3e22a9666877fcea926e6912abca2fa06c4aa63a308f52ebf24cb8a5",
+    "rho-combined-mix-45": "46f9803ffcb40354a32cc8ea88bb579ea1ed8f067b2f397da281c281e01ea8b4",
+    "extreme-kill-idle-50": "db6f2da07a39263ce77559b33a4af4cec5414acaa4a6fedaacd2fb491ee5840d",
+    "dynamic-rescaling-dvfs-50": "df592d7ad179cd8bb9b24240f07c11f7b5c0209198c60e11bf3c3861437915ec",
+    "strict-future-mix-60": "9feb60a3046d9dcdc8a2b43274d89bd39a30663636851ddcb758815a39bb0d62",
+}
+
 
 @pytest.fixture(scope="module")
 def golden_serial():
     return run_scenario(GOLDEN)
+
+
+def test_matches_seed_implementation(golden_serial):
+    """The optimised pipeline reproduces the seed trace bit for bit."""
+    assert golden_serial.trace_digest == GOLDEN_SEED_DIGEST
+
+
+@pytest.mark.slow
+def test_library_matches_seed_implementation():
+    """Every library scenario (at one-rack scale) replays to the exact
+    trace the seed implementation produced — the columnar recorder and
+    the scheduling-pass fast paths changed *nothing* observable."""
+    from repro.exp import SCENARIO_LIBRARY
+
+    assert {sc.name for sc in SCENARIO_LIBRARY} == set(LIBRARY_SEED_DIGESTS)
+    for sc in SCENARIO_LIBRARY:
+        result = run_scenario(sc.with_(scale=1 / 56))
+        assert result.trace_digest == LIBRARY_SEED_DIGESTS[sc.name], sc.name
 
 
 def test_serial_replays_bit_identical(golden_serial):

@@ -125,6 +125,89 @@ class TestDeduplication:
         assert results[0].same_outcome(results[1])
 
 
+class TestSeriesPayload:
+    def test_npz_written_and_loadable(self, tmp_path):
+        import numpy as np
+
+        with GridRunner(cache_dir=tmp_path, series=True) as runner:
+            result = runner.run([TINY])[0]
+            npz = tmp_path / f"{TINY.scenario_hash()}.npz"
+            assert npz.is_file()
+            series = runner.load_series(TINY)
+        assert series is not None
+        assert {"time", "power", "off_cores", "idle_power", "bonus"} <= set(series)
+        # The payload is the scenario's own Figure 6/7 grid.
+        from repro.exp import replay_scenario
+
+        replay = replay_scenario(TINY)
+        grid = replay.recorder.to_grid(0.0, replay.duration, 300.0)
+        for key, arr in grid.items():
+            assert np.array_equal(series[key], arr), key
+        assert result.n_samples == replay.recorder.n_samples
+
+    def test_missing_npz_is_a_cache_miss(self, tmp_path):
+        with GridRunner(cache_dir=tmp_path, series=False) as runner:
+            runner.run([TINY])  # JSON cached, no npz
+        with GridRunner(cache_dir=tmp_path, series=True) as runner:
+            result = runner.run([TINY])[0]
+            assert not result.cached  # re-ran to produce the series
+            assert runner.load_series(TINY) is not None
+            # Second pass: both payloads present, served from cache.
+            assert runner.run([TINY])[0].cached
+
+    def test_changed_series_dt_is_a_cache_miss(self, tmp_path):
+        with GridRunner(cache_dir=tmp_path, series=True, series_dt=300.0) as r:
+            r.run([TINY])
+        with GridRunner(cache_dir=tmp_path, series=True, series_dt=60.0) as r:
+            result = r.run([TINY])[0]
+            assert not result.cached  # stale-resolution payload replaced
+            series = r.load_series(TINY)
+        import numpy as np
+
+        assert np.all(np.diff(series["time"]) == 60.0)
+        assert "_series_dt" not in series
+
+    def test_no_series_without_cache_dir(self):
+        runner = GridRunner(series=True)
+        assert runner.run([TINY])[0].trace_digest
+        assert runner.load_series(TINY) is None
+
+    def test_corrupt_npz_is_a_cache_miss(self, tmp_path):
+        with GridRunner(cache_dir=tmp_path, series=True) as r:
+            first = r.run([TINY])[0]
+        npz = tmp_path / f"{TINY.scenario_hash()}.npz"
+        npz.write_bytes(b"not a zip file")
+        with GridRunner(cache_dir=tmp_path, series=True) as r:
+            assert r.load_series(TINY) is None
+            second = r.run([TINY])[0]
+            assert not second.cached  # re-ran and healed the payload
+            assert second.trace_digest == first.trace_digest
+            assert r.load_series(TINY) is not None
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_runs(self, tmp_path):
+        scenarios = [TINY.with_(name=f"s{i}", seed=i) for i in range(3)]
+        with GridRunner(workers=2, cache_dir=tmp_path, persistent=True) as runner:
+            first = runner.run(scenarios[:2])
+            pool = runner._pool
+            assert pool is not None
+            second = runner.run(scenarios[2:])
+            assert runner._pool is pool  # forked once, streamed twice
+        assert runner._pool is None  # context exit closed it
+        # And the results match fresh serial runs.
+        serial = [run_scenario(sc) for sc in scenarios]
+        for got, want in zip(first + second, serial):
+            assert got.trace_digest == want.trace_digest
+
+    def test_non_persistent_matches(self, tmp_path):
+        scenarios = [TINY, TINY.with_(name="other-seed", seed=42)]
+        a = GridRunner(workers=2, persistent=False).run(scenarios)
+        with GridRunner(workers=2, persistent=True) as runner:
+            b = runner.run(scenarios)
+        assert [r.trace_digest for r in a] == [r.trace_digest for r in b]
+
+
 class TestAggregation:
     def test_cell_from_result(self):
         r = run_scenario(TINY_CAPPED)

@@ -1,0 +1,367 @@
+"""Columnar-recorder equivalence suite.
+
+The structure-of-arrays :class:`~repro.sim.metrics.MetricsRecorder`
+replaced the original per-event list-of-dataclasses store.  This suite
+pins the refactor down: a verbatim copy of the seed implementation
+(`SeedRecorder`) is fed the *identical* event streams and every output
+— stored samples, exact integrals, grid exports, job counters — must
+agree **bit for bit** (``==`` on floats, no tolerances).  The trace
+digests of the 12-scenario library are pinned separately in
+``tests/exp/test_determinism.py``.
+"""
+
+import bisect
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import MetricsRecorder, SeriesSample
+
+FREQS = (1.2, 1.5, 1.8, 2.1, 2.4, 2.7)
+
+
+# -- the seed implementation, kept verbatim as the reference ---------------------------
+
+
+class SeedRecorder:
+    """The original pure-Python recorder (reference implementation)."""
+
+    def __init__(self, frequencies):
+        self.frequencies = tuple(frequencies)
+        self._times = []
+        self._samples = []
+        self.jobs = {}
+
+    def sample(self, time, *, cores_by_freq, off_cores, power_watts, idle_watts,
+               down_watts, infra_watts, bonus_watts, busy_watts=0.0):
+        if self._times and time < self._times[-1]:
+            raise ValueError(f"sample at {time} before last {self._times[-1]}")
+        if len(cores_by_freq) != len(self.frequencies):
+            raise ValueError("cores_by_freq length mismatch")
+        s = SeriesSample(
+            time=time,
+            cores_by_freq=tuple(float(c) for c in cores_by_freq),
+            off_cores=float(off_cores),
+            power_watts=float(power_watts),
+            idle_watts=float(idle_watts),
+            down_watts=float(down_watts),
+            infra_watts=float(infra_watts),
+            bonus_watts=float(bonus_watts),
+            busy_watts=float(busy_watts),
+        )
+        if self._times and time == self._times[-1]:
+            self._samples[-1] = s
+            return
+        self._times.append(time)
+        self._samples.append(s)
+
+    def finalize(self, time):
+        if self._samples:
+            last = self._samples[-1]
+            if time > last.time:
+                self.sample(
+                    time,
+                    cores_by_freq=last.cores_by_freq,
+                    off_cores=last.off_cores,
+                    power_watts=last.power_watts,
+                    idle_watts=last.idle_watts,
+                    down_watts=last.down_watts,
+                    infra_watts=last.infra_watts,
+                    bonus_watts=last.bonus_watts,
+                    busy_watts=last.busy_watts,
+                )
+
+    def _integrate(self, value_of, t0, t1):
+        if t1 <= t0 or not self._samples:
+            return 0.0
+        times = self._times
+        total = 0.0
+        i = bisect.bisect_right(times, t0) - 1
+        i = max(i, 0)
+        t_prev = max(times[i], t0) if times[i] <= t0 else t0
+        v_prev = value_of(self._samples[i]) if times[i] <= t0 else value_of(
+            self._samples[0]
+        )
+        for j in range(i + 1, len(times)):
+            t = times[j]
+            if t >= t1:
+                break
+            if t > t_prev:
+                total += v_prev * (t - t_prev)
+                t_prev = t
+            v_prev = value_of(self._samples[j])
+        total += v_prev * (t1 - t_prev)
+        return total
+
+    def energy_joules(self, t0, t1):
+        return self._integrate(lambda s: s.power_watts, t0, t1)
+
+    def work_core_seconds(self, t0, t1):
+        return self._integrate(lambda s: sum(s.cores_by_freq), t0, t1)
+
+    def job_energy_joules(self, t0, t1):
+        return self._integrate(lambda s: s.busy_watts, t0, t1)
+
+    def to_grid(self, t0, t1, dt):
+        if dt <= 0 or t1 <= t0:
+            raise ValueError("need dt > 0 and t1 > t0")
+        grid = np.arange(t0, t1 + dt / 2, dt)
+        out = {"time": grid}
+        if not self._samples:
+            zero = np.zeros_like(grid)
+            for ghz in self.frequencies:
+                out[f"cores@{ghz:g}"] = zero
+            out["off_cores"] = zero
+            out["power"] = zero
+            out["idle_power"] = zero
+            out["bonus"] = zero
+            return out
+        times = np.array(self._times)
+        idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, None)
+        samples = self._samples
+        for k, ghz in enumerate(self.frequencies):
+            out[f"cores@{ghz:g}"] = np.array(
+                [samples[i].cores_by_freq[k] for i in idx]
+            )
+        out["off_cores"] = np.array([samples[i].off_cores for i in idx])
+        out["power"] = np.array([samples[i].power_watts for i in idx])
+        out["idle_power"] = np.array([samples[i].idle_watts for i in idx])
+        out["bonus"] = np.array([samples[i].bonus_watts for i in idx])
+        return out
+
+    @property
+    def samples(self):
+        return tuple(self._samples)
+
+
+# -- stream generation -----------------------------------------------------------------
+
+
+def _random_stream(rng, n_events, *, t_max=1e5):
+    """A recorder-event stream with clustered timestamps (same-instant
+    bursts, like the controller produces) and varied magnitudes."""
+    times = np.sort(rng.uniform(0.0, t_max, size=n_events))
+    # Re-use some timestamps to trigger same-instant collapse.
+    dup = rng.random(n_events) < 0.25
+    for i in range(1, n_events):
+        if dup[i]:
+            times[i] = times[i - 1]
+    events = []
+    for t in times:
+        events.append(
+            dict(
+                time=float(t),
+                cores_by_freq=tuple(
+                    float(x) for x in rng.integers(0, 2000, size=len(FREQS)) * 16.0
+                ),
+                off_cores=float(rng.integers(0, 500) * 16),
+                power_watts=float(rng.uniform(0, 2.5e6)),
+                idle_watts=float(rng.uniform(0, 5e5)),
+                down_watts=float(rng.uniform(0, 1e5)),
+                infra_watts=float(rng.uniform(0, 4e5)),
+                bonus_watts=float(rng.uniform(0, 1e5)),
+                busy_watts=float(rng.uniform(0, 2e6)),
+            )
+        )
+    return events
+
+
+def _fill_both(events, finalize_at=None):
+    new = MetricsRecorder(FREQS)
+    seed = SeedRecorder(FREQS)
+    for ev in events:
+        new.sample(**ev)
+        seed.sample(**ev)
+    if finalize_at is not None:
+        new.finalize(finalize_at)
+        seed.finalize(finalize_at)
+    return new, seed
+
+
+# -- equivalence on random streams ------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed_num", [0, 1, 2])
+def test_samples_bit_identical(seed_num):
+    rng = np.random.default_rng(seed_num)
+    events = _random_stream(rng, 400)
+    new, seed = _fill_both(events, finalize_at=1.2e5)
+    assert new.samples == seed.samples
+
+
+@pytest.mark.parametrize("seed_num", [0, 1, 2, 3])
+def test_integrals_bit_identical(seed_num):
+    rng = np.random.default_rng(100 + seed_num)
+    events = _random_stream(rng, 600)
+    new, seed = _fill_both(events, finalize_at=1.1e5)
+    windows = [(0.0, 1.1e5), (0.0, 1.0), (5e4, 5e4 + 1e-3)]
+    for _ in range(40):
+        a, b = sorted(rng.uniform(-1e4, 1.3e5, size=2))
+        windows.append((float(a), float(b)))
+    # Windows hitting sample times exactly (the boundary cases).
+    ts = new.times
+    windows.append((float(ts[3]), float(ts[-2])))
+    windows.append((float(ts[0]), float(ts[len(ts) // 2])))
+    for t0, t1 in windows:
+        assert new.energy_joules(t0, t1) == seed.energy_joules(t0, t1), (t0, t1)
+        assert new.work_core_seconds(t0, t1) == seed.work_core_seconds(t0, t1)
+        assert new.job_energy_joules(t0, t1) == seed.job_energy_joules(t0, t1)
+
+
+def test_to_grid_bit_identical():
+    rng = np.random.default_rng(7)
+    events = _random_stream(rng, 500)
+    new, seed = _fill_both(events, finalize_at=1.05e5)
+    for t0, t1, dt in [(0.0, 1.05e5, 300.0), (1e4, 9e4, 77.7), (0.0, 500.0, 1.0)]:
+        g_new = new.to_grid(t0, t1, dt)
+        g_seed = seed.to_grid(t0, t1, dt)
+        assert set(g_new) == set(g_seed)
+        for key in g_new:
+            assert np.array_equal(g_new[key], g_seed[key]), key
+
+
+def test_grid_before_first_and_after_last_sample():
+    events = [
+        dict(
+            time=100.0,
+            cores_by_freq=(0.0,) * len(FREQS),
+            off_cores=0.0,
+            power_watts=50.0,
+            idle_watts=0.0,
+            down_watts=0.0,
+            infra_watts=0.0,
+            bonus_watts=0.0,
+            busy_watts=10.0,
+        )
+    ]
+    new, seed = _fill_both(events)
+    g_new = new.to_grid(0.0, 400.0, 50.0)
+    g_seed = seed.to_grid(0.0, 400.0, 50.0)
+    for key in g_new:
+        assert np.array_equal(g_new[key], g_seed[key]), key
+    assert new.energy_joules(0.0, 400.0) == seed.energy_joules(0.0, 400.0)
+
+
+def test_growth_past_initial_capacity():
+    """Amortised doubling: streams longer than the initial buffer."""
+    rng = np.random.default_rng(13)
+    events = _random_stream(rng, 3000, t_max=1e6)
+    new, seed = _fill_both(events, finalize_at=1.1e6)
+    assert new.n_samples == len(seed.samples)
+    assert new.samples == seed.samples
+    assert new.energy_joules(0.0, 1.1e6) == seed.energy_joules(0.0, 1.1e6)
+    assert new.work_core_seconds(12.5, 9.7e5) == seed.work_core_seconds(12.5, 9.7e5)
+
+
+# -- equivalence on a real replay -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def replay_recorders():
+    """The recorder of a real capped replay, mirrored into the seed
+    implementation via the identical sample stream."""
+    from repro.exp import CapWindow, Scenario, replay_scenario
+
+    HOUR = 3600.0
+    sc = Scenario(
+        name="columnar-equivalence",
+        interval="medianjob",
+        policy="MIX",
+        scale=1 / 56,
+        duration=2 * HOUR,
+        caps=(CapWindow(0.5 * HOUR, 1.5 * HOUR, 0.5),),
+    )
+    result = replay_scenario(sc)
+    new = result.recorder
+    seed = SeedRecorder(new.frequencies)
+    for s in new.samples:
+        seed.sample(
+            s.time,
+            cores_by_freq=s.cores_by_freq,
+            off_cores=s.off_cores,
+            power_watts=s.power_watts,
+            idle_watts=s.idle_watts,
+            down_watts=s.down_watts,
+            infra_watts=s.infra_watts,
+            bonus_watts=s.bonus_watts,
+            busy_watts=s.busy_watts,
+        )
+    return new, seed, result.duration
+
+
+def test_replay_integrals_bit_identical(replay_recorders):
+    new, seed, duration = replay_recorders
+    rng = np.random.default_rng(23)
+    windows = [(0.0, duration), (0.25 * duration, 0.75 * duration)]
+    for _ in range(25):
+        a, b = sorted(rng.uniform(0.0, duration, size=2))
+        windows.append((float(a), float(b)))
+    for t0, t1 in windows:
+        assert new.energy_joules(t0, t1) == seed.energy_joules(t0, t1)
+        assert new.work_core_seconds(t0, t1) == seed.work_core_seconds(t0, t1)
+        assert new.job_energy_joules(t0, t1) == seed.job_energy_joules(t0, t1)
+
+
+def test_replay_grid_bit_identical(replay_recorders):
+    new, seed, duration = replay_recorders
+    g_new = new.to_grid(0.0, duration, 300.0)
+    g_seed = seed.to_grid(0.0, duration, 300.0)
+    assert set(g_new) == set(g_seed)
+    for key in g_new:
+        assert np.array_equal(g_new[key], g_seed[key]), key
+
+
+# -- job counters -----------------------------------------------------------------------
+
+
+def test_launch_and_completion_counters_match_full_scan():
+    """The incremental counters agree with a brute-force record scan."""
+    rng = np.random.default_rng(5)
+    rec = MetricsRecorder(FREQS)
+    n = 500
+    starts, ends = {}, {}
+    now = 0.0
+    for jid in range(n):
+        now += float(rng.uniform(0.0, 50.0))
+        rec.job_submitted(jid, cores=16, n_nodes=1, time=now)
+    now = 0.0
+    for jid in range(n):
+        now += float(rng.uniform(0.0, 30.0))
+        if rng.random() < 0.8:
+            rec.job_started(jid, now, 2.7, 1.0)
+            starts[jid] = now
+    now += 1.0
+    for jid in list(starts):
+        now += float(rng.uniform(0.0, 20.0))
+        if rng.random() < 0.7:
+            state = "completed" if rng.random() < 0.85 else "killed"
+            rec.job_finished(jid, now, state=state)
+            ends[jid] = (now, state)
+
+    def brute_launched(t0, t1):
+        return sum(1 for s in starts.values() if t0 <= s < t1)
+
+    def brute_completed(t0, t1):
+        return sum(
+            1 for e, st in ends.values() if st == "completed" and t0 <= e < t1
+        )
+
+    horizon = now + 10.0
+    for _ in range(60):
+        a, b = sorted(rng.uniform(0.0, horizon, size=2))
+        assert rec.launched_jobs(a, b) == brute_launched(a, b)
+        assert rec.completed_jobs(a, b) == brute_completed(a, b)
+    # Degenerate and inverted windows return zero, like the old scan.
+    assert rec.launched_jobs(5.0, 5.0) == 0
+    assert rec.completed_jobs(9.0, 3.0) == 0
+
+
+def test_killed_jobs_not_counted_completed():
+    rec = MetricsRecorder(FREQS)
+    rec.job_submitted(1, cores=16, n_nodes=1, time=0.0)
+    rec.job_started(1, 1.0, 2.7, 1.0)
+    rec.job_finished(1, 2.0, state="killed")
+    assert rec.launched_jobs(0.0, 10.0) == 1
+    assert rec.completed_jobs(0.0, 10.0) == 0
