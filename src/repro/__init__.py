@@ -52,6 +52,12 @@ from repro.workload import (
 )
 from repro.analysis import run_policy_grid, render_grid, figure_series
 from repro.apps import CURIE_APP_MODELS
+from repro.platform import (
+    PlatformSpec,
+    get_platform,
+    platform_names,
+    register_platform,
+)
 from repro.exp import (
     CapWindow,
     GridRunner,
@@ -98,6 +104,10 @@ __all__ = [
     "render_grid",
     "figure_series",
     "CURIE_APP_MODELS",
+    "PlatformSpec",
+    "get_platform",
+    "platform_names",
+    "register_platform",
     "CapWindow",
     "GridRunner",
     "RunResult",

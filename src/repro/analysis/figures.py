@@ -10,7 +10,7 @@ regular grid; :func:`render_series_ascii` draws a terminal version.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.cluster.machine import Machine
 from repro.rjms.config import SchedulerConfig
 from repro.sim.replay import ReplayResult, powercap_reservation, run_replay
 from repro.workload.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.spec import PlatformSpec
 
 HOUR = 3600.0
 
@@ -40,12 +43,14 @@ def figure_series(
     window: tuple[float, float] | None = None,
     grid_dt: float = 300.0,
     config: SchedulerConfig | None = None,
+    platform: "PlatformSpec | None" = None,
 ) -> dict[str, object]:
     """Replay and export the Figure 6/7 series.
 
     Returns a dict with the ``grid`` (time series arrays), the
     ``result`` (full :class:`ReplayResult`), and the window and cap
-    levels needed to draw the hatched areas.
+    levels needed to draw the hatched areas.  ``platform`` resolves a
+    string policy against that platform's degradation model.
     """
     caps = []
     if cap_fraction is not None:
@@ -53,7 +58,13 @@ def figure_series(
             window = middle_window(duration)
         caps = [powercap_reservation(machine, cap_fraction, window[0], window[1])]
     result = run_replay(
-        machine, jobs, policy, duration=duration, powercaps=caps, config=config
+        machine,
+        jobs,
+        policy,
+        duration=duration,
+        powercaps=caps,
+        config=config,
+        platform=platform,
     )
     grid = result.recorder.to_grid(0.0, duration, grid_dt)
     return {

@@ -9,12 +9,15 @@ launched jobs and work per cell, like the paper's bar grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.cluster.machine import Machine
 from repro.rjms.config import SchedulerConfig
 from repro.sim.replay import ReplayResult, powercap_reservation, run_replay
 from repro.workload.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.spec import PlatformSpec
 
 HOUR = 3600.0
 
@@ -46,11 +49,20 @@ class GridCell:
     window_energy_norm: float = float("nan")
     window_work_norm: float = float("nan")
     window_effective_work_norm: float = float("nan")
+    #: platform registry entry the cell ran on (see repro.platform)
+    platform: str = "curie"
 
     @property
     def label(self) -> str:
         pct = int(round(self.cap_fraction * 100))
         return f"{pct}%/{self.policy if self.policy != 'NONE' else 'None'}"
+
+    @property
+    def group_label(self) -> str:
+        """Grid group heading; Curie keeps its historical bare name."""
+        if self.platform == "curie":
+            return self.workload
+        return f"{self.platform}:{self.workload}"
 
 
 def middle_cap_window(duration: float, cap_hours: float = 1.0) -> tuple[float, float]:
@@ -95,17 +107,36 @@ def run_cell(
     *,
     duration: float = 5 * HOUR,
     config: SchedulerConfig | None = None,
+    platform: "PlatformSpec | None" = None,
 ) -> GridCell:
-    """Replay one grid cell and normalise its metrics."""
+    """Replay one grid cell and normalise its metrics.
+
+    ``platform`` resolves the string policy against that platform's
+    degradation model and labels the cell; without one the paper's
+    Curie constants apply.
+    """
     caps = []
     window = None
     if policy != "NONE" and cap_fraction < 1.0:
         window = middle_cap_window(duration)
         caps = [powercap_reservation(machine, cap_fraction, window[0], window[1])]
     result = run_replay(
-        machine, jobs, policy, duration=duration, powercaps=caps, config=config
+        machine,
+        jobs,
+        policy,
+        duration=duration,
+        powercaps=caps,
+        config=config,
+        platform=platform,
     )
-    return _to_cell(result, workload_name, cap_fraction, policy, window)
+    return _to_cell(
+        result,
+        workload_name,
+        cap_fraction,
+        policy,
+        window,
+        platform_name=platform.name if platform is not None else "curie",
+    )
 
 
 def _to_cell(
@@ -114,6 +145,8 @@ def _to_cell(
     cap_fraction: float,
     policy: str,
     window: tuple[float, float] | None = None,
+    *,
+    platform_name: str = "curie",
 ) -> GridCell:
     machine = result.machine
     max_job_energy = machine.max_power() * result.duration
@@ -135,6 +168,7 @@ def _to_cell(
         window_energy_norm=w_energy,
         window_work_norm=w_work,
         window_effective_work_norm=w_eff,
+        platform=platform_name,
     )
 
 
@@ -145,6 +179,7 @@ def run_policy_grid(
     duration: float = 5 * HOUR,
     grid: Mapping[float, Sequence[str]] | None = None,
     config: SchedulerConfig | None = None,
+    platform: "PlatformSpec | None" = None,
 ) -> list[GridCell]:
     """Replay the full Figure 8 grid.
 
@@ -166,6 +201,7 @@ def run_policy_grid(
                         fraction,
                         duration=duration,
                         config=config,
+                        platform=platform,
                     )
                 )
     return cells
@@ -184,8 +220,8 @@ def render_grid(cells: Sequence[GridCell]) -> str:
         f"{'cap/policy':>12}  {'energy':^31}  {'jobs':^31}  {'work':^31}"
     )
     for c in cells:
-        if c.workload != current:
-            current = c.workload
+        if c.group_label != current:
+            current = c.group_label
             lines.append("")
             lines.append(f"== {current} ==")
             lines.append(header)

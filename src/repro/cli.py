@@ -28,18 +28,42 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
         "--scale",
         type=float,
         default=0.125,
-        help="Curie scale factor (1.0 = 5040 nodes; default 0.125)",
+        help="machine scale factor (1.0 = the platform's full rack "
+             "count, 5040 nodes on Curie; default 0.125)",
     )
+    p.add_argument(
+        "--platform",
+        default="curie",
+        metavar="NAME",
+        help="platform registry entry to simulate (see `exp platforms`; "
+             "default curie)",
+    )
+
+
+def _resolve_platform(name: str):
+    """Registry lookup with a CLI-friendly error listing the entries."""
+    from repro.platform import get_platform
+
+    try:
+        return get_platform(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.analysis.figures import figure_series, render_series_ascii
-    from repro.cluster.curie import curie_machine
     from repro.workload.intervals import PAPER_INTERVALS, generate_interval
 
-    machine = curie_machine(scale=args.scale)
+    platform = _resolve_platform(args.platform)
+    machine = platform.build_machine(scale=args.scale)
     spec = PAPER_INTERVALS[args.interval]
-    jobs = generate_interval(machine, args.interval, seed=args.seed)
+    jobs = generate_interval(
+        machine,
+        args.interval,
+        seed=args.seed,
+        classes=platform.interval_classes(args.interval),
+        reference_cores=platform.workload_reference_cores,
+    )
     series = figure_series(
         machine,
         jobs,
@@ -47,6 +71,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         duration=spec.duration,
         cap_fraction=None if args.policy == "NONE" or args.cap >= 1.0 else args.cap,
         grid_dt=spec.duration / 200,
+        platform=platform,
     )
     result = series["result"]
     print(render_series_ascii(series, width=args.width))
@@ -58,54 +83,61 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 def cmd_grid(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_grid, run_policy_grid
-    from repro.cluster.curie import curie_machine
     from repro.workload.intervals import generate_interval
 
-    machine = curie_machine(scale=args.scale)
+    platform = _resolve_platform(args.platform)
+    machine = platform.build_machine(scale=args.scale)
     names = args.workloads.split(",")
-    workloads = {n: generate_interval(machine, n) for n in names}
-    cells = run_policy_grid(machine, workloads)
+    workloads = {
+        n: generate_interval(
+            machine,
+            n,
+            classes=platform.interval_classes(n),
+            reference_cores=platform.workload_reference_cores,
+        )
+        for n in names
+    }
+    cells = run_policy_grid(machine, workloads, platform=platform)
     print(render_grid(cells))
     return 0
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    from repro.cluster.curie import (
-        CURIE_BENCHMARK_DEGMIN,
-        CURIE_FREQUENCY_TABLE,
-        CURIE_TOPOLOGY,
-    )
     from repro.core.powermodel import rho
 
-    print("Figure 2 — enclosure power bonus")
-    for row in CURIE_TOPOLOGY.bonus_figure_rows(CURIE_FREQUENCY_TABLE.max.watts):
+    platform = _resolve_platform(args.platform)
+    table = platform.frequency_table()
+    topo = platform.topology()
+    print(f"[{platform.name}] Figure 2 — enclosure power bonus")
+    for row in topo.bonus_figure_rows(table.max.watts):
         print(
             f"  {row['level']:<8} components={row['component_watts']:>5.0f} W  "
             f"bonus={row['bonus_watts']:>5.0f} W  "
             f"accumulated={row['accumulated_watts']:>6.0f} W"
         )
-    print("\nFigure 4 — node power per state")
-    print(f"  {'Switch-off':<14}{CURIE_FREQUENCY_TABLE.down_watts:>6.0f} W")
-    print(f"  {'Idle':<14}{CURIE_FREQUENCY_TABLE.idle_watts:>6.0f} W")
-    for step in CURIE_FREQUENCY_TABLE:
+    print(f"\n[{platform.name}] Figure 4 — node power per state")
+    print(f"  {'Switch-off':<14}{table.down_watts:>6.0f} W")
+    print(f"  {'Idle':<14}{table.idle_watts:>6.0f} W")
+    for step in table:
         print(f"  DVFS {step.ghz:<4} GHz{step.watts:>8.0f} W")
-    print("\nFigure 5 — degmin / rho per benchmark")
-    ft = CURIE_FREQUENCY_TABLE
-    for name, degmin in CURIE_BENCHMARK_DEGMIN.items():
-        r = rho(degmin, ft.max.watts, ft.min.watts, ft.down_watts)
-        best = "Switch-off" if r <= 0 else "DVFS"
-        print(f"  {name:<14} degmin={degmin:<5} rho={r:+.3f}  -> {best}")
+    if platform.benchmark_degmin:
+        print(f"\n[{platform.name}] Figure 5 — degmin / rho per benchmark")
+        for name, degmin in platform.benchmark_degmin:
+            r = rho(degmin, table.max.watts, table.min.watts, table.down_watts)
+            best = "Switch-off" if r <= 0 else "DVFS"
+            print(f"  {name:<14} degmin={degmin:<5} rho={r:+.3f}  -> {best}")
+    else:
+        print(f"\n[{platform.name}] no per-benchmark degradation table")
     return 0
 
 
 def cmd_model(args: argparse.Namespace) -> int:
-    from repro.cluster.curie import curie_machine
     from repro.core.offline import OfflinePlanner
-    from repro.core.policies import make_policy
     from repro.rjms.reservations import PowercapReservation
 
-    machine = curie_machine(scale=args.scale)
-    planner = OfflinePlanner(machine, make_policy(args.policy, machine.freq_table))
+    platform = _resolve_platform(args.platform)
+    machine = platform.build_machine(scale=args.scale)
+    planner = OfflinePlanner(machine, platform.make_policy(args.policy, machine.freq_table))
     cap_watts = args.cap * machine.max_power()
     cap = PowercapReservation(0.0, HOUR, watts=cap_watts)
     plan = planner.plan(cap)
@@ -129,9 +161,16 @@ def cmd_model(args: argparse.Namespace) -> int:
 def _parse_grid_spec(tokens: list[str]) -> dict[str, list]:
     """Parse ``key=v1,v2`` tokens into :func:`expand_grid` axes.
 
-    Example: ``interval=bigjob,smalljob policy=SHUT,DVFS cap=0.8,0.4``.
+    Example: ``interval=bigjob,smalljob policy=SHUT,DVFS cap=0.8,0.4
+    platform=curie,manythin``.
     """
-    convert = {"cap": float, "seed": int, "interval": str, "policy": str}
+    convert = {
+        "cap": float,
+        "seed": int,
+        "interval": str,
+        "policy": str,
+        "platform": str,
+    }
     axes: dict[str, list] = {}
     for token in tokens:
         key, _, values = token.partition("=")
@@ -154,10 +193,15 @@ def _parse_grid_spec(tokens: list[str]) -> dict[str, list]:
 def _gather_scenarios(args: argparse.Namespace) -> list:
     from repro.exp import expand_grid, get_scenario
 
+    platform = getattr(args, "platform", None)
+    if platform is not None:
+        _resolve_platform(platform)
     scenarios = []
     try:
         for name in args.scenario or ():
             sc = get_scenario(name)
+            if platform is not None:
+                sc = sc.with_(platform=platform)
             if args.scale is not None:
                 sc = sc.with_(scale=args.scale)
             if args.duration is not None:
@@ -167,6 +211,8 @@ def _gather_scenarios(args: argparse.Namespace) -> list:
             scenarios.append(sc)
         if args.grid:
             axes = _parse_grid_spec(args.grid)
+            if platform is not None and "platform" not in axes:
+                axes["platform"] = [platform]
             kwargs = {}
             if args.scale is not None:
                 kwargs["scale"] = args.scale
@@ -184,19 +230,46 @@ def _gather_scenarios(args: argparse.Namespace) -> list:
 def cmd_exp_list(args: argparse.Namespace) -> int:
     from repro.exp import SCENARIO_LIBRARY
 
+    wanted = getattr(args, "platform", None)
+    if wanted is not None:
+        _resolve_platform(wanted)
     header = (
-        f"{'name':<28} {'hash':<16} {'interval':>9} {'policy':>6} "
-        f"{'dur(h)':>6} {'caps':<24}"
+        f"{'name':<28} {'hash':<16} {'platform':<10} {'interval':>9} "
+        f"{'policy':>6} {'dur(h)':>6} {'caps':<24}"
     )
     print(header)
     print("-" * len(header))
     for sc in SCENARIO_LIBRARY:
+        if wanted is not None and sc.platform != wanted:
+            continue
         caps = " ".join(
             f"{c.fraction:.0%}@[{c.start / HOUR:g},{c.end / HOUR:g}h)" for c in sc.caps
         ) or "-"
         print(
-            f"{sc.name:<28} {sc.scenario_hash():<16} {sc.interval:>9} "
-            f"{sc.policy:>6} {sc.effective_duration / HOUR:>6g} {caps:<24}"
+            f"{sc.name:<28} {sc.scenario_hash():<16} {sc.platform:<10.10} "
+            f"{sc.interval:>9} {sc.policy:>6} "
+            f"{sc.effective_duration / HOUR:>6g} {caps:<24}"
+        )
+    return 0
+
+
+def cmd_exp_platforms(args: argparse.Namespace) -> int:
+    from repro.platform import platform_specs
+
+    header = (
+        f"{'name':<10} {'hash':<16} {'nodes':>6} {'cores/n':>7} "
+        f"{'DVFS (GHz)':<14} {'steps':>5} {'max kW':>7} description"
+    )
+    print(header)
+    print("-" * len(header))
+    for pf in platform_specs():
+        table = pf.frequency_table()
+        machine = pf.build_machine()
+        ghz_range = f"{table.min.ghz:g}-{table.max.ghz:g}"
+        print(
+            f"{pf.name:<10.10} {pf.content_hash():<16} {machine.n_nodes:>6d} "
+            f"{pf.cores_per_node:>7d} {ghz_range:<14} {len(table):>5d} "
+            f"{machine.max_power() / 1e3:>7.0f} {pf.description}"
         )
     return 0
 
@@ -233,6 +306,8 @@ def cmd_exp_compare(args: argparse.Namespace) -> int:
 
     try:
         a, b = get_scenario(args.a), get_scenario(args.b)
+        if args.platform is not None:
+            a, b = a.with_(platform=args.platform), b.with_(platform=args.platform)
         if args.scale is not None:
             a, b = a.with_(scale=args.scale), b.with_(scale=args.scale)
     except (ValueError, KeyError) as exc:
@@ -268,6 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser("tables", help="print the static paper tables")
+    p.add_argument("--platform", default="curie", metavar="NAME",
+                   help="platform whose tables to print (default curie)")
     p.set_defaults(func=cmd_tables)
 
     p = sub.add_parser("model", help="evaluate the Section III model")
@@ -280,7 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp_sub = p.add_subparsers(dest="exp_command", required=True)
 
     p = exp_sub.add_parser("list", help="list the built-in scenario library")
+    p.add_argument("--platform", default=None, metavar="NAME",
+                   help="only list scenarios of this platform")
     p.set_defaults(func=cmd_exp_list)
+
+    p = exp_sub.add_parser(
+        "platforms", help="list the platform registry entries"
+    )
+    p.set_defaults(func=cmd_exp_platforms)
 
     p = exp_sub.add_parser("run", help="run scenarios / a parameter grid")
     p.add_argument(
@@ -293,10 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid",
         nargs="+",
         metavar="AXIS=V1,V2",
-        help="parameter grid, e.g. interval=bigjob,smalljob policy=SHUT,MIX cap=0.8,0.4",
+        help="parameter grid, e.g. interval=bigjob,smalljob policy=SHUT,MIX "
+             "cap=0.8,0.4 platform=curie,manythin",
     )
     p.add_argument("--scale", type=float, default=None,
                    help="override the machine scale of every scenario")
+    p.add_argument("--platform", default=None, metavar="NAME",
+                   help="override the platform of every named scenario and "
+                        "default the grid's platform axis (see `exp platforms`)")
     p.add_argument("--duration", type=float, default=None,
                    help="replay length in hours (overrides the scenario/interval "
                         "default; cap windows keep their absolute placement, and "
@@ -313,6 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("a", help="first scenario name")
     p.add_argument("b", help="second scenario name")
     p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--platform", default=None, metavar="NAME",
+                   help="override the platform of both scenarios")
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--cache-dir", default=None)
     p.set_defaults(func=cmd_exp_compare)

@@ -20,7 +20,13 @@ from repro.core.powermodel import (
     dvfs_only_nodes,
     shutdown_only_nodes,
 )
-from repro.core.policies import Policy, PolicyKind, make_policy, CURIE_POLICIES
+from repro.core.policies import (
+    Policy,
+    PolicyKind,
+    make_policy,
+    policy_set,
+    CURIE_POLICIES,
+)
 from repro.core.offline import OfflinePlanner, ShutdownPlan
 from repro.core.online import FrequencySelector, PowercapView, FrequencyDecision
 
@@ -37,6 +43,7 @@ __all__ = [
     "Policy",
     "PolicyKind",
     "make_policy",
+    "policy_set",
     "CURIE_POLICIES",
     "OfflinePlanner",
     "ShutdownPlan",

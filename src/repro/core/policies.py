@@ -22,12 +22,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.cluster.curie import (
-    CURIE_DEGMIN_FULL_RANGE,
-    CURIE_DEGMIN_MIX_RANGE,
-    CURIE_MIX_MIN_GHZ,
-)
 from repro.cluster.frequency import FrequencyTable, degradation_factor
+
+#: The paper's replay degradation constants (Section VII-B), measured
+#: on Curie and used as the defaults of the bare string-policy path.
+#: They are machine data, so every platform registry entry
+#: (:mod:`repro.platform`) carries its own values; the Curie entry
+#: repeats these verbatim (asserted by the platform tests).
+DEFAULT_DEGMIN_FULL_RANGE = 1.63
+DEFAULT_DEGMIN_MIX_RANGE = 1.29
+DEFAULT_MIX_MIN_GHZ = 2.0
 
 
 class PolicyKind(enum.Enum):
@@ -104,12 +108,14 @@ def make_policy(
     freq_table: FrequencyTable,
     *,
     degmin: float | None = None,
-    mix_min_ghz: float = CURIE_MIX_MIN_GHZ,
+    mix_min_ghz: float = DEFAULT_MIX_MIN_GHZ,
 ) -> Policy:
     """Build a policy for a machine.
 
     ``degmin`` defaults to the paper's replay constants: 1.63 for the
     full range (DVFS), 1.29 for the MIX high range, 1.0 otherwise.
+    Platform-aware callers pass their own constants (or use
+    :meth:`repro.platform.PlatformSpec.make_policy`).
     """
     kind = PolicyKind(kind) if isinstance(kind, str) else kind
     top_only = freq_table.restrict(freq_table.max.ghz, freq_table.max.ghz)
@@ -120,7 +126,7 @@ def make_policy(
             kind,
             freq_table,
             freq_table,
-            CURIE_DEGMIN_FULL_RANGE if degmin is None else degmin,
+            DEFAULT_DEGMIN_FULL_RANGE if degmin is None else degmin,
         )
     if kind == PolicyKind.MIX:
         allowed = freq_table.restrict(mix_min_ghz, freq_table.max.ghz)
@@ -128,11 +134,32 @@ def make_policy(
             kind,
             freq_table,
             allowed,
-            CURIE_DEGMIN_MIX_RANGE if degmin is None else degmin,
+            DEFAULT_DEGMIN_MIX_RANGE if degmin is None else degmin,
         )
     raise ValueError(f"unknown policy kind {kind!r}")  # pragma: no cover
 
 
+def policy_set(
+    freq_table: FrequencyTable,
+    *,
+    degmin_full: float = DEFAULT_DEGMIN_FULL_RANGE,
+    degmin_mix: float = DEFAULT_DEGMIN_MIX_RANGE,
+    mix_min_ghz: float = DEFAULT_MIX_MIN_GHZ,
+) -> dict[str, Policy]:
+    """All five policies for one machine's table and degradation model.
+
+    The platform-parameterised factory behind
+    :meth:`repro.platform.PlatformSpec.policies`.
+    """
+    degmin = {PolicyKind.DVFS: degmin_full, PolicyKind.MIX: degmin_mix}
+    return {
+        k.value: make_policy(
+            k, freq_table, degmin=degmin.get(k), mix_min_ghz=mix_min_ghz
+        )
+        for k in PolicyKind
+    }
+
+
 def CURIE_POLICIES(freq_table: FrequencyTable) -> dict[str, Policy]:
-    """All five policies instantiated for a Curie-like table."""
-    return {k.value: make_policy(k, freq_table) for k in PolicyKind}
+    """All five policies at the paper's constants (legacy name)."""
+    return policy_set(freq_table)

@@ -33,6 +33,7 @@ def cell_from_result(result: RunResult) -> GridCell:
         window_energy_norm=m.get("window_energy_norm", float("nan")),
         window_work_norm=m.get("window_work_norm", float("nan")),
         window_effective_work_norm=m.get("window_effective_work_norm", float("nan")),
+        platform=sc.platform,
     )
 
 
@@ -48,7 +49,7 @@ def render_results_grid(results: Iterable[RunResult]) -> str:
 def results_table(results: Sequence[RunResult]) -> str:
     """One line per result: identity, headline metrics, provenance."""
     header = (
-        f"{'scenario':<28} {'hash':<16} {'policy':>6} {'cap':>5} "
+        f"{'scenario':<28} {'hash':<16} {'platform':<10} {'policy':>6} {'cap':>5} "
         f"{'energy':>7} {'work':>6} {'jobs':>6} {'digest':>12} {'wall':>7} src"
     )
     lines = [header, "-" * len(header)]
@@ -56,7 +57,8 @@ def results_table(results: Sequence[RunResult]) -> str:
         sc = r.scenario
         cap = f"{sc.cap_fraction:.0%}" if sc.caps else "-"
         lines.append(
-            f"{sc.name:<28.28} {r.scenario_hash:<16} {sc.policy:>6} {cap:>5} "
+            f"{sc.name:<28.28} {r.scenario_hash:<16} {sc.platform:<10.10} "
+            f"{sc.policy:>6} {cap:>5} "
             f"{r.metrics['energy_norm']:>7.3f} {r.metrics['work_norm']:>6.3f} "
             f"{int(r.metrics['launched_jobs']):>6d} {r.trace_digest[:12]:>12} "
             f"{r.wall_seconds:>6.1f}s {'cache' if r.cached else 'run'}"

@@ -99,6 +99,36 @@ def _build_library() -> tuple[Scenario, ...]:
             name="strict-future-mix-60",
             config={"strict_future_caps": True},
         ),
+        # -- non-Curie platforms (repro.platform registry) ----------------------------
+        # Fat-node small cluster: coarse switch-off granularity, a
+        # short high-GHz ladder — SHUT must drop whole fat nodes.
+        Scenario.paper_cell(
+            "bigjob", "SHUT", 0.6, platform="fatnode", scale=1.0
+        ),
+        # Same machine under MIX with the wide-leaning medianjob mix
+        # the platform ships (workload_classes override in play).
+        Scenario.paper_cell(
+            "medianjob", "MIX", 0.5, platform="fatnode", scale=1.0
+        ),
+        # Many-thin-node machine: DVFS over the deep low-GHz ladder,
+        # driven by the platform's tinier smalljob swarm.
+        Scenario.paper_cell(
+            "smalljob", "DVFS", 0.4, platform="manythin", scale=1.0
+        ),
+        # Fine-grained shutdown: a cap staircase over 768 thin nodes,
+        # where MIX can shave power nearly node-by-node.
+        Scenario(
+            name="manythin-staircase-mix",
+            interval="medianjob",
+            policy="MIX",
+            platform="manythin",
+            scale=1.0,
+            caps=(
+                CapWindow(1 * HOUR, 2 * HOUR, 0.75),
+                CapWindow(2 * HOUR, 3 * HOUR, 0.55),
+                CapWindow(3 * HOUR, 4 * HOUR, 0.4),
+            ),
+        ),
     )
 
 

@@ -175,37 +175,53 @@ class RunResult:
 
 
 @lru_cache(maxsize=16)
-def _machine_for(scale: float):
-    from repro.cluster.curie import curie_machine
+def _machine_for(platform: str, platform_hash: str, scale: float):
+    # ``platform_hash`` keys the memo to the spec *content*, so
+    # register_platform(..., replace=True) invalidates stale entries
+    # instead of silently serving the previous spec's hardware.
+    from repro.platform import get_platform
 
-    return curie_machine(scale=scale)
+    return get_platform(platform).build_machine(scale=scale)
 
 
 @lru_cache(maxsize=8)
 def _jobs_for(
-    interval: str, seed: int, duration: float, overload: float, scale: float
+    platform: str,
+    platform_hash: str,
+    interval: str,
+    seed: int,
+    duration: float,
+    overload: float,
+    scale: float,
 ):
     """Per-process workload memo — a grid run replays only a handful
     of distinct workloads across many cells, and generation is pure
-    (fully keyed by its inputs), so caching cannot affect results.
-    Returns a tuple: callers must not see a mutable shared list."""
+    (fully keyed by its inputs, the platform via its content hash),
+    so caching cannot affect results.  Returns a tuple: callers must
+    not see a mutable shared list."""
     from repro.exp.spec import build_workload
 
     return tuple(
         build_workload(
-            _machine_for(scale),
+            _machine_for(platform, platform_hash, scale),
             interval,
             seed=seed,
             duration=duration,
             overload=overload,
+            platform=platform,
         )
     )
 
 
 def replay_scenario(scenario: Scenario) -> ReplayResult:
     """Run the full replay of a scenario (in-process, full telemetry)."""
-    machine = _machine_for(scenario.scale)
+    from repro.platform import get_platform
+
+    platform_hash = get_platform(scenario.platform).content_hash()
+    machine = _machine_for(scenario.platform, platform_hash, scenario.scale)
     jobs = _jobs_for(
+        scenario.platform,
+        platform_hash,
         scenario.interval,
         scenario.effective_seed,
         scenario.effective_duration,
@@ -215,7 +231,7 @@ def replay_scenario(scenario: Scenario) -> ReplayResult:
     return run_replay(
         machine,
         jobs,
-        scenario.policy,
+        scenario.build_policy(machine),
         duration=scenario.effective_duration,
         powercaps=scenario.build_caps(machine),
         config=scenario.build_config(),
@@ -301,6 +317,44 @@ def _condense(scenario: Scenario, result: ReplayResult, t0: float) -> RunResult:
 DEFAULT_SERIES_DT = 300.0
 
 
+def _platform_payload(scenarios: Sequence[Scenario]) -> tuple[dict, ...]:
+    """Serialised specs of every platform the scenarios reference.
+
+    Scenarios carry only a platform *name*, and a worker's registry
+    state is unknowable from here: a ``spawn`` worker sees just the
+    builtins, while a long-lived ``fork`` pool carries whatever was
+    registered when it forked (possibly a since-replaced spec).
+    Shipping every referenced spec and re-registering with
+    ``replace=True`` makes the worker mirror the driver's registry
+    exactly, whatever its history."""
+    from repro.platform import get_platform
+
+    return tuple(
+        get_platform(name).to_dict()
+        for name in dict.fromkeys(sc.platform for sc in scenarios)
+    )
+
+
+def _run_task(
+    scenario: Scenario,
+    *,
+    platforms: tuple[dict, ...],
+    series: bool,
+    grid_dt: float,
+):
+    """One GridRunner work item (top-level so it pickles to workers)."""
+    if platforms:
+        from repro.platform import PlatformSpec, register_platform
+
+        for d in platforms:
+            # The driver's registry wins over whatever the worker
+            # inherited; identical content makes this a no-op.
+            register_platform(PlatformSpec.from_dict(d), replace=True)
+    if series:
+        return run_scenario_with_series(scenario, grid_dt=grid_dt)
+    return run_scenario(scenario)
+
+
 class GridRunner:
     """Executes scenario lists, optionally in parallel, with caching.
 
@@ -312,8 +366,10 @@ class GridRunner:
         a serial run of the same list, in the same order.
     cache_dir:
         When set, each finished scenario is written to
-        ``<cache_dir>/<scenario_hash>.json`` and later runs of the
-        same content skip straight to the stored result.
+        ``<cache_dir>/<scenario_hash>-<platform_hash>.json`` (the key
+        covers the scenario *and* the registered platform content)
+        and later runs of the same content skip straight to the
+        stored result.
     mp_context:
         ``multiprocessing`` start method; default picks ``fork`` where
         available (cheap, and harmless here: workers rebuild every
@@ -328,7 +384,7 @@ class GridRunner:
         release it via :meth:`close` or a ``with`` block.
     series:
         Also export each scenario's Figure 6/7 grid series and store it
-        as ``<cache_dir>/<scenario_hash>.npz`` next to the JSON result
+        as a ``.npz`` under the same cache key next to the JSON result
         (loadable via :meth:`load_series`).  A cached scenario missing
         its ``.npz`` is treated as a cache miss so the payload is
         (re)produced.
@@ -401,21 +457,36 @@ class GridRunner:
 
     # -- cache ------------------------------------------------------------------------
 
-    def _cache_path(self, scenario_hash: str) -> Path | None:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{scenario_hash}.json"
+    @staticmethod
+    def _cache_key(scenario: Scenario) -> str:
+        """On-disk cache key: scenario content + platform content.
 
-    def _series_path(self, scenario_hash: str) -> Path | None:
+        The scenario hash covers only the platform *name*; appending
+        the registered spec's content hash makes a cache entry stale
+        the moment ``register_platform(..., replace=True)`` changes
+        what that name means — instead of silently serving results
+        from the previous hardware.
+        """
+        from repro.platform import get_platform
+
+        platform_hash = get_platform(scenario.platform).content_hash()
+        return f"{scenario.scenario_hash()}-{platform_hash[:8]}"
+
+    def _cache_path(self, cache_key: str) -> Path | None:
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"{scenario_hash}.npz"
+        return self.cache_dir / f"{cache_key}.json"
+
+    def _series_path(self, cache_key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{cache_key}.npz"
 
     def _load_cached(self, scenario: Scenario) -> RunResult | None:
-        path = self._cache_path(scenario.scenario_hash())
+        path = self._cache_path(self._cache_key(scenario))
         if path is None or not path.is_file():
             return None
-        if self.series and not self._series_ok(scenario.scenario_hash()):
+        if self.series and not self._series_ok(self._cache_key(scenario)):
             return None  # series payload missing/stale: re-run to produce it
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
@@ -438,7 +509,7 @@ class GridRunner:
         )
 
     def _store(self, result: RunResult) -> None:
-        path = self._cache_path(result.scenario_hash)
+        path = self._cache_path(self._cache_key(result.scenario))
         if path is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -448,13 +519,13 @@ class GridRunner:
         )
         tmp.replace(path)  # atomic: concurrent writers race benignly
 
-    def _series_ok(self, scenario_hash: str) -> bool:
+    def _series_ok(self, cache_key: str) -> bool:
         """A usable cached series: present, readable, at this dt.
 
         Any unreadable payload (truncated write, corrupted zip) is a
         cache miss, mirroring the JSON cache's self-healing.
         """
-        path = self._series_path(scenario_hash)
+        path = self._series_path(cache_key)
         if path is None or not path.is_file():
             return False
         try:
@@ -463,12 +534,12 @@ class GridRunner:
         except Exception:
             return False
 
-    def _store_series(self, scenario_hash: str, series: Mapping[str, np.ndarray]) -> None:
-        path = self._series_path(scenario_hash)
+    def _store_series(self, cache_key: str, series: Mapping[str, np.ndarray]) -> None:
+        path = self._series_path(cache_key)
         if path is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        tmp = self.cache_dir / f"{scenario_hash}.tmp.{os.getpid()}.npz"
+        tmp = self.cache_dir / f"{cache_key}.tmp.{os.getpid()}.npz"
         # The grid step is stored alongside the arrays so a runner with
         # a different series_dt treats the payload as stale, not a hit.
         np.savez_compressed(tmp, _series_dt=np.float64(self.series_dt), **series)
@@ -481,7 +552,7 @@ class GridRunner:
         ``series_dt`` is treated as absent, matching :meth:`run`'s
         cache-miss behaviour for stale resolutions.
         """
-        path = self._series_path(scenario.scenario_hash())
+        path = self._series_path(self._cache_key(scenario))
         if path is None or not path.is_file():
             return None
         try:
@@ -529,7 +600,7 @@ class GridRunner:
             for item in fresh:
                 if want_series:
                     result, series = item
-                    self._store_series(result.scenario_hash, series)
+                    self._store_series(self._cache_key(result.scenario), series)
                 else:
                     result = item
                 self._store(result)
@@ -545,12 +616,13 @@ class GridRunner:
                     if progress is not None:
                         progress(slot_result)
 
-        task: Callable[[Scenario], Any]
         want_series = self.series and self.cache_dir is not None
-        if want_series:
-            task = partial(run_scenario_with_series, grid_dt=self.series_dt)
-        else:
-            task = run_scenario
+        task: Callable[[Scenario], Any] = partial(
+            _run_task,
+            platforms=_platform_payload(to_run),
+            series=want_series,
+            grid_dt=self.series_dt,
+        )
 
         if self.workers > 1 and len(to_run) > 1:
             if self.persistent:

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.figures import middle_window
-from repro.cluster.curie import curie_machine
 from repro.cluster.machine import Machine
+from repro.core.policies import Policy
+from repro.platform import get_platform
 from repro.rjms.config import SchedulerConfig
 from repro.rjms.reservations import PowercapReservation
 from repro.workload.intervals import PAPER_INTERVALS
@@ -36,8 +37,14 @@ HOUR = 3600.0
 #: policies the controller understands (see repro.core.policies)
 POLICIES = ("NONE", "IDLE", "SHUT", "DVFS", "MIX")
 
-#: hash/serialisation schema version; bump when Scenario semantics change
-SCHEMA_VERSION = 1
+#: the platform every scenario ran on before the registry existed
+DEFAULT_PLATFORM = "curie"
+
+#: hash/serialisation schema version; bump when Scenario semantics change.
+#: v2 added the ``platform`` axis; v1 dicts (implicitly Curie) are
+#: still accepted by :meth:`Scenario.from_dict`.
+SCHEMA_VERSION = 2
+_ACCEPTED_SCHEMAS = (1, 2)
 
 #: SchedulerConfig fields a scenario may override (scalars only; the
 #: multifactor priority weights stay at their defaults)
@@ -91,17 +98,26 @@ def build_workload(
     seed: int,
     duration: float,
     overload: float,
+    platform: str = DEFAULT_PLATFORM,
 ) -> list[JobSpec]:
     """The one workload-construction path of the harness.
 
     Both :meth:`Scenario.build_jobs` and the runner's per-process memo
     go through here, so spec-driven and harness-driven workloads can
-    never diverge.
+    never diverge.  The platform supplies the job-class mix (when it
+    overrides the interval's default) and the core-width basis.
     """
     from repro.workload.intervals import generate_interval
 
     spec = replace(PAPER_INTERVALS[interval], duration=duration, seed=seed)
-    return generate_interval(machine, spec, overload=overload)
+    pf = get_platform(platform)
+    return generate_interval(
+        machine,
+        spec,
+        overload=overload,
+        classes=pf.interval_classes(interval),
+        reference_cores=pf.workload_reference_cores,
+    )
 
 
 @dataclass(frozen=True)
@@ -118,7 +134,8 @@ class Scenario:
     policy:
         Powercap policy (``NONE``/``IDLE``/``SHUT``/``DVFS``/``MIX``).
     scale:
-        Curie scale factor (1.0 = 5040 nodes).
+        Machine scale factor (1.0 = the platform's full rack count;
+        5040 nodes on Curie).
     duration:
         Replay length in seconds; ``None`` uses the interval default.
     seed:
@@ -130,6 +147,10 @@ class Scenario:
     config:
         ``SchedulerConfig`` overrides as sorted ``(field, value)``
         pairs (a mapping is accepted and normalised).
+    platform:
+        Platform registry entry the replay runs on (machine topology,
+        DVFS ladder, degradation model, app-mix defaults); ``curie``
+        by default.
     """
 
     name: str
@@ -141,6 +162,7 @@ class Scenario:
     overload: float = 1.6
     caps: tuple[CapWindow, ...] = ()
     config: tuple[tuple[str, Any], ...] = ()
+    platform: str = DEFAULT_PLATFORM
 
     def __post_init__(self) -> None:
         if self.interval not in PAPER_INTERVALS:
@@ -150,6 +172,11 @@ class Scenario:
             )
         if self.policy not in POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}")
+        try:
+            get_platform(self.platform)
+        except KeyError as exc:
+            # The registry's message already lists the entries.
+            raise ValueError(exc.args[0]) from None
         if self.scale <= 0:
             raise ValueError("scale must be positive")
         if self.duration is not None and self.duration <= 0:
@@ -212,6 +239,7 @@ class Scenario:
             "name": self.name,
             "interval": self.interval,
             "policy": self.policy,
+            "platform": self.platform,
             "scale": self.scale,
             "duration": self.duration,
             "seed": self.seed,
@@ -223,12 +251,22 @@ class Scenario:
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "Scenario":
         schema = d.get("schema", SCHEMA_VERSION)
-        if schema != SCHEMA_VERSION:
+        if schema not in _ACCEPTED_SCHEMAS:
             raise ValueError(f"unsupported scenario schema {schema}")
+        # Anything beyond the dataclass fields is a typo'd axis and
+        # must be rejected, not dropped — a silently ignored key would
+        # alias distinct scenarios onto one cache entry.
+        known = {f.name for f in fields(cls)} | {"schema"}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown Scenario keys {unknown}; known: {sorted(known)}"
+            )
         return cls(
             name=str(d["name"]),
             interval=str(d["interval"]),
             policy=str(d["policy"]),
+            platform=str(d.get("platform", DEFAULT_PLATFORM)),
             scale=float(d["scale"]),
             duration=None if d.get("duration") is None else float(d["duration"]),
             seed=None if d.get("seed") is None else int(d["seed"]),
@@ -247,7 +285,14 @@ class Scenario:
     # -- build the replay inputs ---------------------------------------------------------
 
     def build_machine(self) -> Machine:
-        return curie_machine(scale=self.scale)
+        return get_platform(self.platform).build_machine(scale=self.scale)
+
+    def build_policy(self, machine: Machine | None = None) -> Policy:
+        """The policy bound to this scenario's platform (its DVFS
+        range and degradation constants, not Curie's)."""
+        return get_platform(self.platform).make_policy(
+            self.policy, machine.freq_table if machine is not None else None
+        )
 
     def build_jobs(self, machine: Machine) -> list[JobSpec]:
         return build_workload(
@@ -256,6 +301,7 @@ class Scenario:
             seed=self.effective_seed,
             duration=self.effective_duration,
             overload=self.overload,
+            platform=self.platform,
         )
 
     def build_caps(self, machine: Machine) -> list[PowercapReservation]:
@@ -278,6 +324,7 @@ class Scenario:
         seed: int | None = None,
         name: str | None = None,
         config: Mapping[str, Any] | None = None,
+        platform: str = DEFAULT_PLATFORM,
     ) -> "Scenario":
         """One Figure 8 grid cell: a one-hour cap window of ``cap``
         fraction centred in the interval (no window when uncapped or
@@ -293,7 +340,10 @@ class Scenario:
         if name is None:
             # No cap window, no cap suffix: a NONE/uncapped cell must
             # not masquerade as a capped run in tables and caches.
+            # Curie cells keep their historical (unprefixed) names.
             name = f"{interval}-{policy.lower()}"
+            if platform != DEFAULT_PLATFORM:
+                name = f"{platform}-{name}"
             if caps:
                 name += f"-{int(round(cap * 100))}"
             if seed is not None:
@@ -307,6 +357,7 @@ class Scenario:
             seed=seed,
             caps=caps,
             config=dict(config or {}),
+            platform=platform,
         )
 
 
@@ -320,17 +371,24 @@ def expand_grid(
     """Expand a parameter grid into scenarios via :meth:`Scenario.paper_cell`.
 
     ``axes`` maps axis names to value lists; recognised axes are
-    ``interval``, ``policy``, ``cap`` and ``seed``.  The cartesian
-    product is taken in the axes' insertion order, so the expansion
-    (and therefore a grid run's output order) is deterministic.
+    ``interval``, ``policy``, ``cap``, ``seed`` and ``platform``.  The
+    cartesian product is taken in the axes' insertion order, so the
+    expansion (and therefore a grid run's output order) is
+    deterministic.
     """
-    allowed = {"interval", "policy", "cap", "seed"}
+    allowed = {"interval", "policy", "cap", "seed", "platform"}
     unknown = set(axes) - allowed
     if unknown:
         raise ValueError(f"unknown grid axes {sorted(unknown)}; allowed: {sorted(allowed)}")
     if not axes:
         raise ValueError("empty grid")
-    defaults: dict[str, Any] = {"interval": "medianjob", "policy": "MIX", "cap": 1.0, "seed": None}
+    defaults: dict[str, Any] = {
+        "interval": "medianjob",
+        "policy": "MIX",
+        "cap": 1.0,
+        "seed": None,
+        "platform": DEFAULT_PLATFORM,
+    }
     keys = list(axes)
     scenarios: list[Scenario] = []
     for combo in itertools.product(*(axes[k] for k in keys)):
@@ -345,6 +403,7 @@ def expand_grid(
                 scale=scale,
                 duration=duration,
                 config=config,
+                platform=kw["platform"],
             )
         )
     return scenarios

@@ -1,0 +1,38 @@
+"""Declarative platform registry.
+
+Decouples the simulator stack from Curie: a :class:`PlatformSpec`
+bundles topology, frequency/power table, degradation model and
+workload defaults as serialisable, content-hashable data, and the
+registry maps names to specs.  ``repro.exp`` scenarios carry a
+``platform`` axis resolved here; the CLI exposes the registry via
+``repro exp platforms`` and ``--platform``.
+"""
+
+from repro.platform.spec import PLATFORM_SCHEMA_VERSION, PlatformSpec
+from repro.platform.registry import (
+    get_platform,
+    platform_names,
+    platform_specs,
+    register_platform,
+    unregister_platform,
+)
+from repro.platform.builtin import (
+    BUILTIN_PLATFORMS,
+    CURIE_PLATFORM,
+    FATNODE_PLATFORM,
+    MANYTHIN_PLATFORM,
+)
+
+__all__ = [
+    "PLATFORM_SCHEMA_VERSION",
+    "PlatformSpec",
+    "get_platform",
+    "platform_names",
+    "platform_specs",
+    "register_platform",
+    "unregister_platform",
+    "BUILTIN_PLATFORMS",
+    "CURIE_PLATFORM",
+    "FATNODE_PLATFORM",
+    "MANYTHIN_PLATFORM",
+]

@@ -1,0 +1,140 @@
+"""Built-in platform registry entries.
+
+* ``curie`` — the paper's machine, re-expressed verbatim from the
+  constants in :mod:`repro.cluster.curie`.  The golden determinism
+  digests (:mod:`tests.exp.test_determinism`) pin this entry: every
+  Curie scenario must replay bit-identically through the registry
+  path.
+* ``fatnode`` — a small cluster of fat nodes (dual-socket, 64 cores,
+  a short high-frequency DVFS ladder).  Few, expensive nodes make the
+  switch-off bonus coarse and DVFS comparatively attractive.
+* ``manythin`` — a many-thin-node machine (low-power 4-core nodes, a
+  deep low-frequency ladder).  Shutdown granularity is fine and the
+  idle floor is low, the opposite regime from ``fatnode``.
+
+The two non-Curie entries are deliberately placed on either side of
+Curie in the rho-model's terms (Section III): they change which
+mechanism (switch-off vs DVFS) wins at a given cap, which is exactly
+the comparison the platform axis exists to express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster.curie import (
+    CURIE_BENCHMARK_DEGMIN,
+    CURIE_DEGMIN_FULL_RANGE,
+    CURIE_DEGMIN_MIX_RANGE,
+    CURIE_FREQ_WATTS,
+    CURIE_MIX_MIN_GHZ,
+    CURIE_NODE_DOWN_WATTS,
+    CURIE_NODE_IDLE_WATTS,
+    CURIE_TOPOLOGY,
+)
+from repro.platform.registry import register_platform
+from repro.platform.spec import PlatformSpec
+from repro.workload.synthetic import CURIE_JOB_CLASSES, SMALLJOB_CLASSES
+
+#: Curie, constants verbatim (Figures 2/4/5, Section VI-A).
+CURIE_PLATFORM = PlatformSpec(
+    name="curie",
+    description="Curie petaflopic supercomputer (the paper's machine)",
+    nodes_per_chassis=CURIE_TOPOLOGY.nodes_per_chassis,
+    chassis_per_rack=CURIE_TOPOLOGY.chassis_per_rack,
+    racks=CURIE_TOPOLOGY.racks,
+    chassis_watts=CURIE_TOPOLOGY.chassis_watts,
+    rack_watts=CURIE_TOPOLOGY.rack_watts,
+    cores_per_node=16,
+    idle_watts=CURIE_NODE_IDLE_WATTS,
+    down_watts=CURIE_NODE_DOWN_WATTS,
+    freq_watts=tuple(sorted(CURIE_FREQ_WATTS.items())),
+    degmin_full_range=CURIE_DEGMIN_FULL_RANGE,
+    degmin_mix_range=CURIE_DEGMIN_MIX_RANGE,
+    mix_min_ghz=CURIE_MIX_MIN_GHZ,
+    benchmark_degmin=tuple(CURIE_BENCHMARK_DEGMIN.items()),
+)
+
+#: Fat-node small cluster: 2 racks x 3 chassis x 6 nodes = 36 nodes,
+#: 64 cores each.  The medianjob mix leans wide — fat nodes attract
+#: fat jobs — while staying on the Curie 80640-core width basis.
+FATNODE_PLATFORM = PlatformSpec(
+    name="fatnode",
+    description="small cluster of 36 fat nodes (64 cores, high-GHz ladder)",
+    nodes_per_chassis=6,
+    chassis_per_rack=3,
+    racks=2,
+    chassis_watts=310.0,
+    rack_watts=1250.0,
+    cores_per_node=64,
+    idle_watts=210.0,
+    down_watts=11.0,
+    freq_watts=(
+        (1.6, 380.0),
+        (2.0, 440.0),
+        (2.4, 505.0),
+        (2.8, 575.0),
+        (3.1, 640.0),
+    ),
+    degmin_full_range=1.48,
+    degmin_mix_range=1.21,
+    mix_min_ghz=2.4,
+    workload_classes=(
+        (
+            "medianjob",
+            (
+                replace(CURIE_JOB_CLASSES[0], weight=0.550),
+                replace(CURIE_JOB_CLASSES[1], weight=0.270),
+                replace(CURIE_JOB_CLASSES[2], weight=0.140),
+                replace(CURIE_JOB_CLASSES[3], weight=0.040),
+            ),
+        ),
+    ),
+)
+
+#: Many-thin-node machine: 4 racks x 8 chassis x 24 nodes = 768
+#: low-power 4-core nodes with a deep sub-GHz-step ladder.  The
+#: smalljob mix is tinier still (edge-style task swarms).
+MANYTHIN_PLATFORM = PlatformSpec(
+    name="manythin",
+    description="768 thin low-power nodes (4 cores, deep low-GHz ladder)",
+    nodes_per_chassis=24,
+    chassis_per_rack=8,
+    racks=4,
+    chassis_watts=90.0,
+    rack_watts=600.0,
+    cores_per_node=4,
+    idle_watts=16.0,
+    down_watts=3.0,
+    freq_watts=(
+        (0.8, 28.0),
+        (1.0, 33.0),
+        (1.2, 39.0),
+        (1.5, 46.0),
+        (1.7, 52.0),
+        (2.0, 60.0),
+    ),
+    degmin_full_range=1.72,
+    degmin_mix_range=1.31,
+    mix_min_ghz=1.5,
+    workload_classes=(
+        (
+            "smalljob",
+            (
+                replace(SMALLJOB_CLASSES[0], weight=0.860, max_runtime=45.0),
+                replace(SMALLJOB_CLASSES[1], weight=0.100),
+                replace(SMALLJOB_CLASSES[2], weight=0.030),
+                replace(SMALLJOB_CLASSES[3], weight=0.010),
+            ),
+        ),
+    ),
+)
+
+BUILTIN_PLATFORMS: tuple[PlatformSpec, ...] = (
+    CURIE_PLATFORM,
+    FATNODE_PLATFORM,
+    MANYTHIN_PLATFORM,
+)
+
+for _spec in BUILTIN_PLATFORMS:
+    register_platform(_spec)

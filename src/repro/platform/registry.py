@@ -1,0 +1,63 @@
+"""Name -> :class:`PlatformSpec` registry.
+
+The single lookup point behind the ``platform`` axis of the
+experiment harness: scenarios, the workload generator, the CLI and
+the policy factories all resolve platform names here.  Built-in
+entries (:mod:`repro.platform.builtin`) are registered on import;
+downstream code registers additional platforms with
+:func:`register_platform` — no simulator-stack change required.
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import PlatformSpec
+
+_REGISTRY: dict[str, PlatformSpec] = {}
+
+
+def register_platform(spec: PlatformSpec, *, replace: bool = False) -> PlatformSpec:
+    """Add ``spec`` to the registry under its name.
+
+    Registering a different spec under an existing name raises unless
+    ``replace`` is set; re-registering identical content is a no-op
+    (idempotent imports).
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if existing == spec:
+            return existing  # identical content: keep the original object
+        if not replace:
+            raise ValueError(
+                f"platform {spec.name!r} is already registered with different "
+                "content; pass replace=True to override"
+            )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_platform(name: str) -> None:
+    """Remove a platform (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look a platform up by name.
+
+    Raises ``KeyError`` with the registry contents — the message the
+    CLI surfaces for a typo'd ``--platform``.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {', '.join(platform_names())}"
+        ) from None
+
+
+def platform_names() -> list[str]:
+    """Registered platform names, in registration order (Curie first)."""
+    return list(_REGISTRY)
+
+
+def platform_specs() -> list[PlatformSpec]:
+    return list(_REGISTRY.values())

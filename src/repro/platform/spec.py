@@ -1,0 +1,329 @@
+"""Declarative platform description.
+
+The paper's method — power-adaptive scheduling with DVFS and grouped
+switch-off under a cluster powercap — is machine-generic, but its
+evaluation is bound to one machine (Curie).  A :class:`PlatformSpec`
+captures everything the simulator stack needs to know about *a*
+machine as plain, serialisable data:
+
+* the enclosure **topology** (node/chassis/rack shape and the shared
+  infrastructure watts behind the power-bonus model of Section III-B);
+* the **node power model** (idle/down watts and the DVFS
+  frequency/power ladder of Figure 4);
+* the **degradation model** (completion-time stretch at the slowest
+  DVFS step for the full and MIX-restricted ranges, Section VII-B,
+  plus the optional per-benchmark table of Figure 5);
+* **workload defaults** (the reference core count job-class widths
+  are expressed against, and optional per-interval job-class mixes).
+
+Specs are frozen, content-hashable (:meth:`PlatformSpec.content_hash`)
+and round-trip through JSON (:meth:`to_dict` / :meth:`from_dict`), so
+a platform can key result caches and ship across process boundaries
+exactly like a :class:`repro.exp.Scenario` does.  The registry
+(:mod:`repro.platform.registry`) maps names to specs; Curie is the
+first entry (:mod:`repro.platform.builtin`), re-expressed verbatim
+from :mod:`repro.cluster.curie` and pinned by the golden digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+from repro.cluster.frequency import FrequencyTable
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Topology
+from repro.core.policies import Policy, PolicyKind, make_policy, policy_set
+from repro.workload.synthetic import CURIE_TOTAL_CORES, JobClass
+
+#: serialisation schema version; bump when PlatformSpec semantics change
+PLATFORM_SCHEMA_VERSION = 1
+
+
+def _job_class_to_dict(cls: JobClass) -> dict[str, Any]:
+    return {
+        "name": cls.name,
+        "weight": cls.weight,
+        "min_cores": cls.min_cores,
+        "max_cores": cls.max_cores,
+        "min_runtime": cls.min_runtime,
+        "max_runtime": cls.max_runtime,
+    }
+
+
+def _job_class_from_dict(d: Mapping[str, Any]) -> JobClass:
+    return JobClass(
+        name=str(d["name"]),
+        weight=float(d["weight"]),
+        min_cores=int(d["min_cores"]),
+        max_cores=int(d["max_cores"]),
+        min_runtime=float(d["min_runtime"]),
+        max_runtime=float(d["max_runtime"]),
+    )
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Everything the simulator stack needs to know about one machine.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the :class:`~repro.cluster.machine.Machine`
+        name (suffixed ``-x<scale>`` when scaled).
+    nodes_per_chassis, chassis_per_rack, racks:
+        Enclosure hierarchy shape.
+    chassis_watts, rack_watts:
+        Shared-infrastructure power per enclosure level.
+    cores_per_node:
+        Cores offered per node (jobs are allocated whole nodes).
+    idle_watts, down_watts:
+        Node power when idle / switched off (BMC still powered).
+    freq_watts:
+        The DVFS ladder as ``(ghz, watts)`` pairs, ascending.
+    degmin_full_range:
+        Completion-time degradation at the slowest step of the full
+        ladder (the DVFS policy's span).
+    degmin_mix_range:
+        Degradation at the slowest step of the MIX-restricted range.
+    mix_min_ghz:
+        Lower bound of the MIX policy's energy-efficient high range.
+    description:
+        Human-readable one-liner for listings.
+    benchmark_degmin:
+        Optional per-benchmark degradation table (Figure 5 analogue),
+        as ``(benchmark, degmin)`` pairs.
+    reference_cores:
+        Core count of the reference machine that job-class widths are
+        expressed against.  ``None`` means the default class mixes'
+        basis (the full Curie, 80 640 cores); a platform shipping its
+        own ``workload_classes`` sets the basis those classes use.
+    workload_classes:
+        Per-interval job-class overrides as ``(interval, classes)``
+        pairs; intervals not listed use the paper's default mixes.
+    """
+
+    name: str
+    nodes_per_chassis: int
+    chassis_per_rack: int
+    racks: int
+    chassis_watts: float
+    rack_watts: float
+    cores_per_node: int
+    idle_watts: float
+    down_watts: float
+    freq_watts: tuple[tuple[float, float], ...]
+    degmin_full_range: float
+    degmin_mix_range: float
+    mix_min_ghz: float
+    description: str = ""
+    benchmark_degmin: tuple[tuple[str, float], ...] = ()
+    reference_cores: int | None = None
+    workload_classes: tuple[tuple[str, tuple[JobClass, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("platform name cannot be empty")
+        freq = self.freq_watts
+        if isinstance(freq, Mapping):
+            freq = freq.items()
+        freq = tuple(sorted((float(g), float(w)) for g, w in freq))
+        object.__setattr__(self, "freq_watts", freq)
+        bench = self.benchmark_degmin
+        if isinstance(bench, Mapping):
+            bench = bench.items()
+        object.__setattr__(
+            self, "benchmark_degmin", tuple((str(k), float(v)) for k, v in bench)
+        )
+        wl = self.workload_classes
+        if isinstance(wl, Mapping):
+            wl = wl.items()
+        wl = tuple(
+            (
+                str(interval),
+                tuple(
+                    c if isinstance(c, JobClass) else _job_class_from_dict(c)
+                    for c in classes
+                ),
+            )
+            for interval, classes in wl
+        )
+        object.__setattr__(self, "workload_classes", wl)
+        if len({i for i, _ in wl}) != len(wl):
+            raise ValueError(f"{self.name}: duplicate workload_classes interval")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.reference_cores is not None and self.reference_cores <= 0:
+            raise ValueError("reference_cores must be positive")
+        if self.degmin_full_range < 1.0 or self.degmin_mix_range < 1.0:
+            raise ValueError("degradation factors must be >= 1")
+        # Constructing the table/topology runs their full validation
+        # (power monotone in frequency, down <= idle, positive dims),
+        # and restrict() confirms the MIX range holds at least one step.
+        table = self.frequency_table()
+        table.restrict(self.mix_min_ghz, table.max.ghz)
+        self.topology()
+
+    # -- hardware builders -----------------------------------------------------------
+
+    def frequency_table(self) -> FrequencyTable:
+        return FrequencyTable(
+            self.freq_watts, idle_watts=self.idle_watts, down_watts=self.down_watts
+        )
+
+    def topology(self) -> Topology:
+        return Topology(
+            nodes_per_chassis=self.nodes_per_chassis,
+            chassis_per_rack=self.chassis_per_rack,
+            racks=self.racks,
+            chassis_watts=self.chassis_watts,
+            rack_watts=self.rack_watts,
+            node_down_watts=self.down_watts,
+        )
+
+    def build_machine(self, scale: float = 1.0) -> Machine:
+        """The platform's machine, optionally scaled by whole racks.
+
+        Matches :func:`repro.cluster.curie.curie_machine` for the
+        Curie entry (same topology values, same ``-x<scale>`` naming),
+        which is what keeps the golden digests pinned.
+        """
+        topo = self.topology() if scale == 1.0 else self.topology().scaled(scale)
+        return Machine(
+            name=self.name if scale == 1.0 else f"{self.name}-x{scale:g}",
+            topology=topo,
+            freq_table=self.frequency_table(),
+            cores_per_node=self.cores_per_node,
+        )
+
+    # -- policies --------------------------------------------------------------------
+
+    def make_policy(
+        self, kind: PolicyKind | str, freq_table: FrequencyTable | None = None
+    ) -> Policy:
+        """One policy bound to this platform's degradation model."""
+        kind = PolicyKind(kind) if isinstance(kind, str) else kind
+        degmin: float | None = None
+        if kind is PolicyKind.DVFS:
+            degmin = self.degmin_full_range
+        elif kind is PolicyKind.MIX:
+            degmin = self.degmin_mix_range
+        return make_policy(
+            kind,
+            self.frequency_table() if freq_table is None else freq_table,
+            degmin=degmin,
+            mix_min_ghz=self.mix_min_ghz,
+        )
+
+    def policies(self, freq_table: FrequencyTable | None = None) -> dict[str, Policy]:
+        """All five policies instantiated for this platform."""
+        return policy_set(
+            self.frequency_table() if freq_table is None else freq_table,
+            degmin_full=self.degmin_full_range,
+            degmin_mix=self.degmin_mix_range,
+            mix_min_ghz=self.mix_min_ghz,
+        )
+
+    # -- workload defaults -----------------------------------------------------------
+
+    @property
+    def full_machine_cores(self) -> int:
+        """Total cores of the unscaled machine."""
+        return (
+            self.racks
+            * self.chassis_per_rack
+            * self.nodes_per_chassis
+            * self.cores_per_node
+        )
+
+    @property
+    def workload_reference_cores(self) -> int:
+        """Basis of job-class core widths (defaults to the full Curie)."""
+        return (
+            self.reference_cores
+            if self.reference_cores is not None
+            else CURIE_TOTAL_CORES
+        )
+
+    def interval_classes(self, interval: str) -> tuple[JobClass, ...] | None:
+        """This platform's job-class mix for ``interval``; ``None``
+        when the paper's default mix applies."""
+        for name, classes in self.workload_classes:
+            if name == interval:
+                return classes
+        return None
+
+    # -- identity --------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PLATFORM_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "nodes_per_chassis": self.nodes_per_chassis,
+            "chassis_per_rack": self.chassis_per_rack,
+            "racks": self.racks,
+            "chassis_watts": self.chassis_watts,
+            "rack_watts": self.rack_watts,
+            "cores_per_node": self.cores_per_node,
+            "idle_watts": self.idle_watts,
+            "down_watts": self.down_watts,
+            "freq_watts": [list(p) for p in self.freq_watts],
+            "degmin_full_range": self.degmin_full_range,
+            "degmin_mix_range": self.degmin_mix_range,
+            "mix_min_ghz": self.mix_min_ghz,
+            "benchmark_degmin": [list(p) for p in self.benchmark_degmin],
+            "reference_cores": self.reference_cores,
+            "workload_classes": [
+                [interval, [_job_class_to_dict(c) for c in classes]]
+                for interval, classes in self.workload_classes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PlatformSpec":
+        schema = d.get("schema", PLATFORM_SCHEMA_VERSION)
+        if schema != PLATFORM_SCHEMA_VERSION:
+            raise ValueError(f"unsupported platform schema {schema}")
+        known = {f.name for f in fields(cls)} | {"schema"}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(f"unknown PlatformSpec keys {unknown}")
+        return cls(
+            name=str(d["name"]),
+            description=str(d.get("description", "")),
+            nodes_per_chassis=int(d["nodes_per_chassis"]),
+            chassis_per_rack=int(d["chassis_per_rack"]),
+            racks=int(d["racks"]),
+            chassis_watts=float(d["chassis_watts"]),
+            rack_watts=float(d["rack_watts"]),
+            cores_per_node=int(d["cores_per_node"]),
+            idle_watts=float(d["idle_watts"]),
+            down_watts=float(d["down_watts"]),
+            freq_watts=tuple((float(g), float(w)) for g, w in d["freq_watts"]),
+            degmin_full_range=float(d["degmin_full_range"]),
+            degmin_mix_range=float(d["degmin_mix_range"]),
+            mix_min_ghz=float(d["mix_min_ghz"]),
+            benchmark_degmin=tuple(
+                (str(k), float(v)) for k, v in d.get("benchmark_degmin", ())
+            ),
+            reference_cores=(
+                None
+                if d.get("reference_cores") is None
+                else int(d["reference_cores"])
+            ),
+            workload_classes=tuple(
+                (str(interval), tuple(_job_class_from_dict(c) for c in classes))
+                for interval, classes in d.get("workload_classes", ())
+            ),
+        )
+
+    def content_hash(self) -> str:
+        """Stable 16-hex-digit content hash (description excluded —
+        it is a label, not behaviour)."""
+        content = self.to_dict()
+        del content["description"]
+        canon = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]

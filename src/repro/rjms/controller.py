@@ -18,7 +18,7 @@ bounded by ``backfill_depth``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -40,6 +40,9 @@ from repro.rjms.reservations import (
 from repro.sim.engine import EventKind, SimEngine
 from repro.sim.metrics import MetricsRecorder
 from repro.workload.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.spec import PlatformSpec
 
 
 class _PassAllocator:
@@ -102,13 +105,19 @@ class Controller:
         config: SchedulerConfig | None = None,
         powercaps: Sequence[PowercapReservation] = (),
         recorder: MetricsRecorder | None = None,
+        platform: "PlatformSpec | None" = None,
     ) -> None:
         self.machine = machine
-        self.policy = (
-            make_policy(policy, machine.freq_table)
-            if isinstance(policy, str)
-            else policy
-        )
+        # A string policy resolves against the platform's degradation
+        # model when one is given; bare strings keep the paper's
+        # constants (the pre-registry behaviour).
+        if isinstance(policy, str):
+            policy = (
+                platform.make_policy(policy, machine.freq_table)
+                if platform is not None
+                else make_policy(policy, machine.freq_table)
+            )
+        self.policy = policy
         self.engine = engine
         self.config = config or SchedulerConfig()
         self.accountant = machine.new_accountant()

@@ -7,16 +7,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.machine import Machine
-from repro.core.policies import Policy, make_policy
+from repro.core.policies import Policy
 from repro.rjms.config import SchedulerConfig
 from repro.rjms.controller import Controller
 from repro.rjms.reservations import PowercapReservation
 from repro.sim.engine import EventKind, SimEngine
 from repro.sim.metrics import MetricsRecorder
 from repro.workload.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.spec import PlatformSpec
 
 
 def powercap_reservation(
@@ -108,6 +111,7 @@ def run_replay(
     duration: float,
     powercaps: Sequence[PowercapReservation] = (),
     config: SchedulerConfig | None = None,
+    platform: "PlatformSpec | None" = None,
 ) -> ReplayResult:
     """Replay ``jobs`` on ``machine`` under ``policy`` for ``duration``
     seconds and return the instrumented result.
@@ -116,14 +120,17 @@ def run_replay(
     "powercap reservations are made in the beginning of the workload
     replay" (Section VII-B) — so the offline phase plans its shutdown
     reservations up front.  The replay is deterministic.
+
+    A string ``policy`` resolves against ``platform``'s degradation
+    model when one is given (:mod:`repro.platform`); without one it
+    keeps the paper's Curie constants.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
-    policy = (
-        make_policy(policy, machine.freq_table) if isinstance(policy, str) else policy
-    )
     engine = SimEngine()
     recorder = MetricsRecorder(machine.freq_table.frequencies)
+    # String policies resolve inside Controller (the single
+    # platform-aware resolution point).
     controller = Controller(
         machine,
         policy,
@@ -131,7 +138,9 @@ def run_replay(
         config=config,
         powercaps=powercaps,
         recorder=recorder,
+        platform=platform,
     )
+    policy = controller.policy
     for spec in jobs:
         if spec.submit_time > duration:
             continue

@@ -19,8 +19,11 @@ from repro.workload.spec import JobSpec, WorkloadStats, workload_stats
 from repro.workload.swf import SWFJob, SWFTrace, read_swf, write_swf, swf_to_jobspecs
 from repro.workload.synthetic import (
     CurieWorkloadModel,
+    WorkloadModel,
     JobClass,
     CURIE_JOB_CLASSES,
+    SMALLJOB_CLASSES,
+    BIGJOB_CLASSES,
 )
 from repro.workload.walltime import WalltimeEstimateModel
 from repro.workload.intervals import (
@@ -40,8 +43,11 @@ __all__ = [
     "write_swf",
     "swf_to_jobspecs",
     "CurieWorkloadModel",
+    "WorkloadModel",
     "JobClass",
     "CURIE_JOB_CLASSES",
+    "SMALLJOB_CLASSES",
+    "BIGJOB_CLASSES",
     "WalltimeEstimateModel",
     "IntervalSpec",
     "PAPER_INTERVALS",

@@ -24,9 +24,10 @@ from repro.workload.spec import JobSpec
 from repro.workload.synthetic import (
     BIGJOB_CLASSES,
     CURIE_JOB_CLASSES,
+    CURIE_TOTAL_CORES,
     SMALLJOB_CLASSES,
-    CurieWorkloadModel,
     JobClass,
+    WorkloadModel,
 )
 
 HOUR = 3600.0
@@ -61,19 +62,25 @@ def generate_interval(
     *,
     seed: int | None = None,
     overload: float = 1.6,
+    classes: Sequence[JobClass] | None = None,
+    reference_cores: int = CURIE_TOTAL_CORES,
 ) -> list[JobSpec]:
     """Synthesize the workload of one paper interval for ``machine``.
 
     ``seed`` overrides the interval's default so sensitivity to the
     random draw can be probed (the paper replays deterministically;
-    so do we, per (machine, interval, seed)).
+    so do we, per (machine, interval, seed)).  ``classes`` and
+    ``reference_cores`` override the interval's job-class mix and the
+    width basis — the hook platform registry entries use to ship
+    their own app mixes (:mod:`repro.platform`).
     """
     spec = PAPER_INTERVALS[interval] if isinstance(interval, str) else interval
-    model = CurieWorkloadModel(
+    model = WorkloadModel(
         machine,
         seed=spec.seed if seed is None else seed,
-        classes=spec.classes,
+        classes=spec.classes if classes is None else tuple(classes),
         overload=overload,
+        reference_cores=reference_cores,
     )
     return model.generate(spec.duration)
 

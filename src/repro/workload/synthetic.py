@@ -57,14 +57,18 @@ class JobClass:
         if not 0 < self.min_runtime <= self.max_runtime:
             raise ValueError(f"{self.name}: bad runtime range")
 
-    def sample_cores(self, rng: np.random.Generator, core_scale: float) -> int:
-        """Log-uniform width, snapped to whole 16-core nodes above one node."""
+    def sample_cores(
+        self, rng: np.random.Generator, core_scale: float, node_cores: int = 16
+    ) -> int:
+        """Log-uniform width, snapped to whole nodes above one node
+        (``node_cores`` is the target machine's node size; 16 on
+        Curie)."""
         lo = max(1.0, self.min_cores * core_scale)
         hi = max(lo, self.max_cores * core_scale)
         raw = math.exp(rng.uniform(math.log(lo), math.log(hi)))
-        if raw <= 16:
+        if raw <= node_cores:
             return max(1, int(round(raw)))
-        return int(round(raw / 16.0)) * 16
+        return int(round(raw / node_cores)) * node_cores
 
     def sample_runtime(self, rng: np.random.Generator) -> float:
         """Log-uniform runtime in seconds."""
@@ -104,8 +108,12 @@ BIGJOB_CLASSES: tuple[JobClass, ...] = (
 )
 
 
-class CurieWorkloadModel:
-    """Deterministic (seeded) generator of overloaded Curie workloads.
+class WorkloadModel:
+    """Deterministic (seeded) generator of overloaded HPC workloads.
+
+    Calibrated on Curie (the class mixes above) but machine-generic:
+    job widths are fractions of ``reference_cores`` and rescale to the
+    target machine, so any platform keeps the workload/machine ratio.
 
     Parameters
     ----------
@@ -136,6 +144,10 @@ class CurieWorkloadModel:
     n_users:
         User population for the fair-share factor (Zipf-distributed
         activity).
+    reference_cores:
+        Core count of the reference machine the job-class widths are
+        expressed against (the full Curie by default; platforms with
+        their own class mixes pass their own basis).
     """
 
     def __init__(
@@ -151,6 +163,7 @@ class CurieWorkloadModel:
         jobs_per_hour: float = 400.0,
         backlog_min_jobs: int = 400,
         n_users: int = 200,
+        reference_cores: int = CURIE_TOTAL_CORES,
     ) -> None:
         if overload <= 0:
             raise ValueError("overload must be positive")
@@ -162,6 +175,8 @@ class CurieWorkloadModel:
             raise ValueError("submission pressure must be >= 0")
         if n_users <= 0:
             raise ValueError("n_users must be positive")
+        if reference_cores <= 0:
+            raise ValueError("reference_cores must be positive")
         if not classes:
             raise ValueError("need at least one job class")
         total_weight = sum(c.weight for c in classes)
@@ -183,20 +198,26 @@ class CurieWorkloadModel:
         # Zipf-like user activity so fair-share has something to bite on.
         ranks = np.arange(1, n_users + 1, dtype=np.float64)
         self._user_probs = (1.0 / ranks**1.1) / np.sum(1.0 / ranks**1.1)
-        self._core_scale = machine.total_cores / CURIE_TOTAL_CORES
+        self._core_scale = machine.total_cores / reference_cores
 
     # -- draws -------------------------------------------------------------------------
 
     def _draw_regular(self, rng: np.random.Generator) -> tuple[int, float]:
         cls = self.classes[int(rng.choice(len(self.classes), p=self._class_probs))]
-        cores = min(cls.sample_cores(rng, self._core_scale), self.machine.total_cores)
+        cores = min(
+            cls.sample_cores(
+                rng, self._core_scale, self.machine.cores_per_node
+            ),
+            self.machine.total_cores,
+        )
         return cores, cls.sample_runtime(rng)
 
     def _draw_huge(self, rng: np.random.Generator) -> tuple[int, float]:
         """A job with more work than one cluster-hour (paper's 0.1 %)."""
         total = self.machine.total_cores
+        node = self.machine.cores_per_node
         frac = math.exp(rng.uniform(math.log(0.25), math.log(1.0)))
-        cores = max(16, int(round(total * frac / 16.0)) * 16)
+        cores = max(node, int(round(total * frac / node)) * node)
         cores = min(cores, total)
         min_runtime = total * 3600.0 / cores * 1.05
         runtime = max(min_runtime, float(rng.uniform(3600.0, 6 * 3600.0)))
@@ -274,3 +295,8 @@ class CurieWorkloadModel:
 
         jobs.sort(key=lambda j: (j.submit_time, j.job_id))
         return jobs
+
+
+#: Backwards-compatible alias (the generator predates the platform
+#: registry and was named for its calibration source).
+CurieWorkloadModel = WorkloadModel

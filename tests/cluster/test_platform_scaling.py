@@ -1,0 +1,106 @@
+"""Property tests: scaling preserves power-accounting invariants.
+
+``Topology.scaled`` / ``Machine.scaled`` underlie every ``--scale``
+run, and since the platform registry they run over *every* platform's
+shape, not just Curie's.  For each registry entry and a fuzzed scale
+factor, the scaled hardware must keep the per-level power model
+intact: down/idle/max bounds ordered, chassis/rack bonuses unchanged
+(they are per-enclosure quantities), infrastructure watts consistent
+with the enclosure counts, and a fresh accountant sitting exactly on
+the idle floor.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.states import NodeState
+from repro.platform import BUILTIN_PLATFORMS
+
+#: ids so failures name the platform, not an index
+_PLATFORMS = pytest.mark.parametrize(
+    "platform", BUILTIN_PLATFORMS, ids=lambda p: p.name
+)
+
+factors = st.floats(
+    min_value=0.01, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+@_PLATFORMS
+@settings(max_examples=25, deadline=None)
+@given(factor=factors)
+def test_topology_scaled_preserves_bonus_model(platform, factor):
+    base = platform.topology()
+    scaled = base.scaled(factor)
+
+    # Shape: whole racks only, never below one, per-level shape kept.
+    assert scaled.racks >= 1
+    assert scaled.nodes_per_chassis == base.nodes_per_chassis
+    assert scaled.chassis_per_rack == base.chassis_per_rack
+    assert scaled.n_nodes == (
+        scaled.racks * scaled.chassis_per_rack * scaled.nodes_per_chassis
+    )
+
+    # Bonuses are per-enclosure: invariant under scaling, and equal to
+    # their defining sums (Figure 2's construction).
+    assert scaled.chassis_bonus_watts() == base.chassis_bonus_watts()
+    assert scaled.rack_bonus_watts() == base.rack_bonus_watts()
+    assert scaled.chassis_bonus_watts() == (
+        scaled.chassis_watts
+        + scaled.nodes_per_chassis * scaled.node_down_watts
+    )
+    assert scaled.rack_bonus_watts() == (
+        scaled.rack_watts + scaled.chassis_per_rack * scaled.chassis_bonus_watts()
+    )
+
+    # Infrastructure tracks the enclosure counts exactly.
+    assert scaled.infrastructure_watts() == pytest.approx(
+        scaled.n_chassis * scaled.chassis_watts + scaled.racks * scaled.rack_watts
+    )
+
+    # The whole Figure 2 table is scale-invariant (per-level rows).
+    node_max = platform.frequency_table().max.watts
+    assert scaled.bonus_figure_rows(node_max) == base.bonus_figure_rows(node_max)
+
+
+@_PLATFORMS
+@settings(max_examples=25, deadline=None)
+@given(factor=factors)
+def test_machine_scaled_preserves_power_bounds(platform, factor):
+    machine = platform.build_machine().scaled(factor)
+    table = machine.freq_table
+
+    # Node type survives scaling.
+    assert table == platform.frequency_table()
+    assert machine.cores_per_node == platform.cores_per_node
+    assert machine.topology.node_down_watts == table.down_watts
+
+    # Down / idle / max power bounds stay strictly ordered: a dark
+    # machine draws less than an idle one, which draws less than a
+    # flat-out one (every registry platform has idle < max-step watts).
+    down_floor = machine.n_nodes * table.down_watts
+    assert down_floor < machine.idle_power() < machine.max_power()
+
+    # Cap fractions always land inside the feasible power interval.
+    for fraction in (0.4, 0.6, 0.8, 1.0):
+        watts = fraction * machine.max_power()
+        assert 0 < watts <= machine.max_power()
+
+    # The DVFS cap floor (Section III) is a node-level property —
+    # scale-invariant and in (0, 1].
+    assert 0.0 < table.normalized_cap_floor() <= 1.0
+    assert table.normalized_cap_floor() == (
+        platform.frequency_table().normalized_cap_floor()
+    )
+
+
+@_PLATFORMS
+@settings(max_examples=10, deadline=None)
+@given(factor=factors)
+def test_fresh_accountant_sits_on_idle_floor(platform, factor):
+    machine = platform.build_machine().scaled(factor)
+    acct = machine.new_accountant()
+    assert acct.total_power() == pytest.approx(machine.idle_power())
+    assert acct.idle_floor() == pytest.approx(machine.idle_power())
+    assert acct.max_power() == pytest.approx(machine.max_power())
+    assert int(acct.count_by_state[NodeState.IDLE]) == machine.n_nodes

@@ -35,8 +35,10 @@ GOLDEN_SEED_DIGEST = (
     "b5209bf308602357c99afa59ae85ed9e957ca591c24c204861c28f36ef707880"
 )
 
-#: trace digests of the full 12-scenario library at 1/56 scale (one
-#: Curie rack), recorded with the seed implementation.
+#: trace digests of the 12 Curie library scenarios at 1/56 scale (one
+#: Curie rack), recorded with the seed implementation.  These values
+#: are the contract of the platform-registry refactor: re-expressing
+#: Curie as a registry entry changed *no byte* of any Curie replay.
 LIBRARY_SEED_DIGESTS = {
     "fig6-24h-mix-40": "ebdc5b672b8729ec0087e55b9562c52126fa4d394826850364eadc446713b759",
     "fig7a-bigjob-shut-60": "906d12911b081f7b3cd2feea7dd8528d8ff202991c1cab4ae5c6e60baf5295df",
@@ -52,6 +54,16 @@ LIBRARY_SEED_DIGESTS = {
     "strict-future-mix-60": "9feb60a3046d9dcdc8a2b43274d89bd39a30663636851ddcb758815a39bb0d62",
 }
 
+#: trace digests of the non-Curie platform scenarios at their library
+#: scale, recorded when the platform registry was introduced.  Each
+#: platform entry is replayable and pinned exactly like Curie.
+PLATFORM_LIBRARY_DIGESTS = {
+    "fatnode-bigjob-shut-60": "68f9e55169ed12c295bb1f1999ae1b38d8a1ccb1fffdcb5409dafe7f650f5d62",
+    "fatnode-medianjob-mix-50": "6c43526e13dd8c52c3e5b684e5b8676a8bceadaf5c69e51f1774f26fdf0d4b54",
+    "manythin-smalljob-dvfs-40": "543c82efa115b9afb0aef1c6849f39df73e9665d126c618e52ae9ef943372834",
+    "manythin-staircase-mix": "0c3b1a7d6238608a4c814bfa1869d3e377a75f5a437982e3e4b798b3dedaf904",
+}
+
 
 @pytest.fixture(scope="module")
 def golden_serial():
@@ -65,15 +77,36 @@ def test_matches_seed_implementation(golden_serial):
 
 @pytest.mark.slow
 def test_library_matches_seed_implementation():
-    """Every library scenario (at one-rack scale) replays to the exact
-    trace the seed implementation produced — the columnar recorder and
-    the scheduling-pass fast paths changed *nothing* observable."""
+    """Every Curie library scenario (at one-rack scale) replays to the
+    exact trace the seed implementation produced — the columnar
+    recorder, the scheduling-pass fast paths and the platform registry
+    changed *nothing* observable on the Curie path."""
+    from repro.exp import SCENARIO_LIBRARY, get_scenario
+
+    curie_names = {sc.name for sc in SCENARIO_LIBRARY if sc.platform == "curie"}
+    assert curie_names == set(LIBRARY_SEED_DIGESTS)
+    for name, digest in sorted(LIBRARY_SEED_DIGESTS.items()):
+        result = run_scenario(get_scenario(name).with_(scale=1 / 56))
+        assert result.trace_digest == digest, name
+
+
+def test_platform_library_matches_pinned_digests():
+    """Every non-Curie platform scenario replays to its pinned digest
+    at its library scale — the platform axis is as deterministic as
+    the Curie path it generalises."""
     from repro.exp import SCENARIO_LIBRARY
 
-    assert {sc.name for sc in SCENARIO_LIBRARY} == set(LIBRARY_SEED_DIGESTS)
+    platform_names = {sc.name for sc in SCENARIO_LIBRARY if sc.platform != "curie"}
+    assert platform_names == set(PLATFORM_LIBRARY_DIGESTS)
+    # The acceptance bar of the registry refactor: >= 4 scenarios over
+    # >= 2 non-Curie platforms, each with a pinned digest of its own.
+    assert len(platform_names) >= 4
+    assert len({sc.platform for sc in SCENARIO_LIBRARY if sc.platform != "curie"}) >= 2
     for sc in SCENARIO_LIBRARY:
-        result = run_scenario(sc.with_(scale=1 / 56))
-        assert result.trace_digest == LIBRARY_SEED_DIGESTS[sc.name], sc.name
+        if sc.platform == "curie":
+            continue
+        result = run_scenario(sc)
+        assert result.trace_digest == PLATFORM_LIBRARY_DIGESTS[sc.name], sc.name
 
 
 def test_serial_replays_bit_identical(golden_serial):

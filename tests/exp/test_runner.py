@@ -77,7 +77,7 @@ class TestCache:
         runner = GridRunner(cache_dir=tmp_path)
         first = runner.run([TINY])[0]
         assert not first.cached
-        assert (tmp_path / f"{TINY.scenario_hash()}.json").is_file()
+        assert (tmp_path / f"{GridRunner._cache_key(TINY)}.json").is_file()
         second = runner.run([TINY])[0]
         assert second.cached
         assert second.same_outcome(first)
@@ -93,7 +93,7 @@ class TestCache:
     def test_corrupt_cache_entry_reruns(self, tmp_path):
         runner = GridRunner(cache_dir=tmp_path)
         first = runner.run([TINY])[0]
-        path = tmp_path / f"{TINY.scenario_hash()}.json"
+        path = tmp_path / f"{GridRunner._cache_key(TINY)}.json"
         path.write_text("{not json", encoding="utf-8")
         second = runner.run([TINY])[0]
         assert not second.cached
@@ -131,7 +131,7 @@ class TestSeriesPayload:
 
         with GridRunner(cache_dir=tmp_path, series=True) as runner:
             result = runner.run([TINY])[0]
-            npz = tmp_path / f"{TINY.scenario_hash()}.npz"
+            npz = tmp_path / f"{GridRunner._cache_key(TINY)}.npz"
             assert npz.is_file()
             series = runner.load_series(TINY)
         assert series is not None
@@ -175,7 +175,7 @@ class TestSeriesPayload:
     def test_corrupt_npz_is_a_cache_miss(self, tmp_path):
         with GridRunner(cache_dir=tmp_path, series=True) as r:
             first = r.run([TINY])[0]
-        npz = tmp_path / f"{TINY.scenario_hash()}.npz"
+        npz = tmp_path / f"{GridRunner._cache_key(TINY)}.npz"
         npz.write_bytes(b"not a zip file")
         with GridRunner(cache_dir=tmp_path, series=True) as r:
             assert r.load_series(TINY) is None
@@ -235,6 +235,116 @@ class TestAggregation:
         assert "medianjob" in render_grid(cells)
 
 
+class TestCustomPlatforms:
+    """Scenarios referencing platforms registered downstream."""
+
+    def _spec(self, idle_watts=40.0):
+        import dataclasses
+
+        from repro.platform import FATNODE_PLATFORM
+
+        return dataclasses.replace(
+            FATNODE_PLATFORM, name="custom-box", idle_watts=idle_watts
+        )
+
+    def test_replace_invalidates_runner_memos(self):
+        """register_platform(..., replace=True) must not leave the
+        per-process machine/workload memos serving the old spec."""
+        from repro.platform import register_platform, unregister_platform
+
+        try:
+            register_platform(self._spec(idle_watts=40.0))
+            sc = Scenario(
+                name="custom",
+                interval="medianjob",
+                policy="SHUT",
+                platform="custom-box",
+                scale=1.0,
+                duration=HOUR,
+                caps=(CapWindow(0.25 * HOUR, 0.75 * HOUR, 0.7),),
+            )
+            before = run_scenario(sc)
+            register_platform(self._spec(idle_watts=41.0), replace=True)
+            after = run_scenario(sc)
+            # Different idle watts change every power sample.
+            assert after.trace_digest != before.trace_digest
+        finally:
+            unregister_platform("custom-box")
+
+    def test_replace_invalidates_disk_cache(self, tmp_path):
+        """The JSON/.npz cache key covers the platform *content*, so a
+        replaced registry entry is a cache miss, not a stale hit."""
+        from repro.platform import register_platform, unregister_platform
+
+        try:
+            register_platform(self._spec(idle_watts=40.0))
+            sc = Scenario(
+                name="custom",
+                interval="medianjob",
+                policy="SHUT",
+                platform="custom-box",
+                scale=1.0,
+                duration=HOUR,
+                # The cap window makes the replay sensitive to the
+                # idle watts (drained nodes sit idle under the cap).
+                caps=(CapWindow(0.25 * HOUR, 0.75 * HOUR, 0.7),),
+            )
+            runner = GridRunner(cache_dir=tmp_path)
+            (before,) = runner.run([sc])
+            register_platform(self._spec(idle_watts=41.0), replace=True)
+            (after,) = runner.run([sc])
+            assert not after.cached
+            assert after.trace_digest != before.trace_digest
+            # Same content again: now it is a hit.
+            (again,) = GridRunner(cache_dir=tmp_path).run([sc])
+            assert again.cached and again.trace_digest == after.trace_digest
+        finally:
+            unregister_platform("custom-box")
+
+    def test_job_widths_snap_to_platform_node_size(self):
+        """Multi-node jobs request whole nodes of the *target* machine
+        (64-core on fatnode), not Curie's 16-core nodes."""
+        from repro.platform import get_platform
+        from repro.workload.intervals import generate_interval
+
+        pf = get_platform("fatnode")
+        machine = pf.build_machine()
+        jobs = generate_interval(
+            machine,
+            "bigjob",
+            reference_cores=pf.workload_reference_cores,
+        )
+        node = machine.cores_per_node
+        assert any(j.cores > node for j in jobs)
+        for j in jobs:
+            if j.cores > node:
+                assert j.cores % node == 0, j.cores
+
+    @pytest.mark.slow
+    def test_spawn_workers_learn_downstream_platforms(self):
+        """A spawn-started worker only knows the builtins; GridRunner
+        must ship downstream-registered specs along with the work."""
+        from repro.platform import register_platform, unregister_platform
+
+        try:
+            register_platform(self._spec())
+            sc = Scenario(
+                name="custom",
+                interval="medianjob",
+                policy="SHUT",
+                platform="custom-box",
+                scale=1.0,
+                duration=HOUR,
+            )
+            serial = run_scenario(sc)
+            variant = sc.with_(name="custom-seeded", seed=99)
+            results = GridRunner(workers=2, mp_context="spawn").run([sc, variant])
+            assert results[0].trace_digest == serial.trace_digest
+            assert results[1].trace_digest != serial.trace_digest
+        finally:
+            unregister_platform("custom-box")
+
+
 class TestCli:
     def test_exp_list(self, capsys):
         from repro.cli import main
@@ -272,3 +382,51 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["exp", "run", "--grid", "colour=red"])
+
+    def test_exp_list_platform_column_and_filter(self, capsys):
+        from repro.cli import main
+
+        assert main(["exp", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "platform" in out and "manythin-smalljob-dvfs-40" in out
+        assert main(["exp", "list", "--platform", "fatnode"]) == 0
+        out = capsys.readouterr().out
+        assert "fatnode-bigjob-shut-60" in out
+        assert "fig6-24h-mix-40" not in out
+
+    def test_exp_platforms_lists_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["exp", "platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("curie", "fatnode", "manythin"):
+            assert name in out
+
+    def test_exp_run_unknown_platform_lists_registry(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["exp", "run", "--scenario", "tiny", "--platform", "atari"])
+        message = str(exc.value)
+        assert "atari" in message
+        assert "curie" in message and "manythin" in message
+
+    def test_exp_list_unknown_platform_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="available"):
+            main(["exp", "list", "--platform", "atari"])
+
+    def test_exp_run_platform_grid_axis(self, capsys, tmp_path):
+        from repro.cli import main
+
+        argv = [
+            "exp", "run",
+            "--grid", "platform=fatnode,manythin", "policy=SHUT", "cap=0.7",
+            "--duration", "2.0",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fatnode-medianjob-shut-70" in out
+        assert "manythin-medianjob-shut-70" in out

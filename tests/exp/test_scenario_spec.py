@@ -44,6 +44,10 @@ class TestScenarioValidation:
         with pytest.raises(ValueError, match="interval"):
             Scenario(name="x", interval="nope", policy="MIX")
 
+    def test_unknown_platform_rejected_with_listing(self):
+        with pytest.raises(ValueError, match="available: curie"):
+            Scenario(name="x", interval="medianjob", policy="MIX", platform="xeon")
+
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="policy"):
             Scenario(name="x", interval="medianjob", policy="TURBO")
@@ -93,11 +97,36 @@ class TestScenarioHash:
             != base.with_(config={"backfill": False}).scenario_hash()
         )
 
+    def test_platform_changes_hash(self):
+        base = Scenario(name="x", interval="medianjob", policy="MIX")
+        assert base.platform == "curie"
+        assert (
+            base.scenario_hash()
+            != base.with_(platform="manythin").scenario_hash()
+        )
+
     def test_dict_roundtrip_preserves_identity(self):
         for sc in SCENARIO_LIBRARY:
             back = Scenario.from_dict(sc.to_dict())
             assert back == sc
             assert back.scenario_hash() == sc.scenario_hash()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        """Regression: a typo'd axis must fail loudly, not be dropped —
+        silently ignoring it would alias two different intentions onto
+        one content hash and poison the result cache."""
+        d = Scenario(name="x", interval="medianjob", policy="MIX").to_dict()
+        d["polcy"] = "SHUT"
+        with pytest.raises(ValueError, match="polcy"):
+            Scenario.from_dict(d)
+
+    def test_from_dict_accepts_v1_dicts_as_curie(self):
+        """Pre-platform (schema 1) dicts deserialise as Curie runs."""
+        d = Scenario(name="x", interval="medianjob", policy="MIX").to_dict()
+        d["schema"] = 1
+        del d["platform"]
+        sc = Scenario.from_dict(d)
+        assert sc.platform == "curie"
 
     def test_hash_is_stable_across_sessions(self):
         """Pinned value: changing it silently invalidates every cache."""
@@ -147,6 +176,20 @@ class TestExpandGrid:
         grid = expand_grid({"seed": [1, 2, 3]})
         assert len({s.name for s in grid}) == 3
         assert len({s.scenario_hash() for s in grid}) == 3
+
+    def test_platform_axis_expands(self):
+        grid = expand_grid(
+            {"platform": ["curie", "fatnode", "manythin"], "cap": [0.6]}
+        )
+        assert [s.platform for s in grid] == ["curie", "fatnode", "manythin"]
+        # Curie cells keep their historical names; others are prefixed.
+        assert grid[0].name == "medianjob-mix-60"
+        assert grid[1].name == "fatnode-medianjob-mix-60"
+        assert len({s.scenario_hash() for s in grid}) == 3
+
+    def test_unknown_platform_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="platform"):
+            expand_grid({"platform": ["atari"]})
 
 
 class TestLibrary:

@@ -1,0 +1,212 @@
+"""Platform registry: spec validation, serialisation, Curie fidelity.
+
+The registry's core promise is that re-expressing Curie as a
+:class:`PlatformSpec` changed nothing: every constant matches
+:mod:`repro.cluster.curie` verbatim, the built machine matches
+:func:`curie_machine`, and the policy set matches ``CURIE_POLICIES``.
+(The trace-level consequence is pinned by the golden digests in
+``tests/exp/test_determinism.py``.)
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.curie import (
+    CURIE_BENCHMARK_DEGMIN,
+    CURIE_DEGMIN_FULL_RANGE,
+    CURIE_DEGMIN_MIX_RANGE,
+    CURIE_FREQUENCY_TABLE,
+    CURIE_MIX_MIN_GHZ,
+    CURIE_TOPOLOGY,
+    curie_machine,
+)
+from repro.core.policies import (
+    CURIE_POLICIES,
+    DEFAULT_DEGMIN_FULL_RANGE,
+    DEFAULT_DEGMIN_MIX_RANGE,
+    DEFAULT_MIX_MIN_GHZ,
+)
+from repro.platform import (
+    BUILTIN_PLATFORMS,
+    CURIE_PLATFORM,
+    PlatformSpec,
+    get_platform,
+    platform_names,
+    platform_specs,
+    register_platform,
+    unregister_platform,
+)
+from repro.workload.synthetic import CURIE_TOTAL_CORES
+
+
+def _spec_kwargs(**overrides):
+    """A small valid spec to mutate in validation tests."""
+    kw = dict(
+        name="testbox",
+        nodes_per_chassis=4,
+        chassis_per_rack=2,
+        racks=3,
+        chassis_watts=100.0,
+        rack_watts=300.0,
+        cores_per_node=8,
+        idle_watts=50.0,
+        down_watts=5.0,
+        freq_watts=((1.0, 80.0), (1.5, 100.0), (2.0, 130.0)),
+        degmin_full_range=1.5,
+        degmin_mix_range=1.2,
+        mix_min_ghz=1.5,
+    )
+    kw.update(overrides)
+    return kw
+
+
+class TestCurieFidelity:
+    def test_first_registry_entry_is_curie(self):
+        assert platform_names()[0] == "curie"
+        assert get_platform("curie") is CURIE_PLATFORM
+
+    def test_constants_verbatim(self):
+        pf = CURIE_PLATFORM
+        assert pf.frequency_table() == CURIE_FREQUENCY_TABLE
+        assert pf.nodes_per_chassis == CURIE_TOPOLOGY.nodes_per_chassis
+        assert pf.chassis_per_rack == CURIE_TOPOLOGY.chassis_per_rack
+        assert pf.racks == CURIE_TOPOLOGY.racks
+        assert pf.chassis_watts == CURIE_TOPOLOGY.chassis_watts
+        assert pf.rack_watts == CURIE_TOPOLOGY.rack_watts
+        assert pf.down_watts == CURIE_TOPOLOGY.node_down_watts
+        assert pf.degmin_full_range == CURIE_DEGMIN_FULL_RANGE
+        assert pf.degmin_mix_range == CURIE_DEGMIN_MIX_RANGE
+        assert pf.mix_min_ghz == CURIE_MIX_MIN_GHZ
+        assert dict(pf.benchmark_degmin) == CURIE_BENCHMARK_DEGMIN
+        assert pf.full_machine_cores == CURIE_TOTAL_CORES
+        assert pf.workload_reference_cores == CURIE_TOTAL_CORES
+        assert pf.workload_classes == ()  # paper mixes apply unchanged
+
+    def test_policy_defaults_match_curie_constants(self):
+        """core.policies no longer imports cluster.curie; its local
+        paper defaults must stay equal to the Curie entry's values."""
+        assert DEFAULT_DEGMIN_FULL_RANGE == CURIE_DEGMIN_FULL_RANGE
+        assert DEFAULT_DEGMIN_MIX_RANGE == CURIE_DEGMIN_MIX_RANGE
+        assert DEFAULT_MIX_MIN_GHZ == CURIE_MIX_MIN_GHZ
+
+    @pytest.mark.parametrize("scale", [1.0, 0.125, 1 / 56])
+    def test_build_machine_matches_curie_machine(self, scale):
+        a = CURIE_PLATFORM.build_machine(scale=scale)
+        b = curie_machine(scale=scale)
+        assert a.name == b.name
+        assert a.n_nodes == b.n_nodes
+        assert a.total_cores == b.total_cores
+        assert a.freq_table == b.freq_table
+        assert a.max_power() == b.max_power()
+        assert a.idle_power() == b.idle_power()
+        assert (
+            a.topology.bonus_figure_rows(a.freq_table.max.watts)
+            == b.topology.bonus_figure_rows(b.freq_table.max.watts)
+        )
+
+    def test_policies_match_curie_policies(self):
+        table = CURIE_FREQUENCY_TABLE
+        ours = CURIE_PLATFORM.policies(table)
+        legacy = CURIE_POLICIES(table)
+        assert set(ours) == set(legacy)
+        for name in ours:
+            assert ours[name] == legacy[name], name
+
+
+class TestBuiltinPlatforms:
+    def test_registry_contains_builtins(self):
+        names = platform_names()
+        for pf in BUILTIN_PLATFORMS:
+            assert pf.name in names
+        assert len({pf.content_hash() for pf in BUILTIN_PLATFORMS}) == len(
+            BUILTIN_PLATFORMS
+        )
+
+    @pytest.mark.parametrize("pf", BUILTIN_PLATFORMS, ids=lambda p: p.name)
+    def test_roundtrip_preserves_identity(self, pf):
+        back = PlatformSpec.from_dict(pf.to_dict())
+        assert back == pf
+        assert back.content_hash() == pf.content_hash()
+
+    @pytest.mark.parametrize("pf", BUILTIN_PLATFORMS, ids=lambda p: p.name)
+    def test_machine_and_policies_construct(self, pf):
+        machine = pf.build_machine(scale=0.5)
+        assert machine.n_nodes > 0
+        policies = pf.policies(machine.freq_table)
+        assert set(policies) == {"NONE", "IDLE", "SHUT", "DVFS", "MIX"}
+        assert policies["DVFS"].degmin == pf.degmin_full_range
+        assert policies["MIX"].degmin == pf.degmin_mix_range
+        assert policies["MIX"].allowed.min.ghz >= pf.mix_min_ghz
+
+    def test_description_excluded_from_content_hash(self):
+        pf = BUILTIN_PLATFORMS[1]
+        relabelled = dataclasses.replace(pf, description="different words")
+        assert relabelled.content_hash() == pf.content_hash()
+        renamed = dataclasses.replace(pf, name="other")
+        assert renamed.content_hash() != pf.content_hash()
+
+    def test_workload_class_overrides_resolve(self):
+        fat = get_platform("fatnode")
+        assert fat.interval_classes("medianjob") is not None
+        assert fat.interval_classes("bigjob") is None
+        thin = get_platform("manythin")
+        assert thin.interval_classes("smalljob") is not None
+
+
+class TestValidation:
+    def test_non_monotone_power_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(
+                **_spec_kwargs(freq_watts=((1.0, 120.0), (1.5, 100.0)))
+            )
+
+    def test_down_above_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(**_spec_kwargs(down_watts=60.0))
+
+    def test_mix_range_must_hold_a_step(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(**_spec_kwargs(mix_min_ghz=2.5))
+
+    def test_degmin_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(**_spec_kwargs(degmin_full_range=0.9))
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(**_spec_kwargs(racks=0))
+
+    def test_bad_cores_per_node_rejected(self):
+        with pytest.raises(ValueError, match="cores_per_node"):
+            PlatformSpec(**_spec_kwargs(cores_per_node=0))
+
+    def test_unknown_dict_key_rejected(self):
+        d = PlatformSpec(**_spec_kwargs()).to_dict()
+        d["colour"] = "red"
+        with pytest.raises(ValueError, match="colour"):
+            PlatformSpec.from_dict(d)
+
+
+class TestRegistry:
+    def test_get_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            get_platform("no-such-platform")
+
+    def test_register_is_idempotent_but_guards_conflicts(self):
+        spec = PlatformSpec(**_spec_kwargs(name="ephemeral"))
+        try:
+            register_platform(spec)
+            assert get_platform("ephemeral") == spec
+            register_platform(spec)  # identical content: no-op
+            conflicting = dataclasses.replace(spec, idle_watts=51.0)
+            with pytest.raises(ValueError, match="already registered"):
+                register_platform(conflicting)
+            register_platform(conflicting, replace=True)
+            assert get_platform("ephemeral").idle_watts == 51.0
+        finally:
+            unregister_platform("ephemeral")
+        assert "ephemeral" not in platform_names()
+
+    def test_specs_listing_matches_names(self):
+        assert [pf.name for pf in platform_specs()] == platform_names()
