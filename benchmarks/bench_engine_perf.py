@@ -2,11 +2,14 @@
 
 Not a paper figure: tracks the performance of the event engine, the
 incremental power accountant, the vectorised priority queue, the
-columnar metrics recorder, the scheduling pass, and both a small and a
-full-scale (5040-node) replay, so regressions in the substrate are
-caught.  CI runs this module with ``--benchmark-json`` and
-``benchmarks/check_perf_regression.py`` compares the means against the
-committed ``BENCH_pr2.json`` baseline (>2x regression fails the job).
+columnar metrics recorder, the scheduling pass, both a small and a
+full-scale (5040-node) replay, and the experiment harness's execution
+backends (serial vs process pool vs the sharded-store merge pass), so
+regressions in the substrate are caught.  CI runs this module with
+``--benchmark-json`` and ``benchmarks/check_perf_regression.py``
+compares the means against the committed baselines (``BENCH_pr2.json``
+for the engine cases, ``BENCH_pr4.json`` for the backend cases; >2x
+regression fails the job).
 """
 
 import math
@@ -249,3 +252,83 @@ def test_perf_sched_pass_drained(benchmark):
         return controller.n_running
 
     assert benchmark(one_pass) == 0
+
+
+# -- execution backends --------------------------------------------------------------
+#
+# One small sweep (8 one-hour medianjob scenarios at one-rack scale)
+# through each harness execution path.  Serial is the floor; the pool
+# case measures fork + pickle + stream overhead on top of it; the
+# sharded-merge case measures the pure orchestration cost of
+# reassembling a sweep from a pre-filled shared store (every scenario
+# a store hit — the merge pass CI runs after a shard matrix).
+
+
+def _backend_sweep_scenarios():
+    from repro.exp import Scenario
+
+    return [
+        Scenario(
+            name=f"bench-backend-{i}",
+            interval="medianjob",
+            policy="MIX",
+            scale=1 / 56,
+            duration=3600.0,
+            seed=i,
+            caps=(),
+        )
+        for i in range(8)
+    ]
+
+
+def test_perf_backend_serial(benchmark):
+    from repro.exp import GridRunner, SerialBackend
+
+    scenarios = _backend_sweep_scenarios()
+
+    def sweep():
+        with GridRunner(backend=SerialBackend()) as runner:
+            return runner.run(scenarios)
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(results) == len(scenarios)
+
+
+def test_perf_backend_pool(benchmark):
+    from repro.exp import GridRunner, ProcessPoolBackend
+
+    scenarios = _backend_sweep_scenarios()
+
+    def sweep():
+        with GridRunner(backend=ProcessPoolBackend(2)) as runner:
+            return runner.run(scenarios)
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(results) == len(scenarios)
+
+
+def test_perf_backend_sharded_merge(benchmark, tmp_path):
+    from repro.exp import (
+        GridRunner,
+        SharedDirectoryStore,
+        make_backend,
+        render_results_grid,
+    )
+
+    scenarios = _backend_sweep_scenarios()
+    # Untimed setup: two shard jobs fill one shared store.
+    for k in range(2):
+        with GridRunner(
+            backend=make_backend("serial", shard=(k, 2)),
+            store=SharedDirectoryStore(tmp_path),
+        ) as runner:
+            runner.run(scenarios)
+
+    def merge_pass():
+        with GridRunner(store=SharedDirectoryStore(tmp_path)) as runner:
+            results = runner.run(scenarios)
+        assert all(r.cached for r in results)
+        return render_results_grid(results)
+
+    table = benchmark.pedantic(merge_pass, rounds=3, iterations=1)
+    assert "medianjob" in table

@@ -21,7 +21,15 @@ import os
 import pytest
 
 from repro.analysis.report import GridCell, render_grid
-from repro.exp import GridRunner, cell_from_result, paper_grid_scenarios
+from repro.exp import (
+    GridRunner,
+    cell_from_result,
+    make_backend,
+    make_store,
+    paper_grid_scenarios,
+    shard_scenarios,
+    parse_shard,
+)
 
 from conftest import repro_scale, write_artifact
 
@@ -41,31 +49,61 @@ WORKLOADS = ("bigjob", "medianjob", "smalljob")
 
 _cells: dict[tuple[str, float, str], GridCell] = {}
 
+#: deterministic slice of a split bench sweep, e.g. "1/2" (k/n, 1-based)
+_SHARD = os.environ.get("REPRO_BENCH_SHARD")
+
 
 def _run_grid():
+    """The grid through the configured backend/store.
+
+    ``REPRO_BENCH_WORKERS`` (default 2) sizes the pool,
+    ``REPRO_BENCH_BACKEND`` (serial|pool) overrides the backend,
+    ``REPRO_BENCH_SHARD`` (k/n) restricts to one deterministic shard,
+    and ``REPRO_BENCH_STORE`` (memory|dir:PATH|shared:PATH) selects
+    the result store — the knobs CI uses to split this sweep across
+    jobs sharing one store artifact.
+    """
     scenarios = paper_grid_scenarios(scale=repro_scale())
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
-    with GridRunner(workers=workers) as runner:
+    backend = make_backend(
+        os.environ.get("REPRO_BENCH_BACKEND"), workers=workers, shard=_SHARD
+    )
+    store_spec = os.environ.get("REPRO_BENCH_STORE")
+    store = make_store(store_spec) if store_spec else None
+    with GridRunner(backend=backend, store=store) as runner:
         return runner.run(scenarios)
 
 
+def _expected_cells() -> int:
+    scenarios = paper_grid_scenarios(scale=repro_scale())
+    if _SHARD is None:
+        return len(scenarios)
+    return len(shard_scenarios(scenarios, *parse_shard(_SHARD)))
+
+
 def test_fig8_grid_runner(benchmark):
-    """Execute the full 27-cell grid through the worker pool (timed)."""
+    """Execute the 27-cell grid (or this job's shard) through the
+    configured backend (timed)."""
     results = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
-    assert len(results) == len(ROWS) * len(WORKLOADS)
+    assert len(results) == _expected_cells()
     for r in results:
         cell = cell_from_result(r)
         _cells[(cell.workload, cell.cap_fraction, cell.policy)] = cell
         assert 0.0 <= cell.work_norm <= 1.0 + 1e-9
         assert 0.0 <= cell.energy_norm <= 1.0 + 1e-9
-    # The expansion covered exactly the paper's rows.
-    assert set(_cells) == {
-        (w, f, p) for w in WORKLOADS for (f, p) in ROWS
-    }
+    # The expansion covered exactly the paper's rows (a shard covers
+    # its deterministic subset of them).
+    paper_rows = {(w, f, p) for w in WORKLOADS for (f, p) in ROWS}
+    if _SHARD is None:
+        assert set(_cells) == paper_rows
+    else:
+        assert set(_cells) <= paper_rows
 
 
 def test_fig8_shapes(benchmark, artifact_dir):
     """Cross-cell shape claims of Section VII-C."""
+    if _SHARD is not None:
+        pytest.skip("sharded bench run: the shape claims need the full grid")
     assert len(_cells) == len(ROWS) * len(WORKLOADS), "run the full grid first"
     cells = [
         _cells[(w, f, p)] for w in WORKLOADS for (f, p) in ROWS

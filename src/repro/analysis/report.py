@@ -8,8 +8,9 @@ launched jobs and work per cell, like the paper's bar grid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+import math
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.cluster.machine import Machine
 from repro.rjms.config import SchedulerConfig
@@ -205,6 +206,67 @@ def run_policy_grid(
                     )
                 )
     return cells
+
+
+#: canonical policy order within one cap row (the paper's reading order)
+_POLICY_ORDER = {"NONE": 0, "MIX": 1, "DVFS": 2, "SHUT": 3, "IDLE": 4}
+
+
+def cell_sort_key(cell: GridCell) -> tuple:
+    """Canonical table position of a cell: platform, workload, caps
+    descending, policies in the paper's order."""
+    return (
+        cell.platform,
+        cell.workload,
+        -cell.cap_fraction,
+        _POLICY_ORDER.get(cell.policy, len(_POLICY_ORDER)),
+    )
+
+
+def _same_cell(a: GridCell, b: GridCell) -> bool:
+    """Field-wise equality, NaN-aware.
+
+    Uncapped cells carry NaN window metrics, and ``nan != nan`` would
+    make two bit-identical cells built by independent runs (shard vs
+    full sweep) look conflicting under plain dataclass equality.
+    """
+    for f in fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if va == vb:
+            continue
+        if (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ):
+            continue
+        return False
+    return True
+
+
+def merge_cells(groups: Iterable[Sequence[GridCell]]) -> list[GridCell]:
+    """Merge partial cell lists (e.g. per-shard results) into one table.
+
+    Cells agreeing on identity ``(platform, workload, cap, policy)``
+    must agree on every metric — replays are deterministic, so two
+    shards (or a shard and a full run) can only disagree if something
+    is broken, and that is raised, not papered over.  The merged list
+    is returned in canonical order (:func:`cell_sort_key`), so any
+    partition of a sweep merges to the identical table.
+    """
+    merged: dict[tuple, GridCell] = {}
+    for group in groups:
+        for cell in group:
+            ident = (cell.platform, cell.workload, cell.cap_fraction, cell.policy)
+            seen = merged.setdefault(ident, cell)
+            if not _same_cell(seen, cell):
+                raise ValueError(
+                    f"conflicting results for grid cell {ident}: "
+                    "deterministic replays cannot disagree — one side is "
+                    "stale or corrupt"
+                )
+    return sorted(merged.values(), key=cell_sort_key)
 
 
 def render_grid(cells: Sequence[GridCell]) -> str:

@@ -10,8 +10,10 @@ Subcommands:
 * ``exp``     — the experiment harness (:mod:`repro.exp`):
 
   * ``exp list``     — the built-in scenario library;
-  * ``exp run``      — run named scenarios and/or a parameter grid,
-    optionally across worker processes with result caching;
+  * ``exp run``      — run named scenarios and/or a parameter grid
+    through a pluggable execution backend (``--backend serial|pool``,
+    ``--shard k/n`` for one deterministic slice of a split sweep) and
+    result store (``--store memory|dir:PATH|shared:PATH``);
   * ``exp compare``  — metric-by-metric diff of two scenarios.
 """
 
@@ -190,15 +192,65 @@ def _parse_grid_spec(tokens: list[str]) -> dict[str, list]:
     return axes
 
 
+def _add_runner_args(p: argparse.ArgumentParser) -> None:
+    """Execution-backend and result-store options of ``exp run/compare``."""
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--backend", default=None, choices=["serial", "pool"],
+                   help="execution backend (default: pool when --workers > 1, "
+                        "serial otherwise)")
+    p.add_argument("--shard", default=None, metavar="K/N",
+                   help="run only the deterministic shard K of N of the "
+                        "scenario set (1-based, e.g. 2/3); independent jobs "
+                        "running the other shards against one shared store "
+                        "reassemble the full sweep")
+    p.add_argument("--store", default=None, metavar="SPEC",
+                   help="result store: memory, dir:PATH (local cache "
+                        "directory) or shared:PATH (safe for concurrent "
+                        "writers, e.g. on a network filesystem)")
+    p.add_argument("--cache-dir", default=None,
+                   help="per-scenario result cache directory "
+                        "(shorthand for --store dir:PATH)")
+
+
+def _build_runner(args: argparse.Namespace):
+    """A :class:`GridRunner` from the ``--backend/--shard/--store``
+    (and legacy ``--workers/--cache-dir``) arguments."""
+    from repro.exp import GridRunner, make_backend, make_store
+
+    kwargs: dict = {}
+    try:
+        if args.backend is not None or getattr(args, "shard", None) is not None:
+            kwargs["backend"] = make_backend(
+                args.backend,
+                workers=args.workers,
+                shard=getattr(args, "shard", None),
+            )
+        else:
+            kwargs["workers"] = args.workers
+        if args.store is not None:
+            if args.cache_dir is not None:
+                raise ValueError("pass --store or --cache-dir, not both")
+            kwargs["store"] = make_store(args.store)
+        else:
+            kwargs["cache_dir"] = args.cache_dir
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return GridRunner(**kwargs)
+
+
 def _gather_scenarios(args: argparse.Namespace) -> list:
-    from repro.exp import expand_grid, get_scenario
+    from repro.exp import expand_grid, get_scenario, scenario_names
 
     platform = getattr(args, "platform", None)
     if platform is not None:
         _resolve_platform(platform)
+    names = list(args.scenario or ())
+    if getattr(args, "library", False):
+        names.extend(n for n in scenario_names() if n not in names)
     scenarios = []
     try:
-        for name in args.scenario or ():
+        for name in names:
             sc = get_scenario(name)
             if platform is not None:
                 sc = sc.with_(platform=platform)
@@ -223,7 +275,7 @@ def _gather_scenarios(args: argparse.Namespace) -> list:
         # Scenario validation errors are user input errors at the CLI.
         raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
     if not scenarios:
-        raise SystemExit("nothing to run: pass --scenario and/or --grid")
+        raise SystemExit("nothing to run: pass --scenario, --library and/or --grid")
     return scenarios
 
 
@@ -233,6 +285,11 @@ def cmd_exp_list(args: argparse.Namespace) -> int:
     wanted = getattr(args, "platform", None)
     if wanted is not None:
         _resolve_platform(wanted)
+    if args.names:
+        for sc in SCENARIO_LIBRARY:
+            if wanted is None or sc.platform == wanted:
+                print(sc.name)
+        return 0
     header = (
         f"{'name':<28} {'hash':<16} {'platform':<10} {'interval':>9} "
         f"{'policy':>6} {'dur(h)':>6} {'caps':<24}"
@@ -275,23 +332,35 @@ def cmd_exp_platforms(args: argparse.Namespace) -> int:
 
 
 def cmd_exp_run(args: argparse.Namespace) -> int:
-    from repro.exp import GridRunner, render_results_grid, results_table
+    from repro.exp import render_results_grid, results_table
 
     scenarios = _gather_scenarios(args)
-    print(
-        f"running {len(scenarios)} scenario(s) "
-        f"on {max(args.workers, 1)} worker(s)"
-        + (f", cache {args.cache_dir}" if args.cache_dir else "")
-    )
-    done = 0
+    with _build_runner(args) as runner:
+        total = sum(
+            1 for sc in scenarios if runner.backend.owns(sc.scenario_hash())
+        )
+        where = f"backend {runner.backend.name}"
+        if args.workers > 1:
+            where += f", {args.workers} workers"
+        if args.store:
+            where += f", store {args.store}"
+        elif args.cache_dir:
+            where += f", cache {args.cache_dir}"
+        if total != len(scenarios):
+            print(
+                f"running {total} of {len(scenarios)} scenario(s) "
+                f"({where}; the rest belong to other shards)"
+            )
+        else:
+            print(f"running {total} scenario(s) ({where})")
+        done = 0
 
-    def progress(result) -> None:
-        nonlocal done
-        done += 1
-        src = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
-        print(f"  [{done}/{len(scenarios)}] {result.scenario.name} ({src})")
+        def progress(result) -> None:
+            nonlocal done
+            done += 1
+            src = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
+            print(f"  [{done}/{total}] {result.scenario.name} ({src})")
 
-    with GridRunner(workers=args.workers, cache_dir=args.cache_dir) as runner:
         results = runner.run(scenarios, progress=progress)
     print()
     print(results_table(results))
@@ -302,7 +371,7 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
 
 
 def cmd_exp_compare(args: argparse.Namespace) -> int:
-    from repro.exp import GridRunner, compare_results, get_scenario
+    from repro.exp import compare_results, get_scenario
 
     try:
         a, b = get_scenario(args.a), get_scenario(args.b)
@@ -312,9 +381,19 @@ def cmd_exp_compare(args: argparse.Namespace) -> int:
             a, b = a.with_(scale=args.scale), b.with_(scale=args.scale)
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
-    with GridRunner(workers=args.workers, cache_dir=args.cache_dir) as runner:
-        ra, rb = runner.run([a, b])
-    print(compare_results(ra, rb))
+    with _build_runner(args) as runner:
+        results = runner.run([a, b])
+    if len(results) != 2:
+        # A sharded backend only executes its own slice; a comparison
+        # needs both sides, so run the shards into a shared store
+        # first and compare against that store without --shard.
+        raise SystemExit(
+            "error: the backend produced only "
+            f"{len(results)} of the 2 scenarios (sharded run?); "
+            "compare without --shard, pointing --store at the shards' "
+            "shared store"
+        )
+    print(compare_results(*results))
     return 0
 
 
@@ -359,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = exp_sub.add_parser("list", help="list the built-in scenario library")
     p.add_argument("--platform", default=None, metavar="NAME",
                    help="only list scenarios of this platform")
+    p.add_argument("--names", action="store_true",
+                   help="print bare scenario names only (one per line, "
+                        "for scripting)")
     p.set_defaults(func=cmd_exp_list)
 
     p = exp_sub.add_parser(
@@ -372,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="NAME",
         help="library scenario to run (repeatable)",
+    )
+    p.add_argument(
+        "--library",
+        action="store_true",
+        help="run every library scenario (combines with --scenario/--grid; "
+             "overrides like --scale/--platform apply to them too)",
     )
     p.add_argument(
         "--grid",
@@ -389,10 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay length in hours (overrides the scenario/interval "
                         "default; cap windows keep their absolute placement, and "
                         "shrinking below a window is rejected)")
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes (1 = serial)")
-    p.add_argument("--cache-dir", default=None,
-                   help="per-scenario result cache directory")
+    _add_runner_args(p)
     p.add_argument("--bars", action="store_true",
                    help="also print the Figure 8 bar rendering")
     p.set_defaults(func=cmd_exp_run)
@@ -403,8 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--platform", default=None, metavar="NAME",
                    help="override the platform of both scenarios")
-    p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--cache-dir", default=None)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_exp_compare)
     return parser
 

@@ -1,19 +1,51 @@
-"""Experiment harness: declarative scenarios, parallel grid runs.
+"""Experiment harness: declarative scenarios, pluggable grid runs.
 
 The subsystem behind ``repro exp run/list/compare``:
 
 * :class:`Scenario` / :class:`CapWindow` — declarative replay specs
-  with stable content-hash identity (:mod:`repro.exp.spec`);
-* :func:`run_scenario` / :class:`GridRunner` — serial and
-  multi-process execution with per-scenario result caching
+  with stable content-hash identity, plus deterministic shard
+  selection (:mod:`repro.exp.spec`);
+* :class:`ExecutionBackend` — where scenarios execute: in-process
+  (:class:`SerialBackend`), a ``multiprocessing`` pool
+  (:class:`ProcessPoolBackend`), or one shard of a split sweep
+  (:class:`ShardedBackend`) (:mod:`repro.exp.backends`);
+* :class:`ResultStore` — where results persist: an in-memory memo
+  (:class:`MemoryStore`), a local JSON/``.npz`` directory
+  (:class:`DirectoryStore`), or a shared directory safe for
+  concurrent writers (:class:`SharedDirectoryStore`)
+  (:mod:`repro.exp.store`);
+* :func:`run_scenario` / :class:`GridRunner` — pure orchestration:
+  dedupe → store lookup → backend submit → store write → aggregate
   (:mod:`repro.exp.runner`);
 * :data:`SCENARIO_LIBRARY` — named, ready-to-run scenarios
   (:mod:`repro.exp.library`);
-* aggregation into the Figure 8 reporting layer
+* aggregation and shard merging into the Figure 8 reporting layer
   (:mod:`repro.exp.aggregate`).
 """
 
-from repro.exp.spec import CapWindow, Scenario, expand_grid
+from repro.exp.spec import (
+    CapWindow,
+    Scenario,
+    expand_grid,
+    parse_shard,
+    shard_index,
+    shard_scenarios,
+)
+from repro.exp.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    make_backend,
+)
+from repro.exp.store import (
+    DirectoryStore,
+    MemoryStore,
+    ResultStore,
+    SharedDirectoryStore,
+    make_store,
+    result_key,
+)
 from repro.exp.runner import (
     GridRunner,
     RunResult,
@@ -33,6 +65,7 @@ from repro.exp.library import (
 from repro.exp.aggregate import (
     cell_from_result,
     compare_results,
+    merge_results,
     render_results_grid,
     results_table,
     results_to_cells,
@@ -42,6 +75,20 @@ __all__ = [
     "CapWindow",
     "Scenario",
     "expand_grid",
+    "parse_shard",
+    "shard_index",
+    "shard_scenarios",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ShardedBackend",
+    "make_backend",
+    "ResultStore",
+    "MemoryStore",
+    "DirectoryStore",
+    "SharedDirectoryStore",
+    "make_store",
+    "result_key",
     "GridRunner",
     "RunResult",
     "replay_scenario",
@@ -56,6 +103,7 @@ __all__ = [
     "scenario_names",
     "cell_from_result",
     "compare_results",
+    "merge_results",
     "render_results_grid",
     "results_table",
     "results_to_cells",

@@ -11,8 +11,39 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
-from repro.analysis.report import GridCell, render_grid
+from repro.analysis.report import GridCell, cell_sort_key, render_grid
 from repro.exp.runner import RunResult
+
+
+def merge_results(groups: Iterable[Sequence[RunResult]]) -> list[RunResult]:
+    """Merge partial result lists — per-shard runs, per-machine store
+    reads — into one deduplicated sweep.
+
+    Results are identified by scenario content hash.  Duplicates must
+    be bit-identical (:meth:`RunResult.same_outcome`): the replays are
+    deterministic, so two shards disagreeing on one scenario means a
+    stale or corrupt store, and that raises rather than silently
+    picking a side.  The merged list comes back in canonical grid
+    order (platform, workload, caps descending, paper policy order),
+    so any partition of a sweep merges to the identical table.
+    """
+    merged: dict[str, RunResult] = {}
+    for group in groups:
+        for result in group:
+            key = result.scenario_hash
+            seen = merged.setdefault(key, result)
+            if seen is not result and not seen.same_outcome(result):
+                raise ValueError(
+                    f"conflicting results for scenario "
+                    f"{result.scenario.name!r} ({key}): trace digests "
+                    f"{seen.trace_digest[:12]} vs {result.trace_digest[:12]} "
+                    "— deterministic replays cannot disagree; one side is "
+                    "stale or corrupt"
+                )
+    return sorted(
+        merged.values(),
+        key=lambda r: (*cell_sort_key(cell_from_result(r)), r.scenario_hash),
+    )
 
 
 def cell_from_result(result: RunResult) -> GridCell:

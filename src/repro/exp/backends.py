@@ -1,0 +1,267 @@
+"""Execution backends: pluggable engines behind the experiment harness.
+
+An :class:`ExecutionBackend` answers two questions for the
+:class:`~repro.exp.runner.GridRunner`:
+
+* **ownership** — :meth:`ExecutionBackend.owns` says whether this
+  backend instance is responsible for a given scenario (keyed by its
+  content hash).  Full backends own everything; a
+  :class:`ShardedBackend` owns the deterministic ``1/n`` slice assigned
+  to its shard, which is how one grid splits across independent
+  machines or CI jobs without any coordination;
+* **execution** — :meth:`ExecutionBackend.map` runs the work function
+  over the owned scenarios and yields results in input order.
+
+Every backend executes the identical work function on the identical
+scenario specs, so *which* backend ran a scenario can never change the
+result — the golden trace digests pin this bit-for-bit.
+
+:class:`ProcessPoolBackend` holds the ``multiprocessing`` pool that
+used to live inside ``GridRunner``.  Its :meth:`close` is idempotent,
+and live pools are additionally terminated by one ``atexit`` hook —
+never by ``__del__``, whose GC timing at interpreter shutdown used to
+race the pool teardown and leak resource warnings.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import weakref
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.exp.spec import parse_shard, shard_index
+
+
+class ExecutionBackend:
+    """Duck-typed protocol of a harness execution backend."""
+
+    #: human label (CLI/diagnostics)
+    name: str = "backend"
+
+    def owns(self, scenario_hash: str) -> bool:
+        """Whether this backend executes the scenario with this content
+        hash.  Full backends own everything; sharded ones a slice."""
+        return True
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Apply ``fn`` to every item, yielding results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; must be idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one scenario at a time — the reference executor."""
+
+    name = "serial"
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:
+        return (fn(item) for item in items)
+
+
+#: pools that must not survive interpreter shutdown (see _atexit_reap)
+_LIVE_POOL_BACKENDS: "weakref.WeakSet[ProcessPoolBackend]" = weakref.WeakSet()
+_REAPER_REGISTERED = False
+
+
+def _atexit_reap() -> None:  # pragma: no cover - interpreter shutdown
+    """Terminate pools that were never closed.
+
+    Runs while the interpreter is still intact (unlike ``__del__`` at
+    GC time, which could fire after multiprocessing's own machinery was
+    torn down and spray ResourceWarnings).  ``terminate`` rather than
+    ``close``: an abandoned pool's workers may be mid-task, and exit
+    must not hang on them.
+    """
+    for backend in list(_LIVE_POOL_BACKENDS):
+        backend._shutdown(terminate=True)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """``multiprocessing`` pool execution (today's ``GridRunner`` pool).
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` or ``<= 1`` degrades to serial
+        execution in-process (no pool is ever created).
+    mp_context:
+        Start method; default picks ``fork`` where available (cheap,
+        and harmless here: workers rebuild every scenario from its
+        spec, so inherited state cannot leak into results) and
+        ``spawn`` elsewhere.
+    persistent:
+        Keep the pool alive between :meth:`map` calls (fork once,
+        stream scenarios).  Workers then retain their per-process
+        machine/workload memos, so iterative sweeps stop paying a pool
+        spin-up plus cold caches per batch.  Off by default: a
+        persistent pool outlives ``map()``, so callers must release it
+        via :meth:`close` or a ``with`` block (an ``atexit`` hook
+        terminates leaked ones).
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        mp_context: str | None = None,
+        persistent: bool = False,
+    ) -> None:
+        self.workers = int(workers) if workers is not None else 1
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.mp_context = mp_context
+        self.persistent = bool(persistent)
+        self._pool = None
+        self._pool_size = 0
+
+    def _get_pool(self, n_tasks: int):
+        """The persistent pool, sized ``min(workers, n_tasks)``.
+
+        An existing pool is reused when it is big enough; a larger
+        batch grows it (workers are re-forked, a one-off cost).
+        """
+        global _REAPER_REGISTERED
+        n = min(self.workers, max(n_tasks, 1))
+        if self._pool is not None and self._pool_size < n:
+            self.close()
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._pool = ctx.Pool(processes=n)
+            self._pool_size = n
+            _LIVE_POOL_BACKENDS.add(self)
+            if not _REAPER_REGISTERED:
+                atexit.register(_atexit_reap)
+                _REAPER_REGISTERED = True
+        return self._pool
+
+    def _shutdown(self, *, terminate: bool) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_size = 0
+        _LIVE_POOL_BACKENDS.discard(self)
+        if pool is not None:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+    def close(self) -> None:
+        """Shut the pool down; safe to call any number of times."""
+        self._shutdown(terminate=False)
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            # Nothing to parallelise: skip the pool entirely (and its
+            # per-item pickling) — results are identical either way.
+            return (fn(item) for item in items)
+        if self.persistent:
+            pool = self._get_pool(len(items))
+            return pool.imap(fn, items, chunksize=1)
+        return self._oneshot_map(fn, items)
+
+    def _oneshot_map(
+        self, fn: Callable[[Any], Any], items: list[Any]
+    ) -> Iterator[Any]:
+        ctx = multiprocessing.get_context(self.mp_context)
+        n = min(self.workers, len(items))
+        with ctx.Pool(processes=n) as pool:
+            yield from pool.imap(fn, items, chunksize=1)
+
+
+class ShardedBackend(ExecutionBackend):
+    """A deterministic ``index/count`` slice of the grid.
+
+    Shard membership is a pure function of the scenario content hash
+    (:func:`repro.exp.spec.shard_index`), so every participant of a
+    split sweep — other CI jobs, other machines — agrees on the
+    partition without talking to each other, duplicates of one
+    scenario always land in one shard, and the union of all shards is
+    exactly the full grid.  Execution of the owned slice is delegated
+    to ``inner`` (serial by default, a process pool for wide shards).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        count: int,
+        *,
+        inner: ExecutionBackend | None = None,
+    ) -> None:
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} outside 0..{count - 1}")
+        self.index = int(index)
+        self.count = int(count)
+        self.inner = inner if inner is not None else SerialBackend()
+        self.name = f"shard {index + 1}/{count} on {self.inner.name}"
+
+    def owns(self, scenario_hash: str) -> bool:
+        return shard_index(scenario_hash, self.count) == self.index
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:
+        return self.inner.map(fn, items)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+#: CLI names of the full backends
+BACKEND_NAMES = ("serial", "pool")
+
+
+def make_backend(
+    name: str | None = None,
+    *,
+    workers: int | None = None,
+    mp_context: str | None = None,
+    persistent: bool = False,
+    shard: str | tuple[int, int] | None = None,
+) -> ExecutionBackend:
+    """Build a backend from CLI-style arguments.
+
+    ``name`` is ``serial`` or ``pool`` (``None`` picks ``pool`` when
+    ``workers > 1``, ``serial`` otherwise).  ``shard`` — ``"k/n"`` or a
+    ``(index, count)`` pair — wraps the result in a
+    :class:`ShardedBackend` owning that slice.
+    """
+    n_workers = int(workers) if workers is not None else 1
+    if name is None:
+        name = "pool" if n_workers > 1 else "serial"
+    if name == "serial":
+        base: ExecutionBackend = SerialBackend()
+    elif name == "pool":
+        base = ProcessPoolBackend(
+            n_workers, mp_context=mp_context, persistent=persistent
+        )
+    else:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if shard is None:
+        return base
+    index, total = parse_shard(shard) if isinstance(shard, str) else shard
+    if total == 1 and index == 0:
+        return base  # 1/1 is the whole grid: no wrapper needed
+    return ShardedBackend(index, total, inner=base)

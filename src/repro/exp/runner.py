@@ -7,21 +7,23 @@ power/utilisation sample with bit-exact float encoding, so two results
 are equal iff the replays were byte-for-byte identical; that is what
 makes serial and multi-process grid runs directly comparable.
 
-:class:`GridRunner` executes scenario lists across ``multiprocessing``
-workers with per-scenario JSON caching keyed by the scenario content
-hash.  Results always come back in input order, and a worker pool
-produces exactly the output a serial run would (each worker rebuilds
-the scenario from scratch; nothing is shared), so parallelism never
-changes results — only wall time.
+:class:`GridRunner` is pure orchestration over two pluggable seams:
+an :class:`~repro.exp.backends.ExecutionBackend` (where scenarios
+execute: in-process, a ``multiprocessing`` pool, or one deterministic
+shard of a split sweep) and a :class:`~repro.exp.store.ResultStore`
+(where results persist: an in-memory memo, a local JSON/``.npz``
+directory, or a shared directory safe for concurrent writers).  One
+``run()`` is dedupe → store lookup → backend submit → store write →
+aggregate.  Results always come back in input order, and every
+backend produces exactly the output a serial run would (each worker
+rebuilds the scenario from scratch; nothing is shared), so neither
+parallelism nor sharding ever changes results — only wall time.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import math
-import multiprocessing
-import os
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -32,7 +34,19 @@ from functools import lru_cache, partial
 import numpy as np
 
 from repro.analysis.report import window_norms
+from repro.exp.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.exp.spec import Scenario
+from repro.exp.store import (
+    DEFAULT_SERIES_DT,
+    DirectoryStore,
+    MemoryStore,
+    ResultStore,
+    result_key,
+)
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.replay import ReplayResult, run_replay
 
@@ -313,10 +327,6 @@ def _condense(scenario: Scenario, result: ReplayResult, t0: float) -> RunResult:
     )
 
 
-#: default grid step of the ``.npz`` series payload (seconds)
-DEFAULT_SERIES_DT = 300.0
-
-
 def _platform_payload(scenarios: Sequence[Scenario]) -> tuple[dict, ...]:
     """Serialised specs of every platform the scenarios reference.
 
@@ -356,40 +366,63 @@ def _run_task(
 
 
 class GridRunner:
-    """Executes scenario lists, optionally in parallel, with caching.
+    """Pure orchestration of scenario sweeps over pluggable seams.
+
+    One :meth:`run` is **dedupe → store lookup → backend submit →
+    store write → aggregate**: content-identical scenarios collapse to
+    one execution, the :class:`~repro.exp.store.ResultStore` serves
+    whatever it already holds, the
+    :class:`~repro.exp.backends.ExecutionBackend` executes the rest
+    (in-process, across a worker pool, or only its deterministic shard
+    of a split sweep), and fresh results are written back to the store
+    before being returned in input order.
 
     Parameters
     ----------
     workers:
         Process count; ``None`` or ``<= 1`` runs serially in-process.
-        Parallel execution is deterministic: results are identical to
-        a serial run of the same list, in the same order.
+        Shorthand for ``backend=ProcessPoolBackend(workers)``;
+        mutually exclusive with an explicit ``backend`` (passing both
+        raises).  Parallel execution is deterministic: results are
+        identical to a serial run of the same list, in the same order.
     cache_dir:
-        When set, each finished scenario is written to
+        Shorthand for ``store=DirectoryStore(cache_dir)``: each
+        finished scenario is written to
         ``<cache_dir>/<scenario_hash>-<platform_hash>.json`` (the key
         covers the scenario *and* the registered platform content)
         and later runs of the same content skip straight to the
-        stored result.
+        stored result.  Mutually exclusive with an explicit ``store``
+        (passing both raises).
     mp_context:
-        ``multiprocessing`` start method; default picks ``fork`` where
-        available (cheap, and harmless here: workers rebuild every
-        scenario from its spec, so inherited state cannot leak into
-        results) and ``spawn`` elsewhere.
+        ``multiprocessing`` start method of the shorthand pool backend
+        (see :class:`~repro.exp.backends.ProcessPoolBackend`).
     persistent:
-        Keep the worker pool alive between :meth:`run` calls (fork
-        once, stream scenarios).  Workers then retain their per-process
-        machine/workload memos across calls, so iterative grid sweeps
-        stop paying a pool spin-up plus cold caches per batch.  Off by
-        default: a persistent pool outlives ``run()``, so callers must
-        release it via :meth:`close` or a ``with`` block.
+        Keep the shorthand pool backend's workers alive between
+        :meth:`run` calls (fork once, stream scenarios); release via
+        :meth:`close` or a ``with`` block.
     series:
-        Also export each scenario's Figure 6/7 grid series and store it
-        as a ``.npz`` under the same cache key next to the JSON result
-        (loadable via :meth:`load_series`).  A cached scenario missing
-        its ``.npz`` is treated as a cache miss so the payload is
-        (re)produced.
+        Also export each scenario's Figure 6/7 grid series and hand it
+        to the store as a ``.npz`` payload under the same key
+        (loadable via :meth:`load_series`).  A stored scenario missing
+        its series is treated as a miss so the payload is
+        (re)produced.  Only applies to stores that persist series
+        (the in-memory memo does not).
     series_dt:
-        Grid step of the exported series, in seconds.
+        Grid step of the exported series, in seconds (applies to the
+        shorthand directory store; an explicit ``store`` carries its
+        own).
+    backend:
+        Explicit :class:`~repro.exp.backends.ExecutionBackend`; use
+        :func:`~repro.exp.backends.make_backend` for the CLI names.
+        With a sharded backend, :meth:`run` returns results only for
+        the scenarios the shard owns (plus store hits are *not*
+        consulted for foreign scenarios — shards stay independent).
+    store:
+        Explicit :class:`~repro.exp.store.ResultStore`; use
+        :func:`~repro.exp.store.make_store` for the CLI specs.
+        Default: a :class:`~repro.exp.store.DirectoryStore` when
+        ``cache_dir`` is set, an in-process
+        :class:`~repro.exp.store.MemoryStore` otherwise.
     """
 
     def __init__(
@@ -401,45 +434,42 @@ class GridRunner:
         persistent: bool = False,
         series: bool = False,
         series_dt: float = DEFAULT_SERIES_DT,
+        backend: ExecutionBackend | None = None,
+        store: ResultStore | None = None,
     ) -> None:
         self.workers = int(workers) if workers is not None else 1
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if mp_context is None:
-            methods = multiprocessing.get_all_start_methods()
-            mp_context = "fork" if "fork" in methods else "spawn"
-        self.mp_context = mp_context
-        self.persistent = bool(persistent)
-        self.series = bool(series)
         if series_dt <= 0:
             raise ValueError("series_dt must be positive")
+        self.series = bool(series)
         self.series_dt = float(series_dt)
-        self._pool = None
-        self._pool_size = 0
+        if backend is None:
+            if self.workers > 1:
+                backend = ProcessPoolBackend(
+                    self.workers, mp_context=mp_context, persistent=persistent
+                )
+            else:
+                backend = SerialBackend()
+        elif workers is not None or mp_context is not None or persistent:
+            raise ValueError(
+                "pass either an explicit backend or workers/mp_context/"
+                "persistent, not both"
+            )
+        self.backend = backend
+        if store is None:
+            if self.cache_dir is not None:
+                store = DirectoryStore(self.cache_dir, series_dt=self.series_dt)
+            else:
+                store = MemoryStore()
+        elif cache_dir is not None:
+            raise ValueError("pass either an explicit store or cache_dir, not both")
+        self.store = store
 
-    # -- worker pool ------------------------------------------------------------------
-
-    def _get_pool(self, n_tasks: int):
-        """The persistent pool, sized ``min(workers, n_tasks)``.
-
-        An existing pool is reused when it is big enough; a larger
-        batch grows it (workers are re-forked, a one-off cost).
-        """
-        n = min(self.workers, max(n_tasks, 1))
-        if self._pool is not None and self._pool_size < n:
-            self.close()
-        if self._pool is None:
-            ctx = multiprocessing.get_context(self.mp_context)
-            self._pool = ctx.Pool(processes=n)
-            self._pool_size = n
-        return self._pool
+    # -- lifecycle --------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the persistent worker pool down (no-op when absent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-            self._pool_size = 0
+        """Release the backend's resources (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "GridRunner":
         return self
@@ -447,121 +477,57 @@ class GridRunner:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def __del__(self) -> None:  # pragma: no cover - GC timing
-        pool = getattr(self, "_pool", None)
-        if pool is not None:
-            try:
-                pool.terminate()
-            except Exception:
-                pass
+    # -- compatibility shims ----------------------------------------------------------
 
-    # -- cache ------------------------------------------------------------------------
+    @property
+    def _pool(self):
+        """The live worker pool of a pool backend (tests/diagnostics)."""
+        return getattr(self.backend, "_pool", None)
+
+    @property
+    def mp_context(self) -> str | None:
+        return getattr(self.backend, "mp_context", None)
+
+    @property
+    def persistent(self) -> bool:
+        return bool(getattr(self.backend, "persistent", False))
 
     @staticmethod
     def _cache_key(scenario: Scenario) -> str:
-        """On-disk cache key: scenario content + platform content.
+        """Content-addressed store key (see :func:`repro.exp.store.result_key`)."""
+        return result_key(scenario)
 
-        The scenario hash covers only the platform *name*; appending
-        the registered spec's content hash makes a cache entry stale
-        the moment ``register_platform(..., replace=True)`` changes
-        what that name means — instead of silently serving results
-        from the previous hardware.
+    # -- store access -----------------------------------------------------------------
+
+    @property
+    def _want_series(self) -> bool:
+        return self.series and self.store.stores_series
+
+    def _lookup(self, scenario: Scenario) -> RunResult | None:
+        """Store hit for this scenario, relabelled to the request.
+
+        The stored label may differ (content-identical scenario under
+        another name) and the stored ``cached`` flag is stale by
+        definition; the content is what matters.
         """
-        from repro.platform import get_platform
-
-        platform_hash = get_platform(scenario.platform).content_hash()
-        return f"{scenario.scenario_hash()}-{platform_hash[:8]}"
-
-    def _cache_path(self, cache_key: str) -> Path | None:
-        if self.cache_dir is None:
+        key = result_key(scenario)
+        result = self.store.get(key)
+        if result is None:
             return None
-        return self.cache_dir / f"{cache_key}.json"
-
-    def _series_path(self, cache_key: str) -> Path | None:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{cache_key}.npz"
-
-    def _load_cached(self, scenario: Scenario) -> RunResult | None:
-        path = self._cache_path(self._cache_key(scenario))
-        if path is None or not path.is_file():
-            return None
-        if self.series and not self._series_ok(self._cache_key(scenario)):
-            return None  # series payload missing/stale: re-run to produce it
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            result = RunResult.from_dict(data, cached=True)
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
-            return None  # corrupt/stale cache entry: re-run
         if result.scenario.scenario_hash() != scenario.scenario_hash():
-            return None
-        # The cached label may be stale; the content is what matters.
-        return RunResult(
-            scenario=scenario,
-            metrics=result.metrics,
-            trace_digest=result.trace_digest,
-            n_jobs=result.n_jobs,
-            n_rejected=result.n_rejected,
-            n_events=result.n_events,
-            n_samples=result.n_samples,
-            wall_seconds=result.wall_seconds,
-            cached=True,
-        )
-
-    def _store(self, result: RunResult) -> None:
-        path = self._cache_path(self._cache_key(result.scenario))
-        if path is None:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(result.to_dict(), allow_nan=False), encoding="utf-8"
-        )
-        tmp.replace(path)  # atomic: concurrent writers race benignly
-
-    def _series_ok(self, cache_key: str) -> bool:
-        """A usable cached series: present, readable, at this dt.
-
-        Any unreadable payload (truncated write, corrupted zip) is a
-        cache miss, mirroring the JSON cache's self-healing.
-        """
-        path = self._series_path(cache_key)
-        if path is None or not path.is_file():
-            return False
-        try:
-            with np.load(path) as z:
-                return float(z["_series_dt"]) == self.series_dt
-        except Exception:
-            return False
-
-    def _store_series(self, cache_key: str, series: Mapping[str, np.ndarray]) -> None:
-        path = self._series_path(cache_key)
-        if path is None:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        tmp = self.cache_dir / f"{cache_key}.tmp.{os.getpid()}.npz"
-        # The grid step is stored alongside the arrays so a runner with
-        # a different series_dt treats the payload as stale, not a hit.
-        np.savez_compressed(tmp, _series_dt=np.float64(self.series_dt), **series)
-        tmp.replace(path)
+            return None  # foreign/corrupt entry: recompute
+        if self._want_series and not self.store.has_series(key):
+            return None  # series payload missing/stale: re-run to produce it
+        return replace(result, scenario=scenario, cached=True)
 
     def load_series(self, scenario: Scenario) -> dict[str, np.ndarray] | None:
-        """Load a scenario's cached ``.npz`` series payload, if any.
+        """Load a scenario's stored ``.npz`` series payload, if any.
 
-        A payload recorded at a different grid step than this runner's
+        A payload recorded at a different grid step than the store's
         ``series_dt`` is treated as absent, matching :meth:`run`'s
-        cache-miss behaviour for stale resolutions.
+        miss behaviour for stale resolutions.
         """
-        path = self._series_path(self._cache_key(scenario))
-        if path is None or not path.is_file():
-            return None
-        try:
-            with np.load(path) as z:
-                if "_series_dt" in z.files and float(z["_series_dt"]) != self.series_dt:
-                    return None
-                return {k: z[k] for k in z.files if k != "_series_dt"}
-        except Exception:
-            return None  # corrupted payload: same as absent
+        return self.store.get_series(result_key(scenario))
 
     # -- execution --------------------------------------------------------------------
 
@@ -573,25 +539,48 @@ class GridRunner:
     ) -> list[RunResult]:
         """Execute ``scenarios`` and return results in input order.
 
-        Cached scenarios are skipped; duplicates (same content hash)
-        are executed once and the result is shared.
+        Stored scenarios are skipped; duplicates (same content hash)
+        are executed once and the result is shared.  Under a sharded
+        backend, scenarios outside the shard are dropped entirely
+        (not looked up, not executed): the returned list covers
+        exactly the shard's slice of the request, and merging the
+        shards' stores reassembles the full sweep.
         """
         scenarios = list(scenarios)
         results: list[RunResult | None] = [None] * len(scenarios)
 
-        # Cache hits and content-hash deduplication.
+        # Dedupe by content hash, drop foreign shards, serve store hits.
         to_run: list[Scenario] = []
         slot_of: dict[str, list[int]] = {}
+        hits: dict[str, RunResult] = {}
+        foreign: set[str] = set()
+        n_hits = 0
+
+        def serve_hit(i: int, sc: Scenario, hit: RunResult) -> None:
+            nonlocal n_hits
+            slot_result = hit if hit.scenario == sc else replace(hit, scenario=sc)
+            results[i] = slot_result
+            n_hits += 1
+            if progress is not None:
+                progress(slot_result)
+
         for i, sc in enumerate(scenarios):
             key = sc.scenario_hash()
             if key in slot_of:
                 slot_of[key].append(i)
                 continue
-            cached = self._load_cached(sc)
+            if key in hits:
+                serve_hit(i, sc, hits[key])
+                continue
+            if key in foreign:
+                continue
+            if not self.backend.owns(key):
+                foreign.add(key)
+                continue
+            cached = self._lookup(sc)
             if cached is not None:
-                results[i] = cached
-                if progress is not None:
-                    progress(cached)
+                hits[key] = cached
+                serve_hit(i, sc, cached)
                 continue
             slot_of[key] = [i]
             to_run.append(sc)
@@ -600,10 +589,10 @@ class GridRunner:
             for item in fresh:
                 if want_series:
                     result, series = item
-                    self._store_series(self._cache_key(result.scenario), series)
+                    self.store.put_series(result_key(result.scenario), series)
                 else:
                     result = item
-                self._store(result)
+                self.store.put(result_key(result.scenario), result)
                 for i in slot_of[result.scenario_hash]:
                     # Duplicate slots keep their own scenario label
                     # (content-identical, possibly differently named).
@@ -616,27 +605,17 @@ class GridRunner:
                     if progress is not None:
                         progress(slot_result)
 
-        want_series = self.series and self.cache_dir is not None
+        want_series = self._want_series
         task: Callable[[Scenario], Any] = partial(
             _run_task,
             platforms=_platform_payload(to_run),
             series=want_series,
-            grid_dt=self.series_dt,
+            grid_dt=self.store.series_dt if want_series else self.series_dt,
         )
-
-        if self.workers > 1 and len(to_run) > 1:
-            if self.persistent:
-                pool = self._get_pool(len(to_run))
-                collect(pool.imap(task, to_run, chunksize=1))
-            else:
-                ctx = multiprocessing.get_context(self.mp_context)
-                n = min(self.workers, len(to_run))
-                with ctx.Pool(processes=n) as pool:
-                    collect(pool.imap(task, to_run, chunksize=1))
-        else:
-            collect(task(sc) for sc in to_run)
+        collect(self.backend.map(task, to_run))
 
         out = [r for r in results if r is not None]
-        if len(out) != len(scenarios):  # pragma: no cover - defensive
+        expected = n_hits + sum(len(slots) for slots in slot_of.values())
+        if len(out) != expected:  # pragma: no cover - defensive
             raise RuntimeError("scenario execution dropped results")
         return out

@@ -361,12 +361,61 @@ class Scenario:
         )
 
 
+def shard_index(scenario_hash: str, count: int) -> int:
+    """Deterministic shard assignment of a scenario content hash.
+
+    A pure function of the content hash, so every participant of a
+    split sweep computes the same partition with no coordination,
+    content-identical duplicates always land in the same shard, and
+    the assignment is independent of list order, machine, or which
+    subset of the grid a participant happens to look at.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    return int(scenario_hash, 16) % count
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse a CLI ``"k/n"`` shard spec into ``(index, count)``.
+
+    ``k`` is 1-based on the command line (``--shard 1/3`` .. ``3/3``);
+    the returned index is 0-based.
+    """
+    k_s, sep, n_s = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        k, n = int(k_s), int(n_s)
+    except ValueError:
+        raise ValueError(f"bad shard spec {spec!r}: expected k/n, e.g. 2/3") from None
+    if n < 1 or not 1 <= k <= n:
+        raise ValueError(f"bad shard spec {spec!r}: need 1 <= k <= n")
+    return k - 1, n
+
+
+def shard_scenarios(
+    scenarios: Iterable[Scenario], index: int, count: int
+) -> list[Scenario]:
+    """The slice of ``scenarios`` owned by shard ``index`` of ``count``.
+
+    Selection over :func:`expand_grid` output (or any scenario list):
+    the union of all shards is the input, shards are disjoint by
+    content, and each keeps the input order.
+    """
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} outside 0..{count - 1}")
+    return [
+        sc for sc in scenarios if shard_index(sc.scenario_hash(), count) == index
+    ]
+
+
 def expand_grid(
     axes: Mapping[str, Sequence[Any]],
     *,
     scale: float = 0.125,
     duration: float | None = None,
     config: Mapping[str, Any] | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> list[Scenario]:
     """Expand a parameter grid into scenarios via :meth:`Scenario.paper_cell`.
 
@@ -374,7 +423,8 @@ def expand_grid(
     ``interval``, ``policy``, ``cap``, ``seed`` and ``platform``.  The
     cartesian product is taken in the axes' insertion order, so the
     expansion (and therefore a grid run's output order) is
-    deterministic.
+    deterministic.  ``shard=(index, count)`` keeps only that
+    deterministic slice of the expansion (see :func:`shard_scenarios`).
     """
     allowed = {"interval", "policy", "cap", "seed", "platform"}
     unknown = set(axes) - allowed
@@ -406,4 +456,6 @@ def expand_grid(
                 platform=kw["platform"],
             )
         )
+    if shard is not None:
+        scenarios = shard_scenarios(scenarios, *shard)
     return scenarios

@@ -1,0 +1,350 @@
+"""Result stores: pluggable persistence behind the experiment harness.
+
+A :class:`ResultStore` keeps condensed :class:`~repro.exp.runner.RunResult`
+payloads (and optionally their Figure 6/7 ``.npz`` series) under
+**content-addressed keys**: :func:`result_key` derives the key from the
+scenario content hash plus the registered platform spec's content hash,
+so a stored entry is valid exactly as long as *what it describes* is
+unchanged — renaming a scenario hits, editing it (or replacing the
+platform it runs on) misses.
+
+Three implementations ship:
+
+* :class:`MemoryStore` — the in-process memo (no persistence, no
+  series); the default when a :class:`~repro.exp.runner.GridRunner`
+  has no cache directory, so repeated ``run()`` calls on one runner
+  never replay a scenario twice;
+* :class:`DirectoryStore` — the local JSON/``.npz`` directory cache
+  (one flat directory, atomic writes, self-healing on corrupt
+  entries);
+* :class:`SharedDirectoryStore` — a shared directory safe for
+  **concurrent writers on a network filesystem**: two-level key
+  fan-out, collision-free temp names (host + pid + counter), fsync
+  before the atomic rename, and first-writer-wins semantics (replays
+  are deterministic, so concurrent writers produce identical bytes
+  and skipping the second write is sound).
+
+Any unreadable entry — truncated JSON from a killed worker, a
+corrupted zip — is **discarded with a warning naming the path** and
+recomputed; a stale-but-wellformed mismatch (schema bump, different
+series resolution, replaced platform) is silently treated as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import warnings
+from itertools import count
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exp.runner import RunResult
+    from repro.exp.spec import Scenario
+
+#: default grid step of the ``.npz`` series payload (seconds)
+DEFAULT_SERIES_DT = 300.0
+
+
+def result_key(scenario: "Scenario") -> str:
+    """Content-addressed store key: scenario content + platform content.
+
+    The scenario hash covers only the platform *name*; appending the
+    registered spec's content hash makes a store entry stale the moment
+    ``register_platform(..., replace=True)`` changes what that name
+    means — instead of silently serving results from the previous
+    hardware.
+    """
+    from repro.platform import get_platform
+
+    platform_hash = get_platform(scenario.platform).content_hash()
+    return f"{scenario.scenario_hash()}-{platform_hash[:8]}"
+
+
+class ResultStore:
+    """Duck-typed protocol of a harness result store.
+
+    ``get``/``put`` move condensed results; ``get_series``/``put_series``
+    move the optional ``.npz`` series payload; ``has_series`` exists so
+    the runner's hit test does not need to deserialise a payload it is
+    not going to use.  ``stores_series=False`` stores never receive a
+    series (the runner does not even produce one for them).
+    """
+
+    #: whether this store persists series payloads at all
+    stores_series: bool = False
+    #: grid step (seconds) of any series payload this store accepts
+    series_dt: float = DEFAULT_SERIES_DT
+
+    def get(self, key: str) -> "RunResult | None":
+        raise NotImplementedError
+
+    def put(self, key: str, result: "RunResult") -> None:
+        raise NotImplementedError
+
+    def get_series(self, key: str) -> dict[str, np.ndarray] | None:
+        return None
+
+    def put_series(self, key: str, series: Mapping[str, np.ndarray]) -> None:
+        raise NotImplementedError(f"{type(self).__name__} does not store series")
+
+    def has_series(self, key: str) -> bool:
+        return self.get_series(key) is not None
+
+    def keys(self) -> list[str]:
+        """Keys of every stored result (diagnostics / merge checks)."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+class MemoryStore(ResultStore):
+    """In-process memo: results live for the store's lifetime only."""
+
+    stores_series = False
+
+    def __init__(self) -> None:
+        self._results: dict[str, "RunResult"] = {}
+
+    def get(self, key: str) -> "RunResult | None":
+        return self._results.get(key)
+
+    def put(self, key: str, result: "RunResult") -> None:
+        self._results[key] = result
+
+    def keys(self) -> list[str]:
+        return sorted(self._results)
+
+
+class DirectoryStore(ResultStore):
+    """Local directory cache: ``<dir>/<key>.json`` (+ ``<key>.npz``).
+
+    The on-disk layout is exactly the pre-refactor ``GridRunner``
+    cache, so existing cache directories keep hitting.  Writes are
+    atomic (temp file + ``os.replace``); corrupt entries are discarded
+    with a warning naming the path and recomputed by the caller.
+    """
+
+    stores_series = True
+
+    def __init__(
+        self, root: str | Path, *, series_dt: float = DEFAULT_SERIES_DT
+    ) -> None:
+        self.root = Path(root)
+        if series_dt <= 0:
+            raise ValueError("series_dt must be positive")
+        self.series_dt = float(series_dt)
+
+    # -- paths ------------------------------------------------------------------------
+
+    def _result_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _series_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _tmp_name(self, key: str, suffix: str) -> str:
+        return f"{key}.tmp.{os.getpid()}{suffix}"
+
+    def _discard(self, path: Path, reason: Exception) -> None:
+        """Drop an unreadable entry, loudly: the caller will recompute."""
+        warnings.warn(
+            f"discarding corrupt result-store entry {path}: {reason!r}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - races with other healers
+            pass
+
+    # -- results ----------------------------------------------------------------------
+
+    def get(self, key: str) -> "RunResult | None":
+        from repro.exp.runner import RunResult
+
+        path = self._result_path(key)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            self._discard(path, exc)
+            return None
+        try:
+            result = RunResult.from_dict(data, cached=True)
+        except ValueError as exc:
+            if "schema" in str(exc):
+                return None  # a result/scenario schema bump is expected staleness
+            self._discard(path, exc)
+            return None
+        except (KeyError, TypeError) as exc:
+            self._discard(path, exc)
+            return None
+        if result.scenario.scenario_hash() != key.partition("-")[0]:
+            # Content addressing is the integrity check: an entry whose
+            # payload does not hash to its own key was corrupted or
+            # hand-edited.
+            self._discard(path, ValueError("stored scenario does not match key"))
+            return None
+        return result
+
+    def put(self, key: str, result: "RunResult") -> None:
+        path = self._result_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / self._tmp_name(key, ".json")
+        tmp.write_text(
+            json.dumps(result.to_dict(), allow_nan=False), encoding="utf-8"
+        )
+        self._replace(tmp, path)
+
+    def _replace(self, tmp: Path, path: Path) -> None:
+        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+
+    # -- series -----------------------------------------------------------------------
+
+    def get_series(self, key: str) -> dict[str, np.ndarray] | None:
+        """The cached series, or ``None`` when absent/stale/corrupt.
+
+        A payload recorded at a different grid step than this store's
+        ``series_dt`` is treated as absent (stale resolution, not an
+        error); an unreadable payload is discarded with a warning.
+        """
+        path = self._series_path(key)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path) as z:
+                if "_series_dt" in z.files and float(z["_series_dt"]) != self.series_dt:
+                    return None
+                return {k: z[k] for k in z.files if k != "_series_dt"}
+        except Exception as exc:
+            self._discard(path, exc)
+            return None
+
+    def has_series(self, key: str) -> bool:
+        """Cheap hit test: reads only the stored grid step.
+
+        A payload without a recorded grid step (written by an external
+        tool) is a silent miss — its resolution cannot be verified, but
+        it stays on disk and :meth:`get_series` will still serve it.
+        """
+        path = self._series_path(key)
+        if not path.is_file():
+            return False
+        try:
+            with np.load(path) as z:
+                if "_series_dt" not in z.files:
+                    return False
+                return float(z["_series_dt"]) == self.series_dt
+        except Exception as exc:
+            self._discard(path, exc)
+            return False
+
+    def put_series(self, key: str, series: Mapping[str, np.ndarray]) -> None:
+        path = self._series_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # np.savez appends .npz to suffix-less names, so the temp name
+        # must already carry it for the atomic rename to find the file.
+        tmp = path.parent / self._tmp_name(key, ".npz")
+        np.savez_compressed(tmp, _series_dt=np.float64(self.series_dt), **series)
+        self._replace(tmp, path)
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        # A writer killed mid-put leaves a "<key>.tmp.<...>.json"; that
+        # is litter, not a stored key.
+        return sorted(
+            p.stem for p in self.root.rglob("*.json") if ".tmp." not in p.name
+        )
+
+
+class SharedDirectoryStore(DirectoryStore):
+    """A directory store safe for concurrent writers across machines.
+
+    Differences from :class:`DirectoryStore`, all aimed at many
+    independent workers pointing at one network-filesystem directory:
+
+    * entries fan out into ``<dir>/<key[:2]>/`` so a big sweep does not
+      produce one directory with thousands of entries (slow to list on
+      NFS);
+    * temp names embed hostname, pid and a per-process counter, so two
+      workers with colliding pids on different machines can never
+      clobber each other's in-flight writes;
+    * the temp file is fsynced before the atomic rename, so a reader on
+      another NFS client never sees a renamed-but-unflushed entry;
+    * an existing entry is never rewritten (first writer wins): replays
+      are deterministic, so a concurrent writer would produce the same
+      bytes, and skipping the write avoids rename storms on hot keys.
+    """
+
+    _seq = count()
+
+    def _result_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _series_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def _tmp_name(self, key: str, suffix: str) -> str:
+        host = socket.gethostname() or "host"
+        return f"{key}.tmp.{host}.{os.getpid()}.{next(self._seq)}{suffix}"
+
+    def put(self, key: str, result: "RunResult") -> None:
+        if self._result_path(key).is_file():
+            return
+        super().put(key, result)
+
+    def put_series(self, key: str, series: Mapping[str, np.ndarray]) -> None:
+        if self._series_path(key).is_file():
+            return
+        super().put_series(key, series)
+
+    def _replace(self, tmp: Path, path: Path) -> None:
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+
+
+def make_store(
+    spec: str, *, series_dt: float = DEFAULT_SERIES_DT
+) -> ResultStore:
+    """Build a store from a CLI-style spec string.
+
+    ``memory`` — in-process memo; ``dir:PATH`` — local directory cache;
+    ``shared:PATH`` — shared directory safe for concurrent writers.  A
+    bare path is accepted as shorthand for ``dir:PATH``.
+    """
+    kind, sep, arg = spec.partition(":")
+    if not sep and kind not in ("memory", "dir", "shared"):
+        # A bare non-keyword spec is a path; a bare keyword ("shared"
+        # with the :PATH forgotten) must error, not silently become a
+        # local directory literally named "shared".
+        kind, arg = "dir", spec
+    if kind == "memory":
+        if arg:
+            raise ValueError("memory store takes no argument")
+        return MemoryStore()
+    if kind == "dir":
+        if not arg:
+            raise ValueError("dir store needs a path: dir:PATH")
+        return DirectoryStore(arg, series_dt=series_dt)
+    if kind == "shared":
+        if not arg:
+            raise ValueError("shared store needs a path: shared:PATH")
+        return SharedDirectoryStore(arg, series_dt=series_dt)
+    raise ValueError(
+        f"unknown store spec {spec!r}; expected memory, dir:PATH or shared:PATH"
+    )

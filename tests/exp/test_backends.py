@@ -1,0 +1,316 @@
+"""Execution backends: ownership, pooling, sharding, equivalence.
+
+The contract under test is the paper's own methodology: *which*
+backend executed a scenario can never change the result.  The
+cross-backend equivalence suite drives the full 16-scenario library
+(12 Curie + 4 platform scenarios) through serial, process-pool and
+sharded backends and holds every one to the pinned golden digests.
+"""
+
+import pytest
+
+from repro.analysis.report import merge_cells
+from repro.exp import (
+    DirectoryStore,
+    GridRunner,
+    MemoryStore,
+    ProcessPoolBackend,
+    Scenario,
+    SerialBackend,
+    ShardedBackend,
+    make_backend,
+    merge_results,
+    parse_shard,
+    results_to_cells,
+    shard_index,
+    shard_scenarios,
+)
+
+HOUR = 3600.0
+
+TINY = Scenario(
+    name="tiny-backend",
+    interval="medianjob",
+    policy="NONE",
+    scale=1 / 56,
+    duration=HOUR,
+)
+
+
+class TestShardSelection:
+    def test_parse_shard(self):
+        assert parse_shard("1/3") == (0, 3)
+        assert parse_shard("3/3") == (2, 3)
+        for bad in ("0/3", "4/3", "1", "a/b", "1/0", "/2"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_partition_is_exact_and_order_preserving(self):
+        from repro.exp import SCENARIO_LIBRARY
+
+        scenarios = list(SCENARIO_LIBRARY)
+        for count in (1, 2, 3, 5):
+            shards = [shard_scenarios(scenarios, k, count) for k in range(count)]
+            # Disjoint, exhaustive, order-preserving.
+            names = [sc.name for shard in shards for sc in shard]
+            assert sorted(names) == sorted(sc.name for sc in scenarios)
+            assert len(set(names)) == len(names)
+            for shard in shards:
+                in_order = [sc for sc in scenarios if sc in shard]
+                assert in_order == shard
+
+    def test_assignment_is_content_based(self):
+        # Renaming cannot move a scenario between shards; content can.
+        k = shard_index(TINY.scenario_hash(), 3)
+        assert shard_index(TINY.with_(name="renamed").scenario_hash(), 3) == k
+        assert shard_index(TINY.scenario_hash(), 1) == 0
+
+    def test_expand_grid_shard_kwarg(self):
+        from repro.exp import expand_grid
+
+        axes = {"policy": ["SHUT", "DVFS", "MIX"], "cap": [0.6, 0.4]}
+        full = expand_grid(axes)
+        parts = [expand_grid(axes, shard=(k, 2)) for k in range(2)]
+        assert sorted(sc.name for p in parts for sc in p) == sorted(
+            sc.name for sc in full
+        )
+
+
+class TestBackendConstruction:
+    def test_make_backend_auto(self):
+        assert isinstance(make_backend(workers=1), SerialBackend)
+        auto = make_backend(workers=3)
+        assert isinstance(auto, ProcessPoolBackend) and auto.workers == 3
+        assert isinstance(make_backend("serial", workers=8), SerialBackend)
+        with pytest.raises(ValueError):
+            make_backend("slurm")
+
+    def test_make_backend_shard_wrapping(self):
+        sharded = make_backend("pool", workers=2, shard="2/3")
+        assert isinstance(sharded, ShardedBackend)
+        assert (sharded.index, sharded.count) == (1, 3)
+        assert isinstance(sharded.inner, ProcessPoolBackend)
+        # 1/1 is the whole grid: no wrapper.
+        assert isinstance(make_backend("serial", shard="1/1"), SerialBackend)
+
+    def test_sharded_validation(self):
+        with pytest.raises(ValueError):
+            ShardedBackend(3, 3)
+        with pytest.raises(ValueError):
+            ShardedBackend(0, 0)
+
+    def test_ownership(self):
+        key = TINY.scenario_hash()
+        assert SerialBackend().owns(key)
+        assert ProcessPoolBackend(2).owns(key)
+        owners = [
+            k for k in range(4) if ShardedBackend(k, 4).owns(key)
+        ]
+        assert owners == [shard_index(key, 4)]
+
+    def test_runner_rejects_backend_plus_workers(self):
+        with pytest.raises(ValueError):
+            GridRunner(workers=2, backend=SerialBackend())
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self):
+        backend = ProcessPoolBackend(2, persistent=True)
+        results = list(backend.map(abs, [-1, -2]))
+        assert results == [1, 2]
+        assert backend._pool is not None
+        backend.close()
+        assert backend._pool is None
+        backend.close()  # second close: no-op, no error
+        backend.close()
+
+    def test_atexit_reaper_tracks_live_pools(self):
+        from repro.exp import backends as mod
+
+        backend = ProcessPoolBackend(2, persistent=True)
+        list(backend.map(abs, [-1, -2]))
+        assert backend in mod._LIVE_POOL_BACKENDS
+        assert mod._REAPER_REGISTERED
+        backend.close()
+        assert backend not in mod._LIVE_POOL_BACKENDS
+        # The reaper is safe to run with nothing registered.
+        mod._atexit_reap()
+
+    def test_single_item_skips_the_pool(self):
+        backend = ProcessPoolBackend(4, persistent=True)
+        assert list(backend.map(abs, [-7])) == [7]
+        assert backend._pool is None  # nothing to parallelise: no fork
+        backend.close()
+
+
+class TestShardedRuns:
+    def test_shards_reassemble_the_sweep(self, tmp_path):
+        scenarios = [TINY.with_(name=f"s{i}", seed=i) for i in range(5)]
+        parts = []
+        for k in range(3):
+            with GridRunner(
+                backend=ShardedBackend(k, 3),
+                store=DirectoryStore(tmp_path),
+            ) as runner:
+                part = runner.run(scenarios)
+            assert all(
+                shard_index(r.scenario.scenario_hash(), 3) == k for r in part
+            )
+            parts.append(part)
+        merged = merge_results(parts)
+        serial = GridRunner().run(scenarios)
+        assert {r.scenario.name: r.trace_digest for r in merged} == {
+            r.scenario.name: r.trace_digest for r in serial
+        }
+        # The shard partition matches shard_scenarios exactly.
+        for k, part in enumerate(parts):
+            assert [r.scenario.name for r in part] == [
+                sc.name for sc in shard_scenarios(scenarios, k, 3)
+            ]
+
+    def test_foreign_scenarios_skip_store_lookups(self, tmp_path):
+        # A pre-populated store must not leak foreign-shard results
+        # into a shard's output: shards stay independent.
+        scenarios = [TINY.with_(name=f"s{i}", seed=i) for i in range(4)]
+        store = DirectoryStore(tmp_path)
+        GridRunner(store=store).run(scenarios)  # fill the store
+        for k in range(2):
+            with GridRunner(
+                backend=ShardedBackend(k, 2), store=DirectoryStore(tmp_path)
+            ) as runner:
+                part = runner.run(scenarios)
+            assert [r.scenario.name for r in part] == [
+                sc.name for sc in shard_scenarios(scenarios, k, 2)
+            ]
+            assert all(r.cached for r in part)  # own slice: served
+
+    def test_duplicates_collapse_within_a_shard(self):
+        twin = TINY.with_(name="twin")
+        backend = ShardedBackend(shard_index(TINY.scenario_hash(), 2), 2)
+        with GridRunner(backend=backend) as runner:
+            results = runner.run([TINY, twin])
+        assert [r.scenario.name for r in results] == ["tiny-backend", "twin"]
+        assert results[0].same_outcome(results[1])
+        # The other shard owns nothing of this list.
+        other = ShardedBackend(1 - backend.index, 2)
+        with GridRunner(backend=other) as runner:
+            assert runner.run([TINY, twin]) == []
+
+
+class TestMergeHelpers:
+    def test_merge_results_conflict_raises(self):
+        from dataclasses import replace
+
+        a = GridRunner().run([TINY])[0]
+        forged = replace(a, trace_digest="0" * 64)
+        with pytest.raises(ValueError, match="deterministic"):
+            merge_results([[a], [forged]])
+
+    def test_merge_cells_deduplicates_and_orders(self):
+        from dataclasses import replace
+
+        results = GridRunner().run(
+            [
+                TINY.with_(name="mix", policy="MIX"),
+                TINY.with_(name="shut", policy="SHUT"),
+            ]
+        )
+        cells = results_to_cells(results)
+        merged = merge_cells([[cells[1]], [cells[0], cells[1]]])
+        assert [c.policy for c in merged] == ["MIX", "SHUT"]  # paper order
+        conflicting = replace(cells[0], energy_norm=0.123)
+        with pytest.raises(ValueError, match="deterministic"):
+            merge_cells([[cells[0]], [conflicting]])
+
+    def test_merge_cells_is_nan_aware(self):
+        # Uncapped cells carry NaN window metrics; two bit-identical
+        # cells built by *independent* runs (distinct objects, so no
+        # tuple identity shortcut) must merge, not conflict.
+        a = results_to_cells(GridRunner().run([TINY]))
+        b = results_to_cells(GridRunner().run([TINY]))
+        assert len(merge_cells([a, b])) == 1
+
+
+@pytest.mark.slow
+class TestCrossBackendEquivalence:
+    """The acceptance bar of the refactor: all 16 pinned digests are
+    byte-identical under every backend and shard split, and the store
+    contents written by every configuration are identical."""
+
+    def _library(self):
+        from repro.exp import SCENARIO_LIBRARY
+
+        # Curie scenarios at one-rack scale (the pinned digest scale);
+        # platform scenarios at their library scale.
+        return [
+            sc.with_(scale=1 / 56) if sc.platform == "curie" else sc
+            for sc in SCENARIO_LIBRARY
+        ]
+
+    def _pinned(self):
+        from test_determinism import (
+            LIBRARY_SEED_DIGESTS,
+            PLATFORM_LIBRARY_DIGESTS,
+        )
+
+        return {**LIBRARY_SEED_DIGESTS, **PLATFORM_LIBRARY_DIGESTS}
+
+    def _sweep(self, root, backends, scenarios):
+        parts = []
+        for backend in backends:
+            with GridRunner(backend=backend, store=DirectoryStore(root)) as r:
+                parts.append(r.run(scenarios))
+        return parts
+
+    def test_all_backends_reproduce_the_pinned_digests(self, tmp_path):
+        scenarios = self._library()
+        pinned = self._pinned()
+        assert len(scenarios) == len(pinned) == 16
+        configs = {
+            "serial": [make_backend("serial")],
+            "pool": [make_backend("pool", workers=2)],
+            "shard2": [make_backend("pool", workers=2, shard=(k, 2)) for k in range(2)],
+            "shard3": [make_backend("serial", shard=(k, 3)) for k in range(3)],
+        }
+        contents = {}
+        for label, backends in configs.items():
+            root = tmp_path / label
+            parts = self._sweep(root, backends, scenarios)
+            assert all(not r.cached for part in parts for r in part), label
+            merged = merge_results(parts)
+            assert {
+                r.scenario.name: r.trace_digest for r in merged
+            } == pinned, label
+            store = DirectoryStore(root)
+            contents[label] = {
+                key: store.get(key).trace_digest for key in store.keys()
+            }
+        # Identical store contents (same keys, same digests) whatever
+        # executed the sweep.
+        assert len({frozenset(c.items()) for c in contents.values()}) == 1
+
+
+@pytest.mark.slow
+def test_sharded_store_merge_equals_single_run_table(tmp_path):
+    """Two shard jobs filling one shared store produce, after a merge
+    pass over that store, the exact Figure-8 table of a single-process
+    run — the CI shard matrix asserts this same property end to end."""
+    from repro.exp import SharedDirectoryStore, render_results_grid
+
+    scenarios = [
+        Scenario.paper_cell("medianjob", policy, cap, scale=1 / 56, duration=2 * HOUR)
+        for policy in ("SHUT", "DVFS", "MIX")
+        for cap in (0.6, 0.4)
+    ]
+    for k in range(2):
+        with GridRunner(
+            backend=make_backend("serial", shard=(k, 2)),
+            store=SharedDirectoryStore(tmp_path),
+        ) as runner:
+            runner.run(scenarios)
+    with GridRunner(store=SharedDirectoryStore(tmp_path)) as runner:
+        merged = runner.run(scenarios)
+    assert all(r.cached for r in merged)
+    single = GridRunner().run(scenarios)
+    assert [r.trace_digest for r in merged] == [r.trace_digest for r in single]
+    assert render_results_grid(merged) == render_results_grid(single)

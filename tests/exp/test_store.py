@@ -1,0 +1,249 @@
+"""Result stores: content addressing, atomicity, corruption healing."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exp import (
+    DirectoryStore,
+    GridRunner,
+    MemoryStore,
+    Scenario,
+    SharedDirectoryStore,
+    make_store,
+    merge_results,
+    result_key,
+    run_scenario,
+)
+from repro.exp.store import DEFAULT_SERIES_DT
+
+HOUR = 3600.0
+
+TINY = Scenario(
+    name="tiny-store",
+    interval="medianjob",
+    policy="NONE",
+    scale=1 / 56,
+    duration=HOUR,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_scenario(TINY)
+
+
+class TestResultKey:
+    def test_covers_scenario_and_platform_content(self):
+        key = result_key(TINY)
+        shash, _, phash = key.partition("-")
+        assert shash == TINY.scenario_hash()
+        assert len(phash) == 8
+        # A renamed scenario keys identically; changed content differs.
+        assert result_key(TINY.with_(name="other")) == key
+        assert result_key(TINY.with_(seed=9)) != key
+
+
+class TestMemoryStore:
+    def test_roundtrip_and_no_series(self, tiny_result):
+        store = MemoryStore()
+        key = result_key(TINY)
+        assert store.get(key) is None
+        store.put(key, tiny_result)
+        assert store.get(key) is tiny_result
+        assert store.keys() == [key]
+        assert not store.stores_series
+        assert store.get_series(key) is None
+        with pytest.raises(NotImplementedError):
+            store.put_series(key, {})
+
+    def test_runner_memoises_within_instance(self):
+        runner = GridRunner()
+        assert isinstance(runner.store, MemoryStore)
+        first = runner.run([TINY])[0]
+        assert not first.cached
+        second = runner.run([TINY])[0]
+        assert second.cached and second.same_outcome(first)
+        # A fresh runner starts cold.
+        assert not GridRunner().run([TINY])[0].cached
+
+
+class TestDirectoryStore:
+    def test_corrupt_json_warns_names_path_and_heals(self, tmp_path, tiny_result):
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        path = tmp_path / f"{key}.json"
+        path.write_text("{truncated", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match=str(path)):
+            assert store.get(key) is None
+        assert not path.exists()  # discarded, ready to recompute
+
+    def test_stale_schema_is_a_silent_miss(self, tmp_path, tiny_result):
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        data = tiny_result.to_dict()
+        data["schema"] = 999
+        (tmp_path / f"{key}.json").write_text(json.dumps(data), encoding="utf-8")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(key) is None
+
+    def test_entry_under_wrong_key_is_discarded(self, tmp_path, tiny_result):
+        store = DirectoryStore(tmp_path)
+        bad_key = "0" * 16 + "-deadbeef"
+        store.put(bad_key, tiny_result)
+        with pytest.warns(RuntimeWarning, match="does not match key"):
+            assert store.get(bad_key) is None
+
+    def test_corrupt_series_warns_and_heals(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        path = tmp_path / f"{key}.npz"
+        path.write_bytes(b"not a zip")
+        with pytest.warns(RuntimeWarning, match=str(path)):
+            assert store.get_series(key) is None
+        assert not path.exists()
+
+    def test_series_dt_mismatch_is_a_silent_miss(self, tmp_path):
+        store = DirectoryStore(tmp_path, series_dt=300.0)
+        key = result_key(TINY)
+        store.put_series(key, {"time": np.arange(3.0)})
+        other = DirectoryStore(tmp_path, series_dt=60.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert other.get_series(key) is None
+            assert not other.has_series(key)
+        assert store.has_series(key)
+        assert np.array_equal(store.get_series(key)["time"], np.arange(3.0))
+
+    def test_rejects_bad_series_dt(self, tmp_path):
+        with pytest.raises(ValueError):
+            DirectoryStore(tmp_path, series_dt=0.0)
+
+    def test_legacy_series_without_dt_is_a_miss_but_not_deleted(self, tmp_path):
+        # An externally-written payload has no recorded grid step: the
+        # hit test cannot verify it (miss), but it must survive on
+        # disk and stay loadable via get_series.
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        path = tmp_path / f"{key}.npz"
+        np.savez_compressed(path, time=np.arange(4.0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not store.has_series(key)
+        assert path.exists()
+        assert np.array_equal(store.get_series(key)["time"], np.arange(4.0))
+
+    def test_keys_ignore_temp_litter(self, tmp_path, tiny_result):
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        # A writer killed between write and rename leaves this behind.
+        (tmp_path / f"{key}.tmp.12345.json").write_text("{", encoding="utf-8")
+        assert store.keys() == [key]
+
+    def test_no_tmp_litter(self, tmp_path, tiny_result):
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        store.put_series(key, {"time": np.arange(2.0)})
+        assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+
+
+class TestSharedDirectoryStore:
+    def test_fan_out_layout_and_roundtrip(self, tmp_path, tiny_result):
+        store = SharedDirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        assert (tmp_path / key[:2] / f"{key}.json").is_file()
+        back = store.get(key)
+        assert back is not None and back.same_outcome(tiny_result)
+        assert store.keys() == [key]
+
+    def test_first_writer_wins(self, tmp_path, tiny_result):
+        store = SharedDirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        path = tmp_path / key[:2] / f"{key}.json"
+        stat = path.stat()
+        store.put(key, tiny_result)  # deterministic duplicate: skipped
+        again = path.stat()
+        assert (again.st_ino, again.st_mtime_ns) == (stat.st_ino, stat.st_mtime_ns)
+
+    def test_flat_directory_store_reads_are_compatible(self, tmp_path, tiny_result):
+        # One key written by each layout: merge_results over both
+        # stores' contents sees the same sweep.
+        flat = DirectoryStore(tmp_path / "flat")
+        shared = SharedDirectoryStore(tmp_path / "shared")
+        key = result_key(TINY)
+        flat.put(key, tiny_result)
+        shared.put(key, tiny_result)
+        merged = merge_results([[flat.get(key)], [shared.get(key)]])
+        assert len(merged) == 1 and merged[0].same_outcome(tiny_result)
+
+    def test_concurrent_runners_share_one_store(self, tmp_path):
+        """Two GridRunner instances, one shared store, overlapping
+        scenario lists, racing threads: both finish with bit-identical
+        results, the store holds each scenario exactly once, and no
+        temp files are left behind."""
+        import threading
+
+        scenarios = [TINY.with_(name=f"c{i}", seed=i) for i in range(4)]
+        outcomes: dict[str, list] = {}
+        errors: list[BaseException] = []
+
+        def sweep(label: str, order: list) -> None:
+            try:
+                with GridRunner(store=SharedDirectoryStore(tmp_path)) as runner:
+                    outcomes[label] = runner.run(order)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=sweep, args=("fwd", scenarios)),
+            threading.Thread(target=sweep, args=("rev", scenarios[::-1])),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        fwd = {r.scenario.name: r.trace_digest for r in outcomes["fwd"]}
+        rev = {r.scenario.name: r.trace_digest for r in outcomes["rev"]}
+        assert fwd == rev and len(fwd) == 4
+        store = SharedDirectoryStore(tmp_path)
+        assert len(store.keys()) == 4
+        for key in store.keys():
+            assert store.get(key) is not None
+        assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+
+
+class TestMakeStore:
+    def test_specs(self, tmp_path):
+        assert isinstance(make_store("memory"), MemoryStore)
+        d = make_store(f"dir:{tmp_path}")
+        assert isinstance(d, DirectoryStore) and not isinstance(
+            d, SharedDirectoryStore
+        )
+        assert isinstance(make_store(f"shared:{tmp_path}"), SharedDirectoryStore)
+        # A bare path is shorthand for dir:PATH.
+        bare = make_store(str(tmp_path))
+        assert isinstance(bare, DirectoryStore) and bare.root == tmp_path
+        assert bare.series_dt == DEFAULT_SERIES_DT
+
+    @pytest.mark.parametrize(
+        # "shared"/"dir" without :PATH must error, not silently become
+        # a local directory literally named "shared".
+        "spec",
+        ["memory:x", "dir:", "shared:", "s3:bucket", "dir", "shared"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            make_store(spec)
+
+    def test_runner_rejects_store_plus_cache_dir(self, tmp_path):
+        with pytest.raises(ValueError):
+            GridRunner(store=MemoryStore(), cache_dir=tmp_path)
