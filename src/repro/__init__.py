@@ -58,6 +58,12 @@ from repro.platform import (
     platform_names,
     register_platform,
 )
+from repro.policy import (
+    PolicySpec,
+    get_policy,
+    policy_names,
+    register_policy,
+)
 from repro.exp import (
     CapWindow,
     GridRunner,
@@ -108,6 +114,10 @@ __all__ = [
     "get_platform",
     "platform_names",
     "register_platform",
+    "PolicySpec",
+    "get_policy",
+    "policy_names",
+    "register_policy",
     "CapWindow",
     "GridRunner",
     "RunResult",

@@ -208,8 +208,17 @@ def run_policy_grid(
     return cells
 
 
-#: canonical policy order within one cap row (the paper's reading order)
-_POLICY_ORDER = {"NONE": 0, "MIX": 1, "DVFS": 2, "SHUT": 3, "IDLE": 4}
+#: canonical policy order within one cap row (the paper's reading
+#: order, then the registry's adaptive policies)
+_POLICY_ORDER = {
+    "NONE": 0,
+    "MIX": 1,
+    "DVFS": 2,
+    "SHUT": 3,
+    "IDLE": 4,
+    "ADAPTIVE": 5,
+    "TRACK": 6,
+}
 
 
 def cell_sort_key(cell: GridCell) -> tuple:

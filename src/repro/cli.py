@@ -10,11 +10,14 @@ Subcommands:
 * ``exp``     — the experiment harness (:mod:`repro.exp`):
 
   * ``exp list``     — the built-in scenario library;
+  * ``exp platforms``/``exp policies`` — the platform and policy
+    registries;
   * ``exp run``      — run named scenarios and/or a parameter grid
     through a pluggable execution backend (``--backend serial|pool``,
     ``--shard k/n`` for one deterministic slice of a split sweep) and
     result store (``--store memory|dir:PATH|shared:PATH``);
-  * ``exp compare``  — metric-by-metric diff of two scenarios.
+  * ``exp compare``  — metric-by-metric diff of two scenarios;
+  * ``exp store prune`` — evict the oldest result-store entries.
 """
 
 from __future__ import annotations
@@ -52,11 +55,23 @@ def _resolve_platform(name: str):
         raise SystemExit(f"error: {exc.args[0]}")
 
 
+def _resolve_policy(name: str):
+    """Policy-registry lookup with a CLI-friendly error listing the
+    entries (same UX as an unknown ``--platform``)."""
+    from repro.policy import get_policy
+
+    try:
+        return get_policy(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.analysis.figures import figure_series, render_series_ascii
     from repro.workload.intervals import PAPER_INTERVALS, generate_interval
 
     platform = _resolve_platform(args.platform)
+    policy_spec = _resolve_policy(args.policy)
     machine = platform.build_machine(scale=args.scale)
     spec = PAPER_INTERVALS[args.interval]
     jobs = generate_interval(
@@ -71,7 +86,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
         jobs,
         args.policy,
         duration=spec.duration,
-        cap_fraction=None if args.policy == "NONE" or args.cap >= 1.0 else args.cap,
+        cap_fraction=(
+            None
+            if not policy_spec.enforces_caps or args.cap >= 1.0
+            else args.cap
+        ),
         grid_dt=spec.duration / 200,
         platform=platform,
     )
@@ -138,6 +157,7 @@ def cmd_model(args: argparse.Namespace) -> int:
     from repro.rjms.reservations import PowercapReservation
 
     platform = _resolve_platform(args.platform)
+    _resolve_policy(args.policy)
     machine = platform.build_machine(scale=args.scale)
     planner = OfflinePlanner(machine, platform.make_policy(args.policy, machine.freq_table))
     cap_watts = args.cap * machine.max_power()
@@ -304,7 +324,7 @@ def cmd_exp_list(args: argparse.Namespace) -> int:
         ) or "-"
         print(
             f"{sc.name:<28} {sc.scenario_hash():<16} {sc.platform:<10.10} "
-            f"{sc.interval:>9} {sc.policy:>6} "
+            f"{sc.interval:>9} {sc.policy_name:>6} "
             f"{sc.effective_duration / HOUR:>6g} {caps:<24}"
         )
     return 0
@@ -328,6 +348,52 @@ def cmd_exp_platforms(args: argparse.Namespace) -> int:
             f"{pf.cores_per_node:>7d} {ghz_range:<14} {len(table):>5d} "
             f"{machine.max_power() / 1e3:>7.0f} {pf.description}"
         )
+    return 0
+
+
+def cmd_exp_policies(args: argparse.Namespace) -> int:
+    from repro.policy import policy_specs
+
+    if args.names:
+        for spec in policy_specs():
+            print(spec.name)
+        return 0
+    header = (
+        f"{'name':<10} {'hash':<16} {'shutdown':<9} {'frequency':<9} "
+        f"{'range':<5} {'caps':<4} {'gain':>5} description"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in policy_specs():
+        gain = f"{spec.track_gain:g}" if spec.frequency == "track" else "-"
+        print(
+            f"{spec.name:<10.10} {spec.content_hash():<16} {spec.shutdown:<9} "
+            f"{spec.frequency:<9} {spec.freq_range:<5} "
+            f"{'yes' if spec.enforces_caps else 'no':<4} {gain:>5} "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def cmd_exp_store_prune(args: argparse.Namespace) -> int:
+    from repro.exp import make_store
+
+    if (args.store is None) == (args.cache_dir is None):
+        raise SystemExit("error: pass exactly one of --store or --cache-dir")
+    spec = args.store if args.store is not None else f"dir:{args.cache_dir}"
+    try:
+        store = make_store(spec)
+        removed = store.prune(args.max_entries)
+    except (NotImplementedError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    kept = len(store.keys())
+    print(
+        f"pruned {len(removed)} entr{'y' if len(removed) == 1 else 'ies'} "
+        f"from {spec} ({kept} kept, cap {args.max_entries})"
+    )
+    if args.verbose:
+        for key in removed:
+            print(f"  evicted {key}")
     return 0
 
 
@@ -408,8 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p)
     p.add_argument("--interval", default="medianjob",
                    choices=["medianjob", "smalljob", "bigjob", "24h"])
-    p.add_argument("--policy", default="MIX",
-                   choices=["NONE", "IDLE", "SHUT", "DVFS", "MIX"])
+    p.add_argument("--policy", default="MIX", metavar="NAME",
+                   help="policy registry entry (see `exp policies`; "
+                        "default MIX)")
     p.add_argument("--cap", type=float, default=0.6,
                    help="cap fraction of max power (1.0 disables)")
     p.add_argument("--seed", type=int, default=None)
@@ -428,7 +495,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("model", help="evaluate the Section III model")
     _add_machine_args(p)
-    p.add_argument("--policy", default="SHUT", choices=["SHUT", "MIX", "DVFS", "IDLE"])
+    p.add_argument("--policy", default="SHUT", metavar="NAME",
+                   help="policy registry entry (see `exp policies`; "
+                        "default SHUT)")
     p.add_argument("--cap", type=float, required=True)
     p.set_defaults(func=cmd_model)
 
@@ -447,6 +516,33 @@ def build_parser() -> argparse.ArgumentParser:
         "platforms", help="list the platform registry entries"
     )
     p.set_defaults(func=cmd_exp_platforms)
+
+    p = exp_sub.add_parser(
+        "policies", help="list the policy registry entries"
+    )
+    p.add_argument("--names", action="store_true",
+                   help="print bare policy names only (one per line, "
+                        "for scripting)")
+    p.set_defaults(func=cmd_exp_policies)
+
+    p = exp_sub.add_parser(
+        "store", help="result-store maintenance"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "prune",
+        help="evict the oldest store entries beyond a size cap",
+    )
+    p.add_argument("--store", default=None, metavar="SPEC",
+                   help="result store to prune: dir:PATH or shared:PATH")
+    p.add_argument("--cache-dir", default=None,
+                   help="shorthand for --store dir:PATH")
+    p.add_argument("--max-entries", type=int, required=True,
+                   help="keep at most this many results (oldest evicted "
+                        "first, .npz series go with their result)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each evicted key")
+    p.set_defaults(func=cmd_exp_store_prune)
 
     p = exp_sub.add_parser("run", help="run scenarios / a parameter grid")
     p.add_argument(

@@ -13,6 +13,12 @@ the lowest allowed step for MIX — the model's ``Pmin``), plus the
 enclosure infrastructure of alive groups.  Selection proceeds from
 the highest node ids downward so the selector's low-id packing stays
 out of its way.
+
+Whether a window gets a switch-off plan at all, and which reference
+frequency it is planned against, is the policy's **shutdown-planning
+strategy** (:mod:`repro.policy.strategies`): the paper's SHUT/MIX use
+the unconditional grouped strategy, while ADAPTIVE consults the
+Section III solution per window.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.machine import Machine
-from repro.core.policies import Policy, PolicyKind
+from repro.core.policies import Policy
 from repro.core.powermodel import ModelCase, PowerPlan, plan_nodes
 from repro.rjms.reservations import (
     PowercapReservation,
@@ -54,19 +60,20 @@ class OfflinePlanner:
     def __init__(self, machine: Machine, policy: Policy) -> None:
         self.machine = machine
         self.policy = policy
+        self.strategy = policy.shutdown_strategy
 
     # -- model interface ------------------------------------------------------------------
 
-    def reference_watts(self) -> float:
+    def reference_watts(self, model_plan: PowerPlan | None = None) -> float:
         """Per-node worst-case watts for alive nodes under this policy.
 
-        SHUT/IDLE/NONE run jobs at the top step; MIX plans for all
-        alive nodes at its lowest allowed step (``Pmin`` = 2.0 GHz on
-        Curie), since the online phase may always fall back there.
+        Delegated to the shutdown strategy: SHUT/IDLE/NONE run jobs at
+        the top step; MIX plans for all alive nodes at its lowest
+        allowed step (``Pmin`` = 2.0 GHz on Curie), since the online
+        phase may always fall back there; ADAPTIVE picks per window
+        based on the model case.
         """
-        if self.policy.kind == PolicyKind.MIX:
-            return self.policy.allowed.min.watts
-        return self.policy.freq_table.max.watts
+        return self.strategy.reference_watts(self.policy, model_plan)
 
     def model_plan(self, cap_watts: float) -> PowerPlan:
         """The Section III continuous solution for this cap.
@@ -96,20 +103,30 @@ class OfflinePlanner:
     def plan(self, cap: PowercapReservation) -> ShutdownPlan:
         """Plan the switch-off set for one cap window.
 
-        Policies without shutdown rights return an empty plan.  For
-        SHUT/MIX, groups are selected greedily — whole racks while the
-        deficit warrants them, then whole chassis, then single nodes —
-        so that the worst-case alive power fits under the cap.
+        Policies without shutdown rights return an empty plan, as do
+        windows whose strategy declines switch-off (ADAPTIVE under a
+        DVFS-regime cap).  Otherwise groups are selected greedily —
+        whole racks while the deficit warrants them, then whole
+        chassis, then single nodes — so that the worst-case alive
+        power fits under the cap.
         """
         machine = self.machine
         topo = machine.topology
         ft = machine.freq_table
         if not self.policy.uses_shutdown:
+            p_ref = self.strategy.reference_watts(self.policy)
             return ShutdownPlan(
-                None, None, 0, 0, 0, 0.0, self._worst_case_alive(np.array([], int))
+                None, None, 0, 0, 0, 0.0,
+                self._worst_case_alive(np.array([], int), p_ref),
             )
 
-        p_ref = self.reference_watts()
+        model_plan = self.model_plan(cap.watts)
+        p_ref = self.strategy.reference_watts(self.policy, model_plan)
+        if not self.strategy.wants_shutdown(model_plan):
+            return ShutdownPlan(
+                None, model_plan, 0, 0, 0, 0.0,
+                self._worst_case_alive(np.array([], int), p_ref),
+            )
         node_savings = p_ref - ft.down_watts
         chassis_savings = (
             topo.nodes_per_chassis * (p_ref - 0.0) + topo.chassis_watts
@@ -118,7 +135,7 @@ class OfflinePlanner:
             chassis_savings * topo.chassis_per_rack + topo.rack_watts
         )
 
-        deficit = self._worst_case_alive(np.array([], int)) - cap.watts
+        deficit = self._worst_case_alive(np.array([], int), p_ref) - cap.watts
         selected: list[np.ndarray] = []
         n_racks_taken = 0
         n_chassis_taken = 0
@@ -167,12 +184,12 @@ class OfflinePlanner:
         if not selected:
             return ShutdownPlan(
                 None,
-                self.model_plan(cap.watts),
+                model_plan,
                 0,
                 0,
                 0,
                 0.0,
-                self._worst_case_alive(np.array([], int)),
+                self._worst_case_alive(np.array([], int), p_ref),
             )
 
         nodes = np.unique(np.concatenate(selected))
@@ -190,12 +207,12 @@ class OfflinePlanner:
         )
         return ShutdownPlan(
             reservation=reservation,
-            model_plan=self.model_plan(cap.watts),
+            model_plan=model_plan,
             n_off_selected=int(nodes.size),
             n_full_racks=n_full_racks,
             n_full_chassis=n_full_chassis,
             bonus_watts=bonus,
-            worst_case_alive_watts=self._worst_case_alive(nodes),
+            worst_case_alive_watts=self._worst_case_alive(nodes, p_ref),
         )
 
     # -- helpers -----------------------------------------------------------------------------
@@ -213,8 +230,11 @@ class OfflinePlanner:
         )
         return int((per_rack == topo.chassis_per_rack).sum())
 
-    def _worst_case_alive(self, off_nodes: np.ndarray) -> float:
-        """Cluster power if every alive node ran at the reference step.
+    def _worst_case_alive(
+        self, off_nodes: np.ndarray, p_ref: float | None = None
+    ) -> float:
+        """Cluster power if every alive node ran at ``p_ref`` (the
+        strategy's window-independent reference when omitted).
 
         Includes alive enclosure infrastructure and the BMCs of
         scattered off nodes — the quantity the cap must bound.
@@ -222,7 +242,8 @@ class OfflinePlanner:
         machine = self.machine
         topo = machine.topology
         ft = machine.freq_table
-        p_ref = self.reference_watts()
+        if p_ref is None:
+            p_ref = self.strategy.reference_watts(self.policy)
         n_off = int(off_nodes.size)
         n_full_chassis = self._count_full(off_nodes, level="chassis") if n_off else 0
         n_full_racks = self._count_full(off_nodes, level="rack") if n_off else 0

@@ -167,6 +167,19 @@ class FrequencySelector:
             for pos, idx in enumerate(self._indices_desc)
         }
 
+    #: whether this selector ever re-scales running jobs mid-window;
+    #: False lets the controller keep its drained-pass fast path
+    tracks_observed: bool = False
+
+    def pass_rescale_watts(self, active_cap_watts: float) -> float | None:
+        """Power target running jobs should be re-scaled down to at
+        the start of a scheduling pass, or ``None`` to leave them
+        alone (the default: Algorithm 2 only decides at allocation
+        time).  Feedback selectors (:mod:`repro.policy.strategies`)
+        override this to track the active cap each pass.
+        """
+        return None
+
     def decide(
         self,
         n_nodes: int,

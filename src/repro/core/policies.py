@@ -1,110 +1,53 @@
-"""Powercap scheduling policies: NONE, IDLE, SHUT, DVFS, MIX.
+"""Powercap scheduling policies — thin shims over :mod:`repro.policy`.
 
 Section IV-B defines the three administrator-selectable modes the
-SLURM implementation exposes (``SchedulerParameters``):
+SLURM implementation exposes (``SchedulerParameters``) — ``SHUT``,
+``DVFS`` and ``MIX`` — plus the two evaluation references ``NONE`` and
+``IDLE``.  They used to live here as a closed enum; they are now the
+first five entries of the declarative policy registry
+(:mod:`repro.policy.builtin`), decomposed into shutdown-planning and
+frequency-selection strategies, with their constants verbatim.
 
-* ``SHUT`` — grouped node switch-off (offline phase), jobs always run
-  at the maximum frequency;
-* ``DVFS`` — no switch-off, jobs may be forced to any configured
-  frequency (1.2-2.7 GHz on Curie);
-* ``MIX``  — switch-off *plus* DVFS restricted to the
-  energy-efficient high range (2.0-2.7 GHz on Curie, Section VI-B),
-  with its own degradation constant (1.29).
+This module keeps the historical import surface working:
 
-The evaluation also uses two reference modes: ``NONE`` (powercap
-ignored — the 100 % baseline) and ``IDLE`` (both mechanisms disabled:
-the scheduler can only leave nodes idle, the paper's "worst work"
-variant).
+* :class:`Policy` / :class:`PolicyKind` re-export the bound policy and
+  the legacy enum;
+* :func:`make_policy` resolves *any registered policy name* (not just
+  the five) against a machine's DVFS table;
+* :func:`policy_set` builds the five paper policies for one machine
+  (the factory behind :meth:`repro.platform.PlatformSpec.policies`).
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
+from repro.cluster.frequency import FrequencyTable
+from repro.policy.spec import (
+    DEFAULT_DEGMIN_FULL_RANGE,
+    DEFAULT_DEGMIN_MIX_RANGE,
+    DEFAULT_MIX_MIN_GHZ,
+    Policy,
+    PolicyKind,
+    PolicySpec,
+)
+from repro.policy.registry import resolve_policy
+from repro.policy.builtin import PAPER_POLICY_NAMES
 
-from repro.cluster.frequency import FrequencyTable, degradation_factor
-
-#: The paper's replay degradation constants (Section VII-B), measured
-#: on Curie and used as the defaults of the bare string-policy path.
-#: They are machine data, so every platform registry entry
-#: (:mod:`repro.platform`) carries its own values; the Curie entry
-#: repeats these verbatim (asserted by the platform tests).
-DEFAULT_DEGMIN_FULL_RANGE = 1.63
-DEFAULT_DEGMIN_MIX_RANGE = 1.29
-DEFAULT_MIX_MIN_GHZ = 2.0
-
-
-class PolicyKind(enum.Enum):
-    NONE = "NONE"
-    IDLE = "IDLE"
-    SHUT = "SHUT"
-    DVFS = "DVFS"
-    MIX = "MIX"
-
-
-@dataclass(frozen=True)
-class Policy:
-    """A powercap scheduling mode bound to a machine's DVFS table.
-
-    Attributes
-    ----------
-    kind:
-        Which of the five modes this is.
-    freq_table:
-        Full machine DVFS table.
-    allowed:
-        Sub-table of frequencies the online algorithm may assign
-        (single-entry table at the max step for NONE/IDLE/SHUT).
-    degmin:
-        Completion-time degradation at the slowest *allowed* step
-        (1.0 when DVFS is not used).
-    """
-
-    kind: PolicyKind
-    freq_table: FrequencyTable
-    allowed: FrequencyTable
-    degmin: float
-
-    @property
-    def name(self) -> str:
-        return self.kind.value
-
-    @property
-    def uses_shutdown(self) -> bool:
-        """Whether the offline phase may plan switch-off reservations."""
-        return self.kind in (PolicyKind.SHUT, PolicyKind.MIX)
-
-    @property
-    def uses_dvfs(self) -> bool:
-        """Whether the online phase may lower job frequencies."""
-        return len(self.allowed) > 1
-
-    @property
-    def enforces_caps(self) -> bool:
-        """NONE ignores power caps entirely."""
-        return self.kind != PolicyKind.NONE
-
-    def degradation(self, ghz: float) -> float:
-        """Runtime stretch for a job at ``ghz``.
-
-        Linear between the policy's extreme allowed frequencies
-        (Sections V, VII-B): 1.0 at the top step, ``degmin`` at the
-        lowest allowed step.
-        """
-        return degradation_factor(ghz, self.allowed, self.degmin)
-
-    def frequency_indices_desc(self) -> list[int]:
-        """Indices (into the *full* table) of allowed steps, fastest first.
-
-        This is the iteration order of Algorithm 2.
-        """
-        return [
-            self.freq_table.index_of(step.ghz) for step in reversed(self.allowed.steps)
-        ]
+__all__ = [
+    "DEFAULT_DEGMIN_FULL_RANGE",
+    "DEFAULT_DEGMIN_MIX_RANGE",
+    "DEFAULT_MIX_MIN_GHZ",
+    "PAPER_POLICY_NAMES",
+    "Policy",
+    "PolicyKind",
+    "PolicySpec",
+    "CURIE_POLICIES",
+    "make_policy",
+    "policy_set",
+]
 
 
 def make_policy(
-    kind: PolicyKind | str,
+    kind: PolicyKind | PolicySpec | str,
     freq_table: FrequencyTable,
     *,
     degmin: float | None = None,
@@ -112,31 +55,21 @@ def make_policy(
 ) -> Policy:
     """Build a policy for a machine.
 
-    ``degmin`` defaults to the paper's replay constants: 1.63 for the
-    full range (DVFS), 1.29 for the MIX high range, 1.0 otherwise.
-    Platform-aware callers pass their own constants (or use
-    :meth:`repro.platform.PlatformSpec.make_policy`).
+    ``kind`` may be a registered policy name (``repro exp policies``
+    lists them), a :class:`PolicyKind` member, or an inline
+    :class:`PolicySpec`; unknown names raise ``ValueError`` listing
+    the registry.  ``degmin`` defaults to the paper's replay
+    constants: 1.63 for the full range, 1.29 for the MIX high range,
+    1.0 when DVFS is unused.  Platform-aware callers pass their own
+    constants (or use :meth:`repro.platform.PlatformSpec.make_policy`).
     """
-    kind = PolicyKind(kind) if isinstance(kind, str) else kind
-    top_only = freq_table.restrict(freq_table.max.ghz, freq_table.max.ghz)
-    if kind in (PolicyKind.NONE, PolicyKind.IDLE, PolicyKind.SHUT):
-        return Policy(kind, freq_table, top_only, 1.0)
-    if kind == PolicyKind.DVFS:
-        return Policy(
-            kind,
-            freq_table,
-            freq_table,
-            DEFAULT_DEGMIN_FULL_RANGE if degmin is None else degmin,
-        )
-    if kind == PolicyKind.MIX:
-        allowed = freq_table.restrict(mix_min_ghz, freq_table.max.ghz)
-        return Policy(
-            kind,
-            freq_table,
-            allowed,
-            DEFAULT_DEGMIN_MIX_RANGE if degmin is None else degmin,
-        )
-    raise ValueError(f"unknown policy kind {kind!r}")  # pragma: no cover
+    spec = resolve_policy(kind)
+    return spec.build(
+        freq_table,
+        degmin_full=DEFAULT_DEGMIN_FULL_RANGE if degmin is None else degmin,
+        degmin_mix=DEFAULT_DEGMIN_MIX_RANGE if degmin is None else degmin,
+        mix_min_ghz=mix_min_ghz,
+    )
 
 
 def policy_set(
@@ -146,17 +79,17 @@ def policy_set(
     degmin_mix: float = DEFAULT_DEGMIN_MIX_RANGE,
     mix_min_ghz: float = DEFAULT_MIX_MIN_GHZ,
 ) -> dict[str, Policy]:
-    """All five policies for one machine's table and degradation model.
-
-    The platform-parameterised factory behind
-    :meth:`repro.platform.PlatformSpec.policies`.
-    """
-    degmin = {PolicyKind.DVFS: degmin_full, PolicyKind.MIX: degmin_mix}
+    """The five paper policies for one machine's table and degradation
+    model (the platform-parameterised factory behind
+    :meth:`repro.platform.PlatformSpec.policies`)."""
     return {
-        k.value: make_policy(
-            k, freq_table, degmin=degmin.get(k), mix_min_ghz=mix_min_ghz
+        name: resolve_policy(name).build(
+            freq_table,
+            degmin_full=degmin_full,
+            degmin_mix=degmin_mix,
+            mix_min_ghz=mix_min_ghz,
         )
-        for k in PolicyKind
+        for name in PAPER_POLICY_NAMES
     }
 
 

@@ -53,7 +53,7 @@ def cell_from_result(result: RunResult) -> GridCell:
     return GridCell(
         workload=sc.interval,
         cap_fraction=sc.cap_fraction,
-        policy=sc.policy,
+        policy=sc.policy_name,
         energy_norm=m["energy_norm"],
         job_energy_norm=m["job_energy_norm"],
         jobs_norm=m["jobs_norm"],
@@ -89,7 +89,7 @@ def results_table(results: Sequence[RunResult]) -> str:
         cap = f"{sc.cap_fraction:.0%}" if sc.caps else "-"
         lines.append(
             f"{sc.name:<28.28} {r.scenario_hash:<16} {sc.platform:<10.10} "
-            f"{sc.policy:>6} {cap:>5} "
+            f"{sc.policy_name:>6} {cap:>5} "
             f"{r.metrics['energy_norm']:>7.3f} {r.metrics['work_norm']:>6.3f} "
             f"{int(r.metrics['launched_jobs']):>6d} {r.trace_digest[:12]:>12} "
             f"{r.wall_seconds:>6.1f}s {'cache' if r.cached else 'run'}"

@@ -129,6 +129,36 @@ def _build_library() -> tuple[Scenario, ...]:
                 CapWindow(3 * HOUR, 4 * HOUR, 0.4),
             ),
         ),
+        # -- adaptive + feedback policies (repro.policy registry) ----------------------
+        # ADAPTIVE consults the Section III model per cap window.  At
+        # the *same* 60 % cap the model lands on opposite mechanisms
+        # across the registry: on fatnode the cap falls below the
+        # full-ladder DVFS floor, so ADAPTIVE pairs switch-off with
+        # throttling (the combined case-4 split), while on manythin
+        # (rho <= 0, cap above the floor) it plans pure grouped
+        # switch-off and never lowers a frequency — the cross-platform
+        # comparison the strategy seam exists to express.
+        Scenario.paper_cell("medianjob", "ADAPTIVE", 0.6),
+        Scenario.paper_cell(
+            "medianjob", "ADAPTIVE", 0.6, platform="fatnode", scale=1.0
+        ),
+        Scenario.paper_cell(
+            "smalljob", "ADAPTIVE", 0.6, platform="manythin", scale=1.0
+        ),
+        # TRACK closes the loop on observed consumption instead of
+        # worst-case projections: no offline planning; each pass
+        # re-selects frequencies — running jobs stepped down, new jobs
+        # admitted at a sliding setpoint — against the measured cap
+        # error with a 0.9 proportional gain.  Caps sit above each
+        # platform's DVFS-only floor (``Pmin/Pmax``), where throttling
+        # alone can genuinely reach the target.
+        Scenario.paper_cell("medianjob", "TRACK", 0.6),
+        Scenario.paper_cell(
+            "medianjob", "TRACK", 0.7, platform="fatnode", scale=1.0
+        ),
+        Scenario.paper_cell(
+            "smalljob", "TRACK", 0.6, platform="manythin", scale=1.0
+        ),
     )
 
 

@@ -27,6 +27,7 @@ from repro.analysis.figures import middle_window
 from repro.cluster.machine import Machine
 from repro.core.policies import Policy
 from repro.platform import get_platform
+from repro.policy import PAPER_POLICY_NAMES, PolicySpec, get_policy
 from repro.rjms.config import SchedulerConfig
 from repro.rjms.reservations import PowercapReservation
 from repro.workload.intervals import PAPER_INTERVALS
@@ -34,17 +35,21 @@ from repro.workload.spec import JobSpec
 
 HOUR = 3600.0
 
-#: policies the controller understands (see repro.core.policies)
-POLICIES = ("NONE", "IDLE", "SHUT", "DVFS", "MIX")
+#: the paper's five policies (legacy alias; any name in the policy
+#: registry is a valid scenario policy — see ``repro exp policies``)
+POLICIES = PAPER_POLICY_NAMES
 
 #: the platform every scenario ran on before the registry existed
 DEFAULT_PLATFORM = "curie"
 
 #: hash/serialisation schema version; bump when Scenario semantics change.
-#: v2 added the ``platform`` axis; v1 dicts (implicitly Curie) are
-#: still accepted by :meth:`Scenario.from_dict`.
-SCHEMA_VERSION = 2
-_ACCEPTED_SCHEMAS = (1, 2)
+#: v2 added the ``platform`` axis; v3 made ``policy`` structured (a
+#: registry name or an inline :class:`repro.policy.PolicySpec` dict)
+#: and re-keyed the content hash on the policy's *content* hash.
+#: v1/v2 dicts (string policies, implicitly Curie for v1) are still
+#: accepted by :meth:`Scenario.from_dict`.
+SCHEMA_VERSION = 3
+_ACCEPTED_SCHEMAS = (1, 2, 3)
 
 #: SchedulerConfig fields a scenario may override (scalars only; the
 #: multifactor priority weights stay at their defaults)
@@ -72,7 +77,20 @@ class CapWindow:
     @classmethod
     def middle(cls, duration: float, fraction: float, hours: float = 1.0) -> "CapWindow":
         """The paper's setup: an ``hours``-long window centred in the
-        interval (same placement the figure benchmarks assert on)."""
+        interval (same placement the figure benchmarks assert on).
+
+        The window must fit strictly inside the replay; a too-long
+        request is rejected here, naming both values, instead of
+        surfacing later as a negative start time.
+        """
+        if hours <= 0:
+            raise ValueError(f"cap window length must be positive, got {hours} h")
+        if hours * HOUR >= duration:
+            raise ValueError(
+                f"cap window of {hours:g} h ({hours * HOUR:g} s) does not fit "
+                f"inside the {duration:g} s replay; shorten the window or "
+                "extend the duration"
+            )
         start, end = middle_window(duration, hours)
         return cls(start=start, end=end, fraction=fraction)
 
@@ -132,7 +150,13 @@ class Scenario:
         Paper interval flavour (``medianjob``/``smalljob``/``bigjob``/
         ``24h``) selecting the job-class mix and default duration/seed.
     policy:
-        Powercap policy (``NONE``/``IDLE``/``SHUT``/``DVFS``/``MIX``).
+        Powercap policy: a policy-registry name (``NONE``/``IDLE``/
+        ``SHUT``/``DVFS``/``MIX``/``ADAPTIVE``/``TRACK`` or anything
+        registered via :func:`repro.policy.register_policy`) or an
+        inline :class:`repro.policy.PolicySpec`.  The content hash
+        covers the policy's *content* (strategy decomposition), not
+        its name, so renaming a policy keeps cache entries valid while
+        editing its registration invalidates them.
     scale:
         Machine scale factor (1.0 = the platform's full rack count;
         5040 nodes on Curie).
@@ -155,7 +179,7 @@ class Scenario:
 
     name: str
     interval: str
-    policy: str
+    policy: str | PolicySpec
     scale: float = 0.125
     duration: float | None = None
     seed: int | None = None
@@ -170,8 +194,21 @@ class Scenario:
                 f"unknown interval {self.interval!r}; "
                 f"expected one of {sorted(PAPER_INTERVALS)}"
             )
-        if self.policy not in POLICIES:
-            raise ValueError(f"unknown policy {self.policy!r}")
+        policy = self.policy
+        if isinstance(policy, Mapping):
+            policy = PolicySpec.from_dict(policy)
+            object.__setattr__(self, "policy", policy)
+        if isinstance(policy, str):
+            try:
+                get_policy(policy)
+            except KeyError as exc:
+                # The registry's message already lists the entries.
+                raise ValueError(exc.args[0]) from None
+        elif not isinstance(policy, PolicySpec):
+            raise ValueError(
+                f"policy must be a registered name or a PolicySpec, "
+                f"got {policy!r}"
+            )
         try:
             get_platform(self.platform)
         except KeyError as exc:
@@ -218,6 +255,19 @@ class Scenario:
         return self.seed if self.seed is not None else PAPER_INTERVALS[self.interval].seed
 
     @property
+    def policy_name(self) -> str:
+        """The policy's registry/display name (tables, cell labels)."""
+        return self.policy if isinstance(self.policy, str) else self.policy.name
+
+    @property
+    def policy_spec(self) -> PolicySpec:
+        """The declarative policy this scenario runs under: the inline
+        spec, or the registry's current entry for the name."""
+        if isinstance(self.policy, PolicySpec):
+            return self.policy
+        return get_policy(self.policy)
+
+    @property
     def cap_fraction(self) -> float:
         """First cap window's fraction, 1.0 when uncapped.
 
@@ -238,7 +288,11 @@ class Scenario:
             "schema": SCHEMA_VERSION,
             "name": self.name,
             "interval": self.interval,
-            "policy": self.policy,
+            "policy": (
+                self.policy
+                if isinstance(self.policy, str)
+                else self.policy.to_dict()
+            ),
             "platform": self.platform,
             "scale": self.scale,
             "duration": self.duration,
@@ -262,10 +316,13 @@ class Scenario:
             raise ValueError(
                 f"unknown Scenario keys {unknown}; known: {sorted(known)}"
             )
+        policy = d["policy"]
+        if not isinstance(policy, Mapping):
+            policy = str(policy)
         return cls(
             name=str(d["name"]),
             interval=str(d["interval"]),
-            policy=str(d["policy"]),
+            policy=policy,
             platform=str(d.get("platform", DEFAULT_PLATFORM)),
             scale=float(d["scale"]),
             duration=None if d.get("duration") is None else float(d["duration"]),
@@ -276,9 +333,19 @@ class Scenario:
         )
 
     def scenario_hash(self) -> str:
-        """Stable 16-hex-digit content hash (name excluded)."""
+        """Stable 16-hex-digit content hash (labels excluded).
+
+        The scenario ``name`` is excluded outright, and the policy
+        enters as its **content hash** rather than its registry name:
+        a renamed-but-identical policy keys the same results, while
+        re-registering different content under the same name produces
+        a different scenario identity (and therefore a cache miss).
+        The platform stays a *name* here; its content is appended by
+        :func:`repro.exp.store.result_key`.
+        """
         content = self.to_dict()
         del content["name"]
+        content["policy"] = self.policy_spec.content_hash()
         canon = json.dumps(content, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
@@ -316,7 +383,7 @@ class Scenario:
     def paper_cell(
         cls,
         interval: str,
-        policy: str,
+        policy: str | PolicySpec,
         cap: float = 1.0,
         *,
         scale: float = 0.125,
@@ -333,15 +400,22 @@ class Scenario:
             raise ValueError(f"unknown interval {interval!r}")
         if not 0.0 < cap <= 1.0:
             raise ValueError(f"cap fraction must be in (0, 1], got {cap}")
+        if isinstance(policy, str):
+            try:
+                policy_spec = get_policy(policy)
+            except KeyError as exc:
+                raise ValueError(exc.args[0]) from None
+        else:
+            policy_spec = policy
         eff_duration = duration if duration is not None else PAPER_INTERVALS[interval].duration
         caps: tuple[CapWindow, ...] = ()
-        if policy != "NONE" and cap < 1.0:
+        if policy_spec.enforces_caps and cap < 1.0:
             caps = (CapWindow.middle(eff_duration, cap),)
         if name is None:
             # No cap window, no cap suffix: a NONE/uncapped cell must
             # not masquerade as a capped run in tables and caches.
             # Curie cells keep their historical (unprefixed) names.
-            name = f"{interval}-{policy.lower()}"
+            name = f"{interval}-{policy_spec.name.lower()}"
             if platform != DEFAULT_PLATFORM:
                 name = f"{platform}-{name}"
             if caps:

@@ -51,18 +51,22 @@ DEFAULT_SERIES_DT = 300.0
 
 
 def result_key(scenario: "Scenario") -> str:
-    """Content-addressed store key: scenario content + platform content.
+    """Content-addressed store key: scenario + platform + policy content.
 
     The scenario hash covers only the platform *name*; appending the
     registered spec's content hash makes a store entry stale the moment
     ``register_platform(..., replace=True)`` changes what that name
     means — instead of silently serving results from the previous
-    hardware.
+    hardware.  The policy's content hash is appended the same way (it
+    is also folded into the scenario hash itself, see
+    :meth:`repro.exp.Scenario.scenario_hash`): editing a registered
+    policy misses, renaming it hits.
     """
     from repro.platform import get_platform
 
     platform_hash = get_platform(scenario.platform).content_hash()
-    return f"{scenario.scenario_hash()}-{platform_hash[:8]}"
+    policy_hash = scenario.policy_spec.content_hash()
+    return f"{scenario.scenario_hash()}-{platform_hash[:8]}-{policy_hash[:8]}"
 
 
 class ResultStore:
@@ -99,6 +103,15 @@ class ResultStore:
         """Keys of every stored result (diagnostics / merge checks)."""
         raise NotImplementedError
 
+    def prune(self, max_entries: int) -> list[str]:
+        """Evict the oldest entries so at most ``max_entries`` remain.
+
+        Returns the evicted keys (oldest first).  Eviction order is
+        least-recently-*written*; pruned entries are simply recomputed
+        on the next request, so pruning is always safe.
+        """
+        raise NotImplementedError
+
     def __enter__(self) -> "ResultStore":
         return self
 
@@ -118,10 +131,21 @@ class MemoryStore(ResultStore):
         return self._results.get(key)
 
     def put(self, key: str, result: "RunResult") -> None:
+        # Re-putting moves the key to the back of the eviction order.
+        self._results.pop(key, None)
         self._results[key] = result
 
     def keys(self) -> list[str]:
         return sorted(self._results)
+
+    def prune(self, max_entries: int) -> list[str]:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        evict = max(0, len(self._results) - max_entries)
+        removed = list(self._results)[:evict]  # dicts keep insertion order
+        for key in removed:
+            del self._results[key]
+        return removed
 
 
 class DirectoryStore(ResultStore):
@@ -266,6 +290,31 @@ class DirectoryStore(ResultStore):
         return sorted(
             p.stem for p in self.root.rglob("*.json") if ".tmp." not in p.name
         )
+
+    def prune(self, max_entries: int) -> list[str]:
+        """Evict the oldest entries (by result-file mtime) so at most
+        ``max_entries`` remain; the ``.npz`` series payload goes with
+        its result.  Ties break on the key, so concurrent pruners make
+        the same choice."""
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        entries: list[tuple[float, str]] = []
+        for key in self.keys():
+            try:
+                mtime = self._result_path(key).stat().st_mtime
+            except OSError:  # pragma: no cover - raced with another pruner
+                continue
+            entries.append((mtime, key))
+        entries.sort()
+        removed: list[str] = []
+        for _, key in entries[: max(0, len(entries) - max_entries)]:
+            for path in (self._result_path(key), self._series_path(key)):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            removed.append(key)
+        return removed
 
 
 class SharedDirectoryStore(DirectoryStore):

@@ -35,7 +35,7 @@ from typing import Any, Mapping
 from repro.cluster.frequency import FrequencyTable
 from repro.cluster.machine import Machine
 from repro.cluster.topology import Topology
-from repro.core.policies import Policy, PolicyKind, make_policy, policy_set
+from repro.core.policies import Policy, PolicyKind, PolicySpec, policy_set
 from repro.workload.synthetic import CURIE_TOTAL_CORES, JobClass
 
 #: serialisation schema version; bump when PlatformSpec semantics change
@@ -201,19 +201,22 @@ class PlatformSpec:
     # -- policies --------------------------------------------------------------------
 
     def make_policy(
-        self, kind: PolicyKind | str, freq_table: FrequencyTable | None = None
+        self,
+        kind: "PolicyKind | PolicySpec | str",
+        freq_table: FrequencyTable | None = None,
     ) -> Policy:
-        """One policy bound to this platform's degradation model."""
-        kind = PolicyKind(kind) if isinstance(kind, str) else kind
-        degmin: float | None = None
-        if kind is PolicyKind.DVFS:
-            degmin = self.degmin_full_range
-        elif kind is PolicyKind.MIX:
-            degmin = self.degmin_mix_range
-        return make_policy(
-            kind,
+        """One policy bound to this platform's degradation model.
+
+        ``kind`` may be any registered policy name (or an inline
+        :class:`repro.policy.PolicySpec`); unknown names raise with
+        the registry contents.
+        """
+        from repro.policy import resolve_policy
+
+        return resolve_policy(kind).build(
             self.frequency_table() if freq_table is None else freq_table,
-            degmin=degmin,
+            degmin_full=self.degmin_full_range,
+            degmin_mix=self.degmin_mix_range,
             mix_min_ghz=self.mix_min_ghz,
         )
 

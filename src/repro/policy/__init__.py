@@ -1,0 +1,77 @@
+"""Declarative powercap-policy registry.
+
+The policy analogue of :mod:`repro.platform`: a
+:class:`PolicySpec` decomposes every powercap mode into a
+**shutdown-planning strategy** (the offline phase, Algorithm 1) and a
+**frequency-selection strategy** (the online phase, Algorithm 2),
+bound together as frozen, JSON-round-trippable, content-hashable data
+behind a name registry.  The paper's NONE/IDLE/SHUT/DVFS/MIX are the
+first five entries (constants verbatim, golden digests byte-identical);
+``ADAPTIVE`` (per-window Section III mechanism selection) and
+``TRACK`` (proportional feedback against observed consumption) ship on
+the same seam.
+
+Strategy *objects* live in :mod:`repro.policy.strategies` (imported
+lazily by the bound :class:`Policy` to keep the core import graph
+acyclic).
+"""
+
+from repro.policy.spec import (
+    DEFAULT_DEGMIN_FULL_RANGE,
+    DEFAULT_DEGMIN_MIX_RANGE,
+    DEFAULT_MIX_MIN_GHZ,
+    FREQ_RANGES,
+    FREQUENCY_STRATEGY_KEYS,
+    POLICY_SCHEMA_VERSION,
+    SHUTDOWN_STRATEGY_KEYS,
+    Policy,
+    PolicyKind,
+    PolicySpec,
+)
+from repro.policy.registry import (
+    get_policy,
+    policy_names,
+    policy_specs,
+    register_policy,
+    resolve_policy,
+    unregister_policy,
+)
+from repro.policy.builtin import (
+    ADAPTIVE_POLICY,
+    BUILTIN_POLICIES,
+    DVFS_POLICY,
+    IDLE_POLICY,
+    MIX_POLICY,
+    NONE_POLICY,
+    PAPER_POLICY_NAMES,
+    SHUT_POLICY,
+    TRACK_POLICY,
+)
+
+__all__ = [
+    "DEFAULT_DEGMIN_FULL_RANGE",
+    "DEFAULT_DEGMIN_MIX_RANGE",
+    "DEFAULT_MIX_MIN_GHZ",
+    "FREQ_RANGES",
+    "FREQUENCY_STRATEGY_KEYS",
+    "POLICY_SCHEMA_VERSION",
+    "SHUTDOWN_STRATEGY_KEYS",
+    "Policy",
+    "PolicyKind",
+    "PolicySpec",
+    "get_policy",
+    "policy_names",
+    "policy_specs",
+    "register_policy",
+    "resolve_policy",
+    "unregister_policy",
+    "ADAPTIVE_POLICY",
+    "BUILTIN_POLICIES",
+    "DVFS_POLICY",
+    "IDLE_POLICY",
+    "MIX_POLICY",
+    "NONE_POLICY",
+    "PAPER_POLICY_NAMES",
+    "SHUT_POLICY",
+    "TRACK_POLICY",
+]

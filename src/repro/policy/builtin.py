@@ -1,0 +1,110 @@
+"""Built-in policy registry entries.
+
+The first five re-express the paper's administrator modes
+(Section IV-B and the two evaluation references) on the
+strategy axes, constants verbatim — the golden determinism digests
+(:mod:`tests.exp.test_determinism`) pin them: every scenario of the
+five must replay bit-identically through the registry path.
+
+* ``NONE`` — powercap ignored (the 100 % baseline);
+* ``IDLE`` — caps enforced but both mechanisms disabled (the paper's
+  "worst work" variant: the scheduler can only leave nodes idle);
+* ``SHUT`` — grouped node switch-off, jobs always at the top step;
+* ``DVFS`` — no switch-off, jobs may be forced down the full ladder;
+* ``MIX``  — switch-off plus DVFS restricted to the energy-efficient
+  high range (2.0-2.7 GHz on Curie, Section VI-B).
+
+Two genuinely new policies ship on the same seam:
+
+* ``ADAPTIVE`` — at each cap window the offline phase evaluates the
+  Section III model (:func:`repro.core.powermodel.plan_nodes`) against
+  the platform's ladder and picks the winning mechanism: grouped
+  switch-off when ``rho <= 0`` (shutdown-only/tie), pure DVFS when
+  ``rho > 0``, and the combined case-4 split when the cap falls below
+  the full-cluster lowest-frequency floor.  The online phase makes the
+  matching per-constraint choice (top-step-only under a switch-off
+  window, the full ladder otherwise).
+* ``TRACK`` — a proportional feedback variant in the spirit of
+  Cerf et al.'s control-theoretic runtime: no offline planning, no
+  worst-case window projections; each scheduling pass re-selects
+  frequencies against the *observed* cluster consumption, sliding the
+  frequency setpoint linearly down the ladder as the measured power
+  approaches ``track_gain * cap`` (the strict Algorithm 2 gate still
+  bounds the final choice).
+"""
+
+from __future__ import annotations
+
+from repro.policy.registry import register_policy
+from repro.policy.spec import PolicySpec
+
+#: the five paper modes, in the paper's order
+PAPER_POLICY_NAMES: tuple[str, ...] = ("NONE", "IDLE", "SHUT", "DVFS", "MIX")
+
+NONE_POLICY = PolicySpec(
+    name="NONE",
+    shutdown="none",
+    frequency="top",
+    enforces_caps=False,
+    description="powercap ignored (100% reference baseline)",
+)
+
+IDLE_POLICY = PolicySpec(
+    name="IDLE",
+    shutdown="none",
+    frequency="top",
+    description="caps enforced with both mechanisms disabled (worst work)",
+)
+
+SHUT_POLICY = PolicySpec(
+    name="SHUT",
+    shutdown="grouped",
+    frequency="top",
+    description="grouped node switch-off, jobs at the top step",
+)
+
+DVFS_POLICY = PolicySpec(
+    name="DVFS",
+    shutdown="none",
+    frequency="ladder",
+    freq_range="full",
+    description="no switch-off, DVFS over the full ladder",
+)
+
+MIX_POLICY = PolicySpec(
+    name="MIX",
+    shutdown="grouped",
+    frequency="ladder",
+    freq_range="mix",
+    description="switch-off plus DVFS over the efficient high range",
+)
+
+ADAPTIVE_POLICY = PolicySpec(
+    name="ADAPTIVE",
+    shutdown="adaptive",
+    frequency="adaptive",
+    freq_range="full",
+    description="Section III model picks SHUT, DVFS or the case-4 mix per window",
+)
+
+TRACK_POLICY = PolicySpec(
+    name="TRACK",
+    shutdown="none",
+    frequency="track",
+    freq_range="full",
+    track_gain=0.9,
+    description="proportional feedback against observed (not worst-case) power",
+)
+
+BUILTIN_POLICIES: tuple[PolicySpec, ...] = (
+    NONE_POLICY,
+    IDLE_POLICY,
+    SHUT_POLICY,
+    DVFS_POLICY,
+    MIX_POLICY,
+    ADAPTIVE_POLICY,
+    TRACK_POLICY,
+)
+
+for _spec in BUILTIN_POLICIES:
+    register_policy(_spec)

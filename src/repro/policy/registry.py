@@ -1,0 +1,80 @@
+"""Name -> :class:`PolicySpec` registry.
+
+The single lookup point behind the ``policy`` axis of the experiment
+harness: scenarios, the controller's string-policy path, the CLI and
+the platform policy factories all resolve policy names here.  Built-in
+entries (:mod:`repro.policy.builtin`) are registered on import;
+downstream code registers additional policies with
+:func:`register_policy` — no simulator-stack change required, exactly
+like :func:`repro.platform.register_platform`.
+"""
+
+from __future__ import annotations
+
+from repro.policy.spec import PolicyKind, PolicySpec
+
+_REGISTRY: dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec, *, replace: bool = False) -> PolicySpec:
+    """Add ``spec`` to the registry under its name.
+
+    Registering a different spec under an existing name raises unless
+    ``replace`` is set; re-registering identical content is a no-op
+    (idempotent imports).
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if existing == spec:
+            return existing  # identical content: keep the original object
+        if not replace:
+            raise ValueError(
+                f"policy {spec.name!r} is already registered with different "
+                "content; pass replace=True to override"
+            )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a policy (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_policy(name: str) -> PolicySpec:
+    """Look a policy up by name.
+
+    Raises ``KeyError`` with the registry contents — the message the
+    CLI surfaces for a typo'd ``--policy``.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(policy_names())}"
+        ) from None
+
+
+def resolve_policy(policy: "PolicySpec | PolicyKind | str") -> PolicySpec:
+    """Normalise any accepted policy designator to a :class:`PolicySpec`.
+
+    Strings and :class:`PolicyKind` members resolve through the
+    registry; unknown names raise ``ValueError`` listing the
+    registered entries (the ``make_policy`` contract).
+    """
+    if isinstance(policy, PolicySpec):
+        return policy
+    name = policy.value if isinstance(policy, PolicyKind) else str(policy)
+    try:
+        return get_policy(name)
+    except KeyError as exc:
+        raise ValueError(exc.args[0]) from None
+
+
+def policy_names() -> list[str]:
+    """Registered policy names, in registration order (paper five first)."""
+    return list(_REGISTRY)
+
+
+def policy_specs() -> list[PolicySpec]:
+    return list(_REGISTRY.values())

@@ -1,0 +1,338 @@
+"""Declarative powercap policy description.
+
+The paper's Section IV-B exposes its powercap modes as a closed
+administrator enum (NONE/IDLE/SHUT/DVFS/MIX).  A :class:`PolicySpec`
+decomposes every such mode into two **orthogonal strategies** and
+captures the result as plain, serialisable data:
+
+* a **shutdown-planning strategy** — what the offline phase
+  (Algorithm 1, :class:`repro.core.offline.OfflinePlanner`) does with
+  a cap window: nothing (``none``), the paper's greedy grouped
+  switch-off (``grouped``), or a per-window Section III model decision
+  (``adaptive``);
+* a **frequency-selection strategy** — what the online phase
+  (Algorithm 2, :class:`repro.core.online.FrequencySelector`) may do
+  with a candidate job: pin the top step (``top``), walk a DVFS ladder
+  (``ladder``), pick the mechanism per constraint from the model
+  (``adaptive``), or track observed consumption with a proportional
+  feedback gate (``track``).
+
+Specs are frozen, content-hashable (:meth:`PolicySpec.content_hash`)
+and round-trip through JSON (:meth:`to_dict` / :meth:`from_dict`),
+exactly like :class:`repro.platform.PlatformSpec`.  The registry
+(:mod:`repro.policy.registry`) maps names to specs; the five paper
+modes are the first entries (:mod:`repro.policy.builtin`), re-expressed
+with their constants verbatim and pinned by the golden digests.
+
+Unlike a platform's, a policy's :meth:`content_hash` excludes the
+**name**: a policy *is* its strategy content, and the registry name is
+a label.  Renaming a policy therefore keeps every result-cache key
+valid, while editing its registered content invalidates them.
+
+Binding a spec to a machine's DVFS table
+(:meth:`PolicySpec.build`) produces the runtime :class:`Policy` the
+controller consumes — the class :mod:`repro.core.policies` now
+re-exports as a thin shim.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.cluster.frequency import FrequencyTable, degradation_factor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policy.strategies import FrequencyStrategy, ShutdownStrategy
+
+#: serialisation schema version; bump when PolicySpec semantics change
+POLICY_SCHEMA_VERSION = 1
+
+#: The paper's replay degradation constants (Section VII-B), measured
+#: on Curie and used as the defaults of the bare string-policy path.
+#: They are machine data, so every platform registry entry
+#: (:mod:`repro.platform`) carries its own values; the Curie entry
+#: repeats these verbatim (asserted by the platform tests).
+DEFAULT_DEGMIN_FULL_RANGE = 1.63
+DEFAULT_DEGMIN_MIX_RANGE = 1.29
+DEFAULT_MIX_MIN_GHZ = 2.0
+
+#: shutdown-planning strategy keys (see repro.policy.strategies)
+SHUTDOWN_STRATEGY_KEYS = ("none", "grouped", "adaptive")
+#: frequency-selection strategy keys (see repro.policy.strategies)
+FREQUENCY_STRATEGY_KEYS = ("top", "ladder", "adaptive", "track")
+#: DVFS spans a ladder may walk: the full machine ladder with the
+#: full-range degradation constant, or the MIX-restricted high range.
+FREQ_RANGES = ("full", "mix")
+
+
+class PolicyKind(enum.Enum):
+    """The paper's five modes (legacy identity; see the registry for
+    the open-ended policy set)."""
+
+    NONE = "NONE"
+    IDLE = "IDLE"
+    SHUT = "SHUT"
+    DVFS = "DVFS"
+    MIX = "MIX"
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One powercap policy as declarative data.
+
+    Attributes
+    ----------
+    name:
+        Registry key and display label (excluded from the content
+        hash — renaming a policy does not change what it does).
+    shutdown:
+        Shutdown-planning strategy key: ``none`` (the offline phase
+        never switches nodes off), ``grouped`` (the paper's greedy
+        rack/chassis selection, Algorithm 1), or ``adaptive``
+        (per-window Section III decision).
+    frequency:
+        Frequency-selection strategy key: ``top`` (jobs always run at
+        the maximum step), ``ladder`` (Algorithm 2 over the allowed
+        range), ``adaptive`` (model-selected mechanism per
+        constraint), or ``track`` (proportional feedback against
+        observed consumption).
+    freq_range:
+        Which DVFS span a non-``top`` strategy walks: ``full`` (the
+        whole ladder, full-range degradation) or ``mix`` (the
+        energy-efficient high range above the platform's
+        ``mix_min_ghz``, MIX-range degradation).
+    enforces_caps:
+        ``False`` replicates NONE: power caps are ignored entirely.
+    track_gain:
+        Proportional margin of the ``track`` strategy: the frequency
+        setpoint reaches the lowest allowed step once observed power
+        hits ``track_gain * cap``.  Gains below 1 throttle ahead of
+        the cap to absorb the feedback lag; 1.0 only reaches the
+        bottom step at the cap itself.  Ignored by other strategies
+        (but still part of the content hash).
+    description:
+        Human-readable one-liner for listings (not hashed).
+    """
+
+    name: str
+    shutdown: str = "none"
+    frequency: str = "top"
+    freq_range: str = "full"
+    enforces_caps: bool = True
+    track_gain: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("policy name cannot be empty")
+        if self.shutdown not in SHUTDOWN_STRATEGY_KEYS:
+            raise ValueError(
+                f"unknown shutdown strategy {self.shutdown!r}; "
+                f"expected one of {', '.join(SHUTDOWN_STRATEGY_KEYS)}"
+            )
+        if self.frequency not in FREQUENCY_STRATEGY_KEYS:
+            raise ValueError(
+                f"unknown frequency strategy {self.frequency!r}; "
+                f"expected one of {', '.join(FREQUENCY_STRATEGY_KEYS)}"
+            )
+        if self.freq_range not in FREQ_RANGES:
+            raise ValueError(
+                f"unknown freq_range {self.freq_range!r}; "
+                f"expected one of {', '.join(FREQ_RANGES)}"
+            )
+        if not self.track_gain > 0:
+            raise ValueError(f"track_gain must be positive, got {self.track_gain}")
+
+    # -- derived ----------------------------------------------------------------------
+
+    @property
+    def uses_shutdown(self) -> bool:
+        """Whether the offline phase may plan switch-off reservations."""
+        return self.shutdown != "none"
+
+    @property
+    def uses_dvfs(self) -> bool:
+        """Whether the online phase may lower job frequencies."""
+        return self.frequency != "top"
+
+    # -- identity ---------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": POLICY_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "shutdown": self.shutdown,
+            "frequency": self.frequency,
+            "freq_range": self.freq_range,
+            "enforces_caps": self.enforces_caps,
+            "track_gain": self.track_gain,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PolicySpec":
+        schema = d.get("schema", POLICY_SCHEMA_VERSION)
+        if schema != POLICY_SCHEMA_VERSION:
+            raise ValueError(f"unsupported policy schema {schema}")
+        known = {f.name for f in fields(cls)} | {"schema"}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(f"unknown PolicySpec keys {unknown}")
+        return cls(
+            name=str(d["name"]),
+            description=str(d.get("description", "")),
+            shutdown=str(d.get("shutdown", "none")),
+            frequency=str(d.get("frequency", "top")),
+            freq_range=str(d.get("freq_range", "full")),
+            enforces_caps=bool(d.get("enforces_caps", True)),
+            track_gain=float(d.get("track_gain", 1.0)),
+        )
+
+    def content_hash(self) -> str:
+        """Stable 16-hex-digit content hash.
+
+        ``name`` and ``description`` are excluded — both are labels.
+        A policy's identity is its strategy content, so a renamed
+        policy keys the same cache entries and an edited one misses.
+        """
+        content = self.to_dict()
+        del content["name"]
+        del content["description"]
+        canon = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    # -- binding ----------------------------------------------------------------------
+
+    def build(
+        self,
+        freq_table: FrequencyTable,
+        *,
+        degmin_full: float = DEFAULT_DEGMIN_FULL_RANGE,
+        degmin_mix: float = DEFAULT_DEGMIN_MIX_RANGE,
+        mix_min_ghz: float = DEFAULT_MIX_MIN_GHZ,
+    ) -> "Policy":
+        """Bind this spec to a machine's DVFS table.
+
+        The degradation constants default to the paper's Curie replay
+        values; platform-aware callers pass their own (see
+        :meth:`repro.platform.PlatformSpec.make_policy`).
+        """
+        top_only = freq_table.restrict(freq_table.max.ghz, freq_table.max.ghz)
+        if self.frequency == "top":
+            allowed, degmin = top_only, 1.0
+        elif self.freq_range == "mix":
+            allowed = freq_table.restrict(mix_min_ghz, freq_table.max.ghz)
+            degmin = degmin_mix
+        else:
+            allowed, degmin = freq_table, degmin_full
+        return Policy(
+            spec=self, freq_table=freq_table, allowed=allowed, degmin=degmin
+        )
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A powercap policy bound to a machine's DVFS table.
+
+    The runtime object the controller stack consumes.  Behaviour
+    (shutdown planning, frequency selection) is delegated to the
+    spec's strategy objects; this class only carries the bound table
+    data the strategies and the accounting need.
+
+    Attributes
+    ----------
+    spec:
+        The declarative policy this binding realises.
+    freq_table:
+        Full machine DVFS table.
+    allowed:
+        Sub-table of frequencies the online algorithm may assign
+        (single-entry table at the max step for ``top`` strategies).
+    degmin:
+        Completion-time degradation at the slowest *allowed* step
+        (1.0 when DVFS is not used).
+    """
+
+    spec: PolicySpec
+    freq_table: FrequencyTable
+    allowed: FrequencyTable
+    degmin: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> PolicyKind | None:
+        """The legacy enum member for the five paper policies,
+        ``None`` for registry-defined ones."""
+        try:
+            return PolicyKind(self.spec.name)
+        except ValueError:
+            return None
+
+    @property
+    def uses_shutdown(self) -> bool:
+        """Whether the offline phase may plan switch-off reservations."""
+        return self.spec.uses_shutdown
+
+    @property
+    def uses_dvfs(self) -> bool:
+        """Whether the online phase may lower job frequencies."""
+        return len(self.allowed) > 1
+
+    @property
+    def enforces_caps(self) -> bool:
+        """NONE-like policies ignore power caps entirely."""
+        return self.spec.enforces_caps
+
+    # -- strategy objects -------------------------------------------------------------
+
+    @property
+    def shutdown_strategy(self) -> "ShutdownStrategy":
+        """The offline-phase strategy object of this policy."""
+        from repro.policy.strategies import shutdown_strategy
+
+        return shutdown_strategy(self.spec.shutdown)
+
+    @property
+    def frequency_strategy(self) -> "FrequencyStrategy":
+        """The online-phase strategy object of this policy."""
+        from repro.policy.strategies import frequency_strategy
+
+        return frequency_strategy(self.spec.frequency)
+
+    # -- table helpers ----------------------------------------------------------------
+
+    def degradation(self, ghz: float) -> float:
+        """Runtime stretch for a job at ``ghz``.
+
+        Linear between the policy's extreme allowed frequencies
+        (Sections V, VII-B): 1.0 at the top step, ``degmin`` at the
+        lowest allowed step.
+        """
+        return degradation_factor(ghz, self.allowed, self.degmin)
+
+    def frequency_indices_desc(self) -> list[int]:
+        """Indices (into the *full* table) of allowed steps, fastest first.
+
+        This is the iteration order of Algorithm 2.
+        """
+        return [
+            self.freq_table.index_of(step.ghz) for step in reversed(self.allowed.steps)
+        ]
+
+    def restrict_to_top(self) -> "Policy":
+        """A copy whose online phase may only use the top step.
+
+        The ``adaptive`` frequency strategy uses this as its
+        SHUT-flavoured half when the model selects switch-off.
+        """
+        top_only = self.freq_table.restrict(
+            self.freq_table.max.ghz, self.freq_table.max.ghz
+        )
+        return replace(self, allowed=top_only, degmin=1.0)

@@ -1,0 +1,348 @@
+"""Strategy objects behind the policy registry.
+
+A :class:`repro.policy.PolicySpec` names one strategy per phase; the
+controller stack consumes the *objects* resolved here instead of
+branching on a policy enum:
+
+* :class:`ShutdownStrategy` — consulted by the offline phase
+  (:class:`repro.core.offline.OfflinePlanner`) per cap window:
+  whether switch-off is planned at all and which per-node reference
+  power the greedy grouped selection must fit under the cap;
+* :class:`FrequencyStrategy` — builds the online-phase selector
+  (:class:`repro.core.online.FrequencySelector` or one of the
+  subclasses below) the controller runs inside every scheduling pass.
+
+Strategies are stateless singletons; :func:`shutdown_strategy` /
+:func:`frequency_strategy` resolve the spec keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.online import _EPS, FrequencySelector
+from repro.core.powermodel import ModelCase, PowerPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.offline import OfflinePlanner
+    from repro.core.online import FrequencyDecision, PowercapView
+    from repro.policy.spec import Policy
+    from repro.rjms.config import SchedulerConfig
+
+
+# -- offline phase: shutdown planning ---------------------------------------------------
+
+
+class ShutdownStrategy:
+    """What the offline phase does with one powercap window."""
+
+    key: str = ""
+
+    def wants_shutdown(self, model_plan: PowerPlan) -> bool:
+        """Whether switch-off reservations should be planned for a
+        window whose Section III solution is ``model_plan``."""
+        raise NotImplementedError
+
+    def reference_watts(
+        self, policy: "Policy", model_plan: PowerPlan | None = None
+    ) -> float:
+        """Per-node worst-case watts of alive nodes under ``policy``.
+
+        The quantity the grouped selection (and the worst-case alive
+        accounting) plans against: every alive node busy at the
+        strategy's reference frequency.
+        """
+        raise NotImplementedError
+
+
+class NoShutdown(ShutdownStrategy):
+    """NONE/IDLE/DVFS/TRACK: the offline phase never switches off."""
+
+    key = "none"
+
+    def wants_shutdown(self, model_plan: PowerPlan) -> bool:
+        return False
+
+    def reference_watts(
+        self, policy: "Policy", model_plan: PowerPlan | None = None
+    ) -> float:
+        return policy.freq_table.max.watts
+
+
+class GroupedShutdown(ShutdownStrategy):
+    """SHUT/MIX: the paper's greedy grouped switch-off, always.
+
+    SHUT-like policies plan for alive nodes at the top step; policies
+    that also throttle (MIX) plan for their lowest *allowed* step —
+    the model's ``Pmin`` — since the online phase may always fall back
+    there.
+    """
+
+    key = "grouped"
+
+    def wants_shutdown(self, model_plan: PowerPlan) -> bool:
+        return True
+
+    def reference_watts(
+        self, policy: "Policy", model_plan: PowerPlan | None = None
+    ) -> float:
+        if policy.uses_dvfs:
+            return policy.allowed.min.watts
+        return policy.freq_table.max.watts
+
+
+class AdaptiveShutdown(ShutdownStrategy):
+    """ADAPTIVE: per window, do what the Section III model says.
+
+    ``rho > 0`` (DVFS wins) plans no switch-off at all; ``rho <= 0``
+    plans like SHUT (alive nodes at the top step); a cap below the
+    full-cluster lowest-frequency floor (case 4) plans the combined
+    split like MIX (alive nodes at the lowest allowed step).
+    """
+
+    key = "adaptive"
+
+    def wants_shutdown(self, model_plan: PowerPlan) -> bool:
+        return model_plan.case is not ModelCase.DVFS_ONLY
+
+    def reference_watts(
+        self, policy: "Policy", model_plan: PowerPlan | None = None
+    ) -> float:
+        if model_plan is not None and model_plan.case is ModelCase.COMBINED:
+            return policy.allowed.min.watts
+        return policy.freq_table.max.watts
+
+
+# -- online phase: frequency selection --------------------------------------------------
+
+
+class FrequencyStrategy:
+    """Builds the per-replay frequency selector for a bound policy."""
+
+    key: str = ""
+
+    def build_selector(
+        self,
+        policy: "Policy",
+        *,
+        config: "SchedulerConfig",
+        planner: "OfflinePlanner",
+    ) -> FrequencySelector:
+        return FrequencySelector(
+            policy,
+            strict_future=config.strict_future_caps,
+            cluster_rule=config.cluster_frequency_rule,
+        )
+
+
+class TopFrequency(FrequencyStrategy):
+    """NONE/IDLE/SHUT: the selector walks a single-step ladder."""
+
+    key = "top"
+
+
+class LadderFrequency(FrequencyStrategy):
+    """DVFS/MIX: Algorithm 2 over the policy's allowed range."""
+
+    key = "ladder"
+
+
+class AdaptiveFrequency(FrequencyStrategy):
+    """ADAPTIVE: model-selected mechanism per power constraint."""
+
+    key = "adaptive"
+
+    def build_selector(
+        self,
+        policy: "Policy",
+        *,
+        config: "SchedulerConfig",
+        planner: "OfflinePlanner",
+    ) -> FrequencySelector:
+        return AdaptiveFrequencySelector(
+            policy,
+            planner.model_plan,
+            strict_future=config.strict_future_caps,
+            cluster_rule=config.cluster_frequency_rule,
+        )
+
+
+class TrackFrequency(FrequencyStrategy):
+    """TRACK: proportional feedback against observed consumption."""
+
+    key = "track"
+
+    def build_selector(
+        self,
+        policy: "Policy",
+        *,
+        config: "SchedulerConfig",
+        planner: "OfflinePlanner",
+    ) -> FrequencySelector:
+        return TrackingFrequencySelector(
+            policy,
+            gain=policy.spec.track_gain,
+            strict_future=config.strict_future_caps,
+            cluster_rule=config.cluster_frequency_rule,
+        )
+
+
+class AdaptiveFrequencySelector(FrequencySelector):
+    """Algorithm 2 with the mechanism chosen per constraint set.
+
+    For the caps currently in view (the active window plus every
+    planned one), the Section III model decides whether DVFS preserves
+    more capacity than switch-off.  If any in-view cap is in the
+    DVFS-only or combined regime, the candidate walks the full ladder;
+    otherwise it behaves exactly like SHUT's top-step selector and
+    relies on the offline switch-off plan plus the strict gate.
+
+    The mechanism is a pure function of the cap wattage (via the
+    planner's model), so decisions are memoised per distinct cap.
+    """
+
+    def __init__(
+        self,
+        policy: "Policy",
+        model_plan: Callable[[float], PowerPlan],
+        *,
+        strict_future: bool = False,
+        cluster_rule: bool = False,
+    ) -> None:
+        super().__init__(
+            policy, strict_future=strict_future, cluster_rule=cluster_rule
+        )
+        self._model_plan = model_plan
+        self._top = FrequencySelector(
+            policy.restrict_to_top(),
+            strict_future=strict_future,
+            cluster_rule=cluster_rule,
+        )
+        self._dvfs_by_watts: dict[float, bool] = {}
+
+    def mechanism_allows_dvfs(self, cap_watts: float) -> bool:
+        """Whether the model picks a throttling mechanism for this cap."""
+        hit = self._dvfs_by_watts.get(cap_watts)
+        if hit is None:
+            case = self._model_plan(cap_watts).case
+            hit = case in (ModelCase.DVFS_ONLY, ModelCase.COMBINED)
+            self._dvfs_by_watts[cap_watts] = hit
+        return hit
+
+    def decide(
+        self, n_nodes: int, walltime: float, view: "PowercapView"
+    ) -> "FrequencyDecision":
+        if not self.policy.enforces_caps or not view.has_constraints():
+            return super().decide(n_nodes, walltime, view)
+        caps = [w.watts for w in view.windows]
+        if view.cap_is_active:
+            caps.append(view.active_cap)
+        if any(self.mechanism_allows_dvfs(watts) for watts in caps):
+            return super().decide(n_nodes, walltime, view)
+        return self._top.decide(n_nodes, walltime, view)
+
+
+class TrackingFrequencySelector(FrequencySelector):
+    """Proportional feedback selection against observed power.
+
+    The default Algorithm 2 plans against worst-case projections:
+    future windows assume every running job holds its nodes busy until
+    its full (stretched) walltime.  This variant drops the projections
+    entirely and closes the loop on what the power accountant
+    *measures*, like Cerf et al.'s control-theoretic runtime: each
+    pass computes the cap utilisation ``observed / (gain * cap)`` and
+    slides the frequency *setpoint* linearly down the allowed ladder —
+    the top step while consumption is far below the cap, the lowest
+    step once it reaches the ``gain`` margin.  The strict gate still
+    applies: from the setpoint the ladder is walked further down until
+    the candidate's extra draw fits under the cap, and a job that fits
+    nowhere stays pending.  Outside a cap window jobs always run at
+    the top step (nothing to track).
+    """
+
+    tracks_observed = True
+
+    def __init__(
+        self,
+        policy: "Policy",
+        *,
+        gain: float = 1.0,
+        strict_future: bool = False,
+        cluster_rule: bool = False,
+    ) -> None:
+        if cluster_rule:
+            # The Section IV-B cluster rule is a projection-based
+            # ablation; silently ignoring the flag would let two
+            # "different" ablation cells replay identically.
+            raise ValueError(
+                "the track strategy selects against observed consumption "
+                "and does not support the cluster_frequency_rule ablation"
+            )
+        super().__init__(policy, strict_future=strict_future)
+        if not gain > 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.gain = gain
+
+    def setpoint(self, cap_watts: float, observed_watts: float) -> int:
+        """Ladder position (0 = top step) of the proportional law."""
+        indices = self._indices_desc
+        frac = observed_watts / (self.gain * cap_watts)
+        frac = min(max(frac, 0.0), 1.0)
+        return int(round(frac * (len(indices) - 1)))
+
+    def pass_rescale_watts(self, active_cap_watts: float) -> float | None:
+        """Track the active cap: every pass, running jobs are stepped
+        down the ladder (youngest first) until observed consumption
+        fits under ``gain * cap`` — the actuation half of the feedback
+        loop, mirroring the admission setpoint."""
+        if not math.isfinite(active_cap_watts):
+            return None
+        return self.gain * active_cap_watts
+
+    def decide(
+        self, n_nodes: int, walltime: float, view: "PowercapView"
+    ) -> "FrequencyDecision":
+        if not self.policy.enforces_caps or not view.cap_is_active:
+            return self._mk(True, self._indices_desc[0])
+        cap = view.active_cap
+        observed = view.current_power()
+        tol = _EPS * max(1.0, abs(cap))
+        indices = self._indices_desc
+        deltas = self._delta_per_node_desc
+        for pos in range(self.setpoint(cap, observed), len(indices)):
+            if n_nodes * deltas[pos] <= cap - observed + tol:
+                return self._mk(True, indices[pos])
+        return self._mk(False, indices[-1], reason="active powercap")
+
+
+# -- registries -------------------------------------------------------------------------
+
+SHUTDOWN_STRATEGIES: dict[str, ShutdownStrategy] = {
+    s.key: s for s in (NoShutdown(), GroupedShutdown(), AdaptiveShutdown())
+}
+
+FREQUENCY_STRATEGIES: dict[str, FrequencyStrategy] = {
+    s.key: s
+    for s in (TopFrequency(), LadderFrequency(), AdaptiveFrequency(), TrackFrequency())
+}
+
+
+def shutdown_strategy(key: str) -> ShutdownStrategy:
+    try:
+        return SHUTDOWN_STRATEGIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown shutdown strategy {key!r}; "
+            f"available: {', '.join(SHUTDOWN_STRATEGIES)}"
+        ) from None
+
+
+def frequency_strategy(key: str) -> FrequencyStrategy:
+    try:
+        return FREQUENCY_STRATEGIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown frequency strategy {key!r}; "
+            f"available: {', '.join(FREQUENCY_STRATEGIES)}"
+        ) from None

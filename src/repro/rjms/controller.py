@@ -25,7 +25,7 @@ import numpy as np
 from repro.cluster.machine import Machine
 from repro.cluster.states import NodeState
 from repro.core.offline import OfflinePlanner, ShutdownPlan
-from repro.core.online import FrequencySelector, PowercapView
+from repro.core.online import PowercapView
 from repro.core.policies import Policy, make_policy
 from repro.rjms.backfill import BackfillWindow, easy_backfill_window
 from repro.rjms.config import SchedulerConfig
@@ -126,12 +126,15 @@ class Controller:
         self.queue = PendingQueue(
             machine.total_cores, self.config.priority, self.fairshare
         )
-        self.freq_selector = FrequencySelector(
-            self.policy,
-            strict_future=self.config.strict_future_caps,
-            cluster_rule=self.config.cluster_frequency_rule,
-        )
+        # The two phases come from the policy's strategy objects
+        # (repro.policy.strategies): the shutdown-planning strategy
+        # parameterises the offline planner, the frequency-selection
+        # strategy builds the online selector — no policy-kind
+        # branching in the controller itself.
         self.offline_planner = OfflinePlanner(machine, self.policy)
+        self.freq_selector = self.policy.frequency_strategy.build_selector(
+            self.policy, config=self.config, planner=self.offline_planner
+        )
         self.recorder = recorder or MetricsRecorder(machine.freq_table.frequencies)
         self.running: dict[int, Job] = {}
         self.jobs: dict[int, Job] = {}
@@ -362,7 +365,17 @@ class Controller:
                 new_ghz = self.machine.freq_table.steps[new_index].ghz
                 new_deg = self.policy.degradation(new_ghz)
                 old_deg = job.degradation
-                old_end = job.start_time + job.stretched_runtime
+                # The job's *scheduled* completion, which already folds
+                # in any earlier re-stretches; recomputing it from
+                # start_time + stretched_runtime is only valid for a
+                # job's first down-step and would inflate the remaining
+                # work of every later one.
+                ev_old = self._end_events.get(job.job_id)
+                old_end = (
+                    ev_old.time
+                    if ev_old is not None
+                    else job.start_time + job.stretched_runtime
+                )
                 remaining = max(old_end - now, 0.0)
                 # Re-stretch only the remaining execution.
                 new_remaining = remaining * (new_deg / old_deg)
@@ -458,6 +471,16 @@ class Controller:
         self._pass_pending = False
         now = self.engine.now
         self._last_pass = now
+        # Feedback selectors may re-select *running* jobs' frequencies
+        # against the observed consumption before any admission
+        # decision; the paper's Algorithm 2 selectors never do
+        # (tracks_observed False), keeping the drained-pass fast path.
+        if self.freq_selector.tracks_observed and self.policy.enforces_caps:
+            target = self.freq_selector.pass_rescale_watts(
+                self.registry.cap_at(now)
+            )
+            if target is not None and self.accountant.total_power() > target:
+                self._rescale_running_jobs(target)
         if len(self.queue) == 0:
             return
 

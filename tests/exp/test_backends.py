@@ -239,12 +239,15 @@ class TestCrossBackendEquivalence:
 
     def _library(self):
         from repro.exp import SCENARIO_LIBRARY
+        from repro.policy import PAPER_POLICY_NAMES
 
-        # Curie scenarios at one-rack scale (the pinned digest scale);
-        # platform scenarios at their library scale.
+        # The 16 paper-policy scenarios: Curie at one-rack scale (the
+        # pinned digest scale), platform scenarios at their library
+        # scale.  ADAPTIVE/TRACK digests are pinned in tests/policy/.
         return [
             sc.with_(scale=1 / 56) if sc.platform == "curie" else sc
             for sc in SCENARIO_LIBRARY
+            if sc.policy_name in PAPER_POLICY_NAMES
         ]
 
     def _pinned(self):

@@ -77,13 +77,20 @@ def test_matches_seed_implementation(golden_serial):
 
 @pytest.mark.slow
 def test_library_matches_seed_implementation():
-    """Every Curie library scenario (at one-rack scale) replays to the
-    exact trace the seed implementation produced — the columnar
-    recorder, the scheduling-pass fast paths and the platform registry
-    changed *nothing* observable on the Curie path."""
+    """Every paper-policy Curie library scenario (at one-rack scale)
+    replays to the exact trace the seed implementation produced — the
+    columnar recorder, the scheduling-pass fast paths, the platform
+    registry and the policy-strategy decomposition changed *nothing*
+    observable on the Curie path.  (ADAPTIVE/TRACK scenarios are new
+    behaviour; their pins live in tests/policy/.)"""
     from repro.exp import SCENARIO_LIBRARY, get_scenario
+    from repro.policy import PAPER_POLICY_NAMES
 
-    curie_names = {sc.name for sc in SCENARIO_LIBRARY if sc.platform == "curie"}
+    curie_names = {
+        sc.name
+        for sc in SCENARIO_LIBRARY
+        if sc.platform == "curie" and sc.policy_name in PAPER_POLICY_NAMES
+    }
     assert curie_names == set(LIBRARY_SEED_DIGESTS)
     for name, digest in sorted(LIBRARY_SEED_DIGESTS.items()):
         result = run_scenario(get_scenario(name).with_(scale=1 / 56))
@@ -91,20 +98,24 @@ def test_library_matches_seed_implementation():
 
 
 def test_platform_library_matches_pinned_digests():
-    """Every non-Curie platform scenario replays to its pinned digest
-    at its library scale — the platform axis is as deterministic as
-    the Curie path it generalises."""
+    """Every paper-policy non-Curie platform scenario replays to its
+    pinned digest at its library scale — the platform axis is as
+    deterministic as the Curie path it generalises."""
     from repro.exp import SCENARIO_LIBRARY
+    from repro.policy import PAPER_POLICY_NAMES
 
-    platform_names = {sc.name for sc in SCENARIO_LIBRARY if sc.platform != "curie"}
+    paper = [
+        sc
+        for sc in SCENARIO_LIBRARY
+        if sc.platform != "curie" and sc.policy_name in PAPER_POLICY_NAMES
+    ]
+    platform_names = {sc.name for sc in paper}
     assert platform_names == set(PLATFORM_LIBRARY_DIGESTS)
     # The acceptance bar of the registry refactor: >= 4 scenarios over
     # >= 2 non-Curie platforms, each with a pinned digest of its own.
     assert len(platform_names) >= 4
-    assert len({sc.platform for sc in SCENARIO_LIBRARY if sc.platform != "curie"}) >= 2
-    for sc in SCENARIO_LIBRARY:
-        if sc.platform == "curie":
-            continue
+    assert len({sc.platform for sc in paper}) >= 2
+    for sc in paper:
         result = run_scenario(sc)
         assert result.trace_digest == PLATFORM_LIBRARY_DIGESTS[sc.name], sc.name
 

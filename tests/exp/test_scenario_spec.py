@@ -136,6 +136,81 @@ class TestScenarioHash:
         assert all(c in "0123456789abcdef" for c in sc.scenario_hash())
 
 
+class TestStructuredPolicy:
+    """Schema v3: the policy field is a registry name or an inline
+    PolicySpec; v1/v2 string-policy dicts still load unchanged."""
+
+    def test_from_dict_accepts_v2_string_policies(self):
+        d = Scenario(name="x", interval="medianjob", policy="MIX").to_dict()
+        d["schema"] = 2
+        sc = Scenario.from_dict(d)
+        assert sc.policy == "MIX" and sc.policy_name == "MIX"
+
+    def test_registry_policies_resolve(self):
+        sc = Scenario(name="x", interval="medianjob", policy="ADAPTIVE")
+        assert sc.policy_name == "ADAPTIVE"
+        assert sc.policy_spec.shutdown == "adaptive"
+
+    def test_inline_spec_round_trips(self):
+        from repro.policy import PolicySpec
+
+        spec = PolicySpec(
+            name="custom", frequency="track", freq_range="mix", track_gain=0.7
+        )
+        sc = Scenario(name="x", interval="medianjob", policy=spec)
+        assert sc.policy_spec is spec
+        d = sc.to_dict()
+        assert d["policy"]["name"] == "custom"
+        back = Scenario.from_dict(d)
+        assert back == sc
+        assert back.scenario_hash() == sc.scenario_hash()
+
+    def test_policy_hash_is_content_not_name(self):
+        """An inline spec identical to a registered policy's content
+        is the same scenario; different content is not."""
+        from repro.policy import PolicySpec, get_policy
+
+        base = Scenario(name="x", interval="medianjob", policy="MIX")
+        clone = PolicySpec.from_dict(
+            {**get_policy("MIX").to_dict(), "name": "MYMIX"}
+        )
+        assert (
+            base.with_(policy=clone).scenario_hash() == base.scenario_hash()
+        )
+        other = PolicySpec.from_dict(
+            {**get_policy("MIX").to_dict(), "name": "MYMIX", "freq_range": "full"}
+        )
+        assert (
+            base.with_(policy=other).scenario_hash() != base.scenario_hash()
+        )
+
+    def test_non_policy_values_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            Scenario(name="x", interval="medianjob", policy=3.14)
+
+    def test_paper_cell_respects_enforces_caps_of_custom_policies(self):
+        from repro.policy import PolicySpec
+
+        off = PolicySpec(name="off", enforces_caps=False)
+        sc = Scenario.paper_cell("medianjob", off, 0.5)
+        assert sc.caps == ()
+        assert sc.name == "medianjob-off"
+
+
+class TestCapWindowMiddle:
+    def test_too_long_window_names_both_values(self):
+        with pytest.raises(ValueError, match="2 h.*3600"):
+            CapWindow.middle(3600.0, 0.5, hours=2.0)
+
+    def test_nonpositive_hours_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            CapWindow.middle(3600.0, 0.5, hours=0.0)
+
+    def test_fitting_window_is_centred(self):
+        w = CapWindow.middle(5 * HOUR, 0.5)
+        assert w.start == 2 * HOUR and w.end == 3 * HOUR
+
+
 class TestDefaults:
     def test_interval_defaults_flow_through(self):
         sc = Scenario(name="x", interval="24h", policy="MIX")

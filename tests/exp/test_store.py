@@ -36,14 +36,44 @@ def tiny_result():
 
 
 class TestResultKey:
-    def test_covers_scenario_and_platform_content(self):
+    def test_covers_scenario_platform_and_policy_content(self):
         key = result_key(TINY)
-        shash, _, phash = key.partition("-")
+        shash, phash, pohash = key.split("-")
         assert shash == TINY.scenario_hash()
         assert len(phash) == 8
+        assert pohash == TINY.policy_spec.content_hash()[:8]
         # A renamed scenario keys identically; changed content differs.
         assert result_key(TINY.with_(name="other")) == key
         assert result_key(TINY.with_(seed=9)) != key
+
+    def test_policy_edits_miss_and_renames_hit(self):
+        from repro.policy import (
+            PolicySpec,
+            get_policy,
+            register_policy,
+            unregister_policy,
+        )
+
+        key = result_key(TINY)
+        none = get_policy("NONE")
+        try:
+            # Renamed-but-identical policy: same scenario identity,
+            # same store key (the name is a label, not content).
+            clone = PolicySpec.from_dict({**none.to_dict(), "name": "NOOP"})
+            register_policy(clone)
+            renamed = TINY.with_(policy="NOOP")
+            assert renamed.scenario_hash() == TINY.scenario_hash()
+            assert result_key(renamed) == key
+            # Edited registration under the same name: both the
+            # scenario hash and the key change, so stale entries miss.
+            edited = PolicySpec.from_dict(
+                {**none.to_dict(), "name": "NOOP", "enforces_caps": True}
+            )
+            register_policy(edited, replace=True)
+            assert renamed.scenario_hash() != TINY.scenario_hash()
+            assert result_key(renamed) != key
+        finally:
+            unregister_policy("NOOP")
 
 
 class TestMemoryStore:

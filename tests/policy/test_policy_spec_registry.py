@@ -1,0 +1,171 @@
+"""PolicySpec round-trip, hashing, and registry behaviour."""
+
+import pytest
+
+from repro.cluster.curie import CURIE_FREQUENCY_TABLE
+from repro.core.policies import make_policy, policy_set
+from repro.policy import (
+    BUILTIN_POLICIES,
+    PAPER_POLICY_NAMES,
+    PolicyKind,
+    PolicySpec,
+    get_policy,
+    policy_names,
+    policy_specs,
+    register_policy,
+    resolve_policy,
+    unregister_policy,
+)
+from repro.policy.spec import FREQUENCY_STRATEGY_KEYS, SHUTDOWN_STRATEGY_KEYS
+from repro.policy.strategies import (
+    FREQUENCY_STRATEGIES,
+    SHUTDOWN_STRATEGIES,
+    frequency_strategy,
+    shutdown_strategy,
+)
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            PolicySpec(name="")
+
+    def test_unknown_shutdown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="shutdown strategy"):
+            PolicySpec(name="x", shutdown="sometimes")
+
+    def test_unknown_frequency_strategy_rejected(self):
+        with pytest.raises(ValueError, match="frequency strategy"):
+            PolicySpec(name="x", frequency="psychic")
+
+    def test_unknown_freq_range_rejected(self):
+        with pytest.raises(ValueError, match="freq_range"):
+            PolicySpec(name="x", frequency="ladder", freq_range="turbo")
+
+    def test_nonpositive_gain_rejected(self):
+        with pytest.raises(ValueError, match="track_gain"):
+            PolicySpec(name="x", frequency="track", track_gain=0.0)
+
+    def test_strategy_vocabulary_matches_the_objects(self):
+        # The spec validates against literal key tuples (the strategy
+        # module is imported lazily); both must list the same keys.
+        assert set(SHUTDOWN_STRATEGY_KEYS) == set(SHUTDOWN_STRATEGIES)
+        assert set(FREQUENCY_STRATEGY_KEYS) == set(FREQUENCY_STRATEGIES)
+        for key in SHUTDOWN_STRATEGY_KEYS:
+            assert shutdown_strategy(key).key == key
+        for key in FREQUENCY_STRATEGY_KEYS:
+            assert frequency_strategy(key).key == key
+        with pytest.raises(ValueError, match="unknown shutdown strategy"):
+            shutdown_strategy("sometimes")
+        with pytest.raises(ValueError, match="unknown frequency strategy"):
+            frequency_strategy("psychic")
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("spec", BUILTIN_POLICIES, ids=lambda s: s.name)
+    def test_builtin_round_trip(self, spec):
+        back = PolicySpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.content_hash() == spec.content_hash()
+
+    def test_unknown_keys_rejected(self):
+        d = get_policy("MIX").to_dict()
+        d["turbo"] = True
+        with pytest.raises(ValueError, match="unknown PolicySpec keys"):
+            PolicySpec.from_dict(d)
+
+    def test_unsupported_schema_rejected(self):
+        d = get_policy("MIX").to_dict()
+        d["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            PolicySpec.from_dict(d)
+
+    def test_hash_is_stable_hex(self):
+        h = get_policy("MIX").content_hash()
+        assert h == get_policy("MIX").content_hash()
+        assert len(h) == 16
+        assert all(c in "0123456789abcdef" for c in h)
+
+    def test_hash_excludes_name_and_description(self):
+        mix = get_policy("MIX")
+        renamed = PolicySpec.from_dict(
+            {**mix.to_dict(), "name": "MYMIX", "description": "other"}
+        )
+        assert renamed.content_hash() == mix.content_hash()
+
+    def test_hash_covers_strategy_content(self):
+        mix = get_policy("MIX")
+        hashes = {
+            mix.content_hash(),
+            PolicySpec.from_dict(
+                {**mix.to_dict(), "shutdown": "none"}
+            ).content_hash(),
+            PolicySpec.from_dict(
+                {**mix.to_dict(), "freq_range": "full"}
+            ).content_hash(),
+            PolicySpec.from_dict(
+                {**mix.to_dict(), "track_gain": 0.5}
+            ).content_hash(),
+        }
+        assert len(hashes) == 4
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        names = policy_names()
+        assert tuple(names[:5]) == PAPER_POLICY_NAMES
+        assert "ADAPTIVE" in names and "TRACK" in names
+        assert [s.name for s in policy_specs()] == names
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(KeyError, match="ADAPTIVE"):
+            get_policy("TURBO")
+
+    def test_resolve_accepts_spec_kind_and_name(self):
+        mix = get_policy("MIX")
+        assert resolve_policy("MIX") is mix
+        assert resolve_policy(PolicyKind.MIX) is mix
+        assert resolve_policy(mix) is mix
+        with pytest.raises(ValueError, match="available"):
+            resolve_policy("TURBO")
+
+    def test_reregistering_identical_content_is_noop(self):
+        mix = get_policy("MIX")
+        assert register_policy(PolicySpec.from_dict(mix.to_dict())) is mix
+
+    def test_conflicting_registration_raises_unless_replace(self):
+        spec = PolicySpec(name="tmp-policy", frequency="ladder")
+        try:
+            register_policy(spec)
+            other = PolicySpec(name="tmp-policy", frequency="top")
+            with pytest.raises(ValueError, match="already registered"):
+                register_policy(other)
+            assert register_policy(other, replace=True) is other
+            assert get_policy("tmp-policy") is other
+        finally:
+            unregister_policy("tmp-policy")
+
+
+class TestShims:
+    """core.policies stays the historical import surface."""
+
+    def test_make_policy_resolves_registry_names(self):
+        p = make_policy("ADAPTIVE", CURIE_FREQUENCY_TABLE)
+        assert p.name == "ADAPTIVE"
+        assert p.kind is None  # not one of the five legacy kinds
+        assert p.uses_shutdown and p.uses_dvfs and p.enforces_caps
+
+    def test_make_policy_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="available"):
+            make_policy("TURBO", CURIE_FREQUENCY_TABLE)
+
+    def test_make_policy_accepts_inline_spec(self):
+        spec = PolicySpec(name="inline", frequency="ladder", freq_range="mix")
+        p = make_policy(spec, CURIE_FREQUENCY_TABLE)
+        assert p.spec is spec
+        assert p.allowed.min.ghz == 2.0
+        assert p.degmin == 1.29
+
+    def test_policy_set_is_the_paper_five(self):
+        policies = policy_set(CURIE_FREQUENCY_TABLE)
+        assert tuple(policies) == PAPER_POLICY_NAMES

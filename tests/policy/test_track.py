@@ -1,0 +1,186 @@
+"""TRACK: proportional feedback against observed consumption."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.cluster.curie import curie_machine
+from repro.core.online import FrequencySelector, PowercapView
+from repro.core.policies import make_policy
+from repro.policy import PolicySpec
+from repro.policy.strategies import TrackingFrequencySelector
+from repro.rjms.config import SchedulerConfig
+from repro.rjms.reservations import PowercapReservation, ReservationRegistry
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def machine():
+    return curie_machine(scale=1 / 56)  # 90 nodes
+
+
+def selector_for(machine, gain=0.9):
+    spec = PolicySpec(
+        name="track-test", frequency="track", freq_range="full", track_gain=gain
+    )
+    policy = make_policy(spec, machine.freq_table)
+    from repro.core.offline import OfflinePlanner
+
+    sel = policy.frequency_strategy.build_selector(
+        policy, config=SchedulerConfig(), planner=OfflinePlanner(machine, policy)
+    )
+    assert isinstance(sel, TrackingFrequencySelector)
+    assert sel.gain == gain
+    return sel
+
+
+def view_for(machine, acct, cap_watts=None, now=1.0):
+    reg = ReservationRegistry(machine.n_nodes)
+    if cap_watts is not None:
+        reg.add_powercap(PowercapReservation(0.0, math.inf, watts=cap_watts))
+    return PowercapView(reg, acct, now, ())
+
+
+class TestSetpoint:
+    def test_slides_linearly_with_observed_power(self, machine):
+        sel = selector_for(machine, gain=1.0)
+        n_steps = len(sel._indices_desc)
+        cap = 10_000.0
+        assert sel.setpoint(cap, 0.0) == 0  # idle cluster: top step
+        assert sel.setpoint(cap, cap) == n_steps - 1  # at the cap: lowest
+        assert sel.setpoint(cap, 2 * cap) == n_steps - 1  # clamped
+        mid = sel.setpoint(cap, 0.5 * cap)
+        assert 0 < mid < n_steps - 1
+
+    def test_gain_reaches_the_bottom_early(self, machine):
+        tight = selector_for(machine, gain=0.5)
+        cap = 10_000.0
+        assert tight.setpoint(cap, 0.5 * cap) == len(tight._indices_desc) - 1
+
+    def test_invalid_gain_rejected(self, machine):
+        policy = make_policy("DVFS", machine.freq_table)
+        with pytest.raises(ValueError, match="gain"):
+            TrackingFrequencySelector(policy, gain=0.0)
+
+    def test_cluster_rule_ablation_rejected(self, machine):
+        """The Section IV-B cluster rule is projection-based; TRACK
+        must refuse it loudly rather than silently replaying as if the
+        flag were off."""
+        policy = make_policy("TRACK", machine.freq_table)
+        with pytest.raises(ValueError, match="cluster_frequency_rule"):
+            TrackingFrequencySelector(policy, cluster_rule=True)
+        from repro.core.offline import OfflinePlanner
+
+        with pytest.raises(ValueError, match="cluster_frequency_rule"):
+            policy.frequency_strategy.build_selector(
+                policy,
+                config=SchedulerConfig(cluster_frequency_rule=True),
+                planner=OfflinePlanner(machine, policy),
+            )
+
+
+class TestDecide:
+    def test_top_step_without_active_cap(self, machine):
+        sel = selector_for(machine)
+        acct = machine.new_accountant()
+        d = sel.decide(10, HOUR, view_for(machine, acct))
+        assert d.ok and d.freq_ghz == machine.freq_table.max.ghz
+
+    def test_future_windows_are_ignored(self, machine):
+        """TRACK reacts, it does not project: a planned window that
+        would push the default selector to its soft fallback leaves
+        TRACK at the top step."""
+        acct = machine.new_accountant()
+        reg = ReservationRegistry(machine.n_nodes)
+        reg.add_powercap(
+            PowercapReservation(HOUR, 2 * HOUR, watts=acct.idle_floor() + 10)
+        )
+        view = PowercapView(reg, acct, 0.0, ())
+        track = selector_for(machine)
+        d = track.decide(90, 2 * HOUR, view)
+        assert d.ok and d.freq_ghz == machine.freq_table.max.ghz and not d.soft
+        dvfs = FrequencySelector(make_policy("DVFS", machine.freq_table))
+        d2 = dvfs.decide(90, 2 * HOUR, view)
+        assert d2.soft and d2.freq_ghz == machine.freq_table.min.ghz
+
+    def test_throttles_near_the_cap_and_blocks_over_it(self, machine):
+        sel = selector_for(machine, gain=1.0)
+        acct = machine.new_accountant()
+        ft = machine.freq_table
+        idle = acct.idle_floor()
+        # Cap such that the cluster idles at ~85% utilisation of it:
+        # the setpoint lands mid-ladder and the job starts throttled.
+        cap = idle / 0.85
+        d = sel.decide(1, HOUR, view_for(machine, acct, cap))
+        assert d.ok
+        assert ft.min.ghz <= d.freq_ghz < ft.max.ghz
+        # A job too wide for the remaining headroom stays pending.
+        wide = int((cap - idle) / (ft.min.watts - ft.idle_watts)) + 2
+        d2 = sel.decide(wide, HOUR, view_for(machine, acct, cap))
+        assert not d2.ok and d2.reason == "active powercap"
+
+    def test_rescale_target_is_gain_times_active_cap(self, machine):
+        sel = selector_for(machine, gain=0.9)
+        assert sel.pass_rescale_watts(10_000.0) == pytest.approx(9_000.0)
+        assert sel.pass_rescale_watts(math.inf) is None
+        # The paper's selectors never rescale mid-pass.
+        dvfs = FrequencySelector(make_policy("DVFS", machine.freq_table))
+        assert dvfs.pass_rescale_watts(10_000.0) is None
+
+
+class TestEndToEnd:
+    def test_track_keeps_window_power_under_the_cap(self):
+        """The library cell: observed power inside the window stays at
+        or under the cap (the ladder floor permitting), running jobs
+        get stepped down, and the trace differs from IDLE's."""
+        from repro.exp import get_scenario, replay_scenario, run_scenario
+
+        sc = get_scenario("medianjob-track-60").with_(scale=1 / 56)
+        res = replay_scenario(sc)
+        cap_watts = sc.caps[0].fraction * res.machine.max_power()
+        grid = res.recorder.to_grid(0.0, res.duration, 60.0)
+        window = sc.caps[0]
+        settle = 600.0  # one feedback settling interval after the edge
+        in_window = (grid["time"] >= window.start + settle) & (
+            grid["time"] < window.end
+        )
+        assert float(grid["power"][in_window].max()) <= cap_watts + 1e-6
+
+        freqs = Counter(
+            r.freq_ghz
+            for r in res.recorder.jobs.values()
+            if r.start_time is not None
+        )
+        assert min(freqs) < res.machine.freq_table.max.ghz  # genuinely throttled
+
+        idle = run_scenario(sc.with_(name="idle-ref", policy="IDLE"))
+        track = run_scenario(sc)
+        assert track.trace_digest != idle.trace_digest
+
+    @pytest.mark.parametrize(
+        "name", ["medianjob-track-60", "manythin-smalljob-track-60"]
+    )
+    def test_rescaled_jobs_respect_the_degmin_bound(self, name):
+        """Regression: repeated per-pass down-stepping must re-stretch
+        only the *remaining* work from the job's scheduled end.  With
+        monotone down-stepping, no completed job can take longer than
+        its runtime at the worst allowed degradation."""
+        from repro.exp import get_scenario, replay_scenario
+
+        sc = get_scenario(name)
+        if sc.platform == "curie":
+            sc = sc.with_(scale=1 / 56)
+        res = replay_scenario(sc)
+        for job in res.controller.jobs.values():
+            if job.start_time is None or job.end_time is None:
+                continue
+            if job.state.name == "KILLED":
+                continue
+            elapsed = job.end_time - job.start_time
+            assert elapsed <= job.spec.runtime * res.policy.degmin + 1e-6, (
+                job.job_id,
+                elapsed,
+                job.spec.runtime,
+            )

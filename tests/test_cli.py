@@ -1,0 +1,162 @@
+"""CLI smoke tests: the argparse entry points end to end.
+
+Everything drives :func:`repro.cli.main` exactly as a shell would,
+on tiny scenarios (90-node machine, two-hour replays) so the whole
+module stays in the quick loop.
+"""
+
+import pytest
+
+from repro.cli import main
+
+TINY = ["--scale", "0.017857", "--duration", "2"]
+#: library scenarios keep their absolute window placement ([2h, 3h)
+#: for paper cells), so named runs need a 3-hour replay to cover it
+TINY_NAMED = ["--scale", "0.017857", "--duration", "3"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestListings:
+    def test_exp_list_renders_the_library(self, capsys):
+        code, out = run_cli(capsys, "exp", "list")
+        assert code == 0
+        assert "fig6-24h-mix-40" in out
+        assert "medianjob-adaptive-60" in out
+
+    def test_exp_list_names_only(self, capsys):
+        code, out = run_cli(capsys, "exp", "list", "--names")
+        assert code == 0
+        lines = out.strip().splitlines()
+        from repro.exp import scenario_names
+
+        assert lines == scenario_names()
+
+    def test_exp_platforms(self, capsys):
+        code, out = run_cli(capsys, "exp", "platforms")
+        assert code == 0
+        for name in ("curie", "fatnode", "manythin"):
+            assert name in out
+
+    def test_exp_policies(self, capsys):
+        code, out = run_cli(capsys, "exp", "policies")
+        assert code == 0
+        for name in ("NONE", "IDLE", "SHUT", "DVFS", "MIX", "ADAPTIVE", "TRACK"):
+            assert name in out
+        assert "grouped" in out and "track" in out
+
+    def test_exp_policies_names_only(self, capsys):
+        code, out = run_cli(capsys, "exp", "policies", "--names")
+        from repro.policy import policy_names
+
+        assert code == 0
+        assert out.strip().splitlines() == policy_names()
+
+
+class TestExpRun:
+    def test_serial_grid_run_prints_table(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "exp", "run",
+            "--grid", "policy=SHUT,ADAPTIVE", "cap=0.6",
+            "--backend", "serial",
+            *TINY,
+        )
+        assert code == 0
+        assert "running 2 scenario(s)" in out
+        assert "backend serial" in out
+        assert "medianjob-shut-60" in out
+        assert "medianjob-adaptive-60" in out
+        assert "ADAPT" in out  # the results table renders registry names
+
+    def test_store_round_trip_serves_cache(self, capsys, tmp_path):
+        store = f"dir:{tmp_path}"
+        args = [
+            "exp", "run",
+            "--scenario", "medianjob-track-60",
+            "--backend", "serial",
+            "--store", store,
+            *TINY_NAMED,
+        ]
+        code, first = run_cli(capsys, *args)
+        assert code == 0 and "(cache)" not in first
+        code, second = run_cli(capsys, *args)
+        assert code == 0 and "(cache)" in second
+
+    def test_unknown_scenario_lists_library(self, capsys):
+        with pytest.raises(SystemExit, match="fig6-24h-mix-40"):
+            main(["exp", "run", "--scenario", "nope"])
+
+    def test_unknown_policy_in_grid_lists_registry(self, capsys):
+        with pytest.raises(SystemExit, match="ADAPTIVE"):
+            main(["exp", "run", "--grid", "policy=TURBO"])
+
+
+class TestPolicyErrors:
+    def test_replay_unknown_policy_lists_registry(self, capsys):
+        with pytest.raises(SystemExit, match="unknown policy 'TURBO'"):
+            main(["replay", "--policy", "TURBO"])
+
+    def test_model_unknown_policy_lists_registry(self, capsys):
+        with pytest.raises(SystemExit, match="ADAPTIVE"):
+            main(["model", "--policy", "TURBO", "--cap", "0.6"])
+
+    def test_model_accepts_registry_policies(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "model", "--policy", "ADAPTIVE", "--cap", "0.6", "--scale", "0.017857",
+        )
+        assert code == 0
+        assert "model case" in out
+
+
+class TestStorePrune:
+    def _fill(self, capsys, tmp_path, names):
+        for name in names:
+            code, _ = run_cli(
+                capsys,
+                "exp", "run", "--scenario", name,
+                "--backend", "serial", "--cache-dir", str(tmp_path),
+                *TINY_NAMED,
+            )
+            assert code == 0
+
+    def test_prune_evicts_oldest_beyond_cap(self, capsys, tmp_path):
+        self._fill(
+            capsys, tmp_path, ["medianjob-adaptive-60", "medianjob-track-60"]
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        code, out = run_cli(
+            capsys,
+            "exp", "store", "prune",
+            "--cache-dir", str(tmp_path),
+            "--max-entries", "1",
+            "--verbose",
+        )
+        assert code == 0
+        assert "pruned 1 entry" in out
+        assert "evicted" in out
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_prune_noop_under_cap(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "exp", "store", "prune",
+            "--store", f"dir:{tmp_path}",
+            "--max-entries", "5",
+        )
+        assert code == 0
+        assert "pruned 0 entries" in out
+
+    def test_prune_requires_exactly_one_store(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["exp", "store", "prune", "--max-entries", "1"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main([
+                "exp", "store", "prune", "--max-entries", "1",
+                "--store", f"dir:{tmp_path}", "--cache-dir", str(tmp_path),
+            ])
