@@ -8,7 +8,8 @@ backends (serial vs process pool vs the sharded-store merge pass), so
 regressions in the substrate are caught.  CI runs this module with
 ``--benchmark-json`` and ``benchmarks/check_perf_regression.py``
 compares the means against the committed baselines (``BENCH_pr2.json``
-for the engine cases, ``BENCH_pr4.json`` for the backend cases; >2x
+for the engine cases, ``BENCH_pr4.json`` for the backend cases,
+``BENCH_pr6.json`` for the batched-lockstep cap-sweep cases; >2x
 regression fails the job).
 """
 
@@ -305,6 +306,59 @@ def test_perf_backend_pool(benchmark):
 
     results = benchmark.pedantic(sweep, rounds=2, iterations=1)
     assert len(results) == len(scenarios)
+
+
+# -- batched lockstep replay ---------------------------------------------------------
+#
+# The shape the batch engine exists for: one workload, one platform,
+# twelve cap fractions — a powercap sweep column.  The serial case is
+# the floor (twelve independent replays); the batch case replays the
+# same twelve cells in lockstep, sharing the pre-window prefix via a
+# checkpointed warm start.  BENCH_pr6.json records the trajectory.
+
+
+def _cap_sweep_cells():
+    from repro.exp import CapWindow, Scenario
+
+    base = Scenario(
+        name="bench-batch",
+        interval="medianjob",
+        policy="IDLE",
+        scale=1 / 56,
+        duration=7200.0,
+        seed=5,
+    )
+    fracs = [0.30 + 0.05 * i for i in range(12)]
+    return [
+        base.with_(name=f"bench-batch-{f:.2f}", caps=(CapWindow(5760.0, 6720.0, f),))
+        for f in fracs
+    ]
+
+
+def test_perf_cap_sweep_serial(benchmark):
+    from repro.exp import GridRunner, SerialBackend
+
+    cells = _cap_sweep_cells()
+
+    def sweep():
+        with GridRunner(backend=SerialBackend()) as runner:
+            return runner.run(cells)
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(results) == len(cells)
+
+
+def test_perf_cap_sweep_batch(benchmark):
+    from repro.exp import GridRunner, make_backend
+
+    cells = _cap_sweep_cells()
+
+    def sweep():
+        with GridRunner(backend=make_backend("batch")) as runner:
+            return runner.run(cells)
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(results) == len(cells)
 
 
 def test_perf_backend_sharded_merge(benchmark, tmp_path):

@@ -13,7 +13,8 @@ Subcommands:
   * ``exp platforms``/``exp policies`` — the platform and policy
     registries;
   * ``exp run``      — run named scenarios and/or a parameter grid
-    through a pluggable execution backend (``--backend serial|pool``,
+    through a pluggable execution backend (``--backend
+    serial|pool|batch``,
     ``--shard k/n`` for one deterministic slice of a split sweep) and
     result store (``--store memory|dir:PATH|shared:PATH``);
   * ``exp compare``  — metric-by-metric diff of two scenarios;
@@ -216,9 +217,11 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     """Execution-backend and result-store options of ``exp run/compare``."""
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = serial)")
-    p.add_argument("--backend", default=None, choices=["serial", "pool"],
+    p.add_argument("--backend", default=None,
+                   choices=["serial", "pool", "batch"],
                    help="execution backend (default: pool when --workers > 1, "
-                        "serial otherwise)")
+                        "serial otherwise; batch replays same-platform "
+                        "scenarios in lockstep)")
     p.add_argument("--shard", default=None, metavar="K/N",
                    help="run only the deterministic shard K of N of the "
                         "scenario set (1-based, e.g. 2/3); independent jobs "

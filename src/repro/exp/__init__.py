@@ -7,7 +7,8 @@ The subsystem behind ``repro exp run/list/compare``:
   selection (:mod:`repro.exp.spec`);
 * :class:`ExecutionBackend` — where scenarios execute: in-process
   (:class:`SerialBackend`), a ``multiprocessing`` pool
-  (:class:`ProcessPoolBackend`), or one shard of a split sweep
+  (:class:`ProcessPoolBackend`), same-platform scenarios replayed in
+  lockstep (:class:`BatchBackend`), or one shard of a split sweep
   (:class:`ShardedBackend`) (:mod:`repro.exp.backends`);
 * :class:`ResultStore` — where results persist: an in-memory memo
   (:class:`MemoryStore`), a local JSON/``.npz`` directory
@@ -32,6 +33,7 @@ from repro.exp.spec import (
     shard_scenarios,
 )
 from repro.exp.backends import (
+    BatchBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -81,6 +83,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "BatchBackend",
     "ShardedBackend",
     "make_backend",
     "ResultStore",

@@ -30,7 +30,8 @@ import multiprocessing
 import weakref
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.exp.spec import parse_shard, shard_index
+from repro.exp.spec import Scenario, parse_shard, shard_index
+from repro.exp.store import DEFAULT_SERIES_DT
 
 
 class ExecutionBackend:
@@ -187,6 +188,119 @@ class ProcessPoolBackend(ExecutionBackend):
             yield from pool.imap(fn, items, chunksize=1)
 
 
+class BatchBackend(ExecutionBackend):
+    """Vectorised lockstep execution of same-platform scenario groups.
+
+    Scenarios that differ only in their cap windows — the shape of a
+    powercap sweep — share one machine, one workload and one policy;
+    this backend groups them by their cap-free content (scenario hash
+    with ``caps`` stripped, plus the registered platform's content
+    hash) and replays each multi-cell group through
+    :func:`repro.sim.batch.run_replay_batch`: one process, one
+    scenario-major node-state matrix, a shared event horizon, and a
+    checkpointed warm-start of the pre-window prefix where the
+    divergence analysis allows it.  Singleton groups take the ordinary
+    serial path.  Results are bit-identical to any other backend —
+    the golden digests pin this.
+    """
+
+    name = "batch"
+    #: GridRunner seam: hand this backend the scenario list itself
+    #: (:meth:`run_scenarios`) instead of an opaque work function
+    wants_scenarios = True
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Opaque work functions cannot be batched: run them serially."""
+        return (fn(item) for item in items)
+
+    @staticmethod
+    def group_key(scenario: "Scenario") -> tuple[str, str]:
+        """Batching key: everything but the caps, platform by content."""
+        from repro.platform import get_platform
+
+        return (
+            scenario.with_(caps=()).scenario_hash(),
+            get_platform(scenario.platform).content_hash(),
+        )
+
+    def run_scenarios(
+        self,
+        scenarios: Sequence["Scenario"],
+        *,
+        series: bool = False,
+        grid_dt: float = DEFAULT_SERIES_DT,
+    ) -> list[Any]:
+        """Execute ``scenarios`` (already deduped by the runner) and
+        return items in input order, shaped exactly like
+        :func:`repro.exp.runner._run_task` output: a ``RunResult``,
+        or a ``(RunResult, grid)`` pair when ``series`` is set."""
+        import time
+
+        from repro.exp.runner import (
+            _condense,
+            _jobs_for,
+            _machine_for,
+            run_scenario,
+            run_scenario_with_series,
+        )
+        from repro.platform import get_platform
+        from repro.sim.batch import run_replay_batch
+
+        scenarios = list(scenarios)
+        groups: dict[tuple[str, str], list[int]] = {}
+        for i, sc in enumerate(scenarios):
+            groups.setdefault(self.group_key(sc), []).append(i)
+
+        out: list[Any] = [None] * len(scenarios)
+        for (_, platform_hash), idxs in groups.items():
+            if len(idxs) == 1:
+                sc = scenarios[idxs[0]]
+                out[idxs[0]] = (
+                    run_scenario_with_series(sc, grid_dt=grid_dt)
+                    if series
+                    else run_scenario(sc)
+                )
+                continue
+            t0 = time.perf_counter()
+            base = scenarios[idxs[0]]
+            platform = get_platform(base.platform)
+            machine = _machine_for(base.platform, platform_hash, base.scale)
+            jobs = _jobs_for(
+                base.platform,
+                platform_hash,
+                base.interval,
+                base.effective_seed,
+                base.effective_duration,
+                base.overload,
+                base.scale,
+            )
+            replays = run_replay_batch(
+                machine,
+                jobs,
+                base.build_policy(machine),
+                duration=base.effective_duration,
+                caps_per_cell=[scenarios[i].build_caps(machine) for i in idxs],
+                config=base.build_config(),
+                platform=platform,
+            )
+            # Each cell's wall clock reports its share of the batch, so
+            # aggregate wall sums stay comparable across backends.
+            t_end = time.perf_counter()
+            share_t0 = t_end - (t_end - t0) / len(idxs)
+            for i, replay in zip(idxs, replays):
+                result = _condense(scenarios[i], replay, share_t0)
+                if series:
+                    grid = dict(
+                        replay.recorder.to_grid(0.0, replay.duration, grid_dt)
+                    )
+                    out[i] = (result, grid)
+                else:
+                    out[i] = result
+        return out
+
+
 class ShardedBackend(ExecutionBackend):
     """A deterministic ``index/count`` slice of the grid.
 
@@ -218,6 +332,14 @@ class ShardedBackend(ExecutionBackend):
     def owns(self, scenario_hash: str) -> bool:
         return shard_index(scenario_hash, self.count) == self.index
 
+    @property
+    def wants_scenarios(self) -> bool:
+        """Forward the batch seam when the inner backend offers it."""
+        return bool(getattr(self.inner, "wants_scenarios", False))
+
+    def run_scenarios(self, scenarios: Sequence["Scenario"], **kwargs: Any):
+        return self.inner.run_scenarios(scenarios, **kwargs)
+
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> Iterator[Any]:
@@ -228,7 +350,7 @@ class ShardedBackend(ExecutionBackend):
 
 
 #: CLI names of the full backends
-BACKEND_NAMES = ("serial", "pool")
+BACKEND_NAMES = ("serial", "pool", "batch")
 
 
 def make_backend(
@@ -241,9 +363,9 @@ def make_backend(
 ) -> ExecutionBackend:
     """Build a backend from CLI-style arguments.
 
-    ``name`` is ``serial`` or ``pool`` (``None`` picks ``pool`` when
-    ``workers > 1``, ``serial`` otherwise).  ``shard`` — ``"k/n"`` or a
-    ``(index, count)`` pair — wraps the result in a
+    ``name`` is ``serial``, ``pool`` or ``batch`` (``None`` picks
+    ``pool`` when ``workers > 1``, ``serial`` otherwise).  ``shard`` —
+    ``"k/n"`` or a ``(index, count)`` pair — wraps the result in a
     :class:`ShardedBackend` owning that slice.
     """
     n_workers = int(workers) if workers is not None else 1
@@ -255,6 +377,8 @@ def make_backend(
         base = ProcessPoolBackend(
             n_workers, mp_context=mp_context, persistent=persistent
         )
+    elif name == "batch":
+        base = BatchBackend()
     else:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"

@@ -606,13 +606,22 @@ class GridRunner:
                         progress(slot_result)
 
         want_series = self._want_series
-        task: Callable[[Scenario], Any] = partial(
-            _run_task,
-            platforms=_platform_payload(to_run),
-            series=want_series,
-            grid_dt=self.store.series_dt if want_series else self.series_dt,
-        )
-        collect(self.backend.map(task, to_run))
+        grid_dt = self.store.series_dt if want_series else self.series_dt
+        if getattr(self.backend, "wants_scenarios", False):
+            # Scenario-aware backends (batch) group and execute the
+            # specs themselves; items come back shaped like _run_task's.
+            fresh: Iterable[Any] = self.backend.run_scenarios(
+                to_run, series=want_series, grid_dt=grid_dt
+            )
+        else:
+            task: Callable[[Scenario], Any] = partial(
+                _run_task,
+                platforms=_platform_payload(to_run),
+                series=want_series,
+                grid_dt=grid_dt,
+            )
+            fresh = self.backend.map(task, to_run)
+        collect(fresh)
 
         out = [r for r in results if r is not None]
         expected = n_hits + sum(len(slots) for slots in slot_of.values())

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import socket
 import warnings
 from itertools import count
@@ -48,6 +49,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: default grid step of the ``.npz`` series payload (seconds)
 DEFAULT_SERIES_DT = 300.0
+
+#: shape of a :func:`result_key`: ``<scenario16>-<platform8>-<policy8>``
+_KEY_RE = re.compile(r"[0-9a-f]{16}-[0-9a-f]{8}-[0-9a-f]{8}")
 
 
 def result_key(scenario: "Scenario") -> str:
@@ -285,10 +289,12 @@ class DirectoryStore(ResultStore):
     def keys(self) -> list[str]:
         if not self.root.is_dir():
             return []
-        # A writer killed mid-put leaves a "<key>.tmp.<...>.json"; that
-        # is litter, not a stored key.
+        # Only well-formed result keys count: temp litter from a killed
+        # writer ("<key>.tmp.<...>.json") and stray JSON dropped into
+        # the store tree are not stored keys — reporting them would
+        # poison prune() ordering and merge checks.
         return sorted(
-            p.stem for p in self.root.rglob("*.json") if ".tmp." not in p.name
+            p.stem for p in self.root.rglob("*.json") if _KEY_RE.fullmatch(p.stem)
         )
 
     def prune(self, max_entries: int) -> list[str]:
@@ -313,8 +319,16 @@ class DirectoryStore(ResultStore):
                     path.unlink()
                 except FileNotFoundError:
                     pass
+            self._evicted(key)
             removed.append(key)
         return removed
+
+    def _evicted(self, key: str) -> None:
+        """Hook run after ``key``'s files are unlinked by :meth:`prune`.
+
+        Subclasses with extra on-disk structure per key (fan-out
+        directories) clean it up here.
+        """
 
 
 class SharedDirectoryStore(DirectoryStore):
@@ -365,6 +379,16 @@ class SharedDirectoryStore(DirectoryStore):
         finally:
             os.close(fd)
         os.replace(tmp, path)
+
+    def _evicted(self, key: str) -> None:
+        # Drop the ``<key[:2]>/`` fan-out directory once its last entry
+        # is gone.  rmdir refuses non-empty directories, and a
+        # concurrent pruner may have removed it first (or be writing a
+        # new entry into it) — either way OSError means "leave it".
+        try:
+            (self.root / key[:2]).rmdir()
+        except OSError:
+            pass
 
 
 def make_store(

@@ -1,0 +1,459 @@
+"""Batched lockstep replay: N same-platform replays in one process.
+
+Grid cells of a powercap sweep differ only in their cap windows; the
+workload, the machine, the policy and the scheduler configuration are
+shared.  This module replays N such cells together:
+
+* **Array facade** — every cell's :class:`~repro.cluster.power.
+  PowerAccountant` state is re-homed into one scenario-major
+  structure-of-arrays (:class:`BatchNodeArrays`), mirroring the
+  columnar metrics recorder: per-scenario rows, per-node columns.
+  Each accountant keeps operating on its own row *view*, so all its
+  vectorised transitions work unchanged, while whole-batch readouts
+  (node states, power accounting) are single NumPy reductions.
+
+* **Shared event horizon** — the cells advance in lockstep between
+  the union of their reservation-window boundaries, one
+  ``engine.run(until=boundary)`` slice per cell per chunk.  Chunked
+  advancement is observationally identical to one continuous run: the
+  engine clock never moves past the last processed event of a drained
+  queue (see :meth:`SimEngine.run`), so slicing introduces no
+  spurious clock motion.
+
+* **Checkpointed warm-starts** — before the earliest instant at which
+  any cell's cap set can influence its replay, all cells are
+  provably byte-identical.  One donor cell replays that shared prefix
+  once (:meth:`SimEngine.run_before` keeps events *at* the fork time
+  pending), then every sibling is forked from a structured checkpoint
+  of the donor's engine/controller/recorder state.  Divergence onset
+  is computed conservatively per cell (see :func:`_divergence_onset`);
+  whenever the bound is not strictly positive, the batch falls back to
+  plain lockstep from time zero — correctness never depends on the
+  warm start, only the speedup does.
+
+Bit-identity is the contract: a batched cell produces the same trace
+digest as :func:`repro.sim.replay.run_replay` on the same scenario.
+Event-queue tie order survives the fork because the (time, kind, seq)
+ordering only consults ``seq`` *within* a kind, and kinds partition
+the event sources: the fork reconstructs submissions in workload
+order, job completions in donor creation order, and at most one
+scheduling pass — exactly the relative orders a solo replay produces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.power import PowerAccountant
+from repro.core.online import FrequencySelector
+from repro.core.policies import Policy, make_policy
+from repro.rjms.config import SchedulerConfig
+from repro.rjms.controller import Controller
+from repro.rjms.job import Job
+from repro.rjms.reservations import PowercapReservation
+from repro.sim.engine import EventKind, SimEngine
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.replay import ReplayResult
+from repro.workload.spec import JobSpec
+
+__all__ = ["BatchNodeArrays", "run_replay_batch"]
+
+#: event kinds a donor may have pending at a checkpoint; anything else
+#: (in-flight node transitions, foreign timers) vetoes the warm start
+_FORKABLE_KINDS = frozenset(
+    {
+        EventKind.POWERCAP_BEGIN,
+        EventKind.POWERCAP_END,
+        EventKind.JOB_END,
+        EventKind.JOB_SUBMIT,
+        EventKind.SCHED_PASS,
+    }
+)
+
+
+class BatchNodeArrays:
+    """Scenario-major structure-of-arrays over N power accountants.
+
+    Row ``i`` holds cell ``i``'s node-state, frequency and power
+    vectors; adopting an accountant repoints its attributes at the
+    row's views, so every incremental transition it performs lands in
+    the shared matrices while the accountant's own code is untouched
+    (row slices of a C-contiguous matrix are themselves contiguous,
+    so fancy indexing and ``np.add.at`` work identically on them).
+
+    The running-job tables and the metrics series stay per-cell — the
+    pending queue and the recorder are already columnar SoA — and the
+    facade unifies the remaining hot state: node state, DVFS indices,
+    per-node watts, enclosure darkness counters and the busy/state
+    histograms that power accounting reads.
+    """
+
+    def __init__(self, accountants: Sequence[PowerAccountant]) -> None:
+        if not accountants:
+            raise ValueError("need at least one accountant")
+        base = accountants[0]
+        n_nodes = base.topology.n_nodes
+        for acct in accountants:
+            if (
+                acct.topology.n_nodes != n_nodes
+                or acct.topology.n_chassis != base.topology.n_chassis
+                or acct.topology.racks != base.topology.racks
+                or len(acct.freq_table) != len(base.freq_table)
+            ):
+                raise ValueError("accountants must share one platform shape")
+        n = len(accountants)
+        self.n_cells = n
+        self.n_nodes = n_nodes
+        self.state = np.empty((n, n_nodes), dtype=np.int8)
+        self.freq_index = np.empty((n, n_nodes), dtype=np.int16)
+        self.node_watts = np.empty((n, n_nodes), dtype=np.float64)
+        self.off_per_chassis = np.empty(
+            (n, base.topology.n_chassis), dtype=np.int32
+        )
+        self.dark_per_rack = np.empty((n, base.topology.racks), dtype=np.int32)
+        self.busy_count_by_freq = np.empty(
+            (n, len(base.freq_table)), dtype=np.int64
+        )
+        self.count_by_state = np.empty(
+            (n, len(base.count_by_state)), dtype=np.int64
+        )
+        for row, acct in enumerate(accountants):
+            self._adopt(row, acct)
+        self._accountants = tuple(accountants)
+
+    def _adopt(self, row: int, acct: PowerAccountant) -> None:
+        """Copy ``acct``'s vectors into row ``row`` and re-home its
+        attributes onto the row views."""
+        self.state[row] = acct.state
+        acct.state = self.state[row]
+        self.freq_index[row] = acct.freq_index
+        acct.freq_index = self.freq_index[row]
+        self.node_watts[row] = acct._node_watts
+        acct._node_watts = self.node_watts[row]
+        self.off_per_chassis[row] = acct._off_per_chassis
+        acct._off_per_chassis = self.off_per_chassis[row]
+        self.dark_per_rack[row] = acct._dark_per_rack
+        acct._dark_per_rack = self.dark_per_rack[row]
+        self.busy_count_by_freq[row] = acct.busy_count_by_freq
+        acct.busy_count_by_freq = self.busy_count_by_freq[row]
+        self.count_by_state[row] = acct.count_by_state
+        acct.count_by_state = self.count_by_state[row]
+
+    # -- whole-batch readouts ----------------------------------------------------------
+
+    def total_node_watts(self) -> np.ndarray:
+        """Per-cell sum of node watts (one reduction over the batch)."""
+        return self.node_watts.sum(axis=1)
+
+    def total_power(self) -> np.ndarray:
+        """Per-cell instantaneous cluster power (incl. infrastructure)."""
+        return np.array([a.total_power() for a in self._accountants])
+
+    def busy_nodes(self) -> np.ndarray:
+        """Per-cell count of BUSY nodes."""
+        return self.busy_count_by_freq.sum(axis=1)
+
+    def verify(self) -> None:
+        """Cross-check every adopted accountant against its row."""
+        for row, acct in enumerate(self._accountants):
+            assert acct.state.base is self.state, "row view detached"
+            acct.verify()
+
+
+@dataclass
+class _Cell:
+    """One replay of the batch."""
+
+    engine: SimEngine
+    recorder: MetricsRecorder
+    controller: Controller
+
+
+def _fork_slack(policy: Policy, controller: Controller, specs: Sequence[JobSpec]) -> float:
+    """Seconds before a cap window during which frequency decisions may
+    already differ between cells.
+
+    A plain single-step selector without the strict-future or
+    cluster-rule ablations decides identically whether or not a future
+    window is in view (the only step either fits or is taken via the
+    soft fallback, and the ``soft`` flag is never consumed), so its
+    slack is zero.  Any other selector is bounded conservatively by
+    the longest stretched walltime in the workload: a decision at
+    ``t`` can only see windows starting before ``t + walltime * deg``.
+    """
+    selector = controller.freq_selector
+    cfg = controller.config
+    if (
+        type(selector) is FrequencySelector
+        and len(policy.frequency_indices_desc()) == 1
+        and not cfg.strict_future_caps
+        and not cfg.cluster_frequency_rule
+    ):
+        return 0.0
+    max_walltime = max((s.walltime for s in specs), default=0.0)
+    max_deg = max(
+        policy.degradation(policy.freq_table.steps[i].ghz)
+        for i in policy.frequency_indices_desc()
+    )
+    return max_walltime * max_deg
+
+
+def _divergence_onset(cell: _Cell, slack: float) -> float:
+    """Earliest instant at which this cell's reservations can alter its
+    replay relative to the cap-free baseline.
+
+    Strictly before the returned time the cell's behaviour is provably
+    independent of its cap set: active-cap effects start at each
+    window's ``start``, pre-window frequency steering at ``start -
+    slack``, and shutdown reservations protect their nodes from one
+    drain horizon ahead of the window (``-inf`` for the default
+    infinite horizon — such cells never warm-start).
+    """
+    ctl = cell.controller
+    if not ctl.policy.enforces_caps:
+        return math.inf
+    onset = math.inf
+    for cap in ctl.registry.powercaps:
+        onset = min(onset, cap.start - slack)
+    horizon = ctl.config.reservation_drain_horizon
+    for sd in ctl.registry.shutdowns:
+        if math.isinf(horizon):
+            return -math.inf
+        onset = min(onset, sd.start - horizon)
+    return onset
+
+
+def _checkpoint_safe(donor: _Cell) -> bool:
+    """Whether the donor's post-prefix state is fork-reconstructible."""
+    eng = donor.engine
+    if eng._n_cancelled:
+        return False
+    if any(ev.kind not in _FORKABLE_KINDS for ev in eng._queue):
+        return False
+    if donor.controller._shutdown_wanted.any():
+        return False
+    return True
+
+
+def _copy_job(job: Job) -> Job:
+    clone = Job(spec=job.spec, n_nodes=job.n_nodes)
+    clone.state = job.state
+    clone.nodes = None if job.nodes is None else job.nodes.copy()
+    clone.freq_index = job.freq_index
+    clone.freq_ghz = job.freq_ghz
+    clone.degradation = job.degradation
+    clone.start_time = job.start_time
+    clone.end_time = job.end_time
+    return clone
+
+
+def _fork_into(
+    donor: _Cell, sib: _Cell, specs: Sequence[JobSpec], fork_t: float
+) -> None:
+    """Install the donor's checkpoint into a freshly constructed
+    sibling cell.
+
+    The sibling keeps its own construction-time reservation events
+    (they all lie at or beyond ``fork_t``); the fork reconstructs the
+    dynamic state on top: job tables, node/power state, metrics
+    prefix, pending completions, the pending scheduling pass and the
+    not-yet-replayed submissions.
+    """
+    dctl, sctl = donor.controller, sib.controller
+
+    # -- job objects (shared per-fork copy map: running/jobs/queue alias) ----
+    jobmap = {jid: _copy_job(j) for jid, j in dctl.jobs.items()}
+    sctl.jobs = {jid: jobmap[jid] for jid in dctl.jobs}
+    sctl.running = {jid: jobmap[jid] for jid in dctl.running}
+    sctl.rejected = list(dctl.rejected)
+
+    # -- pending queue: re-add in donor row order reproduces the exact
+    #    swap-remove layout (and therefore every later ordering)
+    dq = dctl.queue
+    for row in range(dq._n):
+        sctl.queue.add(jobmap[int(dq._ids[row])])
+
+    # -- fair-share decay chain ---------------------------------------------
+    np.copyto(sctl.fairshare._usage, dctl.fairshare._usage)
+    sctl.fairshare._last_decay = dctl.fairshare._last_decay
+
+    # -- power accounting (row views stay adopted; copy in place) ------------
+    da, sa = dctl.accountant, sctl.accountant
+    np.copyto(sa.state, da.state)
+    np.copyto(sa.freq_index, da.freq_index)
+    np.copyto(sa._node_watts, da._node_watts)
+    np.copyto(sa._off_per_chassis, da._off_per_chassis)
+    np.copyto(sa._dark_per_rack, da._dark_per_rack)
+    np.copyto(sa.busy_count_by_freq, da.busy_count_by_freq)
+    np.copyto(sa.count_by_state, da.count_by_state)
+    sa._node_watts_sum = da._node_watts_sum
+    sa._n_dark_chassis = da._n_dark_chassis
+    sa._n_dark_racks = da._n_dark_racks
+    sa.version = da.version
+
+    # -- controller scalars and caches --------------------------------------
+    np.copyto(sctl._cores_by_freq, dctl._cores_by_freq)
+    sctl._last_pass = dctl._last_pass
+    sctl._running_version = dctl._running_version
+    sctl._free_version = -1
+    sctl._mask_key = None
+    sctl._snapshot_version = -1
+
+    # -- metrics prefix ------------------------------------------------------
+    dr, sr = donor.recorder, sib.recorder
+    sr._t = dr._t.copy()
+    sr._cbf = dr._cbf.copy()
+    sr._scal = dr._scal.copy()
+    sr._n = dr._n
+    sr.jobs = {jid: _dc_replace(rec) for jid, rec in dr.jobs.items()}
+    sr._launch_times = list(dr._launch_times)
+    sr._launch_sorted = dr._launch_sorted
+    sr._completion_times = list(dr._completion_times)
+    sr._completion_sorted = dr._completion_sorted
+
+    # -- pending events ------------------------------------------------------
+    # Completions in donor creation order (seq order within JOB_END),
+    # so same-instant completions replay in the donor's tie order.
+    for jid, ev in sorted(dctl._end_events.items(), key=lambda kv: kv[1].seq):
+        sctl._end_events[jid] = sib.engine.at(
+            ev.time,
+            lambda j=jobmap[jid]: sctl._on_job_end(j),
+            kind=EventKind.JOB_END,
+        )
+    if dctl._pass_pending:
+        pass_time = next(
+            ev.time
+            for ev in donor.engine._queue
+            if ev.kind == EventKind.SCHED_PASS and not ev.cancelled
+        )
+        sib.engine.at(pass_time, sctl._sched_pass, kind=EventKind.SCHED_PASS)
+        sctl._pass_pending = True
+    # Submissions the prefix did not reach, in workload order.
+    for spec in specs:
+        if spec.submit_time >= fork_t:
+            sib.engine.at(
+                spec.submit_time,
+                lambda s=spec: sctl.submit(s),
+                kind=EventKind.JOB_SUBMIT,
+            )
+
+    # -- clock last: every event above lies at or beyond fork_t --------------
+    sib.engine._now = donor.engine._now
+    sib.engine._processed = donor.engine._processed
+
+
+def _schedule_submissions(cell: _Cell, specs: Sequence[JobSpec]) -> None:
+    for spec in specs:
+        cell.engine.at(
+            spec.submit_time,
+            lambda s=spec: cell.controller.submit(s),
+            kind=EventKind.JOB_SUBMIT,
+        )
+
+
+def run_replay_batch(
+    machine: Machine,
+    jobs: Sequence[JobSpec],
+    policy: Policy | str,
+    *,
+    duration: float,
+    caps_per_cell: Sequence[Sequence[PowercapReservation]],
+    config: SchedulerConfig | None = None,
+    platform=None,
+) -> list[ReplayResult]:
+    """Replay one workload under N cap sets in a single lockstep batch.
+
+    Equivalent to N calls of :func:`repro.sim.replay.run_replay` with
+    identical ``machine``/``jobs``/``policy``/``config`` and the i-th
+    cap list — bit for bit, including the trace digest — but sharing
+    one process, one scenario-major node-state matrix, and (when the
+    divergence analysis allows) one replayed pre-window prefix.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not caps_per_cell:
+        raise ValueError("need at least one cell")
+    if isinstance(policy, str):
+        policy = (
+            platform.make_policy(policy, machine.freq_table)
+            if platform is not None
+            else make_policy(policy, machine.freq_table)
+        )
+    specs = [s for s in jobs if s.submit_time <= duration]
+
+    cells: list[_Cell] = []
+    for caps in caps_per_cell:
+        engine = SimEngine()
+        recorder = MetricsRecorder(machine.freq_table.frequencies)
+        controller = Controller(
+            machine,
+            policy,
+            engine,
+            config=config,
+            powercaps=list(caps),
+            recorder=recorder,
+            platform=platform,
+        )
+        cells.append(_Cell(engine, recorder, controller))
+
+    batch = BatchNodeArrays([c.controller.accountant for c in cells])
+
+    slack = _fork_slack(policy, cells[0].controller, specs)
+    fork_t = min(
+        min(_divergence_onset(c, slack) for c in cells), duration
+    )
+
+    if len(cells) > 1 and fork_t > 0:
+        donor = cells[0]
+        _schedule_submissions(donor, specs)
+        donor.engine.run_before(fork_t)
+        if _checkpoint_safe(donor):
+            for sib in cells[1:]:
+                _fork_into(donor, sib, specs, fork_t)
+        else:  # pragma: no cover - insurance against future event kinds
+            for sib in cells[1:]:
+                _schedule_submissions(sib, specs)
+            fork_t = 0.0
+    else:
+        fork_t = 0.0
+        for cell in cells:
+            _schedule_submissions(cell, specs)
+
+    # Lockstep: advance every cell to each shared window boundary, then
+    # to the end of the replay.  A cell already past a boundary (the
+    # donor after a vetoed fork) treats the slice as a no-op.
+    edges = sorted(
+        {
+            b
+            for cell in cells
+            for b in cell.controller.registry.boundaries()
+            if fork_t < b < duration
+        }
+    )
+    for horizon in edges:
+        for cell in cells:
+            cell.engine.run(until=horizon)
+    for cell in cells:
+        cell.engine.run(until=duration)
+
+    batch.verify()
+
+    results = []
+    for cell in cells:
+        cell.recorder.finalize(duration)
+        results.append(
+            ReplayResult(
+                machine=machine,
+                policy=cell.controller.policy,
+                duration=duration,
+                recorder=cell.recorder,
+                controller=cell.controller,
+                n_submitted=len(specs),
+            )
+        )
+    return results

@@ -158,12 +158,30 @@ class SimEngine:
             return ev
         return None
 
+    @property
+    def next_event_time(self) -> float | None:
+        """Time of the next live event, or None when drained.
+
+        Cancelled heap heads are discarded on the way, so repeated
+        peeks stay O(1) amortised.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if not head.cancelled:
+                return head.time
+            heapq.heappop(self._queue)
+            head.engine = None
+            self._n_cancelled -= 1
+        return None
+
     def run(self, until: float = math.inf) -> float:
         """Process events up to and including time ``until``.
 
         Returns the virtual time afterwards: ``until`` if the horizon
-        was reached with events remaining, otherwise the time of the
-        last processed event.
+        was reached with live events still pending beyond it,
+        otherwise the time of the last processed event — the clock
+        never advances past the final event of a drained queue,
+        whatever the horizon.
         """
         while self._queue:
             head = self._queue[0]
@@ -180,8 +198,32 @@ class SimEngine:
             self._now = ev.time
             self._processed += 1
             ev.callback()
-        if math.isfinite(until):
-            self._now = max(self._now, until)
+        return self._now
+
+    def run_before(self, horizon: float) -> float:
+        """Process events with time *strictly below* ``horizon``.
+
+        The half-open complement of :meth:`run`: afterwards every
+        pending event satisfies ``time >= horizon``, and the clock
+        stays at the last processed event (it is never clamped up to
+        the horizon).  This is the primitive batched replays fork on —
+        a checkpoint at ``horizon`` must leave the events *at* the
+        horizon unprocessed so every fork replays them itself.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                head.engine = None
+                self._n_cancelled -= 1
+                continue
+            if head.time >= horizon:
+                break
+            ev = heapq.heappop(self._queue)
+            ev.engine = None
+            self._now = ev.time
+            self._processed += 1
+            ev.callback()
         return self._now
 
     def step(self) -> bool:

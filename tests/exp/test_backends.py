@@ -3,14 +3,17 @@
 The contract under test is the paper's own methodology: *which*
 backend executed a scenario can never change the result.  The
 cross-backend equivalence suite drives the full 16-scenario library
-(12 Curie + 4 platform scenarios) through serial, process-pool and
-sharded backends and holds every one to the pinned golden digests.
+(12 Curie + 4 platform scenarios) through serial, process-pool,
+batched-lockstep and sharded backends and holds every one to the
+pinned golden digests.
 """
 
 import pytest
 
 from repro.analysis.report import merge_cells
 from repro.exp import (
+    BatchBackend,
+    CapWindow,
     DirectoryStore,
     GridRunner,
     MemoryStore,
@@ -197,6 +200,81 @@ class TestShardedRuns:
             assert runner.run([TINY, twin]) == []
 
 
+class TestBatchBackend:
+    def _cap_sweep(self, policy="MIX", fracs=(0.4, 0.5, 0.6)):
+        base = TINY.with_(policy=policy, duration=2 * HOUR)
+        return [
+            base.with_(name=f"cap{f}", caps=(CapWindow(1800.0, 5400.0, f),))
+            for f in fracs
+        ]
+
+    def test_make_backend_and_shard_wrapping(self):
+        assert isinstance(make_backend("batch"), BatchBackend)
+        assert BatchBackend().wants_scenarios
+        sharded = make_backend("batch", shard="1/2")
+        assert isinstance(sharded, ShardedBackend)
+        assert sharded.wants_scenarios  # forwarded from the inner batch
+        assert not make_backend("serial", shard="1/2").wants_scenarios
+
+    def test_group_key_ignores_caps_and_labels(self):
+        sweep = self._cap_sweep()
+        keys = {BatchBackend.group_key(sc) for sc in sweep}
+        assert len(keys) == 1  # one lockstep group
+        assert BatchBackend.group_key(TINY.with_(name="x")) == (
+            BatchBackend.group_key(TINY)
+        )
+        assert BatchBackend.group_key(TINY.with_(seed=9)) != (
+            BatchBackend.group_key(TINY)
+        )
+
+    def test_cap_sweep_matches_serial(self):
+        sweep = self._cap_sweep()
+        with GridRunner(backend=make_backend("batch")) as runner:
+            batched = runner.run(sweep)
+        serial = GridRunner().run(sweep)
+        assert [r.trace_digest for r in batched] == [
+            r.trace_digest for r in serial
+        ]
+        assert [r.scenario.name for r in batched] == [sc.name for sc in sweep]
+
+    def test_mixed_groups_and_singletons(self):
+        # Two cap cells of one scenario plus an unrelated singleton:
+        # the backend must group the former and solo-run the latter,
+        # returning everything in input order.
+        sweep = self._cap_sweep(fracs=(0.4, 0.6))
+        lone = TINY.with_(name="lone", seed=7)
+        mixed = [sweep[0], lone, sweep[1]]
+        with GridRunner(backend=make_backend("batch")) as runner:
+            batched = runner.run(mixed)
+        serial = GridRunner().run(mixed)
+        assert [r.trace_digest for r in batched] == [
+            r.trace_digest for r in serial
+        ]
+
+    def test_series_payloads_match_serial(self, tmp_path):
+        import numpy as np
+
+        sweep = self._cap_sweep(fracs=(0.4, 0.6))
+        with GridRunner(
+            backend=make_backend("batch"),
+            store=DirectoryStore(tmp_path / "batch"),
+            series=True,
+        ) as runner:
+            runner.run(sweep)
+        with GridRunner(
+            store=DirectoryStore(tmp_path / "serial"), series=True
+        ) as runner:
+            runner.run(sweep)
+        b = GridRunner(store=DirectoryStore(tmp_path / "batch"))
+        s = GridRunner(store=DirectoryStore(tmp_path / "serial"))
+        for sc in sweep:
+            bs, ss = b.load_series(sc), s.load_series(sc)
+            assert bs is not None and ss is not None
+            assert sorted(bs) == sorted(ss)
+            for k in bs:
+                assert np.array_equal(bs[k], ss[k]), k
+
+
 class TestMergeHelpers:
     def test_merge_results_conflict_raises(self):
         from dataclasses import replace
@@ -272,6 +350,7 @@ class TestCrossBackendEquivalence:
         configs = {
             "serial": [make_backend("serial")],
             "pool": [make_backend("pool", workers=2)],
+            "batch": [make_backend("batch")],
             "shard2": [make_backend("pool", workers=2, shard=(k, 2)) for k in range(2)],
             "shard3": [make_backend("serial", shard=(k, 3)) for k in range(3)],
         }

@@ -182,6 +182,24 @@ class TestDirectoryStore:
         store.put_series(key, {"time": np.arange(2.0)})
         assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
 
+    def test_keys_ignore_stray_json(self, tmp_path, tiny_result):
+        """Only well-formed ``<scenario16>-<plat8>-<pol8>`` stems are
+        keys: notes, configs or truncated names dropped into the store
+        tree must not surface as phantom entries."""
+        store = DirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        (tmp_path / "notes.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "deadbeef.json").write_text("{}", encoding="utf-8")
+        (tmp_path / f"{key}x.json").write_text("{}", encoding="utf-8")
+        (tmp_path / key[:20]).with_suffix(".json").write_text(
+            "{}", encoding="utf-8"
+        )
+        assert store.keys() == [key]
+        # Phantoms are invisible to prune too: it keeps the real entry.
+        assert store.prune(max_entries=1) == []
+        assert store.get(key) is not None
+
 
 class TestSharedDirectoryStore:
     def test_fan_out_layout_and_roundtrip(self, tmp_path, tiny_result):
@@ -213,6 +231,47 @@ class TestSharedDirectoryStore:
         shared.put(key, tiny_result)
         merged = merge_results([[flat.get(key)], [shared.get(key)]])
         assert len(merged) == 1 and merged[0].same_outcome(tiny_result)
+
+    def test_prune_removes_empty_fanout_dirs(self, tmp_path, tiny_result):
+        """Evicting a key must not leave its ``<key[:2]>/`` fan-out
+        directory behind as empty clutter — but a directory still
+        holding other entries stays."""
+        store = SharedDirectoryStore(tmp_path)
+        key = result_key(TINY)
+        other = result_key(TINY.with_(seed=9))
+        store.put(key, tiny_result)
+        store.put(other, tiny_result)
+        # Age the first key so prune evicts it deterministically.
+        import os
+
+        path = store._result_path(key)
+        os.utime(path, (1.0, 1.0))
+        assert store.prune(max_entries=1) == [key]
+        assert not (tmp_path / key[:2]).exists() or key[:2] == other[:2]
+        assert (tmp_path / other[:2]).is_dir()
+        assert store.keys() == [other]
+        # Evicting the last entry drops its directory too.
+        assert store.prune(max_entries=0) == [other]
+        assert not (tmp_path / other[:2]).exists()
+
+    def test_prune_tolerates_racing_pruner(self, tmp_path, tiny_result):
+        """A concurrent pruner may delete files or the fan-out dir
+        between our listing and our unlink — prune must shrug, not
+        raise."""
+        store = SharedDirectoryStore(tmp_path)
+        key = result_key(TINY)
+        store.put(key, tiny_result)
+        # Simulate the race: the other pruner already removed the
+        # entry and its directory.
+        store._result_path(key).unlink()
+        (tmp_path / key[:2]).rmdir()
+        assert store.prune(max_entries=0) == []
+        # And the half-race: files gone, directory still present.
+        store.put(key, tiny_result)
+        store._result_path(key).unlink()
+        removed = store.prune(max_entries=0)
+        assert removed == []
+        assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
 
     def test_concurrent_runners_share_one_store(self, tmp_path):
         """Two GridRunner instances, one shared store, overlapping

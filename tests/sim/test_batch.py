@@ -1,0 +1,161 @@
+"""Batched lockstep replays: bit-identity against solo replays.
+
+The batch engine promises *equivalence, not approximation*: replaying N
+cap schedules of one workload in lockstep — with or without a
+checkpointed warm start — must reproduce each solo replay's trace
+digest byte for byte.  These tests pin that contract on both fork
+paths (warm-start and fallback) and on the golden scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exp import CapWindow, Scenario, trace_digest
+from repro.platform import get_platform
+from repro.rjms.controller import Controller
+from repro.sim.batch import BatchNodeArrays, run_replay_batch
+from repro.sim.engine import SimEngine
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.replay import run_replay
+
+HOUR = 3600.0
+
+BASE = Scenario(
+    name="batch-base",
+    interval="medianjob",
+    policy="MIX",
+    scale=1 / 56,
+    duration=2 * HOUR,
+)
+
+#: the same pin as tests/exp/test_determinism.py — the golden scenario
+#: (medianjob / MIX / CapWindow(1800, 5400, 0.5)) replayed *in a batch*
+#: must still produce the seed implementation's digest.
+GOLDEN_SEED_DIGEST = (
+    "b5209bf308602357c99afa59ae85ed9e957ca591c24c204861c28f36ef707880"
+)
+
+
+def _run_batch(policy, fracs, *, window=(1800.0, 5400.0)):
+    base = BASE.with_(policy=policy)
+    cells = [
+        base.with_(caps=(CapWindow(window[0], window[1], f),)) for f in fracs
+    ]
+    machine = base.build_machine()
+    jobs = base.build_jobs(machine)
+    return cells, run_replay_batch(
+        machine,
+        jobs,
+        base.build_policy(machine),
+        duration=base.effective_duration,
+        caps_per_cell=[sc.build_caps(machine) for sc in cells],
+        config=base.build_config(),
+        platform=get_platform(base.platform),
+    )
+
+
+def _run_solo(sc):
+    machine = sc.build_machine()
+    return run_replay(
+        machine,
+        sc.build_jobs(machine),
+        sc.build_policy(machine),
+        duration=sc.effective_duration,
+        powercaps=sc.build_caps(machine),
+        config=sc.build_config(),
+        platform=get_platform(sc.platform),
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "policy,fracs",
+        [
+            # IDLE: single-frequency selector, no shutdowns — takes the
+            # checkpointed warm-start path.
+            ("IDLE", [0.4, 0.6, 0.8]),
+            # DVFS: the frequency ladder's soft decisions pull the
+            # divergence onset below zero — exercises the fallback.
+            ("DVFS", [0.4, 0.6]),
+            # MIX: shutdown reservations active from t=0 — fallback.
+            ("MIX", [0.5, 0.6]),
+            # NONE ignores caps entirely: every cell is one replay, so
+            # the warm start covers the whole duration.
+            ("NONE", [0.4, 0.6]),
+        ],
+    )
+    def test_batch_matches_solo_digests(self, policy, fracs):
+        cells, batch = _run_batch(policy, fracs)
+        assert len(batch) == len(cells)
+        for sc, res in zip(cells, batch):
+            solo = _run_solo(sc)
+            assert trace_digest(res.recorder) == trace_digest(solo.recorder)
+            assert res.n_submitted == solo.n_submitted
+
+    def test_golden_digest_under_batch(self):
+        _, batch = _run_batch("MIX", [0.5, 0.6])
+        assert trace_digest(batch[0].recorder) == GOLDEN_SEED_DIGEST
+
+    def test_single_cell_batch(self):
+        cells, batch = _run_batch("IDLE", [0.5])
+        solo = _run_solo(cells[0])
+        assert trace_digest(batch[0].recorder) == trace_digest(solo.recorder)
+
+    def test_rejects_empty_and_nonpositive(self):
+        machine = BASE.build_machine()
+        jobs = BASE.build_jobs(machine)
+        pol = BASE.build_policy(machine)
+        with pytest.raises(ValueError):
+            run_replay_batch(
+                machine, jobs, pol, duration=HOUR, caps_per_cell=[]
+            )
+        with pytest.raises(ValueError):
+            run_replay_batch(
+                machine, jobs, pol, duration=0.0, caps_per_cell=[[]]
+            )
+
+
+class TestBatchNodeArrays:
+    def _accountants(self, n, scale=1 / 56):
+        base = BASE.with_(scale=scale)
+        machine = base.build_machine()
+        pol = base.build_policy(machine)
+        return [
+            Controller(
+                machine,
+                pol,
+                SimEngine(),
+                recorder=MetricsRecorder(machine.freq_table.frequencies),
+            ).accountant
+            for _ in range(n)
+        ]
+
+    def test_adoption_rehomes_rows(self):
+        accts = self._accountants(3)
+        batch = BatchNodeArrays(accts)
+        assert batch.state.shape == (3, accts[0].topology.n_nodes)
+        for row, acct in enumerate(accts):
+            assert acct.state.base is batch.state
+            assert acct.freq_index.base is batch.freq_index
+            assert np.shares_memory(acct._node_watts, batch.node_watts[row])
+        batch.verify()
+
+    def test_readouts_match_accountants(self):
+        accts = self._accountants(2)
+        batch = BatchNodeArrays(accts)
+        expect = np.array([a._node_watts.sum() for a in accts])
+        assert np.array_equal(batch.total_node_watts(), expect)
+        assert np.array_equal(
+            batch.total_power(), [a.total_power() for a in accts]
+        )
+        assert np.array_equal(
+            batch.busy_nodes(), [a.busy_count_by_freq.sum() for a in accts]
+        )
+
+    def test_rejects_empty_and_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            BatchNodeArrays([])
+        small = self._accountants(1)
+        big = self._accountants(1, scale=2 / 56)
+        with pytest.raises(ValueError):
+            BatchNodeArrays(small + big)

@@ -178,3 +178,169 @@ class TestCancellationAccounting:
         assert eng.pending_events == 1
         eng.run()
         assert seen == [100]
+
+
+class TestDrainedClock:
+    """Regression: ``run(until)`` used to clamp the clock up to the
+    horizon even after the queue drained, so a drained engine reported
+    a ``now`` at which nothing ever happened."""
+
+    def test_drained_run_stops_at_last_event(self):
+        eng = SimEngine()
+        eng.at(3.0, lambda: None)
+        assert eng.run(until=10.0) == 3.0
+        assert eng.now == 3.0
+
+    def test_empty_run_does_not_advance(self):
+        eng = SimEngine()
+        assert eng.run(until=5.0) == 0.0
+        assert eng.now == 0.0
+
+    def test_repeated_horizons_after_drain(self):
+        eng = SimEngine()
+        eng.at(3.0, lambda: None)
+        eng.run(until=10.0)
+        # Later, wider horizons still must not move a drained clock.
+        assert eng.run(until=20.0) == 3.0
+        assert eng.run() == 3.0
+
+    def test_horizon_with_pending_still_reached(self):
+        eng = SimEngine()
+        eng.at(3.0, lambda: None)
+        eng.at(100.0, lambda: None)
+        assert eng.run(until=10.0) == 10.0
+        assert eng.pending_events == 1
+
+
+class TestRunBefore:
+    def test_events_at_horizon_stay_pending(self):
+        eng = SimEngine()
+        seen = []
+        eng.at(1.0, lambda: seen.append(1))
+        eng.at(5.0, lambda: seen.append(5))
+        eng.at(9.0, lambda: seen.append(9))
+        assert eng.run_before(5.0) == 1.0
+        assert seen == [1]
+        assert eng.pending_events == 2
+        eng.run()
+        assert seen == [1, 5, 9]
+
+    def test_clock_not_clamped_to_horizon(self):
+        eng = SimEngine()
+        eng.at(1.0, lambda: None)
+        eng.run_before(50.0)
+        assert eng.now == 1.0
+
+    def test_cancelled_head_below_horizon_discarded(self):
+        eng = SimEngine()
+        seen = []
+        ev = eng.at(1.0, lambda: seen.append(1))
+        eng.at(5.0, lambda: seen.append(5))
+        SimEngine.cancel(ev)
+        eng.run_before(5.0)
+        assert seen == []
+        assert eng.pending_events == 1
+
+    def test_next_event_time_skips_cancelled(self):
+        eng = SimEngine()
+        ev = eng.at(1.0, lambda: None)
+        eng.at(2.0, lambda: None)
+        SimEngine.cancel(ev)
+        assert eng.next_event_time == 2.0
+        assert eng.pending_events == 1
+        eng.run()
+        assert eng.next_event_time is None
+
+
+class TestCancellationEdges:
+    def test_cancel_during_own_callback_is_noop(self):
+        """An event that cancels itself from its own callback has
+        already left the queue — the cancel must not corrupt the
+        cancellation count."""
+        eng = SimEngine()
+        seen = []
+        holder: list[Event] = []
+        def self_cancel():
+            seen.append("ran")
+            SimEngine.cancel(holder[0])
+        holder.append(eng.at(1.0, self_cancel))
+        eng.at(2.0, lambda: seen.append("later"))
+        assert eng.step()
+        assert seen == ["ran"]
+        assert eng.pending_events == 1
+        assert eng._n_cancelled == 0
+        eng.run()
+        assert seen == ["ran", "later"]
+        assert eng.processed_events == 2
+
+    def test_cancel_of_event_popped_by_run_is_noop(self):
+        eng = SimEngine()
+        popped: list[Event] = []
+        a = eng.at(1.0, lambda: popped.append(a))
+        eng.at(2.0, lambda: SimEngine.cancel(popped[0]))
+        eng.at(3.0, lambda: None)
+        eng.run()
+        assert eng.processed_events == 3
+        assert eng._n_cancelled == 0
+
+    def test_compaction_triggers_exactly_at_majority(self):
+        eng = SimEngine()
+        n = SimEngine._COMPACT_MIN  # 64
+        events = [eng.at(float(i + 1), lambda: None) for i in range(n)]
+        for ev in events[: n // 2]:
+            SimEngine.cancel(ev)
+        # 32 of 64 cancelled: not a strict majority, no compaction yet.
+        assert len(eng._queue) == n
+        assert eng._n_cancelled == n // 2
+        SimEngine.cancel(events[n // 2])
+        # 33 of 64: strict majority — compacted down to the live set.
+        assert len(eng._queue) == n - (n // 2 + 1)
+        assert eng._n_cancelled == 0
+        assert eng.pending_events == n - (n // 2 + 1)
+
+    def test_no_compaction_below_min_queue_size(self):
+        eng = SimEngine()
+        events = [eng.at(float(i + 1), lambda: None) for i in range(10)]
+        for ev in events[:9]:
+            SimEngine.cancel(ev)
+        assert len(eng._queue) == 10  # tiny queue: lazy deletion only
+        assert eng.pending_events == 1
+
+    def test_compaction_at_threshold_preserves_tie_order(self):
+        """Cancelling exactly to the compaction threshold mid-tie must
+        not reorder the surviving same-time events."""
+        def run_once(compact):
+            eng = SimEngine()
+            if not compact:
+                eng._COMPACT_MIN = 10**9
+            seen = []
+            events = [eng.at(1.0, lambda i=i: seen.append(i)) for i in range(64)]
+            for i in range(33):  # exactly one past the majority tip
+                SimEngine.cancel(events[2 * i % 64])
+            eng.run()
+            return seen
+
+        with_compact = run_once(compact=True)
+        without = run_once(compact=False)
+        assert with_compact == without
+        assert with_compact == sorted(with_compact)
+
+    def test_pending_events_consistent_across_interleavings(self):
+        eng = SimEngine()
+        events = [eng.at(float(i % 7 + 1), lambda: None) for i in range(100)]
+        def live():
+            return sum(
+                1 for e in eng._queue if not e.cancelled
+            )
+        for i in range(0, 100, 3):
+            SimEngine.cancel(events[i])
+            assert eng.pending_events == live()
+        for _ in range(10):
+            eng.step()
+            assert eng.pending_events == live()
+        eng._compact()
+        assert eng.pending_events == live()
+        eng.run(until=4.0)
+        assert eng.pending_events == live()
+        eng.run()
+        assert eng.pending_events == 0 and live() == 0
