@@ -234,12 +234,32 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="per-scenario result cache directory "
                         "(shorthand for --store dir:PATH)")
+    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                   help="retry a failed scenario up to N times with "
+                        "exponential backoff before giving up (default 0: "
+                        "fail on the first error)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-scenario wall-clock budget; a scenario past it "
+                        "is presumed hung (the pool backend kills and "
+                        "respawns its workers)")
+    p.add_argument("--on-error", default="raise",
+                   choices=["raise", "skip", "quarantine"],
+                   help="disposition of scenarios that exhaust their "
+                        "attempts: raise (abort the sweep, default), skip "
+                        "(drop them; known failures are not re-attempted), "
+                        "or quarantine (drop them, keep a persisted failure "
+                        "record, retry on later sweeps)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="arm a deterministic fault plan over the scenario "
+                        "set: seed:N[:RATE[:TIMES]] (TIMES '*' = every "
+                        "attempt) or @plan.json; for chaos-testing the "
+                        "sweep machinery")
 
 
 def _build_runner(args: argparse.Namespace):
     """A :class:`GridRunner` from the ``--backend/--shard/--store``
     (and legacy ``--workers/--cache-dir``) arguments."""
-    from repro.exp import GridRunner, make_backend, make_store
+    from repro.exp import GridRunner, RetryPolicy, make_backend, make_store
 
     kwargs: dict = {}
     try:
@@ -257,9 +277,16 @@ def _build_runner(args: argparse.Namespace):
             kwargs["store"] = make_store(args.store)
         else:
             kwargs["cache_dir"] = args.cache_dir
+        max_retries = getattr(args, "max_retries", 0)
+        if max_retries < 0:
+            raise ValueError("--max-retries cannot be negative")
+        if max_retries:
+            kwargs["retry"] = RetryPolicy(max_attempts=max_retries + 1)
+        kwargs["timeout"] = getattr(args, "timeout", None)
+        kwargs["on_error"] = getattr(args, "on_error", "raise")
+        return GridRunner(**kwargs)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    return GridRunner(**kwargs)
 
 
 def _gather_scenarios(args: argparse.Namespace) -> list:
@@ -400,11 +427,73 @@ def cmd_exp_store_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_exp_failures(args: argparse.Namespace) -> int:
+    from repro.exp import make_store
+
+    if (args.store is None) == (args.cache_dir is None):
+        raise SystemExit("error: pass exactly one of --store or --cache-dir")
+    spec = args.store if args.store is not None else f"dir:{args.cache_dir}"
+    try:
+        store = make_store(spec)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if not store.persists_failures:
+        raise SystemExit(f"error: store {spec} does not persist failure records")
+    records = store.failures()
+    if not records:
+        print(f"no failure records in {spec}")
+        return 0
+    if args.clear:
+        for record in records:
+            store.pop_failure(record.key)
+        print(f"cleared {len(records)} failure record(s) from {spec}")
+        return 0
+    header = (
+        f"{'scenario':<28} {'hash':<16} {'kind':<8} {'state':<12} "
+        f"{'att':>3} {'backend':<14} error"
+    )
+    print(header)
+    print("-" * len(header))
+    for record in sorted(records, key=lambda r: r.scenario_name):
+        state = (
+            "quarantined"
+            if record.quarantined
+            else "skipped" if record.skipped else "failed"
+        )
+        print(
+            f"{record.scenario_name:<28.28} {record.scenario_hash:<16} "
+            f"{record.kind:<8} {state:<12} {record.attempts:>3d} "
+            f"{record.backend:<14.14} {record.error_type}: {record.message}"
+        )
+    print(f"{len(records)} failure record(s); a successful re-run heals them")
+    return 1
+
+
 def cmd_exp_run(args: argparse.Namespace) -> int:
-    from repro.exp import render_results_grid, results_table
+    import contextlib
+
+    from repro.exp import (
+        injected,
+        parse_fault_plan,
+        render_results_grid,
+        results_table,
+    )
 
     scenarios = _gather_scenarios(args)
-    with _build_runner(args) as runner:
+    chaos = contextlib.nullcontext()
+    if args.inject_faults is not None:
+        try:
+            plan = parse_fault_plan(
+                args.inject_faults, (sc.scenario_hash() for sc in scenarios)
+            )
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"error: {exc}")
+        kinds = ", ".join(
+            f"{k}x{n}" for k, n in sorted(plan.kinds_planned().items())
+        ) or "none"
+        print(f"fault plan armed: {len(plan.specs)} fault(s) ({kinds})")
+        chaos = injected(plan)
+    with _build_runner(args) as runner, chaos:
         total = sum(
             1 for sc in scenarios if runner.backend.owns(sc.scenario_hash())
         )
@@ -430,13 +519,29 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
             src = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
             print(f"  [{done}/{total}] {result.scenario.name} ({src})")
 
-        results = runner.run(scenarios, progress=progress)
+        report = runner.sweep(scenarios, progress=progress)
     print()
-    print(results_table(results))
+    print(results_table(report.results))
     if args.bars:
         print()
-        print(render_results_grid(results))
-    return 0
+        print(render_results_grid(report.results))
+    print()
+    print(f"sweep: {report.summary()}")
+    for record in report.failures:
+        state = "quarantined" if record.quarantined else "FAILED"
+        print(
+            f"  {state}: {record.scenario_name} ({record.scenario_hash}) "
+            f"[{record.kind}/{record.error_type}] after "
+            f"{record.attempts} attempt(s): {record.message}"
+        )
+    for record in report.skipped:
+        print(
+            f"  skipped (known failure): {record.scenario_name} "
+            f"({record.scenario_hash}) [{record.kind}]"
+        )
+    # Quarantined/skipped scenarios are an accounted-for, deliberate
+    # outcome; anything else lost makes the run fail.
+    return 1 if report.unquarantined_losses else 0
 
 
 def cmd_exp_compare(args: argparse.Namespace) -> int:
@@ -546,6 +651,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print each evicted key")
     p.set_defaults(func=cmd_exp_store_prune)
+
+    p = exp_sub.add_parser(
+        "failures",
+        help="list (or clear) persisted per-scenario failure records",
+    )
+    p.add_argument("--store", default=None, metavar="SPEC",
+                   help="result store to inspect: dir:PATH or shared:PATH")
+    p.add_argument("--cache-dir", default=None,
+                   help="shorthand for --store dir:PATH")
+    p.add_argument("--clear", action="store_true",
+                   help="delete every failure record instead of listing")
+    p.set_defaults(func=cmd_exp_failures)
 
     p = exp_sub.add_parser("run", help="run scenarios / a parameter grid")
     p.add_argument(

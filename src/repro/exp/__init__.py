@@ -18,6 +18,11 @@ The subsystem behind ``repro exp run/list/compare``:
 * :func:`run_scenario` / :class:`GridRunner` — pure orchestration:
   dedupe → store lookup → backend submit → store write → aggregate
   (:mod:`repro.exp.runner`);
+* fault tolerance — deterministic fault injection
+  (:class:`FaultPlan`, :mod:`repro.exp.faults`), retry/timeout/
+  quarantine semantics and structured sweep outcomes
+  (:class:`RetryPolicy`, :class:`SweepReport`,
+  :mod:`repro.exp.resilience`);
 * :data:`SCENARIO_LIBRARY` — named, ready-to-run scenarios
   (:mod:`repro.exp.library`);
 * aggregation and shard merging into the Figure 8 reporting layer
@@ -40,11 +45,33 @@ from repro.exp.backends import (
     ShardedBackend,
     make_backend,
 )
+from repro.exp.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+    InjectedTransient,
+    injected,
+    install_plan,
+    parse_fault_plan,
+)
+from repro.exp.resilience import (
+    FAILURE_KINDS,
+    ON_ERROR_MODES,
+    FailureRecord,
+    RetryPolicy,
+    SweepError,
+    SweepReport,
+    TaskFailure,
+)
 from repro.exp.store import (
     DirectoryStore,
     MemoryStore,
     ResultStore,
     SharedDirectoryStore,
+    StoreHealth,
     make_store,
     result_key,
 )
@@ -90,8 +117,26 @@ __all__ = [
     "MemoryStore",
     "DirectoryStore",
     "SharedDirectoryStore",
+    "StoreHealth",
     "make_store",
     "result_key",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedHang",
+    "InjectedTransient",
+    "injected",
+    "install_plan",
+    "parse_fault_plan",
+    "FAILURE_KINDS",
+    "ON_ERROR_MODES",
+    "FailureRecord",
+    "RetryPolicy",
+    "SweepError",
+    "SweepReport",
+    "TaskFailure",
     "GridRunner",
     "RunResult",
     "replay_scenario",

@@ -10,28 +10,61 @@ An :class:`ExecutionBackend` answers two questions for the
   to its shard, which is how one grid splits across independent
   machines or CI jobs without any coordination;
 * **execution** — :meth:`ExecutionBackend.map` runs the work function
-  over the owned scenarios and yields results in input order.
+  over the owned scenarios and yields results in input order, and
+  :meth:`ExecutionBackend.map_tasks` is its **fault-tolerant** form:
+  per-item retries under a :class:`~repro.exp.resilience.RetryPolicy`,
+  per-item timeouts, and in-band
+  :class:`~repro.exp.resilience.TaskFailure` outcomes instead of a
+  sweep-aborting exception.
 
 Every backend executes the identical work function on the identical
 scenario specs, so *which* backend ran a scenario can never change the
 result — the golden trace digests pin this bit-for-bit.
 
-:class:`ProcessPoolBackend` holds the ``multiprocessing`` pool that
-used to live inside ``GridRunner``.  Its :meth:`close` is idempotent,
-and live pools are additionally terminated by one ``atexit`` hook —
-never by ``__del__``, whose GC timing at interpreter shutdown used to
-race the pool teardown and leak resource warnings.
+:class:`ProcessPoolBackend` runs on a
+:class:`concurrent.futures.ProcessPoolExecutor` and **survives worker
+death**: a crashed worker (segfault, OOM kill, injected ``os._exit``)
+breaks the executor, which is then respawned; in-flight scenarios are
+requeued, and crash attribution is settled by re-running the suspects
+one at a time — so a poison scenario is charged (and eventually
+quarantined) while innocent bystanders of the same pool break are
+not.  A scenario that outlives its per-item timeout is presumed hung:
+its workers are killed, the pool respawned, the offender charged.
+Its :meth:`close` is idempotent — including after a pool break — and
+live pools are additionally terminated by one ``atexit`` hook, never
+by ``__del__``, whose GC timing at interpreter shutdown used to race
+the pool teardown and leak resource warnings.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import time
 import weakref
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.exp import faults as _faults
+from repro.exp.resilience import (
+    RetryPolicy,
+    TaskFailure,
+    TaskOutcome,
+    run_with_retry,
+)
 from repro.exp.spec import Scenario, parse_shard, shard_index
 from repro.exp.store import DEFAULT_SERIES_DT
+
+
+def _task_label(item: Any) -> str:
+    """Stable per-item label for backoff jitter and diagnostics."""
+    hasher = getattr(item, "scenario_hash", None)
+    if callable(hasher):
+        return hasher()
+    return repr(item)
 
 
 class ExecutionBackend:
@@ -50,6 +83,43 @@ class ExecutionBackend:
     ) -> Iterator[Any]:
         """Apply ``fn`` to every item, yielding results in input order."""
         raise NotImplementedError
+
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+    ) -> Iterator[TaskOutcome]:
+        """Fault-tolerant :meth:`map`: yields ``(index, outcome,
+        retries)`` triples, in no particular order.
+
+        ``fn`` must accept an ``attempt`` keyword (1-based execution
+        count) — that is how deterministic fault plans and retry
+        accounting see *which* execution this is.  The outcome is
+        ``fn``'s return value, or a
+        :class:`~repro.exp.resilience.TaskFailure` once the retry
+        budget is exhausted (or immediately, for errors the policy
+        classifies as fatal).  ``timeout`` bounds one attempt's wall
+        clock where the backend can enforce it (the process pool can;
+        in-process backends cannot preempt a running replay and treat
+        an injected hang as an ordinary timeout failure).
+
+        The default implementation runs in-process, one item at a
+        time, through :func:`~repro.exp.resilience.run_with_retry`.
+        """
+        for i, item in enumerate(items):
+            outcome, retries = run_with_retry(
+                partial(self._call_attempt, fn, item),
+                label=_task_label(item),
+                retry=retry,
+            )
+            yield i, outcome, retries
+
+    @staticmethod
+    def _call_attempt(fn: Callable[..., Any], item: Any, attempt: int) -> Any:
+        return fn(item, attempt=attempt)
 
     def close(self) -> None:
         """Release resources; must be idempotent."""
@@ -83,15 +153,20 @@ def _atexit_reap() -> None:  # pragma: no cover - interpreter shutdown
     Runs while the interpreter is still intact (unlike ``__del__`` at
     GC time, which could fire after multiprocessing's own machinery was
     torn down and spray ResourceWarnings).  ``terminate`` rather than
-    ``close``: an abandoned pool's workers may be mid-task, and exit
-    must not hang on them.
+    ``close``: an abandoned pool's workers may be mid-task (or hung),
+    and exit must not wait on them.  Tolerates pools that a
+    ``BrokenProcessPool`` already tore down — a broken executor's
+    shutdown is a no-op, not an error.
     """
     for backend in list(_LIVE_POOL_BACKENDS):
-        backend._shutdown(terminate=True)
+        try:
+            backend._shutdown(terminate=True)
+        except Exception:
+            pass  # shutdown noise must never mask the real exit status
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """``multiprocessing`` pool execution (today's ``GridRunner`` pool).
+    """Process-pool execution that survives worker death.
 
     Parameters
     ----------
@@ -115,6 +190,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "pool"
 
+    #: poll interval of the resilient loop (timeout checks), seconds
+    _TICK = 0.25
+
     def __init__(
         self,
         workers: int | None = None,
@@ -128,10 +206,12 @@ class ProcessPoolBackend(ExecutionBackend):
             mp_context = "fork" if "fork" in methods else "spawn"
         self.mp_context = mp_context
         self.persistent = bool(persistent)
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
         self._pool_size = 0
+        #: pool respawns forced by worker death or hung-task kills
+        self.n_respawns = 0
 
-    def _get_pool(self, n_tasks: int):
+    def _get_pool(self, n_tasks: int) -> ProcessPoolExecutor:
         """The persistent pool, sized ``min(workers, n_tasks)``.
 
         An existing pool is reused when it is big enough; a larger
@@ -143,7 +223,7 @@ class ProcessPoolBackend(ExecutionBackend):
             self.close()
         if self._pool is None:
             ctx = multiprocessing.get_context(self.mp_context)
-            self._pool = ctx.Pool(processes=n)
+            self._pool = ProcessPoolExecutor(max_workers=n, mp_context=ctx)
             self._pool_size = n
             _LIVE_POOL_BACKENDS.add(self)
             if not _REAPER_REGISTERED:
@@ -151,20 +231,39 @@ class ProcessPoolBackend(ExecutionBackend):
                 _REAPER_REGISTERED = True
         return self._pool
 
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool's worker processes (hung or orphaned)."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+
     def _shutdown(self, *, terminate: bool) -> None:
         pool, self._pool = self._pool, None
         self._pool_size = 0
         _LIVE_POOL_BACKENDS.discard(self)
         if pool is not None:
             if terminate:
-                pool.terminate()
+                self._kill_workers(pool)
+                pool.shutdown(wait=False, cancel_futures=True)
             else:
-                pool.close()
-            pool.join()
+                pool.shutdown(wait=True, cancel_futures=False)
+
+    def _respawn(self, n_tasks: int) -> ProcessPoolExecutor:
+        """Replace a broken/hung pool with a fresh one, requeue-ready."""
+        self.n_respawns += 1
+        self._shutdown(terminate=True)
+        return self._get_pool(n_tasks)
 
     def close(self) -> None:
-        """Shut the pool down; safe to call any number of times."""
+        """Shut the pool down; safe to call any number of times, and
+        safe after a ``BrokenProcessPool`` already killed the workers
+        (a broken executor's ``shutdown`` is a no-op)."""
         self._shutdown(terminate=False)
+
+    # -- plain map --------------------------------------------------------------------
 
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -175,17 +274,226 @@ class ProcessPoolBackend(ExecutionBackend):
             # per-item pickling) — results are identical either way.
             return (fn(item) for item in items)
         if self.persistent:
-            pool = self._get_pool(len(items))
-            return pool.imap(fn, items, chunksize=1)
+            return self._stream(self._get_pool(len(items)), fn, items)
         return self._oneshot_map(fn, items)
+
+    def _stream(
+        self,
+        pool: ProcessPoolExecutor,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        *,
+        owned: bool = False,
+    ) -> Iterator[Any]:
+        try:
+            futures = [pool.submit(fn, item) for item in items]
+            for fut in futures:
+                yield fut.result()
+        except BrokenProcessPool:
+            # The pool is dead; discard it so the backend stays usable
+            # (the next map() forks a fresh pool) and close() stays an
+            # idempotent no-op instead of tripping over the corpse.
+            if pool is self._pool:
+                self._shutdown(terminate=True)
+            raise
+        finally:
+            if owned:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     def _oneshot_map(
         self, fn: Callable[[Any], Any], items: list[Any]
     ) -> Iterator[Any]:
         ctx = multiprocessing.get_context(self.mp_context)
-        n = min(self.workers, len(items))
-        with ctx.Pool(processes=n) as pool:
-            yield from pool.imap(fn, items, chunksize=1)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items)), mp_context=ctx
+        )
+        return self._stream(pool, fn, items, owned=True)
+
+    # -- resilient map ----------------------------------------------------------------
+
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+    ) -> Iterator[TaskOutcome]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            yield from super().map_tasks(fn, items, retry=retry, timeout=timeout)
+            return
+        yield from self._resilient_map(
+            fn, items, retry if retry is not None else RetryPolicy(max_attempts=1),
+            timeout,
+        )
+
+    def _resilient_map(
+        self,
+        fn: Callable[..., Any],
+        items: list[Any],
+        policy: RetryPolicy,
+        timeout: float | None,
+    ) -> Iterator[TaskOutcome]:
+        """The crash-surviving scheduler loop.
+
+        State per item: ``execs`` (how many times it actually started
+        executing — the ``attempt`` number fault plans key on) and
+        ``charges`` (failures attributed to *it*, judged against the
+        retry budget).  The two differ exactly when a pool break kills
+        innocent bystanders: those are re-executed without being
+        charged.
+
+        Attribution protocol on a pool break: every in-flight scenario
+        is a suspect, and suspects are re-run **solo** (one in flight
+        at a time).  A solo crash has exactly one suspect, which is
+        charged; after ``max_attempts`` charges the poison scenario is
+        failed (``kind="crash"``) instead of the sweep.  Timeouts need
+        no such protocol — the expired future identifies its owner —
+        so only the offender is charged while other in-flight items
+        requeue unpenalised.
+        """
+        n = len(items)
+        execs = [0] * n
+        charges = [0] * n
+        retries = [0] * n
+        # (index, ready_at) queues: wide runs through `pending`,
+        # attribution runs through `solo` (drained one at a time).
+        pending: deque[tuple[int, float]] = deque((i, 0.0) for i in range(n))
+        solo: deque[tuple[int, float]] = deque()
+        inflight: dict[Any, tuple[int, float]] = {}  # future -> (index, started)
+        tick = self._TICK if timeout is None else max(0.01, min(self._TICK, timeout / 5))
+        self._get_pool(n)  # sets _pool_size, which bounds the window below
+
+        def submit(index: int) -> None:
+            pool = self._get_pool(n)
+            execs[index] += 1
+            fut = pool.submit(partial(fn, attempt=execs[index]), items[index])
+            inflight[fut] = (index, time.monotonic())
+
+        def charge(index: int, exc: BaseException | None, kind: str) -> TaskFailure | None:
+            """Attribute one failure; requeue to ``queue`` or fail."""
+            charges[index] += 1
+            retryable = exc is None or policy.is_retryable(exc)
+            if retryable and charges[index] < policy.max_attempts:
+                retries[index] += 1
+                delay = policy.backoff(_task_label(items[index]), charges[index])
+                solo.append((index, time.monotonic() + delay))
+                return None
+            return TaskFailure(
+                kind=kind,
+                error_type=type(exc).__name__ if exc is not None else kind,
+                message=(
+                    str(exc)
+                    if exc is not None
+                    else f"worker died executing this scenario "
+                    f"({charges[index]} attempt(s))"
+                    if kind == "crash"
+                    else f"scenario exceeded its {timeout:g}s timeout "
+                    f"({charges[index]} attempt(s))"
+                ),
+                attempts=charges[index],
+                exception=exc,
+            )
+
+        def ready(queue: deque[tuple[int, float]]) -> int | None:
+            if queue and queue[0][1] <= time.monotonic():
+                return queue.popleft()[0]
+            return None
+
+        try:
+            while pending or solo or inflight:
+                # Fill the pool: solo mode (suspects awaiting
+                # attribution) admits one in-flight item at a time and
+                # starves the wide queue until the suspects are clear.
+                if solo:
+                    if not inflight:
+                        index = ready(solo)
+                        if index is not None:
+                            submit(index)
+                else:
+                    while len(inflight) < self._pool_size:
+                        index = ready(pending)
+                        if index is None:
+                            break
+                        submit(index)
+                if not inflight:
+                    # Backoff gap: nothing running, nothing ready yet.
+                    queue = solo if solo else pending
+                    time.sleep(
+                        max(0.0, min(queue[0][1] - time.monotonic(), tick))
+                        if queue
+                        else tick
+                    )
+                    continue
+
+                done, _ = wait(
+                    set(inflight), timeout=tick, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for fut in done:
+                    index, _started = inflight.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        suspects = [index] + [i for i, _ in inflight.values()]
+                        inflight.clear()
+                        break
+                    except Exception as exc:  # noqa: BLE001 - classified by policy
+                        failure = charge(index, exc, "error")
+                        if failure is not None:
+                            yield index, failure, retries[index]
+                    else:
+                        yield index, result, retries[index]
+
+                if broken:
+                    self._respawn(n)
+                    if len(suspects) == 1:
+                        # Definite attribution: the lone in-flight
+                        # scenario killed its worker.
+                        failure = charge(suspects[0], None, "crash")
+                        if failure is not None:
+                            yield suspects[0], failure, retries[suspects[0]]
+                    else:
+                        # Ambiguous: isolate the suspects, uncharged
+                        # (the re-execution still counts as a retry in
+                        # the report's accounting).
+                        for i in suspects:
+                            retries[i] += 1
+                            solo.append((i, 0.0))
+                    continue
+
+                if timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        (fut, idx)
+                        for fut, (idx, started) in inflight.items()
+                        if now - started > timeout and not fut.done()
+                    ]
+                    if expired:
+                        # Presumed hung: kill the whole pool (a single
+                        # worker cannot be detached), requeue the
+                        # innocent in-flight scenarios unpenalised,
+                        # charge the offenders.
+                        offender_ids = {idx for _, idx in expired}
+                        innocents = [
+                            idx
+                            for _, (idx, _s) in inflight.items()
+                            if idx not in offender_ids
+                        ]
+                        inflight.clear()
+                        self._respawn(n)
+                        for idx in innocents:
+                            retries[idx] += 1
+                            pending.appendleft((idx, 0.0))
+                        for idx in offender_ids:
+                            failure = charge(idx, None, "timeout")
+                            if failure is not None:
+                                yield idx, failure, retries[idx]
+        finally:
+            if not self.persistent:
+                self.close()
 
 
 class BatchBackend(ExecutionBackend):
@@ -202,6 +510,14 @@ class BatchBackend(ExecutionBackend):
     divergence analysis allows it.  Singleton groups take the ordinary
     serial path.  Results are bit-identical to any other backend —
     the golden digests pin this.
+
+    **Graceful degradation**: a faulting cell falls out of the
+    lockstep batch and re-runs solo, siblings unaffected.  A cell with
+    an armed fault plan entry is excluded up front (its faults fire on
+    the solo path, where they are retryable/quarantinable); a batch
+    replay that raises degrades every cell of that group to solo
+    re-runs — one bad cell can cost its group the lockstep speedup,
+    never their results.
     """
 
     name = "batch"
@@ -231,13 +547,15 @@ class BatchBackend(ExecutionBackend):
         *,
         series: bool = False,
         grid_dt: float = DEFAULT_SERIES_DT,
-    ) -> list[Any]:
-        """Execute ``scenarios`` (already deduped by the runner) and
-        return items in input order, shaped exactly like
-        :func:`repro.exp.runner._run_task` output: a ``RunResult``,
-        or a ``(RunResult, grid)`` pair when ``series`` is set."""
-        import time
-
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+    ) -> Iterator[TaskOutcome]:
+        """Execute ``scenarios`` (already deduped by the runner),
+        yielding ``(index, outcome, retries)`` triples shaped exactly
+        like :meth:`ExecutionBackend.map_tasks` — outcomes are
+        :func:`repro.exp.runner._run_task`-shaped payloads or
+        :class:`~repro.exp.resilience.TaskFailure`.  ``timeout`` is
+        accepted for signature parity but unenforceable in-process."""
         from repro.exp.runner import (
             _condense,
             _jobs_for,
@@ -249,42 +567,70 @@ class BatchBackend(ExecutionBackend):
         from repro.sim.batch import run_replay_batch
 
         scenarios = list(scenarios)
+        plan = _faults.active_plan()
+
+        def run_solo(index: int) -> TaskOutcome:
+            sc = scenarios[index]
+
+            def one_attempt(attempt: int) -> Any:
+                if series:
+                    return run_scenario_with_series(
+                        sc, grid_dt=grid_dt, attempt=attempt
+                    )
+                return run_scenario(sc, attempt=attempt)
+
+            outcome, n_retries = run_with_retry(
+                one_attempt, label=sc.scenario_hash(), retry=retry
+            )
+            return index, outcome, n_retries
+
         groups: dict[tuple[str, str], list[int]] = {}
         for i, sc in enumerate(scenarios):
+            if plan is not None and plan.fault_for(sc.scenario_hash()) is not None:
+                # A cell with a planned fault falls out of its lockstep
+                # group: its faults fire (and are retried/quarantined)
+                # on the solo path, siblings batch unaffected.
+                yield run_solo(i)
+                continue
             groups.setdefault(self.group_key(sc), []).append(i)
 
-        out: list[Any] = [None] * len(scenarios)
         for (_, platform_hash), idxs in groups.items():
             if len(idxs) == 1:
-                sc = scenarios[idxs[0]]
-                out[idxs[0]] = (
-                    run_scenario_with_series(sc, grid_dt=grid_dt)
-                    if series
-                    else run_scenario(sc)
-                )
+                yield run_solo(idxs[0])
                 continue
             t0 = time.perf_counter()
             base = scenarios[idxs[0]]
-            platform = get_platform(base.platform)
-            machine = _machine_for(base.platform, platform_hash, base.scale)
-            jobs = _jobs_for(
-                base.platform,
-                platform_hash,
-                base.interval,
-                base.effective_seed,
-                base.effective_duration,
-                base.overload,
-                base.scale,
-            )
-            replays = run_replay_batch(
-                machine,
-                jobs,
-                base.build_policy(machine),
-                duration=base.effective_duration,
-                caps_per_cell=[scenarios[i].build_caps(machine) for i in idxs],
-                config=base.build_config(),
-                platform=platform,
-            )
+            try:
+                platform = get_platform(base.platform)
+                machine = _machine_for(base.platform, platform_hash, base.scale)
+                jobs = _jobs_for(
+                    base.platform,
+                    platform_hash,
+                    base.interval,
+                    base.effective_seed,
+                    base.effective_duration,
+                    base.overload,
+                    base.scale,
+                )
+                replays = run_replay_batch(
+                    machine,
+                    jobs,
+                    base.build_policy(machine),
+                    duration=base.effective_duration,
+                    caps_per_cell=[
+                        scenarios[i].build_caps(machine) for i in idxs
+                    ],
+                    config=base.build_config(),
+                    platform=platform,
+                )
+            except Exception:  # noqa: BLE001 - degrade, don't lose the group
+                # The lockstep replay itself failed: degrade every cell
+                # of this group to an independent solo re-run.  The
+                # failure cannot be attributed to one cell from here;
+                # solo execution attributes (and retries) it exactly.
+                for i in idxs:
+                    yield run_solo(i)
+                continue
             # Each cell's wall clock reports its share of the batch, so
             # aggregate wall sums stay comparable across backends.
             t_end = time.perf_counter()
@@ -295,10 +641,9 @@ class BatchBackend(ExecutionBackend):
                     grid = dict(
                         replay.recorder.to_grid(0.0, replay.duration, grid_dt)
                     )
-                    out[i] = (result, grid)
+                    yield i, (result, grid), 0
                 else:
-                    out[i] = result
-        return out
+                    yield i, result, 0
 
 
 class ShardedBackend(ExecutionBackend):
@@ -310,7 +655,8 @@ class ShardedBackend(ExecutionBackend):
     partition without talking to each other, duplicates of one
     scenario always land in one shard, and the union of all shards is
     exactly the full grid.  Execution of the owned slice is delegated
-    to ``inner`` (serial by default, a process pool for wide shards).
+    to ``inner`` (serial by default, a process pool for wide shards),
+    including the fault-tolerant :meth:`map_tasks` path.
     """
 
     def __init__(
@@ -344,6 +690,16 @@ class ShardedBackend(ExecutionBackend):
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> Iterator[Any]:
         return self.inner.map(fn, items)
+
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+    ) -> Iterator[TaskOutcome]:
+        return self.inner.map_tasks(fn, items, retry=retry, timeout=timeout)
 
     def close(self) -> None:
         self.inner.close()

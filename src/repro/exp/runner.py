@@ -34,10 +34,19 @@ from functools import lru_cache, partial
 import numpy as np
 
 from repro.analysis.report import window_norms
+from repro.exp import faults as _faults
 from repro.exp.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+)
+from repro.exp.resilience import (
+    ON_ERROR_MODES,
+    FailureRecord,
+    RetryPolicy,
+    SweepError,
+    SweepReport,
+    TaskFailure,
 )
 from repro.exp.spec import Scenario
 from repro.exp.store import (
@@ -273,18 +282,25 @@ def scenario_series(scenario: Scenario, *, grid_dt: float = 300.0) -> dict[str, 
     }
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Replay one scenario and condense it into a :class:`RunResult`."""
+def run_scenario(scenario: Scenario, *, attempt: int = 1) -> RunResult:
+    """Replay one scenario and condense it into a :class:`RunResult`.
+
+    ``attempt`` is the 1-based execution count — the fault-injection
+    hook keys on it, so a ``times=1`` fault fails the first attempt
+    and lets the retry through.  A no-op unless a plan is armed.
+    """
+    _faults.maybe_fire(scenario.scenario_hash(), attempt)
     t0 = time.perf_counter()
     result = replay_scenario(scenario)
     return _condense(scenario, result, t0)
 
 
 def run_scenario_with_series(
-    scenario: Scenario, *, grid_dt: float = 300.0
+    scenario: Scenario, *, grid_dt: float = 300.0, attempt: int = 1
 ) -> tuple[RunResult, dict[str, np.ndarray]]:
     """Replay one scenario; return the condensed result *and* the
     Figure 6/7 grid series (the payload behind ``.npz`` caching)."""
+    _faults.maybe_fire(scenario.scenario_hash(), attempt)
     t0 = time.perf_counter()
     result = replay_scenario(scenario)
     run = _condense(scenario, result, t0)
@@ -351,6 +367,8 @@ def _run_task(
     platforms: tuple[dict, ...],
     series: bool,
     grid_dt: float,
+    faults: Mapping[str, Any] | None = None,
+    attempt: int = 1,
 ):
     """One GridRunner work item (top-level so it pickles to workers)."""
     if platforms:
@@ -360,9 +378,13 @@ def _run_task(
             # The driver's registry wins over whatever the worker
             # inherited; identical content makes this a no-op.
             register_platform(PlatformSpec.from_dict(d), replace=True)
+    if faults is not None:
+        # Arm the driver's fault plan in this process: a spawn worker
+        # starts disarmed, and a fork worker's copy may be stale.
+        _faults.install_plan(faults)
     if series:
-        return run_scenario_with_series(scenario, grid_dt=grid_dt)
-    return run_scenario(scenario)
+        return run_scenario_with_series(scenario, grid_dt=grid_dt, attempt=attempt)
+    return run_scenario(scenario, attempt=attempt)
 
 
 class GridRunner:
@@ -423,6 +445,22 @@ class GridRunner:
         Default: a :class:`~repro.exp.store.DirectoryStore` when
         ``cache_dir`` is set, an in-process
         :class:`~repro.exp.store.MemoryStore` otherwise.
+    retry:
+        :class:`~repro.exp.resilience.RetryPolicy` applied per
+        scenario by the backend.  ``None`` (default) means one
+        attempt, no retries — failures are terminal immediately.
+    timeout:
+        Per-scenario wall-clock budget in seconds, enforced where the
+        backend can (the process pool kills and respawns hung
+        workers); ``None`` disables.
+    on_error:
+        Disposition of terminally-failed scenarios: ``"raise"``
+        (default — re-raise, the pre-fault-tolerance behaviour),
+        ``"skip"`` (drop them from the results; known failures from a
+        previous sweep are not re-attempted), or ``"quarantine"``
+        (drop them, mark their persisted
+        :class:`~repro.exp.resilience.FailureRecord` quarantined, and
+        keep retrying them on later sweeps).
     """
 
     def __init__(
@@ -436,6 +474,9 @@ class GridRunner:
         series_dt: float = DEFAULT_SERIES_DT,
         backend: ExecutionBackend | None = None,
         store: ResultStore | None = None,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+        on_error: str = "raise",
     ) -> None:
         self.workers = int(workers) if workers is not None else 1
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -464,6 +505,15 @@ class GridRunner:
         elif cache_dir is not None:
             raise ValueError("pass either an explicit store or cache_dir, not both")
         self.store = store
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"unknown on_error mode {on_error!r}; expected one of {ON_ERROR_MODES}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.retry = retry
+        self.timeout = timeout
+        self.on_error = on_error
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -545,25 +595,69 @@ class GridRunner:
         (not looked up, not executed): the returned list covers
         exactly the shard's slice of the request, and merging the
         shards' stores reassembles the full sweep.
+
+        Thin wrapper over :meth:`sweep` returning just the results;
+        under the default ``on_error="raise"`` the first terminal
+        failure propagates, so a plain ``run()`` can never silently
+        lose scenarios.
         """
+        return self.sweep(scenarios, progress=progress).results
+
+    def sweep(
+        self,
+        scenarios: Sequence[Scenario],
+        *,
+        progress: Callable[[RunResult], None] | None = None,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+        on_error: str | None = None,
+    ) -> SweepReport:
+        """Execute ``scenarios`` fault-tolerantly; return the full
+        :class:`~repro.exp.resilience.SweepReport`.
+
+        Orchestration is :meth:`run`'s (dedupe → store lookup →
+        backend submit → store write → aggregate) with failure as a
+        first-class outcome: the backend retries each scenario under
+        the :class:`~repro.exp.resilience.RetryPolicy`, terminal
+        failures become :class:`~repro.exp.resilience.FailureRecord`s
+        (persisted next to the store entry when the store supports
+        it), and ``on_error`` decides whether they raise, skip, or
+        quarantine.  A scenario with a persisted failure record from
+        an earlier sweep is skipped outright under ``"skip"`` and
+        re-attempted otherwise; a successful re-run deletes the
+        record (**heals** it).  Keyword overrides fall back to the
+        constructor's ``retry``/``timeout``/``on_error``.
+        """
+        t_sweep = time.perf_counter()
+        mode = self.on_error if on_error is None else on_error
+        if mode not in ON_ERROR_MODES:
+            raise ValueError(
+                f"unknown on_error mode {mode!r}; expected one of {ON_ERROR_MODES}"
+            )
+        retry = self.retry if retry is None else retry
+        timeout = self.timeout if timeout is None else timeout
+
         scenarios = list(scenarios)
         results: list[RunResult | None] = [None] * len(scenarios)
+        report = SweepReport(backend=self.backend.name)
 
-        # Dedupe by content hash, drop foreign shards, serve store hits.
+        # Dedupe by content hash, drop foreign shards, serve store
+        # hits, and settle known failures from earlier sweeps.
         to_run: list[Scenario] = []
         slot_of: dict[str, list[int]] = {}
         hits: dict[str, RunResult] = {}
         foreign: set[str] = set()
-        n_hits = 0
+        known_failed: set[str] = set()  # hashes with a persisted record
+        settled: set[str] = set()  # hashes skipped as known failures
 
         def serve_hit(i: int, sc: Scenario, hit: RunResult) -> None:
-            nonlocal n_hits
             slot_result = hit if hit.scenario == sc else replace(hit, scenario=sc)
             results[i] = slot_result
-            n_hits += 1
+            report.n_hits += 1
             if progress is not None:
                 progress(slot_result)
 
+        track_failures = self.store.persists_failures
         for i, sc in enumerate(scenarios):
             key = sc.scenario_hash()
             if key in slot_of:
@@ -572,7 +666,7 @@ class GridRunner:
             if key in hits:
                 serve_hit(i, sc, hits[key])
                 continue
-            if key in foreign:
+            if key in foreign or key in settled:
                 continue
             if not self.backend.owns(key):
                 foreign.add(key)
@@ -582,49 +676,122 @@ class GridRunner:
                 hits[key] = cached
                 serve_hit(i, sc, cached)
                 continue
+            if track_failures:
+                prior = self.store.get_failure(result_key(sc))
+                if prior is not None:
+                    if mode == "skip":
+                        # Known-bad: don't burn attempts on it again.
+                        report.skipped.append(replace(prior, skipped=True))
+                        settled.add(key)
+                        continue
+                    known_failed.add(key)  # re-attempt; success heals
             slot_of[key] = [i]
             to_run.append(sc)
 
-        def collect(fresh: Iterable[Any]) -> None:
-            for item in fresh:
-                if want_series:
-                    result, series = item
-                    self.store.put_series(result_key(result.scenario), series)
-                else:
-                    result = item
-                self.store.put(result_key(result.scenario), result)
-                for i in slot_of[result.scenario_hash]:
-                    # Duplicate slots keep their own scenario label
-                    # (content-identical, possibly differently named).
-                    slot_result = (
-                        result
-                        if scenarios[i] == result.scenario
-                        else replace(result, scenario=scenarios[i])
-                    )
-                    results[i] = slot_result
-                    if progress is not None:
-                        progress(slot_result)
+        failed: set[str] = set()  # hashes that failed terminally this sweep
+
+        def record_failure(sc: Scenario, failure: TaskFailure) -> None:
+            record = FailureRecord(
+                scenario_name=sc.name,
+                scenario_hash=sc.scenario_hash(),
+                key=result_key(sc),
+                backend=self.backend.name,
+                kind=failure.kind,
+                error_type=failure.error_type,
+                message=failure.message,
+                attempts=failure.attempts,
+                quarantined=(mode == "quarantine"),
+                skipped=(mode == "skip"),
+                recorded_at=time.time(),
+            )
+            failed.add(record.scenario_hash)
+            report.failures.append(record)
+            if track_failures:
+                self.store.put_failure(record.key, record)
+            if mode == "raise":
+                if failure.exception is not None:
+                    raise failure.exception
+                raise SweepError(
+                    f"scenario {sc.name!r} ({record.scenario_hash}) failed "
+                    f"terminally on backend {self.backend.name!r}: "
+                    f"[{failure.kind}] {failure.message}",
+                    [record],
+                )
+
+        def collect_result(sc: Scenario, item: Any) -> None:
+            if want_series:
+                result, series = item
+                self.store.put_series(result_key(result.scenario), series)
+            else:
+                result = item
+            self.store.put(result_key(result.scenario), result)
+            report.n_executed += 1
+            scenario_hash = result.scenario_hash
+            if scenario_hash in known_failed and track_failures:
+                # Heal: a success supersedes the persisted failure.
+                if self.store.pop_failure(result_key(result.scenario)):
+                    report.healed.append(sc.name)
+            for i in slot_of[scenario_hash]:
+                # Duplicate slots keep their own scenario label
+                # (content-identical, possibly differently named).
+                slot_result = (
+                    result
+                    if scenarios[i] == result.scenario
+                    else replace(result, scenario=scenarios[i])
+                )
+                results[i] = slot_result
+                if progress is not None:
+                    progress(slot_result)
 
         want_series = self._want_series
         grid_dt = self.store.series_dt if want_series else self.series_dt
+        plan = _faults.active_plan()
         if getattr(self.backend, "wants_scenarios", False):
             # Scenario-aware backends (batch) group and execute the
-            # specs themselves; items come back shaped like _run_task's.
-            fresh: Iterable[Any] = self.backend.run_scenarios(
-                to_run, series=want_series, grid_dt=grid_dt
+            # specs themselves; outcomes come back shaped like
+            # map_tasks' (index, result-or-failure, retries) triples.
+            outcomes: Iterable[Any] = self.backend.run_scenarios(
+                to_run,
+                series=want_series,
+                grid_dt=grid_dt,
+                retry=retry,
+                timeout=timeout,
             )
         else:
-            task: Callable[[Scenario], Any] = partial(
+            task: Callable[..., Any] = partial(
                 _run_task,
                 platforms=_platform_payload(to_run),
                 series=want_series,
                 grid_dt=grid_dt,
+                faults=plan.to_dict() if plan is not None else None,
             )
-            fresh = self.backend.map(task, to_run)
-        collect(fresh)
+            outcomes = self.backend.map_tasks(
+                task, to_run, retry=retry, timeout=timeout
+            )
+        for index, outcome, retries in outcomes:
+            report.n_retries += retries
+            sc = to_run[index]
+            if isinstance(outcome, TaskFailure):
+                record_failure(sc, outcome)
+            else:
+                collect_result(sc, outcome)
 
-        out = [r for r in results if r is not None]
-        expected = n_hits + sum(len(slots) for slots in slot_of.values())
-        if len(out) != expected:  # pragma: no cover - defensive
-            raise RuntimeError("scenario execution dropped results")
-        return out
+        # Defensive accounting: every deduped scenario must come back
+        # as a result or a failure — a backend that silently drops one
+        # is a bug worth naming precisely.
+        missing = sorted(
+            h
+            for h, slots in slot_of.items()
+            if results[slots[0]] is None and h not in failed
+        )
+        if missing:  # pragma: no cover - defensive
+            raise SweepError(
+                f"backend {self.backend.name!r} dropped {len(missing)} "
+                f"scenario(s) without result or failure: {', '.join(missing)}",
+                report.failures,
+            )
+
+        report.results = [r for r in results if r is not None]
+        report.wall_seconds = time.perf_counter() - t_sweep
+        report.store_health = self.store.health.to_dict()
+        return report

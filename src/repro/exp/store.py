@@ -32,23 +32,70 @@ series resolution, replaced platform) is silently treated as a miss.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import re
 import socket
+import time
 import warnings
+from dataclasses import dataclass, field
 from itertools import count
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.exp import faults as _faults
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exp.resilience import FailureRecord
     from repro.exp.runner import RunResult
     from repro.exp.spec import Scenario
 
 #: default grid step of the ``.npz`` series payload (seconds)
 DEFAULT_SERIES_DT = 300.0
+
+#: ``errno`` values worth retrying on a shared/network filesystem: a
+#: stale NFS handle heals on re-lookup, EAGAIN/EINTR are transient by
+#: definition, EBUSY/ENOSPC may clear when a concurrent
+#: pruner/cleaner finishes.
+TRANSIENT_ERRNOS = frozenset(
+    e
+    for e in (
+        getattr(errno, "ESTALE", None),
+        errno.EAGAIN,
+        errno.EINTR,
+        errno.EBUSY,
+        errno.ENOSPC,
+        getattr(errno, "EDQUOT", None),
+    )
+    if e is not None
+)
+
+
+@dataclass
+class StoreHealth:
+    """Tallies of faults a store absorbed instead of propagating.
+
+    ``discarded`` counts corrupt entries dropped (and recomputed by
+    the caller — the heal path for torn writes); ``retried_writes``
+    counts transient ``OSError``s absorbed by the bounded-backoff
+    write retry; ``failed_writes`` counts writes abandoned after the
+    retry budget (the result survives in memory; only the cache entry
+    is lost).
+    """
+
+    discarded: int = 0
+    retried_writes: int = 0
+    failed_writes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "discarded": self.discarded,
+            "retried_writes": self.retried_writes,
+            "failed_writes": self.failed_writes,
+        }
 
 #: shape of a :func:`result_key`: ``<scenario16>-<platform8>-<policy8>``
 _KEY_RE = re.compile(r"[0-9a-f]{16}-[0-9a-f]{8}-[0-9a-f]{8}")
@@ -87,6 +134,8 @@ class ResultStore:
     stores_series: bool = False
     #: grid step (seconds) of any series payload this store accepts
     series_dt: float = DEFAULT_SERIES_DT
+    #: whether failure records survive this store's lifetime
+    persists_failures: bool = False
 
     def get(self, key: str) -> "RunResult | None":
         raise NotImplementedError
@@ -106,6 +155,35 @@ class ResultStore:
     def keys(self) -> list[str]:
         """Keys of every stored result (diagnostics / merge checks)."""
         raise NotImplementedError
+
+    # -- failure records --------------------------------------------------------------
+
+    def put_failure(self, key: str, record: "FailureRecord") -> None:
+        """Record a terminal failure under the key its result would
+        have used, so resumed sweeps can skip or retry it."""
+        raise NotImplementedError
+
+    def get_failure(self, key: str) -> "FailureRecord | None":
+        return None
+
+    def pop_failure(self, key: str) -> bool:
+        """Clear a failure record (the heal path).  Returns whether a
+        record existed."""
+        return False
+
+    def failures(self) -> list["FailureRecord"]:
+        """Every persisted failure record (``repro exp failures``)."""
+        return []
+
+    @property
+    def health(self) -> StoreHealth:
+        """Counters of absorbed faults (shared instance, mutated in
+        place as the store heals/discards/retries)."""
+        h = getattr(self, "_health", None)
+        if h is None:
+            h = StoreHealth()
+            setattr(self, "_health", h)
+        return h
 
     def prune(self, max_entries: int) -> list[str]:
         """Evict the oldest entries so at most ``max_entries`` remain.
@@ -130,6 +208,7 @@ class MemoryStore(ResultStore):
 
     def __init__(self) -> None:
         self._results: dict[str, "RunResult"] = {}
+        self._failures: dict[str, "FailureRecord"] = {}
 
     def get(self, key: str) -> "RunResult | None":
         return self._results.get(key)
@@ -138,6 +217,18 @@ class MemoryStore(ResultStore):
         # Re-putting moves the key to the back of the eviction order.
         self._results.pop(key, None)
         self._results[key] = result
+
+    def put_failure(self, key: str, record: "FailureRecord") -> None:
+        self._failures[key] = record
+
+    def get_failure(self, key: str) -> "FailureRecord | None":
+        return self._failures.get(key)
+
+    def pop_failure(self, key: str) -> bool:
+        return self._failures.pop(key, None) is not None
+
+    def failures(self) -> list["FailureRecord"]:
+        return [self._failures[k] for k in sorted(self._failures)]
 
     def keys(self) -> list[str]:
         return sorted(self._results)
@@ -162,6 +253,13 @@ class DirectoryStore(ResultStore):
     """
 
     stores_series = True
+    persists_failures = True
+
+    #: write attempts per entry (subclasses aimed at flaky filesystems
+    #: raise this; ``1`` keeps the historical propagate-on-error shape)
+    _write_attempts = 1
+    #: base backoff between write retries, seconds (doubles per retry)
+    _retry_delay = 0.05
 
     def __init__(
         self, root: str | Path, *, series_dt: float = DEFAULT_SERIES_DT
@@ -179,11 +277,15 @@ class DirectoryStore(ResultStore):
     def _series_path(self, key: str) -> Path:
         return self.root / f"{key}.npz"
 
+    def _failure_path(self, key: str) -> Path:
+        return self._result_path(key).with_suffix(".fail.json")
+
     def _tmp_name(self, key: str, suffix: str) -> str:
         return f"{key}.tmp.{os.getpid()}{suffix}"
 
     def _discard(self, path: Path, reason: Exception) -> None:
         """Drop an unreadable entry, loudly: the caller will recompute."""
+        self.health.discarded += 1
         warnings.warn(
             f"discarding corrupt result-store entry {path}: {reason!r}",
             RuntimeWarning,
@@ -193,6 +295,38 @@ class DirectoryStore(ResultStore):
             path.unlink()
         except OSError:  # pragma: no cover - races with other healers
             pass
+
+    def _guarded_write(self, label: str, write) -> None:
+        """Run one write, retrying transient ``OSError``s with bounded
+        backoff (stale NFS handles, EAGAIN, a full disk mid-cleanup).
+
+        With the retry budget exhausted the write is **abandoned with
+        a warning and a tally** rather than propagated: the caller
+        still holds the result in memory, so losing the cache entry
+        must not lose the sweep.  Non-transient errors (permissions, a
+        missing mount) propagate on stores without a retry budget.
+        """
+        attempts = self._write_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                return write()
+            except OSError as exc:
+                transient = exc.errno in TRANSIENT_ERRNOS
+                if transient and attempt < attempts:
+                    self.health.retried_writes += 1
+                    time.sleep(self._retry_delay * 2 ** (attempt - 1))
+                    continue
+                if transient and attempts > 1:
+                    self.health.failed_writes += 1
+                    warnings.warn(
+                        f"abandoning result-store write {label}: {exc!r} "
+                        f"(after {attempts} attempts; entry will be "
+                        "recomputed on demand)",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    return
+                raise
 
     # -- results ----------------------------------------------------------------------
 
@@ -226,13 +360,28 @@ class DirectoryStore(ResultStore):
         return result
 
     def put(self, key: str, result: "RunResult") -> None:
-        path = self._result_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / self._tmp_name(key, ".json")
-        tmp.write_text(
-            json.dumps(result.to_dict(), allow_nan=False), encoding="utf-8"
+        payload = json.dumps(result.to_dict(), allow_nan=False)
+        # Torn-write injection point: an armed fault plan may truncate
+        # the payload here, exactly like a writer killed mid-write.
+        payload = _faults.mangle_payload(key, payload)
+        self._guarded_write(
+            f"{key}.json", lambda: self._write_text(key, ".json", payload)
         )
-        self._replace(tmp, path)
+
+    def _write_text(self, key: str, suffix: str, payload: str) -> None:
+        path = (
+            self._failure_path(key)
+            if suffix == ".fail.json"
+            else self._result_path(key)
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / self._tmp_name(key, suffix)
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            self._replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def _replace(self, tmp: Path, path: Path) -> None:
         os.replace(tmp, path)  # atomic: concurrent writers race benignly
@@ -278,13 +427,68 @@ class DirectoryStore(ResultStore):
             return False
 
     def put_series(self, key: str, series: Mapping[str, np.ndarray]) -> None:
-        path = self._series_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # np.savez appends .npz to suffix-less names, so the temp name
-        # must already carry it for the atomic rename to find the file.
-        tmp = path.parent / self._tmp_name(key, ".npz")
-        np.savez_compressed(tmp, _series_dt=np.float64(self.series_dt), **series)
-        self._replace(tmp, path)
+        def write() -> None:
+            path = self._series_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # np.savez appends .npz to suffix-less names, so the temp
+            # name must already carry it for the rename to find it.
+            tmp = path.parent / self._tmp_name(key, ".npz")
+            try:
+                np.savez_compressed(
+                    tmp, _series_dt=np.float64(self.series_dt), **series
+                )
+                # Torn-write injection point for the binary payload.
+                _faults.maybe_truncate(key, tmp)
+                self._replace(tmp, path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
+
+        self._guarded_write(f"{key}.npz", write)
+
+    # -- failure records --------------------------------------------------------------
+
+    def put_failure(self, key: str, record: "FailureRecord") -> None:
+        payload = json.dumps(record.to_dict(), allow_nan=False)
+        self._guarded_write(
+            f"{key}.fail.json",
+            lambda: self._write_text(key, ".fail.json", payload),
+        )
+
+    def get_failure(self, key: str) -> "FailureRecord | None":
+        from repro.exp.resilience import FailureRecord
+
+        path = self._failure_path(key)
+        if not path.is_file():
+            return None
+        try:
+            return FailureRecord.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            # A corrupt failure record carries no science: drop it and
+            # let the scenario simply run again.
+            self._discard(path, exc)
+            return None
+
+    def pop_failure(self, key: str) -> bool:
+        try:
+            self._failure_path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def failures(self) -> list["FailureRecord"]:
+        if not self.root.is_dir():
+            return []
+        records = []
+        for path in sorted(self.root.rglob("*.fail.json")):
+            key = path.name[: -len(".fail.json")]
+            if _KEY_RE.fullmatch(key):
+                record = self.get_failure(key)
+                if record is not None:
+                    records.append(record)
+        return records
 
     def keys(self) -> list[str]:
         if not self.root.is_dir():
@@ -347,10 +551,15 @@ class SharedDirectoryStore(DirectoryStore):
       another NFS client never sees a renamed-but-unflushed entry;
     * an existing entry is never rewritten (first writer wins): replays
       are deterministic, so a concurrent writer would produce the same
-      bytes, and skipping the write avoids rename storms on hot keys.
+      bytes, and skipping the write avoids rename storms on hot keys;
+    * writes retry transient ``OSError``s (stale NFS handles, EAGAIN,
+      ENOSPC while a cleaner runs) with bounded backoff, then abandon
+      the cache entry with a warning instead of failing the sweep —
+      tallied in :attr:`health`.
     """
 
     _seq = count()
+    _write_attempts = 4
 
     def _result_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

@@ -114,6 +114,74 @@ class TestPolicyErrors:
         assert "model case" in out
 
 
+class TestFaultTolerance:
+    #: seed 1 at rate 1.0 plans a *transient* fault for the single
+    #: medianjob-track-60 cell (pinned by the scenario hash, which the
+    #: golden-digest suite already locks down)
+    ARMED = ["--inject-faults", "seed:1:1.0:1", "--max-retries", "2"]
+
+    def test_injected_transient_retries_to_success(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "exp", "run", "--scenario", "medianjob-track-60",
+            "--backend", "serial", *self.ARMED, *TINY_NAMED,
+        )
+        assert code == 0
+        assert "fault plan armed: 1 fault(s) (transientx1)" in out
+        assert "1 retry" in out
+
+    def test_poison_quarantine_failures_heal_cycle(self, capsys, tmp_path):
+        base = [
+            "exp", "run", "--scenario", "medianjob-track-60",
+            "--backend", "serial", "--cache-dir", str(tmp_path),
+            *TINY_NAMED,
+        ]
+        code, out = run_cli(
+            capsys, *base,
+            "--inject-faults", "seed:1:1.0:*",  # poison: fires every attempt
+            "--max-retries", "1", "--on-error", "quarantine",
+        )
+        assert code == 0  # quarantined losses are accounted for
+        assert "quarantined: medianjob-track-60" in out
+
+        code, out = run_cli(capsys, "exp", "failures", "--cache-dir", str(tmp_path))
+        assert code == 1
+        assert "medianjob-track-60" in out and "quarantined" in out
+
+        code, out = run_cli(capsys, *base)  # fault-free re-run heals
+        assert code == 0 and "1 healed" in out
+
+        code, out = run_cli(capsys, "exp", "failures", "--cache-dir", str(tmp_path))
+        assert code == 0 and "no failure records" in out
+
+    def test_bad_fault_spec_exits(self, capsys):
+        with pytest.raises(SystemExit, match="error:"):
+            main([
+                "exp", "run", "--scenario", "medianjob-track-60",
+                "--inject-faults", "bogus", *TINY_NAMED,
+            ])
+
+    def test_on_error_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "exp", "run", "--scenario", "medianjob-track-60",
+                "--on-error", "explode", *TINY_NAMED,
+            ])
+
+    def test_failures_requires_exactly_one_store(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["exp", "failures"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main([
+                "exp", "failures",
+                "--store", f"dir:{tmp_path}", "--cache-dir", str(tmp_path),
+            ])
+
+    def test_failures_rejects_memory_store(self, capsys):
+        with pytest.raises(SystemExit, match="persist"):
+            main(["exp", "failures", "--store", "memory"])
+
+
 class TestStorePrune:
     def _fill(self, capsys, tmp_path, names):
         for name in names:
