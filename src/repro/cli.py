@@ -18,7 +18,10 @@ Subcommands:
     ``--shard k/n`` for one deterministic slice of a split sweep) and
     result store (``--store memory|dir:PATH|shared:PATH``);
   * ``exp compare``  — metric-by-metric diff of two scenarios;
-  * ``exp store prune`` — evict the oldest result-store entries.
+  * ``exp store prune`` — evict result-store entries over a
+    count/age budget (``--max-entries/--max-age/--lru``);
+  * ``exp checkpoints list/prune`` — inspect and evict the persistent
+    warm-start checkpoints behind ``exp run --checkpoints``.
 """
 
 from __future__ import annotations
@@ -234,6 +237,12 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="per-scenario result cache directory "
                         "(shorthand for --store dir:PATH)")
+    p.add_argument("--checkpoints", default=None, metavar="SPEC",
+                   help="persistent warm-start checkpoint store: a "
+                        "directory path, dir:PATH, or shared:PATH; cap-"
+                        "sweep prefixes computed once are restored by "
+                        "every later run pointing at the same store, "
+                        "across backends and machines")
     p.add_argument("--max-retries", type=int, default=0, metavar="N",
                    help="retry a failed scenario up to N times with "
                         "exponential backoff before giving up (default 0: "
@@ -284,6 +293,12 @@ def _build_runner(args: argparse.Namespace):
             kwargs["retry"] = RetryPolicy(max_attempts=max_retries + 1)
         kwargs["timeout"] = getattr(args, "timeout", None)
         kwargs["on_error"] = getattr(args, "on_error", "raise")
+        if getattr(args, "checkpoints", None) is not None:
+            from repro.exp import make_checkpoint_store
+
+            kwargs["checkpoints"] = make_checkpoint_store(args.checkpoints)
+        if getattr(args, "profile", None) is not None:
+            kwargs["profile_dir"] = args.profile
         return GridRunner(**kwargs)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -405,21 +420,100 @@ def cmd_exp_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _prune_budget(args: argparse.Namespace) -> tuple[int | None, float | None]:
+    """Validate and convert the shared ``--max-entries/--max-age`` pair."""
+    if args.max_entries is None and args.max_age is None:
+        raise SystemExit("error: pass --max-entries and/or --max-age")
+    max_age = args.max_age * HOUR if args.max_age is not None else None
+    return args.max_entries, max_age
+
+
+def _describe_budget(args: argparse.Namespace) -> str:
+    parts = []
+    if args.max_entries is not None:
+        parts.append(f"cap {args.max_entries}")
+    if args.max_age is not None:
+        parts.append(f"max age {args.max_age:g}h")
+    if getattr(args, "lru", False):
+        parts.append("lru")
+    return ", ".join(parts)
+
+
 def cmd_exp_store_prune(args: argparse.Namespace) -> int:
     from repro.exp import make_store
 
     if (args.store is None) == (args.cache_dir is None):
         raise SystemExit("error: pass exactly one of --store or --cache-dir")
     spec = args.store if args.store is not None else f"dir:{args.cache_dir}"
+    max_entries, max_age = _prune_budget(args)
     try:
         store = make_store(spec)
-        removed = store.prune(args.max_entries)
+        removed = store.prune(max_entries, max_age=max_age, lru=args.lru)
     except (NotImplementedError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     kept = len(store.keys())
     print(
         f"pruned {len(removed)} entr{'y' if len(removed) == 1 else 'ies'} "
-        f"from {spec} ({kept} kept, cap {args.max_entries})"
+        f"from {spec} ({kept} kept, {_describe_budget(args)})"
+    )
+    if args.verbose:
+        for key in removed:
+            print(f"  evicted {key}")
+    return 0
+
+
+def cmd_exp_checkpoints_list(args: argparse.Namespace) -> int:
+    from repro.exp import make_checkpoint_store
+
+    try:
+        store = make_checkpoint_store(args.checkpoints)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if not hasattr(store, "_peek_horizon"):
+        raise SystemExit("error: a memory checkpoint store has nothing to list")
+    keys = store.keys()
+    if not keys:
+        print(f"no checkpoints in {args.checkpoints}")
+        return 0
+    import time as _time
+
+    now = _time.time()
+    print(f"{'key':<42} {'horizon':>10} {'size':>9} {'age':>8}")
+    print("-" * 73)
+    total = 0
+    for key in keys:
+        horizon = store._peek_horizon(key)
+        hz = f"{horizon:.0f}s" if horizon is not None else "?"
+        size = 0
+        age = "?"
+        for path in (store._json_path(key), store._npz_path(key)):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            size += st.st_size
+            age = f"{(now - st.st_mtime) / HOUR:.1f}h"
+        total += size
+        print(f"{key:<42} {hz:>10} {size:>9d} {age:>8}")
+    print(
+        f"{len(keys)} checkpoint(s), {total / 1e6:.2f} MB in {args.checkpoints}"
+    )
+    return 0
+
+
+def cmd_exp_checkpoints_prune(args: argparse.Namespace) -> int:
+    from repro.exp import make_checkpoint_store
+
+    max_entries, max_age = _prune_budget(args)
+    try:
+        store = make_checkpoint_store(args.checkpoints)
+        removed = store.prune(max_entries, max_age=max_age, lru=args.lru)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    kept = len(store.keys())
+    print(
+        f"pruned {len(removed)} checkpoint(s) from {args.checkpoints} "
+        f"({kept} kept, {_describe_budget(args)})"
     )
     if args.verbose:
         for key in removed:
@@ -467,6 +561,27 @@ def cmd_exp_failures(args: argparse.Namespace) -> int:
         )
     print(f"{len(records)} failure record(s); a successful re-run heals them")
     return 1
+
+
+def _print_profile_summary(profile_dir: str, top: int = 15) -> None:
+    """Aggregate the sweep's ``.pstats`` dumps into one hot-path table."""
+    import io
+    import pstats
+    from pathlib import Path
+
+    paths = sorted(Path(profile_dir).glob("*.pstats"))
+    if not paths:
+        print(f"no profile stats written under {profile_dir}")
+        return
+    stream = io.StringIO()
+    stats = pstats.Stats(*map(str, paths), stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    print()
+    print(
+        f"hot paths ({len(paths)} profile(s) under {profile_dir}, "
+        f"top {top} by cumulative time):"
+    )
+    print(stream.getvalue().rstrip())
 
 
 def cmd_exp_run(args: argparse.Namespace) -> int:
@@ -539,6 +654,8 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
             f"  skipped (known failure): {record.scenario_name} "
             f"({record.scenario_hash}) [{record.kind}]"
         )
+    if getattr(args, "profile", None) is not None:
+        _print_profile_summary(args.profile)
     # Quarantined/skipped scenarios are an accounted-for, deliberate
     # outcome; anything else lost makes the run fail.
     return 1 if report.unquarantined_losses else 0
@@ -637,20 +754,49 @@ def build_parser() -> argparse.ArgumentParser:
         "store", help="result-store maintenance"
     )
     store_sub = p.add_subparsers(dest="store_command", required=True)
+    def _add_prune_budget_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--max-entries", type=int, default=None,
+                       help="keep at most this many entries (oldest "
+                            "evicted first)")
+        p.add_argument("--max-age", type=float, default=None, metavar="HOURS",
+                       help="evict entries older than this many hours")
+        p.add_argument("--lru", action="store_true",
+                       help="order and age entries by last access instead "
+                            "of last write (hits bump the access time)")
+        p.add_argument("--verbose", action="store_true",
+                       help="print each evicted key")
+
     p = store_sub.add_parser(
         "prune",
-        help="evict the oldest store entries beyond a size cap",
+        help="evict store entries beyond a size and/or age budget",
     )
     p.add_argument("--store", default=None, metavar="SPEC",
                    help="result store to prune: dir:PATH or shared:PATH")
     p.add_argument("--cache-dir", default=None,
                    help="shorthand for --store dir:PATH")
-    p.add_argument("--max-entries", type=int, required=True,
-                   help="keep at most this many results (oldest evicted "
-                        "first, .npz series go with their result)")
-    p.add_argument("--verbose", action="store_true",
-                   help="print each evicted key")
+    _add_prune_budget_args(p)
     p.set_defaults(func=cmd_exp_store_prune)
+
+    p = exp_sub.add_parser(
+        "checkpoints", help="warm-start checkpoint-store maintenance"
+    )
+    ckpt_sub = p.add_subparsers(dest="checkpoints_command", required=True)
+    p = ckpt_sub.add_parser(
+        "list", help="list stored warm-start checkpoints"
+    )
+    p.add_argument("--checkpoints", required=True, metavar="SPEC",
+                   help="checkpoint store: a directory path, dir:PATH, or "
+                        "shared:PATH")
+    p.set_defaults(func=cmd_exp_checkpoints_list)
+    p = ckpt_sub.add_parser(
+        "prune",
+        help="evict checkpoints beyond a size and/or age budget",
+    )
+    p.add_argument("--checkpoints", required=True, metavar="SPEC",
+                   help="checkpoint store: a directory path, dir:PATH, or "
+                        "shared:PATH")
+    _add_prune_budget_args(p)
+    p.set_defaults(func=cmd_exp_checkpoints_prune)
 
     p = exp_sub.add_parser(
         "failures",
@@ -696,6 +842,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(p)
     p.add_argument("--bars", action="store_true",
                    help="also print the Figure 8 bar rendering")
+    p.add_argument("--profile", default=None, metavar="DIR",
+                   help="dump per-scenario cProfile stats into DIR "
+                        "(<scenario_hash>.pstats) and print an aggregated "
+                        "top-N hot-path summary after the sweep")
     p.set_defaults(func=cmd_exp_run)
 
     p = exp_sub.add_parser("compare", help="compare two library scenarios")

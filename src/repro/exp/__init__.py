@@ -15,6 +15,10 @@ The subsystem behind ``repro exp run/list/compare``:
   (:class:`DirectoryStore`), or a shared directory safe for
   concurrent writers (:class:`SharedDirectoryStore`)
   (:mod:`repro.exp.store`);
+* :class:`CheckpointStore` — persistent content-addressed warm-start
+  prefixes: the lockstep fork state as a durable artifact, restored
+  bit-identically across runs, backends, and machines
+  (:mod:`repro.exp.checkpoints`);
 * :func:`run_scenario` / :class:`GridRunner` — pure orchestration:
   dedupe → store lookup → backend submit → store write → aggregate
   (:mod:`repro.exp.runner`);
@@ -75,6 +79,17 @@ from repro.exp.store import (
     make_store,
     result_key,
 )
+from repro.exp.checkpoints import (
+    CheckpointStore,
+    CheckpointTally,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+    SharedCheckpointStore,
+    WarmStart,
+    checkpoint_group,
+    checkpoint_key,
+    make_checkpoint_store,
+)
 from repro.exp.runner import (
     GridRunner,
     RunResult,
@@ -120,6 +135,15 @@ __all__ = [
     "StoreHealth",
     "make_store",
     "result_key",
+    "CheckpointStore",
+    "CheckpointTally",
+    "MemoryCheckpointStore",
+    "DirectoryCheckpointStore",
+    "SharedCheckpointStore",
+    "WarmStart",
+    "checkpoint_group",
+    "checkpoint_key",
+    "make_checkpoint_store",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",

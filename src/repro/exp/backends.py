@@ -549,13 +549,26 @@ class BatchBackend(ExecutionBackend):
         grid_dt: float = DEFAULT_SERIES_DT,
         retry: RetryPolicy | None = None,
         timeout: float | None = None,
+        checkpoints: Any = None,
+        tally: Any = None,
+        profile_dir: str | None = None,
     ) -> Iterator[TaskOutcome]:
         """Execute ``scenarios`` (already deduped by the runner),
         yielding ``(index, outcome, retries)`` triples shaped exactly
         like :meth:`ExecutionBackend.map_tasks` — outcomes are
         :func:`repro.exp.runner._run_task`-shaped payloads or
         :class:`~repro.exp.resilience.TaskFailure`.  ``timeout`` is
-        accepted for signature parity but unenforceable in-process."""
+        accepted for signature parity but unenforceable in-process.
+
+        ``checkpoints``/``tally`` thread the runner's warm-start store
+        through **every** execution path: lockstep groups pass a
+        :class:`~repro.exp.checkpoints.WarmStart` into the batch replay,
+        while singleton groups, fault-planned cells, and degraded solo
+        re-runs probe/publish through the serial path — a group of one
+        still reuses (and seeds) the shared prefix instead of silently
+        running cold.  Everything runs in-process, so the runner's
+        tally object is mutated directly."""
+        from repro.exp.checkpoints import WarmStart, checkpoint_group
         from repro.exp.runner import (
             _condense,
             _jobs_for,
@@ -575,9 +588,20 @@ class BatchBackend(ExecutionBackend):
             def one_attempt(attempt: int) -> Any:
                 if series:
                     return run_scenario_with_series(
-                        sc, grid_dt=grid_dt, attempt=attempt
+                        sc,
+                        grid_dt=grid_dt,
+                        attempt=attempt,
+                        checkpoints=checkpoints,
+                        tally=tally,
+                        profile_dir=profile_dir,
                     )
-                return run_scenario(sc, attempt=attempt)
+                return run_scenario(
+                    sc,
+                    attempt=attempt,
+                    checkpoints=checkpoints,
+                    tally=tally,
+                    profile_dir=profile_dir,
+                )
 
             outcome, n_retries = run_with_retry(
                 one_attempt, label=sc.scenario_hash(), retry=retry
@@ -594,12 +618,13 @@ class BatchBackend(ExecutionBackend):
                 continue
             groups.setdefault(self.group_key(sc), []).append(i)
 
-        for (_, platform_hash), idxs in groups.items():
+        for (capfree_hash, platform_hash), idxs in groups.items():
             if len(idxs) == 1:
                 yield run_solo(idxs[0])
                 continue
             t0 = time.perf_counter()
             base = scenarios[idxs[0]]
+            prof = None
             try:
                 platform = get_platform(base.platform)
                 machine = _machine_for(base.platform, platform_hash, base.scale)
@@ -612,6 +637,16 @@ class BatchBackend(ExecutionBackend):
                     base.overload,
                     base.scale,
                 )
+                warm = (
+                    WarmStart(checkpoints, checkpoint_group(base), tally)
+                    if checkpoints is not None
+                    else None
+                )
+                if profile_dir is not None:
+                    import cProfile
+
+                    prof = cProfile.Profile()
+                    prof.enable()
                 replays = run_replay_batch(
                     machine,
                     jobs,
@@ -622,15 +657,25 @@ class BatchBackend(ExecutionBackend):
                     ],
                     config=base.build_config(),
                     platform=platform,
+                    warm_start=warm,
                 )
             except Exception:  # noqa: BLE001 - degrade, don't lose the group
                 # The lockstep replay itself failed: degrade every cell
                 # of this group to an independent solo re-run.  The
                 # failure cannot be attributed to one cell from here;
                 # solo execution attributes (and retries) it exactly.
+                if prof is not None:
+                    prof.disable()
                 for i in idxs:
                     yield run_solo(i)
                 continue
+            if prof is not None:
+                prof.disable()
+                from pathlib import Path
+
+                out = Path(profile_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                prof.dump_stats(out / f"batch-{capfree_hash}.pstats")
             # Each cell's wall clock reports its share of the batch, so
             # aggregate wall sums stay comparable across backends.
             t_end = time.perf_counter()

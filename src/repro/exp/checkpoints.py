@@ -1,0 +1,554 @@
+"""Persistent content-addressed checkpoints: cross-run warm starts.
+
+PR 6's lockstep batch replay showed that everything before a cap
+window's divergence onset is a *shared prefix* — but the fork only
+paid off when sibling cells happened to land in the same process of
+the same run.  This module makes the prefix durable: the captured
+fork state (:func:`repro.sim.batch.capture_fork_state`) becomes a
+versioned artifact in a :class:`CheckpointStore`, so any later run —
+serial, pool worker, sharded CI job, another machine — restores the
+prefix instead of replaying it.
+
+**Checkpoint key.**  A stored prefix is valid for every scenario that
+shares its cap-free content, platform and policy, at any horizon at or
+beyond the stored one::
+
+    <cap-free scenario hash:16>-<platform hash:8>-<policy hash:8>-h<horizon tag:8>
+
+The first three segments are the *group* (:func:`checkpoint_group`):
+the scenario's content hash with its cap windows stripped (name never
+counts, see :meth:`~repro.exp.spec.Scenario.scenario_hash`), the
+registered platform spec's content hash, and the policy spec's content
+hash.  The horizon tag hashes the exact ``float.hex()`` rendering of
+the fork time, so distinct horizons of one group coexist and
+:meth:`CheckpointStore.best` picks the deepest one not exceeding the
+requesting cell's own divergence onset.
+
+**Artifact schema.**  One checkpoint is a JSON file plus an ``.npz``:
+
+* ``<key>.json`` — ``{"schema": CHECKPOINT_SCHEMA, "group": ...,
+  "horizon": <hexfloat>, "meta": <fork-state meta>}``.  The fork-state
+  meta is pure JSON with every float rendered via ``float.hex()``
+  (bit-exact round trip, including ``-inf``); its own ``version``
+  field is :data:`repro.sim.batch.FORK_STATE_VERSION`.
+* ``<key>.npz`` — the fork state's numpy arrays (node/power state,
+  fair-share usage, the columnar metrics prefix, job allocations).
+
+The ``.npz`` is written first and the JSON second, so the JSON is the
+commit point: a torn pair is either invisible (orphan ``.npz``) or
+discarded loudly on first read and re-published by the next cold run.
+A wrapper-schema or fork-state-version mismatch is *silent* staleness
+(the entry is left for the build that wrote it); anything unreadable
+is corruption — discarded with a warning, tallied in ``health``, and
+healed by the caller's cold start.  Restores are bit-identical by
+construction: the persisted representation *is* the in-memory fork
+representation, installed through the same
+:func:`~repro.sim.batch.install_fork_state` path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+import socket
+import time
+import warnings
+from dataclasses import dataclass
+from itertools import count
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.exp.store import TRANSIENT_ERRNOS, StoreHealth, _prune_files
+from repro.sim.batch import FORK_STATE_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exp.spec import Scenario
+
+#: version of the artifact wrapper; the fork-state layout carries its
+#: own version (:data:`repro.sim.batch.FORK_STATE_VERSION`) inside
+CHECKPOINT_SCHEMA = 1
+
+#: shape of a :func:`checkpoint_key`:
+#: ``<cap-free scenario16>-<platform8>-<policy8>-h<horizon8>``
+_CKPT_KEY_RE = re.compile(r"[0-9a-f]{16}-[0-9a-f]{8}-[0-9a-f]{8}-h[0-9a-f]{8}")
+
+
+def checkpoint_group(scenario: "Scenario") -> str:
+    """Content-addressed group: cap-free scenario + platform + policy.
+
+    Mirrors :func:`repro.exp.store.result_key` with the cap windows
+    stripped from the scenario hash — every cell of a cap sweep maps
+    to the same group, which is exactly the set of cells that share a
+    replay prefix.
+    """
+    from repro.platform import get_platform
+
+    cap_free = scenario.with_(caps=()).scenario_hash()
+    platform_hash = get_platform(scenario.platform).content_hash()
+    policy_hash = scenario.policy_spec.content_hash()
+    return f"{cap_free}-{platform_hash[:8]}-{policy_hash[:8]}"
+
+
+def horizon_tag(horizon: float) -> str:
+    """Tag of one fork horizon, hashed from its exact bit pattern."""
+    digest = hashlib.sha256(float(horizon).hex().encode("ascii")).hexdigest()
+    return f"h{digest[:8]}"
+
+
+def checkpoint_key(group: str, horizon: float) -> str:
+    return f"{group}-{horizon_tag(horizon)}"
+
+
+@dataclass
+class CheckpointTally:
+    """Warm-start accounting for one sweep: store hits, misses (cold
+    prefix replays that then publish), and published checkpoints."""
+
+    hits: int = 0
+    misses: int = 0
+    publishes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "publishes": self.publishes,
+        }
+
+    def add(self, other: Mapping[str, int]) -> None:
+        self.hits += int(other.get("hits", 0))
+        self.misses += int(other.get("misses", 0))
+        self.publishes += int(other.get("publishes", 0))
+
+    def __bool__(self) -> bool:
+        return bool(self.hits or self.misses or self.publishes)
+
+
+class CheckpointStore:
+    """Duck-typed protocol of a fork-state checkpoint store.
+
+    ``best`` is the read path the replay layers use: the deepest
+    stored horizon of a group that does not exceed the requesting
+    cell's own divergence onset.  ``put`` persists a captured state
+    under its content-addressed key; ``get``/``has`` are key-exact.
+    """
+
+    #: whether worker processes may reconstruct this store from its
+    #: pickled form and still observe the same entries (directory
+    #: stores: yes; a memory store pickles into an empty copy)
+    shareable = False
+
+    def get(self, key: str) -> dict | None:
+        raise NotImplementedError
+
+    def put(self, group: str, horizon: float, state: dict) -> str:
+        raise NotImplementedError
+
+    def has(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def best(self, group: str, max_horizon: float) -> dict | None:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        max_age: float | None = None,
+        lru: bool = False,
+    ) -> list[str]:
+        raise NotImplementedError
+
+    @property
+    def health(self) -> StoreHealth:
+        h = getattr(self, "_health", None)
+        if h is None:
+            h = StoreHealth()
+            setattr(self, "_health", h)
+        return h
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-process checkpoint memo (tests, single-run warm starts)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[str, float, dict]] = {}
+
+    def get(self, key: str) -> dict | None:
+        entry = self._entries.get(key)
+        return None if entry is None else entry[2]
+
+    def put(self, group: str, horizon: float, state: dict) -> str:
+        key = checkpoint_key(group, horizon)
+        self._entries.pop(key, None)  # re-putting refreshes LRU order
+        self._entries[key] = (group, float(horizon), state)
+        return key
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def best(self, group: str, max_horizon: float) -> dict | None:
+        best_h, best_key = -math.inf, None
+        for key, (g, h, _) in self._entries.items():
+            if g == group and h <= max_horizon and h > best_h:
+                best_h, best_key = h, key
+        return None if best_key is None else self._entries[best_key][2]
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        max_age: float | None = None,
+        lru: bool = False,
+    ) -> list[str]:
+        if max_age is not None:
+            raise ValueError("memory checkpoint store does not track entry age")
+        if max_entries is None or max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        evict = max(0, len(self._entries) - max_entries)
+        removed = list(self._entries)[:evict]  # dicts keep insertion order
+        for key in removed:
+            del self._entries[key]
+        return removed
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """Local checkpoint directory: ``<dir>/<key>.json`` + ``<key>.npz``.
+
+    Mirrors :class:`repro.exp.store.DirectoryStore`: atomic temp-file
+    writes, loud discard of corrupt entries (both halves of the pair
+    go together), silent miss on schema staleness, mtime/atime-ordered
+    pruning.
+    """
+
+    shareable = True
+
+    _write_attempts = 1
+    _retry_delay = 0.05
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- paths ------------------------------------------------------------------------
+
+    def _json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _tmp_name(self, key: str, suffix: str) -> str:
+        return f"{key}.tmp.{os.getpid()}{suffix}"
+
+    # -- write machinery (mirrors DirectoryStore) --------------------------------------
+
+    def _discard(self, key: str, reason: Exception) -> None:
+        """Drop both halves of an unreadable checkpoint, loudly: the
+        caller cold-starts and re-publishes."""
+        self.health.discarded += 1
+        warnings.warn(
+            f"discarding corrupt checkpoint {self._json_path(key)}: {reason!r}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        for path in (self._json_path(key), self._npz_path(key)):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - races with other healers
+                pass
+
+    def _guarded_write(self, label: str, write) -> None:
+        attempts = self._write_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                return write()
+            except OSError as exc:
+                transient = exc.errno in TRANSIENT_ERRNOS
+                if transient and attempt < attempts:
+                    self.health.retried_writes += 1
+                    time.sleep(self._retry_delay * 2 ** (attempt - 1))
+                    continue
+                if transient and attempts > 1:
+                    self.health.failed_writes += 1
+                    warnings.warn(
+                        f"abandoning checkpoint write {label}: {exc!r} "
+                        f"(after {attempts} attempts; the prefix will be "
+                        "replayed cold on demand)",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    return
+                raise
+
+    def _replace(self, tmp: Path, path: Path) -> None:
+        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+
+    def _touch(self, path: Path) -> None:
+        """Bump the access time (LRU pruning) without moving mtime."""
+        try:
+            st = path.stat()
+            os.utime(path, times=(time.time(), st.st_mtime))
+        except OSError:  # pragma: no cover - read-only or raced store
+            pass
+
+    # -- read/write --------------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        jpath = self._json_path(key)
+        if not jpath.is_file():
+            return None
+        try:
+            wrapper = json.loads(jpath.read_text(encoding="utf-8"))
+            schema = wrapper["schema"]
+            group = wrapper["group"]
+            meta = wrapper["meta"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            self._discard(key, exc)
+            return None
+        if schema != CHECKPOINT_SCHEMA:
+            return None  # wrapper-schema bump is expected staleness
+        if not isinstance(meta, dict) or meta.get("version") != FORK_STATE_VERSION:
+            return None  # fork-state layout bump: same silent miss
+        # Content addressing is the integrity check: the key must spell
+        # out the stored group and the stored horizon's exact bits.
+        if not key.startswith(f"{group}-h") or not key.endswith(
+            horizon_tag(float.fromhex(meta["horizon"]))
+        ):
+            self._discard(key, ValueError("stored checkpoint does not match key"))
+            return None
+        try:
+            with np.load(self._npz_path(key)) as z:
+                arrays = {name: z[name] for name in z.files}
+        except Exception as exc:
+            self._discard(key, exc)
+            return None
+        self._touch(jpath)
+        return {"meta": meta, "arrays": arrays}
+
+    def put(self, group: str, horizon: float, state: dict) -> str:
+        key = checkpoint_key(group, horizon)
+        wrapper = {
+            "schema": CHECKPOINT_SCHEMA,
+            "group": group,
+            "horizon": float(horizon).hex(),
+            "meta": state["meta"],
+        }
+        payload = json.dumps(wrapper, allow_nan=False)
+        # Arrays first, JSON second: the JSON is the commit point, so
+        # a torn pair is invisible rather than half-readable.
+        self._guarded_write(
+            f"{key}.npz", lambda: self._write_npz(key, state["arrays"])
+        )
+        self._guarded_write(
+            f"{key}.json", lambda: self._write_text(key, payload)
+        )
+        return key
+
+    def _write_npz(self, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        path = self._npz_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / self._tmp_name(key, ".npz")
+        try:
+            np.savez_compressed(tmp, **arrays)
+            self._replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def _write_text(self, key: str, payload: str) -> None:
+        path = self._json_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / self._tmp_name(key, ".json")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            self._replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def has(self, key: str) -> bool:
+        return self._json_path(key).is_file()
+
+    def _peek_horizon(self, key: str) -> float | None:
+        """The stored horizon, from the JSON wrapper only (no arrays)."""
+        try:
+            wrapper = json.loads(
+                self._json_path(key).read_text(encoding="utf-8")
+            )
+            if wrapper["schema"] != CHECKPOINT_SCHEMA:
+                return None
+            return float.fromhex(wrapper["horizon"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None  # get() on the winner discards what it must
+
+    def best(self, group: str, max_horizon: float) -> dict | None:
+        prefix = f"{group}-h"
+        candidates = [
+            (h, key)
+            for key in self.keys()
+            if key.startswith(prefix)
+            and (h := self._peek_horizon(key)) is not None
+            and h <= max_horizon
+        ]
+        # Deepest horizon first; a corrupt winner is discarded by get()
+        # and the next-deepest entry serves instead.
+        for _, key in sorted(candidates, reverse=True):
+            state = self.get(key)
+            if state is not None:
+                return state
+        return None
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.stem
+            for p in self.root.rglob("*.json")
+            if _CKPT_KEY_RE.fullmatch(p.stem)
+        )
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        max_age: float | None = None,
+        lru: bool = False,
+    ) -> list[str]:
+        """Evict checkpoints by count and/or age.
+
+        ``max_entries`` keeps at most that many entries (oldest out
+        first); ``max_age`` evicts every entry older than that many
+        seconds.  Age and eviction order use the JSON file's mtime
+        (least recently *written*), or its atime with ``lru=True``
+        (least recently *restored* — reads bump the access time).
+        """
+        return _prune_files(
+            self,
+            [(key, (self._json_path(key), self._npz_path(key))) for key in self.keys()],
+            max_entries=max_entries,
+            max_age=max_age,
+            lru=lru,
+        )
+
+    def _evicted(self, key: str) -> None:
+        """Hook run after ``key``'s files are unlinked by :meth:`prune`."""
+
+
+class SharedCheckpointStore(DirectoryCheckpointStore):
+    """A checkpoint store safe for concurrent writers across machines.
+
+    Same hardening as :class:`repro.exp.store.SharedDirectoryStore`:
+    two-level key fan-out, collision-free temp names, fsync before the
+    atomic rename, first-writer-wins (fork states are a pure function
+    of the checkpoint key, so concurrent publishers produce identical
+    bytes and the second write is skipped), and transient-``OSError``
+    retry with bounded backoff.
+    """
+
+    _seq = count()
+    _write_attempts = 4
+
+    def _json_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def _tmp_name(self, key: str, suffix: str) -> str:
+        host = socket.gethostname() or "host"
+        return f"{key}.tmp.{host}.{os.getpid()}.{next(self._seq)}{suffix}"
+
+    def put(self, group: str, horizon: float, state: dict) -> str:
+        key = checkpoint_key(group, horizon)
+        if self._json_path(key).is_file():
+            return key
+        return super().put(group, horizon, state)
+
+    def _replace(self, tmp: Path, path: Path) -> None:
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+
+    def _evicted(self, key: str) -> None:
+        try:
+            (self.root / key[:2]).rmdir()
+        except OSError:
+            pass
+
+
+class WarmStart:
+    """Binds a checkpoint store to one group: the duck-typed adapter
+    :func:`repro.sim.batch.run_replay_batch` consumes.
+
+    ``load`` serves the deepest stored horizon not exceeding the
+    batch's own fork time; ``publish`` persists a freshly captured
+    prefix (skipping the write when the exact key already exists —
+    checkpoint content is a pure function of its key, so the stored
+    bytes are already identical).  Every probe and publish is tallied.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        group: str,
+        tally: CheckpointTally | None = None,
+    ) -> None:
+        self.store = store
+        self.group = group
+        self.tally = tally if tally is not None else CheckpointTally()
+
+    def load(self, max_horizon: float) -> dict | None:
+        state = self.store.best(self.group, max_horizon)
+        if state is None:
+            self.tally.misses += 1
+        else:
+            self.tally.hits += 1
+        return state
+
+    def publish(self, horizon: float, state: dict) -> None:
+        if self.store.has(checkpoint_key(self.group, horizon)):
+            return
+        self.store.put(self.group, horizon, state)
+        self.tally.publishes += 1
+
+
+def make_checkpoint_store(spec: str) -> CheckpointStore:
+    """Build a checkpoint store from a CLI-style spec string.
+
+    ``memory`` — in-process memo; ``dir:PATH`` — local directory;
+    ``shared:PATH`` — shared directory safe for concurrent writers.  A
+    bare path is shorthand for ``dir:PATH``.
+    """
+    kind, sep, arg = spec.partition(":")
+    if not sep and kind not in ("memory", "dir", "shared"):
+        kind, arg = "dir", spec
+    if kind == "memory":
+        if arg:
+            raise ValueError("memory checkpoint store takes no argument")
+        return MemoryCheckpointStore()
+    if kind == "dir":
+        if not arg:
+            raise ValueError("dir checkpoint store needs a path: dir:PATH")
+        return DirectoryCheckpointStore(arg)
+    if kind == "shared":
+        if not arg:
+            raise ValueError("shared checkpoint store needs a path: shared:PATH")
+        return SharedCheckpointStore(arg)
+    raise ValueError(
+        f"unknown checkpoint store spec {spec!r}; "
+        "expected memory, dir:PATH or shared:PATH"
+    )

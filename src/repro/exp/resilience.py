@@ -214,6 +214,10 @@ class SweepReport:
     backend: str = ""
     wall_seconds: float = 0.0
     store_health: dict[str, int] = field(default_factory=dict)
+    #: warm-start accounting when a checkpoint store was configured
+    #: (see :class:`repro.exp.checkpoints.CheckpointTally`); empty when
+    #: no store was in play or no cell was fork-eligible
+    checkpoints: dict[str, int] = field(default_factory=dict)
 
     @property
     def quarantined(self) -> list[FailureRecord]:
@@ -247,6 +251,13 @@ class SweepReport:
             parts.append(f"{len(self.skipped)} skipped (known failures)")
         if self.healed:
             parts.append(f"{len(self.healed)} healed")
+        ck = self.checkpoints
+        if ck and any(ck.values()):
+            parts.append(
+                f"warm starts: {ck.get('hits', 0)} hit(s), "
+                f"{ck.get('misses', 0)} miss(es), "
+                f"{ck.get('publishes', 0)} published"
+            )
         return ", ".join(parts)
 
 

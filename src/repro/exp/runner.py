@@ -39,6 +39,14 @@ from repro.exp.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ShardedBackend,
+)
+from repro.exp.checkpoints import (
+    CheckpointStore,
+    CheckpointTally,
+    WarmStart,
+    checkpoint_group,
+    make_checkpoint_store,
 )
 from repro.exp.resilience import (
     ON_ERROR_MODES,
@@ -236,11 +244,26 @@ def _jobs_for(
     )
 
 
-def replay_scenario(scenario: Scenario) -> ReplayResult:
-    """Run the full replay of a scenario (in-process, full telemetry)."""
+def replay_scenario(
+    scenario: Scenario,
+    *,
+    checkpoints: CheckpointStore | None = None,
+    tally: CheckpointTally | None = None,
+) -> ReplayResult:
+    """Run the full replay of a scenario (in-process, full telemetry).
+
+    With a ``checkpoints`` store the replay runs as a batch of one
+    cell through :func:`repro.sim.batch.run_replay_batch` — bit
+    identical to the plain path, pinned by the cross-backend golden
+    digests — probing the store for its cap-free prefix before
+    replaying it cold, and publishing the prefix on a miss so the next
+    run (any backend, any process, any machine) warm-starts.  Probes
+    and publishes are tallied into ``tally`` when given.
+    """
     from repro.platform import get_platform
 
-    platform_hash = get_platform(scenario.platform).content_hash()
+    platform = get_platform(scenario.platform)
+    platform_hash = platform.content_hash()
     machine = _machine_for(scenario.platform, platform_hash, scenario.scale)
     jobs = _jobs_for(
         scenario.platform,
@@ -251,6 +274,20 @@ def replay_scenario(scenario: Scenario) -> ReplayResult:
         scenario.overload,
         scenario.scale,
     )
+    if checkpoints is not None:
+        from repro.sim.batch import run_replay_batch
+
+        warm = WarmStart(checkpoints, checkpoint_group(scenario), tally)
+        return run_replay_batch(
+            machine,
+            jobs,
+            scenario.build_policy(machine),
+            duration=scenario.effective_duration,
+            caps_per_cell=[scenario.build_caps(machine)],
+            config=scenario.build_config(),
+            platform=platform,
+            warm_start=warm,
+        )[0]
     return run_replay(
         machine,
         jobs,
@@ -282,27 +319,75 @@ def scenario_series(scenario: Scenario, *, grid_dt: float = 300.0) -> dict[str, 
     }
 
 
-def run_scenario(scenario: Scenario, *, attempt: int = 1) -> RunResult:
+class _profiled:
+    """Context manager dumping a cProfile of its body per scenario.
+
+    ``<profile_dir>/<scenario_hash>.pstats``, one file per scenario —
+    pool workers write files, so profiles survive process boundaries;
+    ``repro exp run --profile DIR`` aggregates them afterwards.
+    """
+
+    def __init__(self, scenario: Scenario, profile_dir: str | Path | None):
+        self.scenario = scenario
+        self.profile_dir = profile_dir
+        self._prof = None
+
+    def __enter__(self) -> "_profiled":
+        if self.profile_dir is not None:
+            import cProfile
+
+            self._prof = cProfile.Profile()
+            self._prof.enable()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._prof is not None:
+            self._prof.disable()
+            out = Path(self.profile_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            self._prof.dump_stats(
+                out / f"{self.scenario.scenario_hash()}.pstats"
+            )
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    attempt: int = 1,
+    checkpoints: CheckpointStore | None = None,
+    tally: CheckpointTally | None = None,
+    profile_dir: str | Path | None = None,
+) -> RunResult:
     """Replay one scenario and condense it into a :class:`RunResult`.
 
     ``attempt`` is the 1-based execution count — the fault-injection
     hook keys on it, so a ``times=1`` fault fails the first attempt
     and lets the retry through.  A no-op unless a plan is armed.
+    ``checkpoints``/``tally`` thread warm starts into the replay (see
+    :func:`replay_scenario`); ``profile_dir`` wraps it in cProfile.
     """
     _faults.maybe_fire(scenario.scenario_hash(), attempt)
     t0 = time.perf_counter()
-    result = replay_scenario(scenario)
+    with _profiled(scenario, profile_dir):
+        result = replay_scenario(scenario, checkpoints=checkpoints, tally=tally)
     return _condense(scenario, result, t0)
 
 
 def run_scenario_with_series(
-    scenario: Scenario, *, grid_dt: float = 300.0, attempt: int = 1
+    scenario: Scenario,
+    *,
+    grid_dt: float = 300.0,
+    attempt: int = 1,
+    checkpoints: CheckpointStore | None = None,
+    tally: CheckpointTally | None = None,
+    profile_dir: str | Path | None = None,
 ) -> tuple[RunResult, dict[str, np.ndarray]]:
     """Replay one scenario; return the condensed result *and* the
     Figure 6/7 grid series (the payload behind ``.npz`` caching)."""
     _faults.maybe_fire(scenario.scenario_hash(), attempt)
     t0 = time.perf_counter()
-    result = replay_scenario(scenario)
+    with _profiled(scenario, profile_dir):
+        result = replay_scenario(scenario, checkpoints=checkpoints, tally=tally)
     run = _condense(scenario, result, t0)
     grid = dict(result.recorder.to_grid(0.0, result.duration, grid_dt))
     return run, grid
@@ -361,6 +446,11 @@ def _platform_payload(scenarios: Sequence[Scenario]) -> tuple[dict, ...]:
     )
 
 
+#: sentinel wrapping a checkpoint-enabled task payload so the driver
+#: can recover the worker-side warm-start tally from the outcome
+_CKPT_WRAPPER = "__ckpt__"
+
+
 def _run_task(
     scenario: Scenario,
     *,
@@ -369,6 +459,8 @@ def _run_task(
     grid_dt: float,
     faults: Mapping[str, Any] | None = None,
     attempt: int = 1,
+    checkpoints: CheckpointStore | None = None,
+    profile_dir: str | None = None,
 ):
     """One GridRunner work item (top-level so it pickles to workers)."""
     if platforms:
@@ -382,9 +474,34 @@ def _run_task(
         # Arm the driver's fault plan in this process: a spawn worker
         # starts disarmed, and a fork worker's copy may be stale.
         _faults.install_plan(faults)
+    if checkpoints is None:
+        if series:
+            return run_scenario_with_series(
+                scenario, grid_dt=grid_dt, attempt=attempt, profile_dir=profile_dir
+            )
+        return run_scenario(scenario, attempt=attempt, profile_dir=profile_dir)
+    # A directory checkpoint store pickles as its path, so a pool
+    # worker probes/publishes the same entries as the driver; the
+    # per-call tally rides back in-band inside the outcome.
+    tally = CheckpointTally()
     if series:
-        return run_scenario_with_series(scenario, grid_dt=grid_dt, attempt=attempt)
-    return run_scenario(scenario, attempt=attempt)
+        payload: Any = run_scenario_with_series(
+            scenario,
+            grid_dt=grid_dt,
+            attempt=attempt,
+            checkpoints=checkpoints,
+            tally=tally,
+            profile_dir=profile_dir,
+        )
+    else:
+        payload = run_scenario(
+            scenario,
+            attempt=attempt,
+            checkpoints=checkpoints,
+            tally=tally,
+            profile_dir=profile_dir,
+        )
+    return (_CKPT_WRAPPER, tally.to_dict(), payload)
 
 
 class GridRunner:
@@ -461,6 +578,23 @@ class GridRunner:
         (drop them, mark their persisted
         :class:`~repro.exp.resilience.FailureRecord` quarantined, and
         keep retrying them on later sweeps).
+    checkpoints:
+        A :class:`~repro.exp.checkpoints.CheckpointStore` (or a
+        CLI-style spec string / directory path, see
+        :func:`~repro.exp.checkpoints.make_checkpoint_store`) of
+        persistent warm-start prefixes.  Every executed cell probes
+        the store for its cap-free prefix before replaying it cold and
+        publishes it on a miss; on a multi-process pool the runner
+        additionally plans reuse up front — one elected publisher per
+        unstored checkpoint group runs first, then the rest of the
+        grid fans out as warm starts.  Hit/miss/publish tallies land
+        in :attr:`SweepReport.checkpoints`.  An in-memory checkpoint
+        store only helps in-process backends (pool workers would probe
+        a pickled empty copy), so it is not shipped to pools.
+    profile_dir:
+        Dump one cProfile stats file per executed scenario into this
+        directory (``<scenario_hash>.pstats``; the batch backend adds
+        ``batch-<group>.pstats`` per lockstep group).
     """
 
     def __init__(
@@ -477,6 +611,8 @@ class GridRunner:
         retry: RetryPolicy | None = None,
         timeout: float | None = None,
         on_error: str = "raise",
+        checkpoints: "CheckpointStore | str | Path | None" = None,
+        profile_dir: str | Path | None = None,
     ) -> None:
         self.workers = int(workers) if workers is not None else 1
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -514,6 +650,10 @@ class GridRunner:
         self.retry = retry
         self.timeout = timeout
         self.on_error = on_error
+        if checkpoints is not None and not hasattr(checkpoints, "best"):
+            checkpoints = make_checkpoint_store(str(checkpoints))
+        self.checkpoints = checkpoints
+        self.profile_dir = Path(profile_dir) if profile_dir is not None else None
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -578,6 +718,44 @@ class GridRunner:
         miss behaviour for stale resolutions.
         """
         return self.store.get_series(result_key(scenario))
+
+    # -- warm-start planning ----------------------------------------------------------
+
+    def _backend_in_process(self) -> bool:
+        """Whether scenarios execute in this process (no pool workers)."""
+        b = self.backend
+        while isinstance(b, ShardedBackend):
+            b = b.inner
+        return not isinstance(b, ProcessPoolBackend)
+
+    def _plan_waves(self, to_run: Sequence[Scenario]) -> list[list[int]]:
+        """Plan prefix reuse for a multi-process fan-out.
+
+        Groups the deduped work list by checkpoint group (cap-free
+        scenario × platform × policy).  For every group of two or more
+        cells with nothing stored yet, one **publisher** is elected
+        into the first wave; everything else lands in the second wave
+        and fans out against the published prefixes.  Without the
+        split, parallel workers of one group would all miss and replay
+        the shared prefix cold, then race to publish the same artifact.
+        """
+        assert self.checkpoints is not None
+        stored = set(self.checkpoints.keys())
+        groups: dict[str, list[int]] = {}
+        for i, sc in enumerate(to_run):
+            groups.setdefault(checkpoint_group(sc), []).append(i)
+        first: list[int] = []
+        rest: list[int] = []
+        for group, members in groups.items():
+            has_entry = any(k.startswith(f"{group}-h") for k in stored)
+            if len(members) > 1 and not has_entry:
+                first.append(members[0])
+                rest.extend(members[1:])
+            else:
+                rest.extend(members)
+        if not first:
+            return [sorted(rest)]
+        return [sorted(first), sorted(rest)]
 
     # -- execution --------------------------------------------------------------------
 
@@ -746,6 +924,15 @@ class GridRunner:
         want_series = self._want_series
         grid_dt = self.store.series_dt if want_series else self.series_dt
         plan = _faults.active_plan()
+        ckpt_tally = CheckpointTally()
+        in_process = self._backend_in_process()
+        # An in-memory checkpoint store can't cross a process boundary
+        # (workers would probe a pickled empty copy and publish into
+        # the void), so only shareable stores ship to pools.
+        use_ckpt = self.checkpoints is not None and (
+            in_process or self.checkpoints.shareable
+        )
+        profile_arg = str(self.profile_dir) if self.profile_dir is not None else None
         if getattr(self.backend, "wants_scenarios", False):
             # Scenario-aware backends (batch) group and execute the
             # specs themselves; outcomes come back shaped like
@@ -756,21 +943,47 @@ class GridRunner:
                 grid_dt=grid_dt,
                 retry=retry,
                 timeout=timeout,
+                checkpoints=self.checkpoints if use_ckpt else None,
+                tally=ckpt_tally,
+                profile_dir=profile_arg,
             )
         else:
-            task: Callable[..., Any] = partial(
-                _run_task,
-                platforms=_platform_payload(to_run),
-                series=want_series,
-                grid_dt=grid_dt,
-                faults=plan.to_dict() if plan is not None else None,
-            )
-            outcomes = self.backend.map_tasks(
-                task, to_run, retry=retry, timeout=timeout
-            )
+            def _map_subset(subset: Sequence[Scenario]) -> Iterable[Any]:
+                task: Callable[..., Any] = partial(
+                    _run_task,
+                    platforms=_platform_payload(subset),
+                    series=want_series,
+                    grid_dt=grid_dt,
+                    faults=plan.to_dict() if plan is not None else None,
+                    checkpoints=self.checkpoints if use_ckpt else None,
+                    profile_dir=profile_arg,
+                )
+                return self.backend.map_tasks(
+                    task, subset, retry=retry, timeout=timeout
+                )
+
+            if use_ckpt and not in_process and len(to_run) > 1:
+                # Pool fan-out: run one elected publisher per unstored
+                # checkpoint group first, then warm-start the rest.
+                def _iter_waves() -> Iterable[Any]:
+                    for wave in self._plan_waves(to_run):
+                        subset = [to_run[i] for i in wave]
+                        for local, outcome, retries in _map_subset(subset):
+                            yield wave[local], outcome, retries
+
+                outcomes = _iter_waves()
+            else:
+                outcomes = _map_subset(to_run)
         for index, outcome, retries in outcomes:
             report.n_retries += retries
             sc = to_run[index]
+            if (
+                isinstance(outcome, tuple)
+                and len(outcome) == 3
+                and outcome[0] == _CKPT_WRAPPER
+            ):
+                _, tally_dict, outcome = outcome
+                ckpt_tally.add(tally_dict)
             if isinstance(outcome, TaskFailure):
                 record_failure(sc, outcome)
             else:
@@ -794,4 +1007,5 @@ class GridRunner:
         report.results = [r for r in results if r is not None]
         report.wall_seconds = time.perf_counter() - t_sweep
         report.store_health = self.store.health.to_dict()
+        report.checkpoints = ckpt_tally.to_dict() if ckpt_tally else {}
         return report

@@ -101,6 +101,54 @@ class StoreHealth:
 _KEY_RE = re.compile(r"[0-9a-f]{16}-[0-9a-f]{8}-[0-9a-f]{8}")
 
 
+def _prune_files(
+    store,
+    entries: list[tuple[str, tuple[Path, ...]]],
+    *,
+    max_entries: int | None,
+    max_age: float | None,
+    lru: bool,
+) -> list[str]:
+    """Shared count/age/LRU eviction over per-key file tuples.
+
+    The first path of each tuple orders the entry (its mtime, or atime
+    with ``lru``); ties break on the key so concurrent pruners agree.
+    An entry is evicted when it exceeds the count budget *or* the age
+    budget — the union, so both constraints hold afterwards.
+    """
+    if max_entries is None and max_age is None:
+        raise ValueError("prune needs max_entries and/or max_age")
+    if max_entries is not None and max_entries < 0:
+        raise ValueError("max_entries must be >= 0")
+    if max_age is not None and max_age < 0:
+        raise ValueError("max_age must be >= 0")
+    now = time.time()
+    ordered: list[tuple[float, str, tuple[Path, ...]]] = []
+    for key, paths in entries:
+        try:
+            st = paths[0].stat()
+        except OSError:  # pragma: no cover - raced with another pruner
+            continue
+        ordered.append((st.st_atime if lru else st.st_mtime, key, paths))
+    ordered.sort(key=lambda e: (e[0], e[1]))
+    n_over = (
+        0 if max_entries is None else max(0, len(ordered) - max_entries)
+    )
+    cutoff = None if max_age is None else now - max_age
+    removed: list[str] = []
+    for i, (ts, key, paths) in enumerate(ordered):
+        if i >= n_over and (cutoff is None or ts >= cutoff):
+            continue
+        for path in paths:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        store._evicted(key)
+        removed.append(key)
+    return removed
+
+
 def result_key(scenario: "Scenario") -> str:
     """Content-addressed store key: scenario + platform + policy content.
 
@@ -185,11 +233,22 @@ class ResultStore:
             setattr(self, "_health", h)
         return h
 
-    def prune(self, max_entries: int) -> list[str]:
-        """Evict the oldest entries so at most ``max_entries`` remain.
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        max_age: float | None = None,
+        lru: bool = False,
+    ) -> list[str]:
+        """Evict entries by count and/or age budget.
 
-        Returns the evicted keys (oldest first).  Eviction order is
-        least-recently-*written*; pruned entries are simply recomputed
+        At most ``max_entries`` remain afterwards, and every survivor
+        is younger than ``max_age`` seconds (both constraints apply
+        when both are given; at least one is required).  Returns the
+        evicted keys (oldest first).  Default eviction order is
+        least-recently-*written*; ``lru=True`` orders and ages entries
+        by last access instead (directory stores bump an entry's
+        ``atime`` on every hit).  Pruned entries are simply recomputed
         on the next request, so pruning is always safe.
         """
         raise NotImplementedError
@@ -233,7 +292,20 @@ class MemoryStore(ResultStore):
     def keys(self) -> list[str]:
         return sorted(self._results)
 
-    def prune(self, max_entries: int) -> list[str]:
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        max_age: float | None = None,
+        lru: bool = False,
+    ) -> list[str]:
+        if max_age is not None or lru:
+            raise ValueError(
+                "MemoryStore keeps no timestamps; age/LRU pruning needs "
+                "a directory store"
+            )
+        if max_entries is None:
+            raise ValueError("prune needs max_entries and/or max_age")
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")
         evict = max(0, len(self._results) - max_entries)
@@ -357,7 +429,16 @@ class DirectoryStore(ResultStore):
             # hand-edited.
             self._discard(path, ValueError("stored scenario does not match key"))
             return None
+        self._touch(path)
         return result
+
+    def _touch(self, path: Path) -> None:
+        """Bump the access time (LRU pruning) without moving mtime."""
+        try:
+            st = path.stat()
+            os.utime(path, times=(time.time(), st.st_mtime))
+        except OSError:  # pragma: no cover - read-only or raced store
+            pass
 
     def put(self, key: str, result: "RunResult") -> None:
         payload = json.dumps(result.to_dict(), allow_nan=False)
@@ -501,31 +582,28 @@ class DirectoryStore(ResultStore):
             p.stem for p in self.root.rglob("*.json") if _KEY_RE.fullmatch(p.stem)
         )
 
-    def prune(self, max_entries: int) -> list[str]:
-        """Evict the oldest entries (by result-file mtime) so at most
-        ``max_entries`` remain; the ``.npz`` series payload goes with
-        its result.  Ties break on the key, so concurrent pruners make
-        the same choice."""
-        if max_entries < 0:
-            raise ValueError("max_entries must be >= 0")
-        entries: list[tuple[float, str]] = []
-        for key in self.keys():
-            try:
-                mtime = self._result_path(key).stat().st_mtime
-            except OSError:  # pragma: no cover - raced with another pruner
-                continue
-            entries.append((mtime, key))
-        entries.sort()
-        removed: list[str] = []
-        for _, key in entries[: max(0, len(entries) - max_entries)]:
-            for path in (self._result_path(key), self._series_path(key)):
-                try:
-                    path.unlink()
-                except FileNotFoundError:
-                    pass
-            self._evicted(key)
-            removed.append(key)
-        return removed
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        max_age: float | None = None,
+        lru: bool = False,
+    ) -> list[str]:
+        """Evict entries over the count and/or age budget (see
+        :meth:`ResultStore.prune`); the ``.npz`` series payload goes
+        with its result.  Ordered/aged by the result file's mtime, or
+        its atime with ``lru`` (hits bump it).  Ties break on the key,
+        so concurrent pruners make the same choice."""
+        return _prune_files(
+            self,
+            [
+                (key, (self._result_path(key), self._series_path(key)))
+                for key in self.keys()
+            ],
+            max_entries=max_entries,
+            max_age=max_age,
+            lru=lru,
+        )
 
     def _evicted(self, key: str) -> None:
         """Hook run after ``key``'s files are unlinked by :meth:`prune`.

@@ -43,7 +43,7 @@ scheduling pass — exactly the relative orders a solo replay produces.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace as _dc_replace
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -54,14 +54,25 @@ from repro.core.online import FrequencySelector
 from repro.core.policies import Policy, make_policy
 from repro.rjms.config import SchedulerConfig
 from repro.rjms.controller import Controller
-from repro.rjms.job import Job
+from repro.rjms.job import Job, JobState
 from repro.rjms.reservations import PowercapReservation
 from repro.sim.engine import EventKind, SimEngine
-from repro.sim.metrics import MetricsRecorder
+from repro.sim.metrics import JobRecord, MetricsRecorder
 from repro.sim.replay import ReplayResult
 from repro.workload.spec import JobSpec
 
-__all__ = ["BatchNodeArrays", "run_replay_batch"]
+__all__ = [
+    "BatchNodeArrays",
+    "FORK_STATE_VERSION",
+    "capture_fork_state",
+    "install_fork_state",
+    "run_replay_batch",
+]
+
+#: version of the fork-state layout below; bumped whenever the captured
+#: field set changes, so persisted checkpoints from older layouts are
+#: rejected instead of misinstalled
+FORK_STATE_VERSION = 1
 
 #: event kinds a donor may have pending at a checkpoint; anything else
 #: (in-flight node transitions, foreign timers) vetoes the warm start
@@ -240,111 +251,283 @@ def _checkpoint_safe(donor: _Cell) -> bool:
     return True
 
 
-def _copy_job(job: Job) -> Job:
-    clone = Job(spec=job.spec, n_nodes=job.n_nodes)
-    clone.state = job.state
-    clone.nodes = None if job.nodes is None else job.nodes.copy()
-    clone.freq_index = job.freq_index
-    clone.freq_ghz = job.freq_ghz
-    clone.degradation = job.degradation
-    clone.start_time = job.start_time
-    clone.end_time = job.end_time
-    return clone
+# -- fork-state serialisation ------------------------------------------------------
+#
+# The captured state is a two-part structure: ``meta`` is pure JSON
+# (every float rendered through ``float.hex()`` so parsing it back is
+# bit-exact, including ``inf``/``-inf``), ``arrays`` is a dict of numpy
+# arrays.  The split matches the persisted artifact layout of
+# :mod:`repro.exp.checkpoints` — a ``.json`` file plus an ``.npz`` —
+# so the in-memory fork and a store-restored warm start install the
+# exact same representation through the exact same code path.
 
 
-def _fork_into(
-    donor: _Cell, sib: _Cell, specs: Sequence[JobSpec], fork_t: float
-) -> None:
-    """Install the donor's checkpoint into a freshly constructed
-    sibling cell.
+def _hx(x: float) -> str:
+    return float(x).hex()
 
-    The sibling keeps its own construction-time reservation events
-    (they all lie at or beyond ``fork_t``); the fork reconstructs the
-    dynamic state on top: job tables, node/power state, metrics
-    prefix, pending completions, the pending scheduling pass and the
-    not-yet-replayed submissions.
+
+def _hx_opt(x: float | None) -> str | None:
+    return None if x is None else float(x).hex()
+
+
+def _unhx(s: str) -> float:
+    return float.fromhex(s)
+
+
+def _unhx_opt(s: str | None) -> float | None:
+    return None if s is None else float.fromhex(s)
+
+
+def capture_fork_state(donor: _Cell, fork_t: float) -> dict:
+    """Snapshot the donor's dynamic state at the fork horizon.
+
+    Preconditions: the donor has replayed its prefix via
+    ``run_before(fork_t)`` and :func:`_checkpoint_safe` holds.  The
+    snapshot covers exactly the state :func:`install_fork_state`
+    rebuilds: job tables (with allocation vectors), pending queue
+    layout, fair-share usage, accountant arrays and scalars,
+    controller caches, the columnar metrics prefix, and the pending
+    completion/scheduling events.  All orderings that carry tie-break
+    meaning (job-table insertion, queue rows, completion seq order)
+    are preserved as explicit lists.
     """
-    dctl, sctl = donor.controller, sib.controller
+    ctl = donor.controller
+    eng = donor.engine
+    rec = donor.recorder
+    acct = ctl.accountant
 
-    # -- job objects (shared per-fork copy map: running/jobs/queue alias) ----
-    jobmap = {jid: _copy_job(j) for jid, j in dctl.jobs.items()}
-    sctl.jobs = {jid: jobmap[jid] for jid in dctl.jobs}
-    sctl.running = {jid: jobmap[jid] for jid in dctl.running}
-    sctl.rejected = list(dctl.rejected)
+    jobs_meta = []
+    node_chunks = []
+    for jid, job in ctl.jobs.items():
+        jobs_meta.append(
+            {
+                "id": int(jid),
+                "n_nodes": int(job.n_nodes),
+                "state": job.state.value,
+                "n_alloc": -1 if job.nodes is None else int(len(job.nodes)),
+                "freq_index": None if job.freq_index is None else int(job.freq_index),
+                "freq_ghz": _hx_opt(job.freq_ghz),
+                "degradation": _hx(job.degradation),
+                "start_time": _hx_opt(job.start_time),
+                "end_time": _hx_opt(job.end_time),
+            }
+        )
+        if job.nodes is not None:
+            node_chunks.append(np.asarray(job.nodes, dtype=np.int64))
+
+    rec_jobs = [
+        {
+            "id": int(jid),
+            "cores": int(r.cores),
+            "n_nodes": int(r.n_nodes),
+            "submit_time": _hx(r.submit_time),
+            "start_time": _hx_opt(r.start_time),
+            "end_time": _hx_opt(r.end_time),
+            "freq_ghz": _hx_opt(r.freq_ghz),
+            "degradation": _hx(r.degradation),
+            "state": r.state,
+        }
+        for jid, r in rec.jobs.items()
+    ]
+
+    pass_time = None
+    if ctl._pass_pending:
+        pass_time = _hx(
+            next(
+                ev.time
+                for ev in eng._queue
+                if ev.kind == EventKind.SCHED_PASS and not ev.cancelled
+            )
+        )
+
+    dq = ctl.queue
+    meta = {
+        "version": FORK_STATE_VERSION,
+        "horizon": _hx(fork_t),
+        "now": _hx(eng._now),
+        "processed": int(eng._processed),
+        "jobs": jobs_meta,
+        "running": [int(jid) for jid in ctl.running],
+        "rejected": [int(jid) for jid in ctl.rejected],
+        "queue": [int(dq._ids[row]) for row in range(dq._n)],
+        "fair_last_decay": _hx(ctl.fairshare._last_decay),
+        "acct": {
+            "node_watts_sum": _hx(acct._node_watts_sum),
+            "n_dark_chassis": int(acct._n_dark_chassis),
+            "n_dark_racks": int(acct._n_dark_racks),
+            "version": int(acct.version),
+        },
+        "last_pass": _hx(ctl._last_pass),
+        "running_version": int(ctl._running_version),
+        "pass_time": pass_time,
+        # Completions in donor creation order (seq order within
+        # JOB_END), so same-instant completions replay in tie order.
+        "end_events": [
+            [int(jid), _hx(ev.time)]
+            for jid, ev in sorted(
+                ctl._end_events.items(), key=lambda kv: kv[1].seq
+            )
+        ],
+        "rec_n": int(rec._n),
+        "rec_jobs": rec_jobs,
+        "launch_sorted": bool(rec._launch_sorted),
+        "completion_sorted": bool(rec._completion_sorted),
+    }
+    n = rec._n
+    arrays = {
+        "acct_state": acct.state.copy(),
+        "acct_freq_index": acct.freq_index.copy(),
+        "acct_node_watts": acct._node_watts.copy(),
+        "acct_off_per_chassis": acct._off_per_chassis.copy(),
+        "acct_dark_per_rack": acct._dark_per_rack.copy(),
+        "acct_busy_count_by_freq": acct.busy_count_by_freq.copy(),
+        "acct_count_by_state": acct.count_by_state.copy(),
+        "cores_by_freq": ctl._cores_by_freq.copy(),
+        "fair_usage": ctl.fairshare._usage.copy(),
+        "rec_t": rec._t[:n].copy(),
+        "rec_cbf": rec._cbf[:n].copy(),
+        "rec_scal": rec._scal[:n].copy(),
+        "launch_times": np.asarray(rec._launch_times, dtype=np.float64),
+        "completion_times": np.asarray(rec._completion_times, dtype=np.float64),
+        "job_nodes": (
+            np.concatenate(node_chunks)
+            if node_chunks
+            else np.empty(0, dtype=np.int64)
+        ),
+    }
+    return {"meta": meta, "arrays": arrays}
+
+
+def install_fork_state(
+    cell: _Cell, state: dict, specs: Sequence[JobSpec]
+) -> None:
+    """Install a captured fork state into a freshly constructed cell.
+
+    The cell keeps its own construction-time reservation events (they
+    all lie at or beyond the checkpoint horizon); the install
+    reconstructs the dynamic state on top: job tables, node/power
+    state, metrics prefix, pending completions, the pending scheduling
+    pass and the not-yet-replayed submissions.  Job objects are built
+    fresh per cell — nothing is shared with the capture or with other
+    installs of the same state.
+    """
+    meta = state["meta"]
+    if meta["version"] != FORK_STATE_VERSION:
+        raise ValueError(
+            f"fork-state version {meta['version']} != {FORK_STATE_VERSION}"
+        )
+    arrays = state["arrays"]
+    horizon = _unhx(meta["horizon"])
+    sctl = cell.controller
+    sr = cell.recorder
+
+    # -- job objects (shared per-cell copy map: running/jobs/queue alias) ----
+    spec_by_id = {s.job_id: s for s in specs}
+    nodes_flat = np.asarray(arrays["job_nodes"], dtype=np.int64)
+    pos = 0
+    jobmap: dict[int, Job] = {}
+    for jm in meta["jobs"]:
+        job = Job(spec=spec_by_id[jm["id"]], n_nodes=jm["n_nodes"])
+        job.state = JobState(jm["state"])
+        n_alloc = jm["n_alloc"]
+        if n_alloc >= 0:
+            job.nodes = nodes_flat[pos : pos + n_alloc].copy()
+            pos += n_alloc
+        job.freq_index = jm["freq_index"]
+        job.freq_ghz = _unhx_opt(jm["freq_ghz"])
+        job.degradation = _unhx(jm["degradation"])
+        job.start_time = _unhx_opt(jm["start_time"])
+        job.end_time = _unhx_opt(jm["end_time"])
+        jobmap[jm["id"]] = job
+    sctl.jobs = dict(jobmap)
+    sctl.running = {jid: jobmap[jid] for jid in meta["running"]}
+    sctl.rejected = list(meta["rejected"])
 
     # -- pending queue: re-add in donor row order reproduces the exact
     #    swap-remove layout (and therefore every later ordering)
-    dq = dctl.queue
-    for row in range(dq._n):
-        sctl.queue.add(jobmap[int(dq._ids[row])])
+    for jid in meta["queue"]:
+        sctl.queue.add(jobmap[jid])
 
     # -- fair-share decay chain ---------------------------------------------
-    np.copyto(sctl.fairshare._usage, dctl.fairshare._usage)
-    sctl.fairshare._last_decay = dctl.fairshare._last_decay
+    np.copyto(sctl.fairshare._usage, arrays["fair_usage"])
+    sctl.fairshare._last_decay = _unhx(meta["fair_last_decay"])
 
     # -- power accounting (row views stay adopted; copy in place) ------------
-    da, sa = dctl.accountant, sctl.accountant
-    np.copyto(sa.state, da.state)
-    np.copyto(sa.freq_index, da.freq_index)
-    np.copyto(sa._node_watts, da._node_watts)
-    np.copyto(sa._off_per_chassis, da._off_per_chassis)
-    np.copyto(sa._dark_per_rack, da._dark_per_rack)
-    np.copyto(sa.busy_count_by_freq, da.busy_count_by_freq)
-    np.copyto(sa.count_by_state, da.count_by_state)
-    sa._node_watts_sum = da._node_watts_sum
-    sa._n_dark_chassis = da._n_dark_chassis
-    sa._n_dark_racks = da._n_dark_racks
-    sa.version = da.version
+    sa = sctl.accountant
+    np.copyto(sa.state, arrays["acct_state"])
+    np.copyto(sa.freq_index, arrays["acct_freq_index"])
+    np.copyto(sa._node_watts, arrays["acct_node_watts"])
+    np.copyto(sa._off_per_chassis, arrays["acct_off_per_chassis"])
+    np.copyto(sa._dark_per_rack, arrays["acct_dark_per_rack"])
+    np.copyto(sa.busy_count_by_freq, arrays["acct_busy_count_by_freq"])
+    np.copyto(sa.count_by_state, arrays["acct_count_by_state"])
+    am = meta["acct"]
+    sa._node_watts_sum = _unhx(am["node_watts_sum"])
+    sa._n_dark_chassis = am["n_dark_chassis"]
+    sa._n_dark_racks = am["n_dark_racks"]
+    sa.version = am["version"]
 
     # -- controller scalars and caches --------------------------------------
-    np.copyto(sctl._cores_by_freq, dctl._cores_by_freq)
-    sctl._last_pass = dctl._last_pass
-    sctl._running_version = dctl._running_version
+    np.copyto(sctl._cores_by_freq, arrays["cores_by_freq"])
+    sctl._last_pass = _unhx(meta["last_pass"])
+    sctl._running_version = meta["running_version"]
     sctl._free_version = -1
     sctl._mask_key = None
     sctl._snapshot_version = -1
 
     # -- metrics prefix ------------------------------------------------------
-    dr, sr = donor.recorder, sib.recorder
-    sr._t = dr._t.copy()
-    sr._cbf = dr._cbf.copy()
-    sr._scal = dr._scal.copy()
-    sr._n = dr._n
-    sr.jobs = {jid: _dc_replace(rec) for jid, rec in dr.jobs.items()}
-    sr._launch_times = list(dr._launch_times)
-    sr._launch_sorted = dr._launch_sorted
-    sr._completion_times = list(dr._completion_times)
-    sr._completion_sorted = dr._completion_sorted
+    n = meta["rec_n"]
+    cap = max(len(sr._t), n)
+    t = np.empty(cap, dtype=np.float64)
+    t[:n] = arrays["rec_t"]
+    cbf = np.empty((cap, sr._cbf.shape[1]), dtype=np.float64)
+    cbf[:n] = arrays["rec_cbf"]
+    scal = np.empty((cap, sr._scal.shape[1]), dtype=np.float64)
+    scal[:n] = arrays["rec_scal"]
+    sr._t, sr._cbf, sr._scal = t, cbf, scal
+    sr._n = n
+    sr.jobs = {
+        rj["id"]: JobRecord(
+            job_id=rj["id"],
+            cores=rj["cores"],
+            n_nodes=rj["n_nodes"],
+            submit_time=_unhx(rj["submit_time"]),
+            start_time=_unhx_opt(rj["start_time"]),
+            end_time=_unhx_opt(rj["end_time"]),
+            freq_ghz=_unhx_opt(rj["freq_ghz"]),
+            degradation=_unhx(rj["degradation"]),
+            state=rj["state"],
+        )
+        for rj in meta["rec_jobs"]
+    }
+    sr._launch_times = [float(x) for x in arrays["launch_times"]]
+    sr._launch_sorted = bool(meta["launch_sorted"])
+    sr._completion_times = [float(x) for x in arrays["completion_times"]]
+    sr._completion_sorted = bool(meta["completion_sorted"])
 
     # -- pending events ------------------------------------------------------
-    # Completions in donor creation order (seq order within JOB_END),
-    # so same-instant completions replay in the donor's tie order.
-    for jid, ev in sorted(dctl._end_events.items(), key=lambda kv: kv[1].seq):
-        sctl._end_events[jid] = sib.engine.at(
-            ev.time,
+    for jid, time_hex in meta["end_events"]:
+        sctl._end_events[jid] = cell.engine.at(
+            _unhx(time_hex),
             lambda j=jobmap[jid]: sctl._on_job_end(j),
             kind=EventKind.JOB_END,
         )
-    if dctl._pass_pending:
-        pass_time = next(
-            ev.time
-            for ev in donor.engine._queue
-            if ev.kind == EventKind.SCHED_PASS and not ev.cancelled
+    if meta["pass_time"] is not None:
+        cell.engine.at(
+            _unhx(meta["pass_time"]), sctl._sched_pass, kind=EventKind.SCHED_PASS
         )
-        sib.engine.at(pass_time, sctl._sched_pass, kind=EventKind.SCHED_PASS)
         sctl._pass_pending = True
     # Submissions the prefix did not reach, in workload order.
     for spec in specs:
-        if spec.submit_time >= fork_t:
-            sib.engine.at(
+        if spec.submit_time >= horizon:
+            cell.engine.at(
                 spec.submit_time,
                 lambda s=spec: sctl.submit(s),
                 kind=EventKind.JOB_SUBMIT,
             )
 
-    # -- clock last: every event above lies at or beyond fork_t --------------
-    sib.engine._now = donor.engine._now
-    sib.engine._processed = donor.engine._processed
+    # -- clock last: every event above lies at or beyond the horizon ---------
+    cell.engine.restore_clock(_unhx(meta["now"]), meta["processed"])
 
 
 def _schedule_submissions(cell: _Cell, specs: Sequence[JobSpec]) -> None:
@@ -365,6 +548,7 @@ def run_replay_batch(
     caps_per_cell: Sequence[Sequence[PowercapReservation]],
     config: SchedulerConfig | None = None,
     platform=None,
+    warm_start=None,
 ) -> list[ReplayResult]:
     """Replay one workload under N cap sets in a single lockstep batch.
 
@@ -373,6 +557,17 @@ def run_replay_batch(
     cap list — bit for bit, including the trace digest — but sharing
     one process, one scenario-major node-state matrix, and (when the
     divergence analysis allows) one replayed pre-window prefix.
+
+    ``warm_start``, when given, is a duck-typed checkpoint adapter
+    (see :class:`repro.exp.checkpoints.WarmStart`) with two methods:
+    ``load(max_horizon)`` returns a previously captured fork state at
+    a horizon ``<= max_horizon`` or ``None``, and ``publish(horizon,
+    state)`` persists a freshly captured one.  On a hit *every* cell —
+    including the would-be donor — installs the stored state instead
+    of replaying the shared prefix; on a miss the donor's freshly
+    computed prefix is published for future runs.  A batch of one cell
+    with a warm-start adapter is exactly a solo replay that can skip
+    its prefix.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -408,13 +603,27 @@ def run_replay_batch(
         min(_divergence_onset(c, slack) for c in cells), duration
     )
 
-    if len(cells) > 1 and fork_t > 0:
+    state = None
+    if fork_t > 0 and warm_start is not None:
+        state = warm_start.load(fork_t)
+    if state is not None:
+        # Store hit: nobody replays the prefix — every cell (donor
+        # included) installs the persisted checkpoint.  The stored
+        # horizon may be below this batch's fork_t (a sweep with
+        # earlier windows published it); all reservation boundaries
+        # still lie at or beyond fork_t, so lockstep is unaffected.
+        for cell in cells:
+            install_fork_state(cell, state, specs)
+    elif fork_t > 0 and (len(cells) > 1 or warm_start is not None):
         donor = cells[0]
         _schedule_submissions(donor, specs)
         donor.engine.run_before(fork_t)
         if _checkpoint_safe(donor):
+            state = capture_fork_state(donor, fork_t)
             for sib in cells[1:]:
-                _fork_into(donor, sib, specs, fork_t)
+                install_fork_state(sib, state, specs)
+            if warm_start is not None:
+                warm_start.publish(fork_t, state)
         else:  # pragma: no cover - insurance against future event kinds
             for sib in cells[1:]:
                 _schedule_submissions(sib, specs)

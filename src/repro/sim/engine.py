@@ -226,6 +226,26 @@ class SimEngine:
             ev.callback()
         return self._now
 
+    def restore_clock(self, now: float, processed: int) -> None:
+        """Adopt a checkpoint's clock after reconstructing its events.
+
+        The fork/warm-start machinery (:mod:`repro.sim.batch`) rebuilds
+        a checkpoint by scheduling the pending events against a fresh
+        engine — whose clock still reads zero, so :meth:`at` accepts
+        them — and then jumping the clock to the donor's.  Every
+        pending event must lie at or beyond ``now``; anything earlier
+        would mean the checkpoint skipped causally ordered work.
+        """
+        if not math.isfinite(now) or now < self._now:
+            raise ValueError(f"cannot restore clock to {now} from {self._now}")
+        for ev in self._queue:
+            if not ev.cancelled and ev.time < now:
+                raise ValueError(
+                    f"pending event at {ev.time} predates restored clock {now}"
+                )
+        self._now = float(now)
+        self._processed = int(processed)
+
     def step(self) -> bool:
         """Process exactly one event.  Returns False when drained."""
         ev = self._pop()
