@@ -396,6 +396,77 @@ def test_perf_cap_sweep_warm(benchmark, tmp_path):
     assert len(results) == len(cells)
 
 
+# -- batch x pool composition --------------------------------------------------------
+#
+# The shape the batch-pool backend exists for: several independent
+# lockstep groups (different seeds — different workloads) that the
+# in-process batch backend runs one after another on one core.  The
+# batch-pool case dispatches whole groups onto pool workers, so the
+# sweep's wall clock approaches max(group) instead of sum(groups).
+# BENCH_pr9.json records both trajectories.
+
+
+def _multigroup_cap_sweep_cells():
+    """Three lockstep groups (seeds 5/6/7) x four cap fractions."""
+    from repro.exp import CapWindow, Scenario
+
+    cells = []
+    for seed in (5, 6, 7):
+        base = Scenario(
+            name=f"bench-bp-s{seed}",
+            interval="medianjob",
+            policy="IDLE",
+            scale=1 / 56,
+            duration=7200.0,
+            seed=seed,
+        )
+        for i in range(4):
+            f = 0.30 + 0.05 * i
+            cells.append(
+                base.with_(
+                    name=f"bench-bp-s{seed}-{f:.2f}",
+                    caps=(CapWindow(5760.0, 6720.0, f),),
+                )
+            )
+    return cells
+
+
+def test_perf_cap_sweep_batch_multigroup(benchmark):
+    """The single-process floor of the batch-pool comparison: the same
+    three-group, twelve-cell sweep through the in-process batch
+    backend — groups replay in lockstep, but one after another."""
+    from repro.exp import GridRunner, make_backend
+
+    cells = _multigroup_cap_sweep_cells()
+
+    def sweep():
+        with GridRunner(backend=make_backend("batch")) as runner:
+            return runner.run(cells)
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(results) == len(cells)
+
+
+def test_perf_cap_sweep_batchpool(benchmark):
+    """Batch x pool: the same three groups dispatched whole onto four
+    pool workers under the LPT cost-model schedule.  On a >=4-core
+    runner this runs >=2x faster than the single-process multigroup
+    floor above; on fewer cores the fork/pickle overhead can eat the
+    win, so there is deliberately no in-test speedup assertion — the
+    CI perf gate (check_perf_regression.py against BENCH_pr9.json)
+    holds the recorded trajectory instead."""
+    from repro.exp import GridRunner, make_backend
+
+    cells = _multigroup_cap_sweep_cells()
+
+    def sweep():
+        with GridRunner(backend=make_backend("batch-pool", workers=4)) as runner:
+            return runner.run(cells)
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(results) == len(cells)
+
+
 def test_perf_backend_sharded_merge(benchmark, tmp_path):
     from repro.exp import (
         GridRunner,

@@ -221,10 +221,12 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = serial)")
     p.add_argument("--backend", default=None,
-                   choices=["serial", "pool", "batch"],
+                   choices=["serial", "pool", "batch", "batch-pool"],
                    help="execution backend (default: pool when --workers > 1, "
                         "serial otherwise; batch replays same-platform "
-                        "scenarios in lockstep)")
+                        "scenarios in lockstep; batch-pool dispatches whole "
+                        "lockstep groups to --workers pool workers, ordered "
+                        "by the calibrated cost model)")
     p.add_argument("--shard", default=None, metavar="K/N",
                    help="run only the deterministic shard K of N of the "
                         "scenario set (1-based, e.g. 2/3); independent jobs "
@@ -584,6 +586,58 @@ def _print_profile_summary(profile_dir: str, top: int = 15) -> None:
     print(stream.getvalue().rstrip())
 
 
+def _print_sweep_plan(args: argparse.Namespace, scenarios: list) -> int:
+    """``exp run --plan``: the batch-pool schedule, nothing executed.
+
+    Mirrors the sweep's own pre-flight exactly — dedupe by content
+    hash, drop foreign shards, group by cap-free content — then prints
+    the cost model's LPT placement for ``--workers`` workers.
+    """
+    from repro.exp import make_store
+    from repro.exp.backends import BatchBackend
+    from repro.exp.costmodel import CostModel, assign_workers, plan_table
+    from repro.exp.spec import parse_shard, shard_index
+
+    try:
+        shard = getattr(args, "shard", None)
+        index, total = (None, None) if shard is None else parse_shard(shard)
+        store = None
+        if args.store is not None:
+            if args.cache_dir is not None:
+                raise ValueError("pass --store or --cache-dir, not both")
+            store = make_store(args.store)
+        elif args.cache_dir is not None:
+            store = make_store(f"dir:{args.cache_dir}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    seen: set[str] = set()
+    deduped = []
+    for sc in scenarios:
+        h = sc.scenario_hash()
+        if h in seen:
+            continue
+        seen.add(h)
+        if total is not None and shard_index(h, total) != index:
+            continue
+        deduped.append(sc)
+
+    model = CostModel.from_store(store) if store is not None else CostModel()
+    groups: dict = {}
+    for i, sc in enumerate(deduped):
+        groups.setdefault(BatchBackend.group_key(sc), []).append(i)
+    multi = [idxs for idxs in groups.values() if len(idxs) > 1]
+    singles = sum(1 for idxs in groups.values() if len(idxs) == 1)
+    workers = max(1, args.workers)
+    placed = assign_workers(
+        [model.estimate_group(deduped, idxs) for idxs in multi], workers
+    )
+    print(plan_table(placed, workers))
+    if singles:
+        print(f"(+ {singles} singleton cell(s) on the solo task path)")
+    return 0
+
+
 def cmd_exp_run(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -595,6 +649,8 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
     )
 
     scenarios = _gather_scenarios(args)
+    if getattr(args, "plan", False):
+        return _print_sweep_plan(args, scenarios)
     chaos = contextlib.nullcontext()
     if args.inject_faults is not None:
         try:
@@ -846,6 +902,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump per-scenario cProfile stats into DIR "
                         "(<scenario_hash>.pstats) and print an aggregated "
                         "top-N hot-path summary after the sweep")
+    p.add_argument("--plan", action="store_true",
+                   help="print the scheduled lockstep-group plan (grouping, "
+                        "cost estimates, LPT worker placement) without "
+                        "executing anything; estimates come from the result "
+                        "store's calibration metadata when --store/--cache-dir "
+                        "points at one")
     p.set_defaults(func=cmd_exp_run)
 
     p = exp_sub.add_parser("compare", help="compare two library scenarios")

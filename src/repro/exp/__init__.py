@@ -8,8 +8,11 @@ The subsystem behind ``repro exp run/list/compare``:
 * :class:`ExecutionBackend` — where scenarios execute: in-process
   (:class:`SerialBackend`), a ``multiprocessing`` pool
   (:class:`ProcessPoolBackend`), same-platform scenarios replayed in
-  lockstep (:class:`BatchBackend`), or one shard of a split sweep
-  (:class:`ShardedBackend`) (:mod:`repro.exp.backends`);
+  lockstep (:class:`BatchBackend`), whole lockstep groups fanned out
+  onto pool workers under a calibrated LPT cost model
+  (:class:`BatchPoolBackend`, :mod:`repro.exp.costmodel`), or one
+  shard of a split sweep (:class:`ShardedBackend`)
+  (:mod:`repro.exp.backends`);
 * :class:`ResultStore` — where results persist: an in-memory memo
   (:class:`MemoryStore`), a local JSON/``.npz`` directory
   (:class:`DirectoryStore`), or a shared directory safe for
@@ -43,11 +46,19 @@ from repro.exp.spec import (
 )
 from repro.exp.backends import (
     BatchBackend,
+    BatchPoolBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     ShardedBackend,
     make_backend,
+)
+from repro.exp.costmodel import (
+    CostModel,
+    GroupEstimate,
+    assign_workers,
+    lpt_order,
+    plan_table,
 )
 from repro.exp.faults import (
     FAULT_KINDS,
@@ -126,8 +137,14 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "BatchBackend",
+    "BatchPoolBackend",
     "ShardedBackend",
     "make_backend",
+    "CostModel",
+    "GroupEstimate",
+    "assign_workers",
+    "lpt_order",
+    "plan_table",
     "ResultStore",
     "MemoryStore",
     "DirectoryStore",

@@ -78,21 +78,33 @@ def render_results_grid(results: Iterable[RunResult]) -> str:
 
 
 def results_table(results: Sequence[RunResult]) -> str:
-    """One line per result: identity, headline metrics, provenance."""
+    """One line per result: identity, headline metrics, provenance.
+
+    ``wall`` is the cell's own cost (a batched cell reports its share
+    of the group replay); ``unit`` is the wall clock of the execution
+    unit that produced it — equal to ``wall`` for solo runs, the whole
+    group's elapsed for batched cells, ``-`` for results cached before
+    the field existed."""
     header = (
         f"{'scenario':<28} {'hash':<16} {'platform':<10} {'policy':>6} {'cap':>5} "
-        f"{'energy':>7} {'work':>6} {'jobs':>6} {'digest':>12} {'wall':>7} src"
+        f"{'energy':>7} {'work':>6} {'jobs':>6} {'digest':>12} {'wall':>7} "
+        f"{'unit':>7} src"
     )
     lines = [header, "-" * len(header)]
     for r in results:
         sc = r.scenario
         cap = f"{sc.cap_fraction:.0%}" if sc.caps else "-"
+        unit = (
+            f"{r.elapsed_seconds:>6.1f}s"
+            if r.elapsed_seconds is not None
+            else f"{'-':>7}"
+        )
         lines.append(
             f"{sc.name:<28.28} {r.scenario_hash:<16} {sc.platform:<10.10} "
             f"{sc.policy_name:>6} {cap:>5} "
             f"{r.metrics['energy_norm']:>7.3f} {r.metrics['work_norm']:>6.3f} "
             f"{int(r.metrics['launched_jobs']):>6d} {r.trace_digest[:12]:>12} "
-            f"{r.wall_seconds:>6.1f}s {'cache' if r.cached else 'run'}"
+            f"{r.wall_seconds:>6.1f}s {unit} {'cache' if r.cached else 'run'}"
         )
     return "\n".join(lines)
 
@@ -116,6 +128,14 @@ def compare_results(a: RunResult, b: RunResult) -> str:
             f"{key:<26} {va:>{width}.4g} {vb:>{width}.4g} {delta:>+12.4g} {rel_s:>8}"
         )
     lines.append("")
+
+    def _cost(r: RunResult) -> str:
+        unit = (
+            f"{r.elapsed_seconds:.1f}s" if r.elapsed_seconds is not None else "-"
+        )
+        return f"{r.wall_seconds:.1f}s wall / {unit} unit"
+
+    lines.append(f"cost: {name_a} {_cost(a)}; {name_b} {_cost(b)}")
     if a.trace_digest == b.trace_digest:
         lines.append(f"traces identical (digest {a.trace_digest[:16]})")
     else:

@@ -41,8 +41,10 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import time
+import warnings
 import weakref
 from collections import deque
+from dataclasses import replace
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
@@ -524,6 +526,9 @@ class BatchBackend(ExecutionBackend):
     #: GridRunner seam: hand this backend the scenario list itself
     #: (:meth:`run_scenarios`) instead of an opaque work function
     wants_scenarios = True
+    #: one timeout warning per backend instance (class default keeps
+    #: the no-__init__ construction shape)
+    _warned_timeout = False
 
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -552,13 +557,18 @@ class BatchBackend(ExecutionBackend):
         checkpoints: Any = None,
         tally: Any = None,
         profile_dir: str | None = None,
+        cost_model: Any = None,
+        group_stats: dict | None = None,
     ) -> Iterator[TaskOutcome]:
         """Execute ``scenarios`` (already deduped by the runner),
         yielding ``(index, outcome, retries)`` triples shaped exactly
         like :meth:`ExecutionBackend.map_tasks` — outcomes are
         :func:`repro.exp.runner._run_task`-shaped payloads or
-        :class:`~repro.exp.resilience.TaskFailure`.  ``timeout`` is
-        accepted for signature parity but unenforceable in-process.
+        :class:`~repro.exp.resilience.TaskFailure`.  ``timeout``
+        cannot be enforced in-process (nothing can preempt a running
+        replay from inside its own process), so requesting one warns
+        once and points at ``--backend batch-pool``, where the pool's
+        hung-worker kill path makes it real.
 
         ``checkpoints``/``tally`` thread the runner's warm-start store
         through **every** execution path: lockstep groups pass a
@@ -567,7 +577,12 @@ class BatchBackend(ExecutionBackend):
         re-runs probe/publish through the serial path — a group of one
         still reuses (and seeds) the shared prefix instead of silently
         running cold.  Everything runs in-process, so the runner's
-        tally object is mutated directly."""
+        tally object is mutated directly.
+
+        ``cost_model`` is accepted for signature parity with the
+        batch×pool composition (serial group order cannot change the
+        makespan); ``group_stats``, when given, is filled with the
+        per-group accounting :attr:`SweepReport.groups` reports."""
         from repro.exp.checkpoints import WarmStart, checkpoint_group
         from repro.exp.runner import (
             _condense,
@@ -581,6 +596,17 @@ class BatchBackend(ExecutionBackend):
 
         scenarios = list(scenarios)
         plan = _faults.active_plan()
+        if timeout is not None and not self._warned_timeout:
+            self._warned_timeout = True
+            warnings.warn(
+                "the in-process batch backend cannot enforce per-scenario "
+                "timeouts (a running replay cannot be preempted from its "
+                "own process); the timeout is ignored — use "
+                "--backend batch-pool to run lockstep groups under the "
+                "pool's hung-worker kill path",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
         def run_solo(index: int) -> TaskOutcome:
             sc = scenarios[index]
@@ -609,14 +635,29 @@ class BatchBackend(ExecutionBackend):
             return index, outcome, n_retries
 
         groups: dict[tuple[str, str], list[int]] = {}
+        n_fault_solo = 0
         for i, sc in enumerate(scenarios):
             if plan is not None and plan.fault_for(sc.scenario_hash()) is not None:
                 # A cell with a planned fault falls out of its lockstep
                 # group: its faults fire (and are retried/quarantined)
                 # on the solo path, siblings batch unaffected.
+                n_fault_solo += 1
                 yield run_solo(i)
                 continue
             groups.setdefault(self.group_key(sc), []).append(i)
+
+        multi = [idxs for idxs in groups.values() if len(idxs) > 1]
+        if group_stats is not None:
+            group_stats.update(
+                n_groups=len(multi),
+                n_batched_cells=sum(len(idxs) for idxs in multi),
+                n_singletons=sum(
+                    1 for idxs in groups.values() if len(idxs) == 1
+                ),
+                n_fault_solo=n_fault_solo,
+                n_degraded_groups=0,
+                groups={},
+            )
 
         for (capfree_hash, platform_hash), idxs in groups.items():
             if len(idxs) == 1:
@@ -624,6 +665,7 @@ class BatchBackend(ExecutionBackend):
                 continue
             t0 = time.perf_counter()
             base = scenarios[idxs[0]]
+            timings: dict[str, float] = {}
             prof = None
             try:
                 platform = get_platform(base.platform)
@@ -658,6 +700,7 @@ class BatchBackend(ExecutionBackend):
                     config=base.build_config(),
                     platform=platform,
                     warm_start=warm,
+                    timings=timings,
                 )
             except Exception:  # noqa: BLE001 - degrade, don't lose the group
                 # The lockstep replay itself failed: degrade every cell
@@ -666,6 +709,8 @@ class BatchBackend(ExecutionBackend):
                 # solo execution attributes (and retries) it exactly.
                 if prof is not None:
                     prof.disable()
+                if group_stats is not None:
+                    group_stats["n_degraded_groups"] += 1
                 for i in idxs:
                     yield run_solo(i)
                 continue
@@ -677,11 +722,23 @@ class BatchBackend(ExecutionBackend):
                 out.mkdir(parents=True, exist_ok=True)
                 prof.dump_stats(out / f"batch-{capfree_hash}.pstats")
             # Each cell's wall clock reports its share of the batch, so
-            # aggregate wall sums stay comparable across backends.
+            # aggregate wall sums stay comparable across backends; the
+            # group's full elapsed rides on every cell.
             t_end = time.perf_counter()
-            share_t0 = t_end - (t_end - t0) / len(idxs)
+            elapsed = t_end - t0
+            share_t0 = t_end - elapsed / len(idxs)
+            if group_stats is not None:
+                group_stats["groups"][capfree_hash] = {
+                    "cells": len(idxs),
+                    "elapsed_seconds": elapsed,
+                    "warm": bool(timings.get("warm")),
+                    "fork_t": timings.get("fork_t", 0.0),
+                }
             for i, replay in zip(idxs, replays):
-                result = _condense(scenarios[i], replay, share_t0)
+                result = replace(
+                    _condense(scenarios[i], replay, share_t0),
+                    elapsed_seconds=elapsed,
+                )
                 if series:
                     grid = dict(
                         replay.recorder.to_grid(0.0, replay.duration, grid_dt)
@@ -689,6 +746,271 @@ class BatchBackend(ExecutionBackend):
                     yield i, (result, grid), 0
                 else:
                     yield i, result, 0
+
+
+class BatchPoolBackend(ProcessPoolBackend):
+    """Batch×pool composition: whole lockstep groups on pool workers.
+
+    Groups scenarios exactly like :class:`BatchBackend` (cap-free
+    scenario hash + platform content hash), then dispatches each
+    multi-cell group to a :class:`ProcessPoolBackend` worker as one
+    work item (:func:`repro.exp.runner._run_group_task`): the worker
+    replays the group in lockstep and returns the condensed per-cell
+    outcomes, so the PR 6 lockstep win multiplies by the worker count
+    instead of serialising on one core.  Singleton groups ride the
+    ordinary solo task path (the parent's resilient ``map_tasks``).
+
+    Dispatch order is **longest-processing-time-first** under the
+    calibrated cost model (:mod:`repro.exp.costmodel`): heavy groups
+    go out first so the sweep's makespan approaches ``total/workers``
+    instead of idling every worker behind whichever group lands last.
+
+    **Fault semantics** (the PR 7 state machine at group granularity):
+    a group is single-shot — any failure *degrades* it, it is never
+    retried as a group.  A worker exception degrades the group's cells
+    to solo re-runs; a dead worker (``BrokenProcessPool``) degrades
+    every in-flight group; a group outliving its budget — the
+    per-scenario ``timeout`` × its cell count, since one group does
+    that many cells of work — has its workers killed and degrades,
+    which finally makes ``timeout`` enforceable for batch execution.
+    Degraded cells re-run through the solo path with its full
+    retry/attribution machinery, so one bad cell costs its group the
+    lockstep speedup, never their results.  Unlike the in-process
+    batch backend, cells with planned faults are *not* pre-excluded
+    from their group: their faults fire inside a pool worker (where a
+    crash kills a worker, not the driver), exercising exactly this
+    degradation path.
+
+    **Warm starts** compose structurally: a lockstep group and a
+    checkpoint group are the same partition (both key on the cap-free
+    scenario content plus platform/policy), so each group's worker is
+    its own publisher election of one — the donor cell publishes the
+    shared cap-free prefix, and any later run of the same key (this
+    sweep's degraded solos, the next sweep's groups) restores it.
+    Only shareable checkpoint stores reach workers; the runner
+    already withholds in-memory stores from pool backends.
+    """
+
+    name = "batch-pool"
+    wants_scenarios = True
+
+    def run_scenarios(
+        self,
+        scenarios: Sequence["Scenario"],
+        *,
+        series: bool = False,
+        grid_dt: float = DEFAULT_SERIES_DT,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+        checkpoints: Any = None,
+        tally: Any = None,
+        profile_dir: str | None = None,
+        cost_model: Any = None,
+        group_stats: dict | None = None,
+    ) -> Iterator[TaskOutcome]:
+        """Execute ``scenarios``; yields ``map_tasks``-shaped triples.
+
+        With one worker there is nothing to compose: execution
+        delegates to an in-process :class:`BatchBackend` (bit-identical
+        results, no pool).
+        """
+        scenarios = list(scenarios)
+        if self.workers <= 1:
+            yield from BatchBackend().run_scenarios(
+                scenarios,
+                series=series,
+                grid_dt=grid_dt,
+                retry=retry,
+                timeout=timeout,
+                checkpoints=checkpoints,
+                tally=tally,
+                profile_dir=profile_dir,
+                cost_model=cost_model,
+                group_stats=group_stats,
+            )
+            return
+
+        from repro.exp.costmodel import CostModel, assign_workers
+        from repro.exp.runner import (
+            _platform_payload,
+            _run_group_task,
+            _run_task,
+        )
+
+        plan = _faults.active_plan()
+        faults_dict = plan.to_dict() if plan is not None else None
+        payload = _platform_payload(scenarios)
+        model = cost_model if cost_model is not None else CostModel()
+
+        groups: dict[tuple[str, str], list[int]] = {}
+        for i, sc in enumerate(scenarios):
+            groups.setdefault(BatchBackend.group_key(sc), []).append(i)
+        solo_idx = [idxs[0] for idxs in groups.values() if len(idxs) == 1]
+        multi = [idxs for idxs in groups.values() if len(idxs) > 1]
+
+        # LPT plan: heavy groups dispatch first.  The worker column is
+        # the greedy placement the estimate predicts — dispatch itself
+        # stays dynamic (whichever worker frees up takes the next
+        # group), so a wrong estimate costs order, never correctness.
+        placed = assign_workers(
+            [model.estimate_group(scenarios, idxs) for idxs in multi],
+            self.workers,
+        )
+        if group_stats is not None:
+            group_stats.update(
+                n_groups=len(multi),
+                n_batched_cells=sum(len(idxs) for idxs in multi),
+                n_singletons=len(solo_idx),
+                n_fault_solo=sum(
+                    1
+                    for i in solo_idx
+                    if plan is not None
+                    and plan.fault_for(scenarios[i].scenario_hash()) is not None
+                ),
+                n_degraded_groups=0,
+                plan=[
+                    {
+                        "group": est.group,
+                        "label": est.label,
+                        "cells": est.n_cells,
+                        "est_seconds": est.seconds,
+                        "source": est.source,
+                        "worker": w,
+                    }
+                    for est, w in placed
+                ],
+                groups={},
+            )
+
+        def note_degraded(n: int = 1) -> None:
+            if group_stats is not None:
+                group_stats["n_degraded_groups"] += n
+
+        degraded: list[int] = []
+        queue = deque(est for est, _ in placed)
+        inflight: dict[Any, tuple[Any, float]] = {}  # future -> (est, started)
+        tick = (
+            self._TICK
+            if timeout is None
+            else max(0.01, min(self._TICK, timeout / 5))
+        )
+        group_task = partial(
+            _run_group_task,
+            platforms=payload,
+            series=series,
+            grid_dt=grid_dt,
+            faults=faults_dict,
+            checkpoints=checkpoints,
+            profile_dir=profile_dir,
+        )
+
+        try:
+            if queue:
+                self._get_pool(len(queue))
+            while queue or inflight:
+                while queue and len(inflight) < self._pool_size:
+                    est = queue.popleft()
+                    fut = self._get_pool(len(queue) + 1).submit(
+                        group_task,
+                        tuple(scenarios[i] for i in est.indices),
+                    )
+                    inflight[fut] = (est, time.monotonic())
+                done, _ = wait(
+                    set(inflight), timeout=tick, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for fut in done:
+                    est, _started = inflight.pop(fut)
+                    try:
+                        tally_dict, timings, payloads = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        suspects = [est] + [e for e, _ in inflight.values()]
+                        inflight.clear()
+                        break
+                    except Exception:  # noqa: BLE001 - degrade, don't lose the group
+                        # The group replay raised in its worker.  As in
+                        # the in-process batch backend the failure has
+                        # no single owner yet; solo re-runs attribute
+                        # (and retry) it exactly.
+                        note_degraded()
+                        degraded.extend(est.indices)
+                    else:
+                        if len(payloads) != len(est.indices):
+                            # Defensive: a malformed worker reply must
+                            # not silently drop cells.
+                            note_degraded()
+                            degraded.extend(est.indices)
+                            continue
+                        if tally is not None and tally_dict:
+                            tally.add(tally_dict)
+                        if group_stats is not None:
+                            group_stats["groups"][est.group] = {
+                                "cells": est.n_cells,
+                                "elapsed_seconds": timings.get("elapsed", 0.0),
+                                "warm": bool(timings.get("warm")),
+                                "fork_t": timings.get("fork_t", 0.0),
+                            }
+                        for i, item in zip(est.indices, payloads):
+                            yield i, item, 0
+                if broken:
+                    # A dead worker takes its whole group; with several
+                    # groups in flight attribution is ambiguous, and a
+                    # group is never re-run as a group — every suspect
+                    # degrades to solo, where crash attribution is
+                    # per-cell and exact.
+                    self._respawn(max(len(queue), 1))
+                    note_degraded(len(suspects))
+                    for est in suspects:
+                        degraded.extend(est.indices)
+                    continue
+                if timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = {
+                        fut
+                        for fut, (est, started) in inflight.items()
+                        if now - started > timeout * est.n_cells
+                        and not fut.done()
+                    }
+                    if expired:
+                        # Presumed hung: kill the pool, requeue the
+                        # innocent in-flight groups unpenalised (still
+                        # as groups), degrade the offenders to solo —
+                        # where the per-cell timeout charges the real
+                        # culprit.
+                        innocents = [
+                            est
+                            for fut, (est, _s) in inflight.items()
+                            if fut not in expired
+                        ]
+                        offenders = [inflight[fut][0] for fut in expired]
+                        inflight.clear()
+                        self._respawn(len(queue) + len(innocents) + 1)
+                        for est in reversed(innocents):
+                            queue.appendleft(est)
+                        note_degraded(len(offenders))
+                        for est in offenders:
+                            degraded.extend(est.indices)
+
+            solo_all = sorted(set(solo_idx) | set(degraded))
+            if solo_all:
+                solo_task: Callable[..., Any] = partial(
+                    _run_task,
+                    platforms=payload,
+                    series=series,
+                    grid_dt=grid_dt,
+                    faults=faults_dict,
+                    checkpoints=checkpoints,
+                    profile_dir=profile_dir,
+                )
+                subset = [scenarios[i] for i in solo_all]
+                for local, outcome, retries in super().map_tasks(
+                    solo_task, subset, retry=retry, timeout=timeout
+                ):
+                    yield solo_all[local], outcome, retries
+        finally:
+            if not self.persistent:
+                self.close()
 
 
 class ShardedBackend(ExecutionBackend):
@@ -751,7 +1073,7 @@ class ShardedBackend(ExecutionBackend):
 
 
 #: CLI names of the full backends
-BACKEND_NAMES = ("serial", "pool", "batch")
+BACKEND_NAMES = ("serial", "pool", "batch", "batch-pool")
 
 
 def make_backend(
@@ -764,10 +1086,13 @@ def make_backend(
 ) -> ExecutionBackend:
     """Build a backend from CLI-style arguments.
 
-    ``name`` is ``serial``, ``pool`` or ``batch`` (``None`` picks
-    ``pool`` when ``workers > 1``, ``serial`` otherwise).  ``shard`` —
-    ``"k/n"`` or a ``(index, count)`` pair — wraps the result in a
-    :class:`ShardedBackend` owning that slice.
+    ``name`` is ``serial``, ``pool``, ``batch`` or ``batch-pool``
+    (``None`` picks ``pool`` when ``workers > 1``, ``serial``
+    otherwise).  ``batch-pool`` composes both parallel axes: lockstep
+    groups dispatched whole onto pool workers, LPT-ordered by the
+    calibrated cost model.  ``shard`` — ``"k/n"`` or a ``(index,
+    count)`` pair — wraps the result in a :class:`ShardedBackend`
+    owning that slice.
     """
     n_workers = int(workers) if workers is not None else 1
     if name is None:
@@ -780,6 +1105,10 @@ def make_backend(
         )
     elif name == "batch":
         base = BatchBackend()
+    elif name == "batch-pool":
+        base = BatchPoolBackend(
+            n_workers, mp_context=mp_context, persistent=persistent
+        )
     else:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"

@@ -158,6 +158,14 @@ class CheckpointStore:
     def keys(self) -> list[str]:
         raise NotImplementedError
 
+    def has_group(self, group: str) -> bool:
+        """Whether *any* horizon of ``group`` is stored — the question
+        publisher election asks (a group with an entry warm-starts; one
+        without elects a publisher).  Key-prefix scan by default;
+        stores with a cheaper index may override."""
+        prefix = f"{group}-h"
+        return any(k.startswith(prefix) for k in self.keys())
+
     def prune(
         self,
         max_entries: int | None = None,

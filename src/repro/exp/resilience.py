@@ -218,6 +218,11 @@ class SweepReport:
     #: (see :class:`repro.exp.checkpoints.CheckpointTally`); empty when
     #: no store was in play or no cell was fork-eligible
     checkpoints: dict[str, int] = field(default_factory=dict)
+    #: lockstep-group accounting when a scenario-aware backend ran
+    #: (batch / batch-pool): group/singleton counts, degradations, the
+    #: LPT dispatch plan (batch-pool), and per-group elapsed/warm stats
+    #: keyed by cap-free scenario hash; empty otherwise
+    groups: dict[str, Any] = field(default_factory=dict)
 
     @property
     def quarantined(self) -> list[FailureRecord]:
@@ -251,6 +256,15 @@ class SweepReport:
             parts.append(f"{len(self.skipped)} skipped (known failures)")
         if self.healed:
             parts.append(f"{len(self.healed)} healed")
+        g = self.groups
+        if g and g.get("n_groups"):
+            degraded = g.get("n_degraded_groups", 0)
+            parts.append(
+                f"{g['n_groups']} lockstep group(s) "
+                f"({g.get('n_batched_cells', 0)} cell(s) batched"
+                + (f", {degraded} degraded" if degraded else "")
+                + ")"
+            )
         ck = self.checkpoints
         if ck and any(ck.values()):
             parts.append(

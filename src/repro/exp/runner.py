@@ -48,6 +48,7 @@ from repro.exp.checkpoints import (
     checkpoint_group,
     make_checkpoint_store,
 )
+from repro.exp.costmodel import CostModel
 from repro.exp.resilience import (
     ON_ERROR_MODES,
     FailureRecord,
@@ -146,6 +147,12 @@ class RunResult:
     n_samples: int
     wall_seconds: float
     cached: bool = False
+    #: wall clock of the execution unit that produced this result: the
+    #: successful attempt's elapsed for a solo replay, the whole
+    #: group's elapsed for a lockstep batch cell (shared by siblings,
+    #: >= ``wall_seconds``, which reports the cell's amortised share).
+    #: ``None`` for entries cached before the field existed.
+    elapsed_seconds: float | None = None
 
     @property
     def scenario_hash(self) -> str:
@@ -183,6 +190,7 @@ class RunResult:
             "n_events": self.n_events,
             "n_samples": self.n_samples,
             "wall_seconds": self.wall_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -202,6 +210,13 @@ class RunResult:
             n_samples=int(d["n_samples"]),
             wall_seconds=float(d["wall_seconds"]),
             cached=cached,
+            # Schema-tolerant: entries written before the field existed
+            # (same _CACHE_SCHEMA) still load, just without an elapsed.
+            elapsed_seconds=(
+                float(d["elapsed_seconds"])
+                if d.get("elapsed_seconds") is not None
+                else None
+            ),
         )
 
 
@@ -416,6 +431,7 @@ def _condense(scenario: Scenario, result: ReplayResult, t0: float) -> RunResult:
     metrics["window_work_norm"] = w_work
     metrics["window_effective_work_norm"] = w_eff
 
+    wall = time.perf_counter() - t0
     return RunResult(
         scenario=scenario,
         metrics=metrics,
@@ -424,7 +440,10 @@ def _condense(scenario: Scenario, result: ReplayResult, t0: float) -> RunResult:
         n_rejected=len(result.controller.rejected),
         n_events=result.controller.engine.processed_events,
         n_samples=rec.n_samples,
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=wall,
+        # Solo replays are their own execution unit; batch callers
+        # overwrite this with the whole group's elapsed.
+        elapsed_seconds=wall,
     )
 
 
@@ -502,6 +521,107 @@ def _run_task(
             profile_dir=profile_dir,
         )
     return (_CKPT_WRAPPER, tally.to_dict(), payload)
+
+
+def _run_group_task(
+    scenarios: tuple[Scenario, ...],
+    *,
+    platforms: tuple[dict, ...],
+    series: bool,
+    grid_dt: float,
+    faults: Mapping[str, Any] | None = None,
+    checkpoints: CheckpointStore | None = None,
+    profile_dir: str | None = None,
+    attempt: int = 1,
+):
+    """One whole lockstep group as a pool work item (top-level so it
+    pickles to workers — the batch×pool composition's transport).
+
+    Returns ``(tally_dict, timings_dict, payloads)`` with one payload
+    per cell in input order (``RunResult`` or ``(RunResult, grid)``
+    with ``series``).  Any exception — including a planned fault fired
+    by a member cell, which on the pool may kill this whole worker —
+    is the driver's signal to degrade the group to solo re-runs.
+    """
+    from repro.exp.checkpoints import WarmStart, checkpoint_group
+    from repro.platform import get_platform
+    from repro.sim.batch import run_replay_batch
+
+    if platforms:
+        from repro.platform import PlatformSpec, register_platform
+
+        for d in platforms:
+            register_platform(PlatformSpec.from_dict(d), replace=True)
+    if faults is not None:
+        _faults.install_plan(faults)
+    base = scenarios[0]
+    for sc in scenarios:
+        # Planned faults fire here, before the replay, exactly as on
+        # the solo path — except a crash now kills a *worker*, not the
+        # driver, and costs its group the lockstep speedup only.
+        _faults.maybe_fire(sc.scenario_hash(), attempt)
+    t0 = time.perf_counter()
+    platform = get_platform(base.platform)
+    platform_hash = platform.content_hash()
+    machine = _machine_for(base.platform, platform_hash, base.scale)
+    jobs = _jobs_for(
+        base.platform,
+        platform_hash,
+        base.interval,
+        base.effective_seed,
+        base.effective_duration,
+        base.overload,
+        base.scale,
+    )
+    tally = CheckpointTally()
+    warm = (
+        WarmStart(checkpoints, checkpoint_group(base), tally)
+        if checkpoints is not None
+        else None
+    )
+    timings: dict[str, float] = {}
+    prof = None
+    if profile_dir is not None:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+    try:
+        replays = run_replay_batch(
+            machine,
+            jobs,
+            base.build_policy(machine),
+            duration=base.effective_duration,
+            caps_per_cell=[sc.build_caps(machine) for sc in scenarios],
+            config=base.build_config(),
+            platform=platform,
+            warm_start=warm,
+            timings=timings,
+        )
+    finally:
+        if prof is not None:
+            prof.disable()
+    if prof is not None:
+        out = Path(profile_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        # Same name the in-process batch backend uses for this group.
+        prof.dump_stats(out / f"batch-{base.with_(caps=()).scenario_hash()}.pstats")
+    # Per-cell wall clock reports the cell's share of the batch (sums
+    # comparable across backends); the group's full elapsed rides on
+    # every cell so the driver can report and calibrate per group.
+    t_end = time.perf_counter()
+    elapsed = t_end - t0
+    share_t0 = t_end - elapsed / len(scenarios)
+    timings["elapsed"] = elapsed
+    payloads: list[Any] = []
+    for sc, rep in zip(scenarios, replays):
+        result = replace(_condense(sc, rep, share_t0), elapsed_seconds=elapsed)
+        if series:
+            grid = dict(rep.recorder.to_grid(0.0, rep.duration, grid_dt))
+            payloads.append((result, grid))
+        else:
+            payloads.append(result)
+    return tally.to_dict(), timings, payloads
 
 
 class GridRunner:
@@ -740,15 +860,13 @@ class GridRunner:
         the shared prefix cold, then race to publish the same artifact.
         """
         assert self.checkpoints is not None
-        stored = set(self.checkpoints.keys())
         groups: dict[str, list[int]] = {}
         for i, sc in enumerate(to_run):
             groups.setdefault(checkpoint_group(sc), []).append(i)
         first: list[int] = []
         rest: list[int] = []
         for group, members in groups.items():
-            has_entry = any(k.startswith(f"{group}-h") for k in stored)
-            if len(members) > 1 and not has_entry:
+            if len(members) > 1 and not self.checkpoints.has_group(group):
                 first.append(members[0])
                 rest.extend(members[1:])
             else:
@@ -896,6 +1014,13 @@ class GridRunner:
                     [record],
                 )
 
+        # Calibrated cost model: seeded from earlier sweeps' persisted
+        # observations, refined by every cell executed here, flushed
+        # back after the sweep.  Estimates only order the batch-pool
+        # dispatch — they never touch results.
+        cost_model = CostModel.from_store(self.store)
+        group_stats: dict[str, Any] = {}
+
         def collect_result(sc: Scenario, item: Any) -> None:
             if want_series:
                 result, series = item
@@ -904,6 +1029,10 @@ class GridRunner:
                 result = item
             self.store.put(result_key(result.scenario), result)
             report.n_executed += 1
+            if result.wall_seconds is not None:
+                # wall_seconds is the per-cell share even for batched
+                # cells — exactly the unit the scheduler estimates.
+                cost_model.observe(result.scenario, result.wall_seconds)
             scenario_hash = result.scenario_hash
             if scenario_hash in known_failed and track_failures:
                 # Heal: a success supersedes the persisted failure.
@@ -946,6 +1075,8 @@ class GridRunner:
                 checkpoints=self.checkpoints if use_ckpt else None,
                 tally=ckpt_tally,
                 profile_dir=profile_arg,
+                cost_model=cost_model,
+                group_stats=group_stats,
             )
         else:
             def _map_subset(subset: Sequence[Scenario]) -> Iterable[Any]:
@@ -1004,8 +1135,13 @@ class GridRunner:
                 report.failures,
             )
 
+        try:
+            cost_model.flush(self.store)
+        except Exception:  # noqa: BLE001 - advisory metadata must not fail a sweep
+            pass
         report.results = [r for r in results if r is not None]
         report.wall_seconds = time.perf_counter() - t_sweep
         report.store_health = self.store.health.to_dict()
         report.checkpoints = ckpt_tally.to_dict() if ckpt_tally else {}
+        report.groups = group_stats
         return report

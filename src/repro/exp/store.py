@@ -204,6 +204,28 @@ class ResultStore:
         """Keys of every stored result (diagnostics / merge checks)."""
         raise NotImplementedError
 
+    # -- metadata side-channel --------------------------------------------------------
+
+    def put_meta(self, name: str, payload: Mapping) -> None:
+        """Persist a small named JSON document next to the results.
+
+        The side-channel for harness bookkeeping that is *about* the
+        store's contents without being a result — e.g. the cost
+        model's observed wall times (:mod:`repro.exp.costmodel`).
+        Last-writer-wins; payloads must be JSON-serialisable.  Stores
+        without persistence keep it in memory for their lifetime.
+        """
+        raise NotImplementedError
+
+    def get_meta(self, name: str) -> dict | None:
+        """A previously stored metadata document, or ``None``.
+
+        Metadata is advisory: a corrupt document is discarded (loudly,
+        like any other unreadable entry) and the caller regenerates
+        it — losing metadata never loses results.
+        """
+        return None
+
     # -- failure records --------------------------------------------------------------
 
     def put_failure(self, key: str, record: "FailureRecord") -> None:
@@ -268,9 +290,16 @@ class MemoryStore(ResultStore):
     def __init__(self) -> None:
         self._results: dict[str, "RunResult"] = {}
         self._failures: dict[str, "FailureRecord"] = {}
+        self._meta: dict[str, dict] = {}
 
     def get(self, key: str) -> "RunResult | None":
         return self._results.get(key)
+
+    def put_meta(self, name: str, payload: Mapping) -> None:
+        self._meta[name] = dict(payload)
+
+    def get_meta(self, name: str) -> dict | None:
+        return self._meta.get(name)
 
     def put(self, key: str, result: "RunResult") -> None:
         # Re-putting moves the key to the back of the eviction order.
@@ -558,6 +587,43 @@ class DirectoryStore(ResultStore):
             return True
         except FileNotFoundError:
             return False
+
+    # -- metadata side-channel --------------------------------------------------------
+
+    _META_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9_-]{0,63}")
+
+    def _meta_path(self, name: str) -> Path:
+        if not self._META_NAME_RE.fullmatch(name):
+            raise ValueError(f"bad metadata document name {name!r}")
+        return self.root / "meta" / f"{name}.json"
+
+    def put_meta(self, name: str, payload: Mapping) -> None:
+        path = self._meta_path(name)
+        text = json.dumps(payload, allow_nan=False, sort_keys=True)
+
+        def write() -> None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / self._tmp_name(name, ".json")
+            try:
+                tmp.write_text(text, encoding="utf-8")
+                self._replace(tmp, path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
+
+        self._guarded_write(f"meta/{name}.json", write)
+
+    def get_meta(self, name: str) -> dict | None:
+        path = self._meta_path(name)
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            # Metadata is advisory bookkeeping: discard and regenerate.
+            self._discard(path, exc)
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def failures(self) -> list["FailureRecord"]:
         if not self.root.is_dir():

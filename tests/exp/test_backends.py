@@ -4,8 +4,8 @@ The contract under test is the paper's own methodology: *which*
 backend executed a scenario can never change the result.  The
 cross-backend equivalence suite drives the full 16-scenario library
 (12 Curie + 4 platform scenarios) through serial, process-pool,
-batched-lockstep and sharded backends and holds every one to the
-pinned golden digests.
+batched-lockstep, batch×pool and sharded backends and holds every one
+to the pinned golden digests.
 """
 
 import pytest
@@ -13,14 +13,19 @@ import pytest
 from repro.analysis.report import merge_cells
 from repro.exp import (
     BatchBackend,
+    BatchPoolBackend,
     CapWindow,
     DirectoryStore,
+    FaultPlan,
+    FaultSpec,
     GridRunner,
     MemoryStore,
     ProcessPoolBackend,
+    RetryPolicy,
     Scenario,
     SerialBackend,
     ShardedBackend,
+    injected,
     make_backend,
     merge_results,
     parse_shard,
@@ -275,6 +280,144 @@ class TestBatchBackend:
                 assert np.array_equal(bs[k], ss[k]), k
 
 
+class TestBatchPoolBackend:
+    """The batch×pool composition: grouping like batch, execution on
+    pool workers, LPT dispatch, and the group-level degradation state
+    machine.  Digest equivalence with serial is the invariant every
+    case holds."""
+
+    def _cap_sweep(self, seeds=(5, 6), fracs=(0.4, 0.5, 0.6)):
+        base = TINY.with_(policy="MIX", duration=2 * HOUR)
+        return [
+            base.with_(
+                name=f"s{seed}-cap{f}",
+                seed=seed,
+                caps=(CapWindow(1800.0, 5400.0, f),),
+            )
+            for seed in seeds
+            for f in fracs
+        ]
+
+    def test_make_backend(self):
+        b = make_backend("batch-pool", workers=2)
+        assert isinstance(b, BatchPoolBackend)
+        assert isinstance(b, ProcessPoolBackend)  # inherits resilience
+        assert b.wants_scenarios and b.workers == 2
+        sharded = make_backend("batch-pool", workers=2, shard="1/2")
+        assert isinstance(sharded, ShardedBackend)
+        assert sharded.wants_scenarios
+
+    def test_cap_sweep_matches_serial_with_group_stats(self):
+        sweep = self._cap_sweep()  # 2 seeds x 3 caps = 2 groups
+        with GridRunner(backend=make_backend("batch-pool", workers=2)) as r:
+            report = r.sweep(sweep)
+        serial = GridRunner().run(sweep)
+        assert [r.trace_digest for r in report.results] == [
+            r.trace_digest for r in serial
+        ]
+        g = report.groups
+        assert g["n_groups"] == 2 and g["n_batched_cells"] == 6
+        assert g["n_singletons"] == 0 and g["n_degraded_groups"] == 0
+        assert len(g["plan"]) == 2 and len(g["groups"]) == 2
+        # LPT spreads two similar groups over both workers.
+        assert {p["worker"] for p in g["plan"]} == {0, 1}
+        assert "lockstep group(s)" in report.summary()
+        for res in report.results:
+            # Batched cells carry the group's elapsed; wall reports
+            # the per-cell share of it.
+            assert res.elapsed_seconds is not None
+            assert res.elapsed_seconds >= res.wall_seconds > 0
+
+    def test_one_worker_delegates_to_in_process_batch(self):
+        sweep = self._cap_sweep(seeds=(5,))
+        with GridRunner(backend=make_backend("batch-pool", workers=1)) as r:
+            report = r.sweep(sweep)
+        serial = GridRunner().run(sweep)
+        assert [r.trace_digest for r in report.results] == [
+            r.trace_digest for r in serial
+        ]
+        assert report.groups["n_groups"] == 1
+
+    def test_mixed_groups_and_singletons(self):
+        sweep = self._cap_sweep(seeds=(5,), fracs=(0.4, 0.6))
+        lone = TINY.with_(name="lone", seed=7)
+        mixed = [sweep[0], lone, sweep[1]]
+        with GridRunner(backend=make_backend("batch-pool", workers=2)) as r:
+            report = r.sweep(mixed)
+        serial = GridRunner().run(mixed)
+        assert [r.trace_digest for r in report.results] == [
+            r.trace_digest for r in serial
+        ]
+        assert report.groups["n_singletons"] == 1
+
+    def test_batch_timeout_warns_once_and_points_here(self):
+        sweep = self._cap_sweep(seeds=(5,), fracs=(0.4, 0.6))
+        with pytest.warns(RuntimeWarning, match="batch-pool"):
+            with GridRunner(backend=make_backend("batch"), timeout=30.0) as r:
+                results = r.run(sweep)
+        assert len(results) == 2
+
+    def test_crash_fault_degrades_only_its_group(self):
+        # One 3-cell group (with the victim) plus one singleton: the
+        # injected crash kills a *pool worker*, the group degrades to
+        # retried solo re-runs, the singleton is untouched, and the
+        # sweep loses nothing.
+        sweep = self._cap_sweep(seeds=(5,))
+        lone = TINY.with_(name="lone", seed=7)
+        mixed = sweep + [lone]
+        serial = GridRunner().run(mixed)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    scenario_hash=sweep[1].scenario_hash(),
+                    kind="crash",
+                    times=1,
+                ),
+            )
+        )
+        with injected(plan):
+            with GridRunner(
+                backend=make_backend("batch-pool", workers=2),
+                retry=RetryPolicy(max_attempts=3),
+                on_error="quarantine",
+            ) as r:
+                report = r.sweep(mixed)
+        assert report.unquarantined_losses == []
+        assert not report.failures
+        assert report.groups["n_degraded_groups"] == 1
+        assert [r.trace_digest for r in report.results] == [
+            r.trace_digest for r in serial
+        ]
+
+    def test_warm_starts_publish_and_hit_across_runs(self, tmp_path):
+        from repro.exp import make_checkpoint_store
+
+        # IDLE with a late window has a real divergence horizon, so
+        # the group's worker publishes the shared prefix on pass 1 and
+        # restores it on pass 2 — digests identical throughout.
+        base = TINY.with_(policy="IDLE", duration=2 * HOUR)
+        sweep = [
+            base.with_(name=f"c{f}", caps=(CapWindow(5760.0, 6720.0, f),))
+            for f in (0.3, 0.4, 0.5)
+        ]
+        serial = GridRunner().run(sweep)
+        spec = f"dir:{tmp_path / 'ckpt'}"
+        reports = []
+        for _ in range(2):
+            with GridRunner(
+                backend=make_backend("batch-pool", workers=2),
+                checkpoints=make_checkpoint_store(spec),
+            ) as r:
+                reports.append(r.sweep(sweep))
+        assert reports[0].checkpoints["publishes"] >= 1
+        assert reports[1].checkpoints["hits"] >= 1
+        assert reports[1].checkpoints["misses"] == 0
+        for report in reports:
+            assert [r.trace_digest for r in report.results] == [
+                r.trace_digest for r in serial
+            ]
+
+
 class TestMergeHelpers:
     def test_merge_results_conflict_raises(self):
         from dataclasses import replace
@@ -353,6 +496,8 @@ class TestCrossBackendEquivalence:
             "batch": [make_backend("batch")],
             "shard2": [make_backend("pool", workers=2, shard=(k, 2)) for k in range(2)],
             "shard3": [make_backend("serial", shard=(k, 3)) for k in range(3)],
+            "batchpool2": [make_backend("batch-pool", workers=2)],
+            "batchpool4": [make_backend("batch-pool", workers=4)],
         }
         contents = {}
         for label, backends in configs.items():
