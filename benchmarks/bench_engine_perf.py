@@ -9,11 +9,17 @@ regressions in the substrate are caught.  CI runs this module with
 ``--benchmark-json`` and ``benchmarks/check_perf_regression.py``
 compares the means against the committed baselines (``BENCH_pr2.json``
 for the engine cases, ``BENCH_pr4.json`` for the backend cases,
-``BENCH_pr6.json`` for the batched-lockstep cap-sweep cases; >2x
-regression fails the job).
+``BENCH_pr6.json`` for the batched-lockstep cap-sweep cases,
+``BENCH_pr9.json`` for the multigroup batch-pool pair,
+``BENCH_pr10.json`` for the transfer data-plane cases; >2x regression
+fails the job).  ``benchmarks/check_data_plane.py`` additionally holds
+the shm-vs-pickle transfer ratio and the batch-pool-vs-floor ratio.
 """
 
 import math
+import os
+import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -465,6 +471,116 @@ def test_perf_cap_sweep_batchpool(benchmark):
 
     results = benchmark.pedantic(sweep, rounds=2, iterations=1)
     assert len(results) == len(cells)
+
+
+# -- zero-copy transfer data plane ---------------------------------------------------
+#
+# The shm transport's reason to exist: moving one 12-cell lockstep
+# group's series payloads (12 cells x 8 arrays x 8640 float64 samples,
+# ~6.6 MB) from pool workers back to the driver.  The pickle case is
+# what multiprocessing does without it — serialise, copy through a
+# pipe, deserialise: three full copies of every byte.  The shm case
+# copies each cell's arrays into a named segment once and ships a
+# few-hundred-byte descriptor through the same pipe; the driver adopts
+# zero-copy views.
+#
+# Each case records the driver<->worker traffic it generated as
+# ``extra_info["pipe_bytes"]`` — the cost the transport exists to cut.
+# ``benchmarks/check_data_plane.py`` gates that ratio (shm must move
+# >=5x fewer bytes over the boundary; in practice it is ~3 orders of
+# magnitude) alongside the batch-pool-vs-floor wall-clock ratio, and
+# ``BENCH_pr10.json`` records the wall-clock trajectories.  Wall clock
+# alone is deliberately not the gate: on a single-core runner both
+# paths are bounded by the same worker-side memcpy, so the pipe-bytes
+# column is where the win is visible everywhere, and the driver-side
+# zero-copy adopt pays off only once cores are contended.
+
+_XFER_CELLS = 12
+_XFER_KEYS = ("time", "power", "idle", "down", "infra", "bonus", "busy", "work")
+_XFER_SAMPLES = 8640
+_XFER_NBYTES = _XFER_CELLS * len(_XFER_KEYS) * _XFER_SAMPLES * 8
+
+
+def _transfer_payloads():
+    rng = np.random.default_rng(12)
+    return [
+        {k: rng.uniform(0.0, 2.5e6, size=_XFER_SAMPLES) for k in _XFER_KEYS}
+        for _ in range(_XFER_CELLS)
+    ]
+
+
+def _pipe_round_trip(blob: bytes) -> bytes:
+    """One worker->driver hop: write through an OS pipe from a second
+    thread (what multiprocessing's result queue does), read it back."""
+    r, w = os.pipe()
+
+    def writer():
+        os.write(w, len(blob).to_bytes(8, "little"))
+        view = memoryview(blob)
+        while view:
+            sent = os.write(w, view[: 1 << 20])
+            view = view[sent:]
+        os.close(w)
+
+    t = threading.Thread(target=writer)
+    t.start()
+    size = int.from_bytes(os.read(r, 8), "little")
+    chunks = []
+    got = 0
+    while got < size:
+        chunk = os.read(r, min(1 << 20, size - got))
+        if not chunk:  # pragma: no cover - writer died
+            break
+        chunks.append(chunk)
+        got += len(chunk)
+    os.close(r)
+    t.join()
+    return b"".join(chunks)
+
+
+def test_perf_transfer_pickle_series(benchmark):
+    payloads = _transfer_payloads()
+    piped = [0]
+
+    def ship():
+        total = 0
+        piped[0] = 0
+        for arrays in payloads:
+            blob = pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)
+            piped[0] += len(blob)
+            out = pickle.loads(_pipe_round_trip(blob))
+            total += sum(a.nbytes for a in out.values())
+        return total
+
+    assert benchmark(ship) == _XFER_NBYTES
+    assert piped[0] > _XFER_NBYTES  # the full arrays crossed the pipe
+    benchmark.extra_info["pipe_bytes"] = piped[0]
+
+
+def test_perf_transfer_shm_series(benchmark):
+    from repro.exp import shm
+
+    if not shm.shm_available():  # pragma: no cover - exotic platform
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    payloads = _transfer_payloads()
+    prefix = shm.new_prefix()
+    piped = [0]
+
+    def ship():
+        total = 0
+        piped[0] = 0
+        for arrays in payloads:
+            desc = shm.arena.place(arrays, prefix=prefix, min_bytes=0)
+            blob = pickle.dumps(desc, protocol=pickle.HIGHEST_PROTOCOL)
+            piped[0] += len(blob)
+            with shm.arena.adopt(pickle.loads(_pipe_round_trip(blob))) as view:
+                total += sum(a.nbytes for a in view.arrays.values())
+        return total
+
+    assert benchmark(ship) == _XFER_NBYTES
+    assert not shm.live_segments(prefix)
+    assert piped[0] * 5 < _XFER_NBYTES  # only descriptors crossed the pipe
+    benchmark.extra_info["pipe_bytes"] = piped[0]
 
 
 def test_perf_backend_sharded_merge(benchmark, tmp_path):

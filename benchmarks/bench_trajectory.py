@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Print the benchmark trajectory across every committed ``BENCH_pr*.json``.
+
+Usage::
+
+    python benchmarks/bench_trajectory.py [bench.json]
+
+One row per benchmark, one column per committed baseline (in PR
+order), plus an optional ``now`` column from a live pytest-benchmark
+JSON.  The last two committed means for a row are compared: a >2x jump
+is flagged, so a regression that slipped past ``check_perf_regression``
+(which only compares against the single newest baseline containing the
+case) is still visible against the full history in the CI log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_means(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("benchmarks", {})
+    if isinstance(entries, list):  # raw pytest-benchmark output
+        return {b["name"]: float(b["stats"]["mean"]) for b in entries}
+    return {name: float(e["mean_s"]) for name, e in entries.items()}
+
+
+def fmt(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "current", type=Path, nargs="?", default=None,
+        help="optional live pytest-benchmark JSON for a 'now' column",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(
+        REPO.glob("BENCH_pr*.json"),
+        key=lambda p: int(re.search(r"\d+", p.stem).group()),
+    )
+    if not baselines:
+        print("no BENCH_pr*.json baselines found", file=sys.stderr)
+        return 1
+    columns = [(p.stem.removeprefix("BENCH_"), load_means(p)) for p in baselines]
+    if args.current is not None:
+        columns.append(("now", load_means(args.current)))
+
+    names = sorted({n for _, means in columns for n in means})
+    width = max(len(n) for n in names)
+    header = f"{'benchmark':<{width}}" + "".join(
+        f"  {label:>8}" for label, _ in columns
+    )
+    print(header)
+    print("-" * len(header))
+    flagged = []
+    for name in names:
+        row = [means.get(name) for _, means in columns]
+        committed = [v for v in row[: len(baselines)] if v is not None]
+        flag = ""
+        if len(committed) >= 2 and committed[-2] > 0:
+            jump = committed[-1] / committed[-2]
+            if jump > 2.0:
+                flag = f"  << {jump:.1f}x vs prior record"
+                flagged.append(name)
+        print(
+            f"{name:<{width}}"
+            + "".join(f"  {fmt(v):>8}" for v in row)
+            + flag
+        )
+    if flagged:
+        print(
+            f"\nnote: {len(flagged)} benchmark(s) jumped >2x between their "
+            "last two committed records: " + ", ".join(flagged)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -635,6 +635,10 @@ def _print_sweep_plan(args: argparse.Namespace, scenarios: list) -> int:
     print(plan_table(placed, workers))
     if singles:
         print(f"(+ {singles} singleton cell(s) on the solo task path)")
+    from repro.exp import shm
+
+    for line in shm.envelope_report(deduped, multi):
+        print(line)
     return 0
 
 

@@ -125,6 +125,16 @@ from repro.exp.aggregate import (
     results_table,
     results_to_cells,
 )
+from repro.exp.shm import (
+    GroupEnvelope,
+    SharedArena,
+    ShmPayload,
+    ShmView,
+    SpecShipper,
+    TransferTally,
+    set_shm_enabled,
+    shm_available,
+)
 
 __all__ = [
     "CapWindow",
@@ -178,6 +188,14 @@ __all__ = [
     "SweepError",
     "SweepReport",
     "TaskFailure",
+    "GroupEnvelope",
+    "SharedArena",
+    "ShmPayload",
+    "ShmView",
+    "SpecShipper",
+    "TransferTally",
+    "set_shm_enabled",
+    "shm_available",
     "GridRunner",
     "RunResult",
     "replay_scenario",

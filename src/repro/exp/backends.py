@@ -50,7 +50,10 @@ from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+import os
+
 from repro.exp import faults as _faults
+from repro.exp import shm as _shm
 from repro.exp.resilience import (
     RetryPolicy,
     TaskFailure,
@@ -67,6 +70,14 @@ def _task_label(item: Any) -> str:
     if callable(hasher):
         return hasher()
     return repr(item)
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 class ExecutionBackend:
@@ -212,6 +223,30 @@ class ProcessPoolBackend(ExecutionBackend):
         self._pool_size = 0
         #: pool respawns forced by worker death or hung-task kills
         self.n_respawns = 0
+        #: driver-owned shm segment-name prefix: every segment this
+        #: backend's workers place carries it, so killed workers'
+        #: orphans are enumerable (and reaped on respawn/shutdown)
+        self._shm_prefix = _shm.new_prefix()
+
+    @property
+    def transport_prefix(self) -> str | None:
+        """The shm data plane's segment prefix — ``None`` when no
+        process boundary is in play (``workers <= 1`` runs tasks
+        in-process, where descriptors would only add a copy)."""
+        return self._shm_prefix if self.workers > 1 else None
+
+    @property
+    def supports_spec_cache(self) -> bool:
+        """Whether hash-only spec envelopes are worth shipping.
+
+        Restricted to the ``fork`` start method: forked workers
+        inherit the driver's seeded content-addressed caches, so
+        hash-only references hit from the first task.  ``spawn``
+        workers start cold — every first reference would bounce
+        through the miss protocol, costing a round-trip per worker —
+        so they keep full envelopes.
+        """
+        return self.workers > 1 and self.mp_context == "fork"
 
     def _get_pool(self, n_tasks: int) -> ProcessPoolExecutor:
         """The persistent pool, sized ``min(workers, n_tasks)``.
@@ -248,13 +283,33 @@ class ProcessPoolBackend(ExecutionBackend):
         _LIVE_POOL_BACKENDS.discard(self)
         if pool is not None:
             if terminate:
+                procs = list(getattr(pool, "_processes", {}).values())
                 self._kill_workers(pool)
                 pool.shutdown(wait=False, cancel_futures=True)
+                for proc in procs:
+                    # Bounded join: reaping below must not race a
+                    # worker that is still dying mid-segment-write.
+                    try:
+                        proc.join(1.0)
+                    except Exception:  # pragma: no cover - already reaped
+                        pass
             else:
                 pool.shutdown(wait=True, cancel_futures=False)
+        # The workers are dead (or joined, or never existed): any
+        # segment still carrying this backend's prefix was placed by a
+        # worker whose descriptor never reached the driver — reclaim
+        # it now rather than leak it until reboot.  Unconditional: the
+        # respawn contract is "this prefix is clean before the fresh
+        # pool forks", whatever state the old pool was in.
+        _shm.reap_prefix(self._shm_prefix)
 
     def _respawn(self, n_tasks: int) -> ProcessPoolExecutor:
-        """Replace a broken/hung pool with a fresh one, requeue-ready."""
+        """Replace a broken/hung pool with a fresh one, requeue-ready.
+
+        Part of the crash-cleanup contract: ``_shutdown`` reaps shm
+        segments orphaned by the killed workers before the fresh pool
+        forks, so a worker dying mid-write can never leak a segment
+        past its pool's lifetime."""
         self.n_respawns += 1
         self._shutdown(terminate=True)
         return self._get_pool(n_tasks)
@@ -559,6 +614,9 @@ class BatchBackend(ExecutionBackend):
         profile_dir: str | None = None,
         cost_model: Any = None,
         group_stats: dict | None = None,
+        shipper: Any = None,
+        transfer: Any = None,
+        shm_prefix: str | None = None,
     ) -> Iterator[TaskOutcome]:
         """Execute ``scenarios`` (already deduped by the runner),
         yielding ``(index, outcome, retries)`` triples shaped exactly
@@ -582,7 +640,10 @@ class BatchBackend(ExecutionBackend):
         ``cost_model`` is accepted for signature parity with the
         batch×pool composition (serial group order cannot change the
         makespan); ``group_stats``, when given, is filled with the
-        per-group accounting :attr:`SweepReport.groups` reports."""
+        per-group accounting :attr:`SweepReport.groups` reports.
+        ``shipper``/``transfer``/``shm_prefix`` — the data plane's
+        seams — are likewise parity-only: nothing crosses a process
+        boundary here, so there is nothing to compact or account."""
         from repro.exp.checkpoints import WarmStart, checkpoint_group
         from repro.exp.runner import (
             _condense,
@@ -807,12 +868,24 @@ class BatchPoolBackend(ProcessPoolBackend):
         profile_dir: str | None = None,
         cost_model: Any = None,
         group_stats: dict | None = None,
+        shipper: Any = None,
+        transfer: Any = None,
+        shm_prefix: str | None = None,
     ) -> Iterator[TaskOutcome]:
         """Execute ``scenarios``; yields ``map_tasks``-shaped triples.
 
         With one worker there is nothing to compose: execution
         delegates to an in-process :class:`BatchBackend` (bit-identical
         results, no pool).
+
+        The data plane threads through both dispatch paths: group
+        envelopes ship compact (:class:`~repro.exp.shm.GroupEnvelope`
+        — base spec once, then scenario hashes plus cap deltas) when
+        ``shipper`` allows it, a worker's spec-cache miss requeues the
+        same group with a full envelope exactly once (uncharged — no
+        replay ran), series payloads ride shm segments named under
+        ``shm_prefix``, and per-group transfer tallies are harvested
+        from the in-band ``timings`` dict into ``transfer``.
         """
         scenarios = list(scenarios)
         if self.workers <= 1:
@@ -832,14 +905,14 @@ class BatchPoolBackend(ProcessPoolBackend):
 
         from repro.exp.costmodel import CostModel, assign_workers
         from repro.exp.runner import (
-            _platform_payload,
             _run_group_task,
             _run_task,
         )
 
         plan = _faults.active_plan()
         faults_dict = plan.to_dict() if plan is not None else None
-        payload = _platform_payload(scenarios)
+        if shipper is None:
+            shipper = _shm.SpecShipper(compact=False)
         model = cost_model if cost_model is not None else CostModel()
 
         groups: dict[tuple[str, str], list[int]] = {}
@@ -886,9 +959,35 @@ class BatchPoolBackend(ProcessPoolBackend):
             if group_stats is not None:
                 group_stats["n_degraded_groups"] += n
 
+        if transfer is None:
+            transfer = _shm.TransferTally()
+        # Group dispatch never benefits from more workers than CPUs:
+        # forking the surplus costs start-up and memory for zero
+        # parallelism, and fewer in-flight groups keeps degradation
+        # attribution tighter.  (Solo/`map_tasks` dispatch is not
+        # capped — its per-cell timeout machinery wants the requested
+        # width.)
+        cap = max(1, min(self.workers, _available_cpus()))
+
+        def group_payload(est: Any, full: bool) -> Any:
+            """The group's wire form: full scenario tuple, or a
+            compact envelope once the base spec has shipped."""
+            cells = tuple(scenarios[i] for i in est.indices)
+            if not shipper.compact or full:
+                return cells
+            base = cells[0].with_(caps=())
+            group_hash = base.scenario_hash()
+            return _shm.GroupEnvelope(
+                group=group_hash,
+                base=shipper.group_base(base, group_hash),
+                cells=tuple((sc.name, sc.caps) for sc in cells),
+                hashes=tuple(sc.scenario_hash() for sc in cells),
+            )
+
         degraded: list[int] = []
-        queue = deque(est for est, _ in placed)
-        inflight: dict[Any, tuple[Any, float]] = {}  # future -> (est, started)
+        queue = deque((est, False) for est, _ in placed)
+        # future -> (est, started, full-envelope?)
+        inflight: dict[Any, tuple[Any, float, bool]] = {}
         tick = (
             self._TICK
             if timeout is None
@@ -896,36 +995,44 @@ class BatchPoolBackend(ProcessPoolBackend):
         )
         group_task = partial(
             _run_group_task,
-            platforms=payload,
             series=series,
             grid_dt=grid_dt,
             faults=faults_dict,
             checkpoints=checkpoints,
             profile_dir=profile_dir,
+            shm_prefix=shm_prefix,
         )
 
         try:
             if queue:
-                self._get_pool(len(queue))
+                self._get_pool(min(len(queue), cap))
             while queue or inflight:
-                while queue and len(inflight) < self._pool_size:
-                    est = queue.popleft()
-                    fut = self._get_pool(len(queue) + 1).submit(
+                while queue and len(inflight) < min(self._pool_size, cap):
+                    est, full = queue.popleft()
+                    cells = tuple(scenarios[i] for i in est.indices)
+                    env = group_payload(est, full)
+                    task = partial(
                         group_task,
-                        tuple(scenarios[i] for i in est.indices),
+                        platforms=shipper.platform_payload(cells, full=full),
                     )
-                    inflight[fut] = (est, time.monotonic())
+                    transfer.note_envelope((task, env))
+                    fut = self._get_pool(min(len(queue) + 1, cap)).submit(
+                        task, env
+                    )
+                    inflight[fut] = (est, time.monotonic(), full)
                 done, _ = wait(
                     set(inflight), timeout=tick, return_when=FIRST_COMPLETED
                 )
                 broken = False
                 for fut in done:
-                    est, _started = inflight.pop(fut)
+                    est, _started, was_full = inflight.pop(fut)
                     try:
-                        tally_dict, timings, payloads = fut.result()
+                        res = fut.result()
                     except BrokenProcessPool:
                         broken = True
-                        suspects = [est] + [e for e, _ in inflight.values()]
+                        suspects = [est] + [
+                            e for e, _s, _f in inflight.values()
+                        ]
                         inflight.clear()
                         break
                     except Exception:  # noqa: BLE001 - degrade, don't lose the group
@@ -936,6 +1043,22 @@ class BatchPoolBackend(ProcessPoolBackend):
                         note_degraded()
                         degraded.extend(est.indices)
                     else:
+                        if _shm.is_spec_miss(res):
+                            # The worker's spec cache could not resolve
+                            # the compact envelope (cold fork, LRU
+                            # eviction).  Nothing ran: requeue the same
+                            # group with full specs, uncharged.  A full
+                            # envelope cannot miss — if one somehow
+                            # does, degrade rather than loop.
+                            transfer.spec_misses += len(res[1])
+                            shipper.invalidate(res[1])
+                            if was_full:
+                                note_degraded()
+                                degraded.extend(est.indices)
+                            else:
+                                queue.appendleft((est, True))
+                            continue
+                        tally_dict, timings, payloads = res
                         if len(payloads) != len(est.indices):
                             # Defensive: a malformed worker reply must
                             # not silently drop cells.
@@ -944,6 +1067,9 @@ class BatchPoolBackend(ProcessPoolBackend):
                             continue
                         if tally is not None and tally_dict:
                             tally.add(tally_dict)
+                        xfer_dict = timings.pop("xfer", None)
+                        if xfer_dict:
+                            transfer.add(xfer_dict)
                         if group_stats is not None:
                             group_stats["groups"][est.group] = {
                                 "cells": est.n_cells,
@@ -959,7 +1085,7 @@ class BatchPoolBackend(ProcessPoolBackend):
                     # group is never re-run as a group — every suspect
                     # degrades to solo, where crash attribution is
                     # per-cell and exact.
-                    self._respawn(max(len(queue), 1))
+                    self._respawn(min(max(len(queue), 1), cap))
                     note_degraded(len(suspects))
                     for est in suspects:
                         degraded.extend(est.indices)
@@ -968,46 +1094,71 @@ class BatchPoolBackend(ProcessPoolBackend):
                     now = time.monotonic()
                     expired = {
                         fut
-                        for fut, (est, started) in inflight.items()
+                        for fut, (est, started, _f) in inflight.items()
                         if now - started > timeout * est.n_cells
                         and not fut.done()
                     }
                     if expired:
                         # Presumed hung: kill the pool, requeue the
                         # innocent in-flight groups unpenalised (still
-                        # as groups), degrade the offenders to solo —
-                        # where the per-cell timeout charges the real
-                        # culprit.
+                        # as groups, keeping their envelope form), and
+                        # degrade the offenders to solo — where the
+                        # per-cell timeout charges the real culprit.
                         innocents = [
-                            est
-                            for fut, (est, _s) in inflight.items()
+                            (est, f)
+                            for fut, (est, _s, f) in inflight.items()
                             if fut not in expired
                         ]
                         offenders = [inflight[fut][0] for fut in expired]
                         inflight.clear()
-                        self._respawn(len(queue) + len(innocents) + 1)
-                        for est in reversed(innocents):
-                            queue.appendleft(est)
+                        self._respawn(
+                            min(len(queue) + len(innocents) + 1, cap)
+                        )
+                        for entry in reversed(innocents):
+                            queue.appendleft(entry)
                         note_degraded(len(offenders))
                         for est in offenders:
                             degraded.extend(est.indices)
 
             solo_all = sorted(set(solo_idx) | set(degraded))
             if solo_all:
-                solo_task: Callable[..., Any] = partial(
-                    _run_task,
-                    platforms=payload,
-                    series=series,
-                    grid_dt=grid_dt,
-                    faults=faults_dict,
-                    checkpoints=checkpoints,
-                    profile_dir=profile_dir,
-                )
                 subset = [scenarios[i] for i in solo_all]
+
+                def solo_task(full: bool) -> Callable[..., Any]:
+                    return partial(
+                        _run_task,
+                        platforms=shipper.platform_payload(
+                            subset, full=full
+                        ),
+                        series=series,
+                        grid_dt=grid_dt,
+                        faults=faults_dict,
+                        checkpoints=checkpoints,
+                        profile_dir=profile_dir,
+                        shm_prefix=shm_prefix,
+                    )
+
+                # The runner leaves spec misses to scenario-aware
+                # backends (it cannot re-dispatch what it did not
+                # dispatch), so solo misses are answered here: one
+                # full-spec redo, after which a further sentinel
+                # surfaces as a loud failure upstream.
+                redo: list[int] = []
                 for local, outcome, retries in super().map_tasks(
-                    solo_task, subset, retry=retry, timeout=timeout
+                    solo_task(False), subset, retry=retry, timeout=timeout
                 ):
+                    if _shm.is_spec_miss(outcome):
+                        transfer.spec_misses += len(outcome[1])
+                        shipper.invalidate(outcome[1])
+                        redo.append(local)
+                        continue
                     yield solo_all[local], outcome, retries
+                if redo:
+                    resubset = [subset[i] for i in redo]
+                    for local, outcome, retries in super().map_tasks(
+                        solo_task(True), resubset, retry=retry, timeout=timeout
+                    ):
+                        yield solo_all[redo[local]], outcome, retries
         finally:
             if not self.persistent:
                 self.close()
@@ -1049,6 +1200,15 @@ class ShardedBackend(ExecutionBackend):
     def wants_scenarios(self) -> bool:
         """Forward the batch seam when the inner backend offers it."""
         return bool(getattr(self.inner, "wants_scenarios", False))
+
+    @property
+    def transport_prefix(self) -> str | None:
+        """Forward the shm seam: the inner pool's segment prefix."""
+        return getattr(self.inner, "transport_prefix", None)
+
+    @property
+    def supports_spec_cache(self) -> bool:
+        return bool(getattr(self.inner, "supports_spec_cache", False))
 
     def run_scenarios(self, scenarios: Sequence["Scenario"], **kwargs: Any):
         return self.inner.run_scenarios(scenarios, **kwargs)

@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.exp import shm as _shm
 from repro.exp.store import TRANSIENT_ERRNOS, StoreHealth, _prune_files
 from repro.sim.batch import FORK_STATE_VERSION
 
@@ -316,6 +317,17 @@ class DirectoryCheckpointStore(CheckpointStore):
         jpath = self._json_path(key)
         if not jpath.is_file():
             return None
+        # Fork states are content-addressed, so a cached entry can
+        # only go stale through the filesystem: pruning (the
+        # ``is_file`` probe above) or on-disk damage.  A hit must
+        # match the ``.npz``'s recorded stat signature — anything
+        # that changed the bytes falls through to the real loader,
+        # which detects corruption loudly.  Hits still bump the
+        # atime so LRU pruning sees cached readers.
+        cached = _shm.FORK_STATE_CACHE.get((str(self.root), key))
+        if cached is not None and self._npz_sig(key) == cached["sig"]:
+            self._touch(jpath)
+            return {"meta": dict(cached["meta"]), "arrays": dict(cached["arrays"])}
         try:
             wrapper = json.loads(jpath.read_text(encoding="utf-8"))
             schema = wrapper["schema"]
@@ -342,7 +354,25 @@ class DirectoryCheckpointStore(CheckpointStore):
             self._discard(key, exc)
             return None
         self._touch(jpath)
-        return {"meta": meta, "arrays": arrays}
+        # Memoise the loaded state (read-only arrays shared between
+        # the cache and every borrower — install_fork_state only ever
+        # reads them), sparing repeat warm starts the .npz decompress.
+        for arr in arrays.values():
+            arr.setflags(write=False)
+        _shm.FORK_STATE_CACHE.put(
+            (str(self.root), key),
+            {"meta": meta, "arrays": arrays, "sig": self._npz_sig(key)},
+        )
+        return {"meta": dict(meta), "arrays": dict(arrays)}
+
+    def _npz_sig(self, key: str) -> tuple[int, int] | None:
+        """Cheap change detector for the cached fork state: the
+        ``.npz``'s ``(mtime_ns, size)``, ``None`` when unreadable."""
+        try:
+            st = self._npz_path(key).stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
 
     def put(self, group: str, horizon: float, state: dict) -> str:
         key = checkpoint_key(group, horizon)

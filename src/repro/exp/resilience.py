@@ -223,6 +223,11 @@ class SweepReport:
     #: LPT dispatch plan (batch-pool), and per-group elapsed/warm stats
     #: keyed by cap-free scenario hash; empty otherwise
     groups: dict[str, Any] = field(default_factory=dict)
+    #: data-plane accounting when a pool backend ran (see
+    #: :class:`repro.exp.shm.TransferTally`): bytes shipped through
+    #: pickle vs shared through shm segments, spec-cache hits/misses,
+    #: pickle fallbacks; empty for in-process execution
+    transfer: dict[str, int] = field(default_factory=dict)
 
     @property
     def quarantined(self) -> list[FailureRecord]:
@@ -272,6 +277,10 @@ class SweepReport:
                 f"{ck.get('misses', 0)} miss(es), "
                 f"{ck.get('publishes', 0)} published"
             )
+        if self.transfer and any(self.transfer.values()):
+            from repro.exp.shm import transfer_summary
+
+            parts.append(transfer_summary(self.transfer))
         return ", ".join(parts)
 
 

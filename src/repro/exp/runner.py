@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import math
 import time
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -49,6 +50,7 @@ from repro.exp.checkpoints import (
     make_checkpoint_store,
 )
 from repro.exp.costmodel import CostModel
+from repro.exp import shm as _shm
 from repro.exp.resilience import (
     ON_ERROR_MODES,
     FailureRecord,
@@ -447,7 +449,9 @@ def _condense(scenario: Scenario, result: ReplayResult, t0: float) -> RunResult:
     )
 
 
-def _platform_payload(scenarios: Sequence[Scenario]) -> tuple[dict, ...]:
+def _platform_payload(
+    scenarios: Sequence[Scenario],
+) -> tuple[tuple[str, dict | None], ...]:
     """Serialised specs of every platform the scenarios reference.
 
     Scenarios carry only a platform *name*, and a worker's registry
@@ -456,55 +460,112 @@ def _platform_payload(scenarios: Sequence[Scenario]) -> tuple[dict, ...]:
     registered when it forked (possibly a since-replaced spec).
     Shipping every referenced spec and re-registering with
     ``replace=True`` makes the worker mirror the driver's registry
-    exactly, whatever its history."""
+    exactly, whatever its history.
+
+    Entries are ``(content_hash, spec_dict)`` pairs; a
+    :class:`~repro.exp.shm.SpecShipper` produces the same shape with
+    ``None`` dicts once a hash has been delivered, and the worker's
+    content-addressed cache fills the gap.
+    """
     from repro.platform import get_platform
 
-    return tuple(
-        get_platform(name).to_dict()
+    specs = (
+        get_platform(name)
         for name in dict.fromkeys(sc.platform for sc in scenarios)
     )
+    return tuple((spec.content_hash(), spec.to_dict()) for spec in specs)
 
 
-#: sentinel wrapping a checkpoint-enabled task payload so the driver
-#: can recover the worker-side warm-start tally from the outcome
-_CKPT_WRAPPER = "__ckpt__"
+def _register_platforms(
+    entries: Sequence[Any], tally: "_shm.TransferTally"
+) -> list[str]:
+    """Worker-side mirror of the driver's platform registry.
+
+    Full entries register and seed this process's content-addressed
+    cache; hash-only entries resolve from it.  Returns the hashes
+    that could not be resolved (the caller answers with a
+    :func:`~repro.exp.shm.spec_miss` sentinel so the driver re-ships
+    them in full, once)."""
+    from repro.platform import PlatformSpec, register_platform
+
+    missing: list[str] = []
+    for entry in entries:
+        if isinstance(entry, Mapping):  # legacy full-dict form
+            register_platform(PlatformSpec.from_dict(entry), replace=True)
+            continue
+        h, d = entry
+        if d is not None:
+            spec = PlatformSpec.from_dict(d)
+            _shm.PLATFORM_CACHE.put(h, spec)
+        else:
+            spec = _shm.PLATFORM_CACHE.get(h)
+            if spec is None:
+                missing.append(h)
+                continue
+            tally.spec_hits += 1
+        # The driver's registry wins over whatever the worker
+        # inherited; identical content makes this a no-op.
+        register_platform(spec, replace=True)
+    return missing
+
+
+def _pack_series(
+    grid: dict[str, np.ndarray],
+    shm_prefix: str | None,
+    tally: "_shm.TransferTally",
+) -> Any:
+    """Worker-side series transport: a segment descriptor when the
+    data plane is on, the plain dict (pickle path) otherwise.
+
+    ``shm_prefix`` is ``None`` exactly when no process boundary is in
+    play (in-process backends), where neither transport nor
+    accounting applies."""
+    if shm_prefix is None:
+        return grid
+    payload = _shm.arena.place(grid, prefix=shm_prefix)
+    if payload is not None:
+        return payload
+    tally.fallbacks += 1
+    tally.bytes_shipped += sum(a.nbytes for a in grid.values())
+    return grid
+
+
+#: sentinel wrapping a task payload whose worker has in-band metadata
+#: to report — the warm-start tally and/or the transfer tally ride
+#: back inside the outcome as ``(_META_WRAPPER, meta_dict, payload)``
+_META_WRAPPER = "__taskmeta__"
 
 
 def _run_task(
     scenario: Scenario,
     *,
-    platforms: tuple[dict, ...],
+    platforms: Sequence[Any],
     series: bool,
     grid_dt: float,
     faults: Mapping[str, Any] | None = None,
     attempt: int = 1,
     checkpoints: CheckpointStore | None = None,
     profile_dir: str | None = None,
+    shm_prefix: str | None = None,
 ):
     """One GridRunner work item (top-level so it pickles to workers)."""
-    if platforms:
-        from repro.platform import PlatformSpec, register_platform
-
-        for d in platforms:
-            # The driver's registry wins over whatever the worker
-            # inherited; identical content makes this a no-op.
-            register_platform(PlatformSpec.from_dict(d), replace=True)
+    xfer = _shm.TransferTally()
+    missing = _register_platforms(platforms, xfer)
+    if missing:
+        # Hash-only envelope referenced specs this worker has never
+        # seen: answer before arming faults or replaying anything —
+        # the attempt "didn't happen" and the driver re-ships in full.
+        return _shm.spec_miss(missing)
     if faults is not None:
         # Arm the driver's fault plan in this process: a spawn worker
         # starts disarmed, and a fork worker's copy may be stale.
         _faults.install_plan(faults)
-    if checkpoints is None:
-        if series:
-            return run_scenario_with_series(
-                scenario, grid_dt=grid_dt, attempt=attempt, profile_dir=profile_dir
-            )
-        return run_scenario(scenario, attempt=attempt, profile_dir=profile_dir)
     # A directory checkpoint store pickles as its path, so a pool
     # worker probes/publishes the same entries as the driver; the
     # per-call tally rides back in-band inside the outcome.
-    tally = CheckpointTally()
+    tally = CheckpointTally() if checkpoints is not None else None
     if series:
-        payload: Any = run_scenario_with_series(
+        result, grid = run_scenario_with_series(
             scenario,
             grid_dt=grid_dt,
             attempt=attempt,
@@ -512,6 +573,7 @@ def _run_task(
             tally=tally,
             profile_dir=profile_dir,
         )
+        payload: Any = (result, _pack_series(grid, shm_prefix, xfer))
     else:
         payload = run_scenario(
             scenario,
@@ -520,22 +582,36 @@ def _run_task(
             tally=tally,
             profile_dir=profile_dir,
         )
-    return (_CKPT_WRAPPER, tally.to_dict(), payload)
+    meta: dict[str, Any] = {}
+    if tally is not None:
+        meta["ckpt"] = tally.to_dict()
+    if xfer:
+        meta["xfer"] = xfer.to_dict()
+    if meta:
+        return (_META_WRAPPER, meta, payload)
+    return payload
 
 
 def _run_group_task(
-    scenarios: tuple[Scenario, ...],
+    scenarios: "tuple[Scenario, ...] | _shm.GroupEnvelope",
     *,
-    platforms: tuple[dict, ...],
+    platforms: Sequence[Any],
     series: bool,
     grid_dt: float,
     faults: Mapping[str, Any] | None = None,
     checkpoints: CheckpointStore | None = None,
     profile_dir: str | None = None,
     attempt: int = 1,
+    shm_prefix: str | None = None,
 ):
     """One whole lockstep group as a pool work item (top-level so it
     pickles to workers — the batch×pool composition's transport).
+
+    ``scenarios`` is either the full scenario tuple or a compact
+    :class:`~repro.exp.shm.GroupEnvelope` (scenario-hash list plus cap
+    deltas) resolved against this worker's content-addressed cache; an
+    unresolvable envelope returns the spec-miss sentinel and the
+    driver re-ships the group in full, uncharged.
 
     Returns ``(tally_dict, timings_dict, payloads)`` with one payload
     per cell in input order (``RunResult`` or ``(RunResult, grid)``
@@ -547,11 +623,16 @@ def _run_group_task(
     from repro.platform import get_platform
     from repro.sim.batch import run_replay_batch
 
-    if platforms:
-        from repro.platform import PlatformSpec, register_platform
-
-        for d in platforms:
-            register_platform(PlatformSpec.from_dict(d), replace=True)
+    xfer = _shm.TransferTally()
+    missing = _register_platforms(platforms, xfer)
+    if isinstance(scenarios, _shm.GroupEnvelope):
+        resolved = scenarios.resolve()
+        if _shm.is_spec_miss(resolved):
+            return _shm.spec_miss(list(resolved[1]) + missing)
+        xfer.spec_hits += 1 if scenarios.base is None else 0
+        scenarios = resolved
+    if missing:
+        return _shm.spec_miss(missing)
     if faults is not None:
         _faults.install_plan(faults)
     base = scenarios[0]
@@ -618,9 +699,11 @@ def _run_group_task(
         result = replace(_condense(sc, rep, share_t0), elapsed_seconds=elapsed)
         if series:
             grid = dict(rep.recorder.to_grid(0.0, rep.duration, grid_dt))
-            payloads.append((result, grid))
+            payloads.append((result, _pack_series(grid, shm_prefix, xfer)))
         else:
             payloads.append(result)
+    if xfer:
+        timings["xfer"] = xfer.to_dict()
     return tally.to_dict(), timings, payloads
 
 
@@ -1021,10 +1104,44 @@ class GridRunner:
         cost_model = CostModel.from_store(self.store)
         group_stats: dict[str, Any] = {}
 
+        # Data plane: per-sweep transfer accounting, a spec-delivery
+        # ledger (hash-only envelopes once a spec has shipped), and
+        # the backend's segment-name prefix for shm series transport.
+        # All three are inert on in-process backends.
+        xfer = _shm.TransferTally()
+        compact_specs = bool(
+            getattr(self.backend, "supports_spec_cache", False)
+        )
+        shipper = _shm.SpecShipper(compact=compact_specs)
+        transport_prefix = getattr(self.backend, "transport_prefix", None)
+
         def collect_result(sc: Scenario, item: Any) -> None:
             if want_series:
                 result, series = item
-                self.store.put_series(result_key(result.scenario), series)
+                if isinstance(series, _shm.ShmPayload):
+                    # Zero-copy adoption: the store reads the arrays
+                    # straight out of the worker's segment; the driver
+                    # closes and unlinks once they are persisted.
+                    try:
+                        with _shm.arena.adopt(series) as view:
+                            xfer.bytes_shared += view.nbytes
+                            xfer.segments += 1
+                            self.store.put_series(
+                                result_key(result.scenario), view.arrays
+                            )
+                    except _shm.ShmAdoptError as exc:
+                        # The result survived; only its series payload
+                        # was lost with the segment.  Degrade loudly to
+                        # a missing-series store entry rather than
+                        # failing a finished scenario.
+                        warnings.warn(
+                            f"series payload for {result.scenario.name!r} "
+                            f"lost with its shm segment: {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                else:
+                    self.store.put_series(result_key(result.scenario), series)
             else:
                 result = item
             self.store.put(result_key(result.scenario), result)
@@ -1062,10 +1179,19 @@ class GridRunner:
             in_process or self.checkpoints.shareable
         )
         profile_arg = str(self.profile_dir) if self.profile_dir is not None else None
-        if getattr(self.backend, "wants_scenarios", False):
+        shm_prefix = transport_prefix if want_series else None
+        wants_scenarios = bool(getattr(self.backend, "wants_scenarios", False))
+        if compact_specs:
+            # Seed this process's content-addressed caches before any
+            # pool forks: children inherit them, so hash-only
+            # envelopes hit from the very first task.
+            _shm.seed_platform_cache(sc.platform for sc in to_run)
+        if wants_scenarios:
             # Scenario-aware backends (batch) group and execute the
             # specs themselves; outcomes come back shaped like
             # map_tasks' (index, result-or-failure, retries) triples.
+            # (They also answer spec misses internally — a sentinel
+            # reaching this loop is a protocol bug and fails loudly.)
             outcomes: Iterable[Any] = self.backend.run_scenarios(
                 to_run,
                 series=want_series,
@@ -1077,18 +1203,28 @@ class GridRunner:
                 profile_dir=profile_arg,
                 cost_model=cost_model,
                 group_stats=group_stats,
+                shipper=shipper,
+                transfer=xfer,
+                shm_prefix=shm_prefix,
             )
         else:
-            def _map_subset(subset: Sequence[Scenario]) -> Iterable[Any]:
+            def _map_subset(
+                subset: Sequence[Scenario], *, full: bool = False
+            ) -> Iterable[Any]:
                 task: Callable[..., Any] = partial(
                     _run_task,
-                    platforms=_platform_payload(subset),
+                    platforms=shipper.platform_payload(subset, full=full),
                     series=want_series,
                     grid_dt=grid_dt,
                     faults=plan.to_dict() if plan is not None else None,
                     checkpoints=self.checkpoints if use_ckpt else None,
                     profile_dir=profile_arg,
+                    shm_prefix=shm_prefix,
                 )
+                if transport_prefix is not None:
+                    # Each pool submit pickles the task envelope anew;
+                    # charge what actually crosses the pipe.
+                    xfer.note_envelope(task, len(subset))
                 return self.backend.map_tasks(
                     task, subset, retry=retry, timeout=timeout
                 )
@@ -1105,20 +1241,59 @@ class GridRunner:
                 outcomes = _iter_waves()
             else:
                 outcomes = _map_subset(to_run)
-        for index, outcome, retries in outcomes:
+        spec_redo: list[int] = []
+
+        def handle_outcome(
+            index: int, outcome: Any, retries: int, *, allow_redo: bool
+        ) -> None:
             report.n_retries += retries
             sc = to_run[index]
+            if _shm.is_spec_miss(outcome):
+                # The worker's content-addressed cache lacked a spec a
+                # hash-only envelope referenced.  Re-ship in full,
+                # once, uncharged; a second miss means the protocol is
+                # broken and fails the scenario honestly.
+                xfer.spec_misses += len(outcome[1])
+                if allow_redo:
+                    shipper.invalidate(outcome[1])
+                    spec_redo.append(index)
+                    return
+                record_failure(
+                    sc,
+                    TaskFailure(
+                        kind="error",
+                        error_type="SpecCacheMiss",
+                        message=(
+                            "worker could not resolve spec hash(es) "
+                            f"{', '.join(outcome[1])} even from a full "
+                            "envelope"
+                        ),
+                        attempts=1,
+                    ),
+                )
+                return
             if (
                 isinstance(outcome, tuple)
                 and len(outcome) == 3
-                and outcome[0] == _CKPT_WRAPPER
+                and outcome[0] == _META_WRAPPER
             ):
-                _, tally_dict, outcome = outcome
-                ckpt_tally.add(tally_dict)
+                _, meta, outcome = outcome
+                if meta.get("ckpt"):
+                    ckpt_tally.add(meta["ckpt"])
+                if meta.get("xfer"):
+                    xfer.add(meta["xfer"])
             if isinstance(outcome, TaskFailure):
                 record_failure(sc, outcome)
             else:
                 collect_result(sc, outcome)
+
+        for index, outcome, retries in outcomes:
+            handle_outcome(index, outcome, retries, allow_redo=not wants_scenarios)
+        if spec_redo:
+            redo, spec_redo = spec_redo, []
+            subset = [to_run[i] for i in redo]
+            for local, outcome, retries in _map_subset(subset, full=True):
+                handle_outcome(redo[local], outcome, retries, allow_redo=False)
 
         # Defensive accounting: every deduped scenario must come back
         # as a result or a failure — a backend that silently drops one
@@ -1144,4 +1319,5 @@ class GridRunner:
         report.store_health = self.store.health.to_dict()
         report.checkpoints = ckpt_tally.to_dict() if ckpt_tally else {}
         report.groups = group_stats
+        report.transfer = xfer.to_dict() if xfer else {}
         return report

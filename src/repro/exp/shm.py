@@ -1,0 +1,675 @@
+"""Zero-copy shared-memory data plane for pool sweeps.
+
+Everything that crosses the driver↔worker boundary of a pool backend
+moves through this module:
+
+* **Array transport** — :class:`SharedArena` places NumPy payloads
+  (series grids from ``run_scenario_with_series``, fork-state
+  matrices, checkpoint ``.npz`` bodies) into named
+  :mod:`multiprocessing.shared_memory` segments.  Workers return a
+  tiny :class:`ShmPayload` descriptor — ``(segment, dtype, shape,
+  offset)`` per array — and the driver adopts it as zero-copy
+  ``np.ndarray`` views, so a group's series payloads cost one memcpy
+  instead of pickle → pipe → unpickle (two serialisations plus two
+  kernel copies).  Lifecycle is explicit: the adopting side closes
+  *and unlinks*; an ``atexit`` reaper sweeps anything left adopted,
+  and :func:`reap_prefix` reclaims segments orphaned by a worker that
+  died mid-write (tied into the pool respawn state machine).  When
+  shm is unavailable — platform without ``/dev/shm`` semantics,
+  payload under :data:`MIN_SHM_BYTES`, ``REPRO_SHM=0`` — placement
+  returns ``None`` and the caller falls back to the pickle path;
+  results are bit-identical either way (the golden digests never
+  flow through the segment, only bulk series data does).
+
+* **Content-addressed spec cache** — workers memoise deserialised
+  :class:`~repro.platform.PlatformSpec` objects, group base scenarios
+  and checkpoint fork states in bounded per-process LRUs keyed by
+  content hash.  After first delivery the driver ships only hashes
+  (:class:`SpecShipper`), so a 12-cell group envelope shrinks to a
+  scenario-hash list plus cap deltas (:class:`GroupEnvelope`).  A
+  cache miss — a worker forked before the cache was seeded, or an
+  LRU eviction — is answered with the :func:`spec_miss` sentinel and
+  the driver re-ships the full spec once, uncharged.
+
+* **Transfer accounting** — :class:`TransferTally` counts bytes
+  shipped through pickle, bytes shared through segments, and spec
+  cache hits/misses; the per-sweep totals surface in
+  ``SweepReport.transfer`` and ``exp run --plan``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exp.spec import Scenario
+
+__all__ = [
+    "MIN_SHM_BYTES",
+    "GroupEnvelope",
+    "SharedArena",
+    "ShmAdoptError",
+    "ShmPayload",
+    "ShmView",
+    "SpecShipper",
+    "TransferTally",
+    "arena",
+    "format_bytes",
+    "is_spec_miss",
+    "live_segments",
+    "new_prefix",
+    "reap_prefix",
+    "seed_platform_cache",
+    "set_shm_enabled",
+    "shm_available",
+    "spec_miss",
+]
+
+#: payloads smaller than this ship pickled — a segment costs two
+#: syscalls plus a descriptor round-trip, which only pays off once the
+#: memcpy it saves is big enough to notice
+MIN_SHM_BYTES = 1 << 16
+
+#: segment offsets are cache-line aligned so adopted views start clean
+_ALIGN = 64
+
+_SHM_DIR = "/dev/shm"  # POSIX shm namespace; absent => enumeration off
+
+_seq = itertools.count()
+_enabled_override: bool | None = None
+
+
+def _shm_module():
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - minimal builds
+        return None
+    return shared_memory
+
+
+def set_shm_enabled(flag: bool | None) -> None:
+    """Force the data plane on/off (``None`` restores the env default).
+
+    The ``shm-off`` column of the equivalence matrix and the CLI's
+    ``REPRO_SHM=0`` both funnel through here: disabling shm forces the
+    pickle fallback everywhere, which must stay bit-identical.
+    """
+    global _enabled_override
+    _enabled_override = flag
+
+
+def shm_available() -> bool:
+    """Whether array payloads may ride shared-memory segments."""
+    if _enabled_override is not None:
+        return _enabled_override and _shm_module() is not None
+    if os.environ.get("REPRO_SHM", "").strip().lower() in {"0", "off", "no"}:
+        return False
+    return _shm_module() is not None
+
+
+def new_prefix() -> str:
+    """A fresh driver-owned segment-name prefix.
+
+    Every segment a backend's workers create carries its backend's
+    prefix, so the driver can enumerate (and reap) exactly its own
+    orphans after killing a worker — without ever touching segments
+    of a concurrent runner in the same process.
+    """
+    return f"rs{os.getpid():x}a{next(_seq):x}-"
+
+
+# -- descriptors -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmBlock:
+    """One array inside a segment: ``(key, dtype, shape, offset)``."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ShmPayload:
+    """Picklable descriptor of one placed segment (replaces the bulk
+    array pickle on the wire; a few hundred bytes regardless of
+    payload size)."""
+
+    segment: str
+    blocks: tuple[ShmBlock, ...]
+    nbytes: int
+
+
+class ShmAdoptError(RuntimeError):
+    """A descriptor's segment could not be attached (the worker died
+    after placing it and a reaper already reclaimed the segment, or
+    the platform dropped it)."""
+
+
+class ShmView:
+    """Adopted segment: zero-copy read-only array views plus explicit
+    ``close()`` (unmap + unlink).  Context manager."""
+
+    def __init__(self, shm: Any, payload: ShmPayload) -> None:
+        self._shm = shm
+        self.segment = payload.segment
+        self.nbytes = payload.nbytes
+        self.arrays: dict[str, np.ndarray] = {}
+        buf = shm.buf
+        for b in payload.blocks:
+            n = int(np.prod(b.shape, dtype=np.int64)) if b.shape else 1
+            a = np.frombuffer(
+                buf, dtype=np.dtype(b.dtype), count=n, offset=b.offset
+            ).reshape(b.shape)
+            a.flags.writeable = False
+            self.arrays[b.key] = a
+
+    def __enter__(self) -> "ShmView":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Unmap and unlink; idempotent.  Views become invalid."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self.arrays = {}
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            warnings.warn(
+                f"shm segment {self.segment} still has live array views; "
+                "leaking the mapping until they are released",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced with a reaper
+            # The segment is already gone; still send the unregister
+            # the attach-time registration is waiting for.
+            SharedArena._untrack(shm)
+
+
+class SharedArena:
+    """Places and adopts shm-backed array payloads.
+
+    One process-wide instance (:data:`arena`) serves both roles:
+    workers :meth:`place` payloads (create + copy + detach — the
+    *driver* owns the unlink), the driver :meth:`adopt`\\ s descriptors
+    into zero-copy views.  Live adoptions are tracked so the
+    ``atexit`` reaper can close-and-unlink anything a crashed sweep
+    left behind.
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[str, ShmView] = {}
+        self._atexit_registered = False
+
+    # -- worker side ----------------------------------------------------------------
+
+    def place(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        prefix: str | None = None,
+        min_bytes: int | None = None,
+    ) -> ShmPayload | None:
+        """Copy ``arrays`` into a fresh named segment.
+
+        Returns the descriptor, or ``None`` when the pickle fallback
+        should carry the payload instead (shm unavailable, payload
+        under the size guard, or segment creation failed).
+        """
+        mod = _shm_module()
+        if mod is None or not shm_available():
+            return None
+        floor = MIN_SHM_BYTES if min_bytes is None else min_bytes
+        blocks: list[tuple[str, np.ndarray, int]] = []
+        total = 0
+        for key, arr in arrays.items():
+            a = np.ascontiguousarray(arr)
+            total = -(-total // _ALIGN) * _ALIGN  # round up
+            blocks.append((key, a, total))
+            total += a.nbytes
+        if total < floor:
+            return None
+        name = f"{prefix or new_prefix()}{os.getpid():x}x{next(_seq):x}"
+        try:
+            seg = mod.SharedMemory(name=name, create=True, size=max(total, 1))
+        except OSError:  # pragma: no cover - exhausted /dev/shm etc.
+            return None
+        try:
+            buf = seg.buf
+            out_blocks = []
+            for key, a, off in blocks:
+                dst = np.frombuffer(
+                    buf, dtype=a.dtype, count=a.size, offset=off
+                ).reshape(a.shape)
+                np.copyto(dst, a)
+                # Release the view's buffer export immediately: any
+                # surviving export would make ``seg.close()`` below
+                # raise ``BufferError``.
+                del dst
+            del buf
+            for key, a, off in blocks:
+                out_blocks.append(ShmBlock(key, a.dtype.str, a.shape, off))
+            payload = ShmPayload(seg.name, tuple(out_blocks), total)
+        except Exception:  # pragma: no cover - defensive: no orphan on error
+            try:
+                seg.close()
+            except BufferError:
+                pass
+            try:
+                seg.unlink()
+            except OSError:
+                pass
+            raise
+        # The adopter owns the unlink: detach locally and tell this
+        # process's resource tracker to forget the segment, so a
+        # worker exiting cleanly does not tear it down under the
+        # driver (nor warn about a "leak" it no longer owns).
+        self._untrack(seg)
+        seg.close()
+        return payload
+
+    @staticmethod
+    def _untrack(seg: Any) -> None:
+        try:  # pragma: no branch
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl drift
+            pass
+
+    # -- driver side ----------------------------------------------------------------
+
+    def adopt(self, payload: ShmPayload) -> ShmView:
+        """Attach a descriptor as zero-copy views; the returned view's
+        ``close()`` (or the atexit reaper) unlinks the segment."""
+        mod = _shm_module()
+        if mod is None:
+            raise ShmAdoptError("shared_memory unavailable in this process")
+        try:
+            seg = mod.SharedMemory(name=payload.segment)
+        except (OSError, ValueError) as exc:
+            raise ShmAdoptError(
+                f"cannot attach shm segment {payload.segment!r}: {exc}"
+            ) from exc
+        # No _untrack here: attaching registered the name with the
+        # resource tracker, and ``ShmView.close()``'s unlink sends the
+        # matching unregister — the tracker stays balanced and serves
+        # as the backstop if this process dies before closing.
+        view = ShmView(seg, payload)
+        orig_close = view.close
+        live = self._live
+
+        def close() -> None:
+            live.pop(payload.segment, None)
+            orig_close()
+
+        view.close = close  # type: ignore[method-assign]
+        live[payload.segment] = view
+        if not self._atexit_registered:
+            atexit.register(self.reap)
+            self._atexit_registered = True
+        return view
+
+    def reap(self) -> int:
+        """Close-and-unlink every still-adopted view (atexit safety
+        net); returns how many were reclaimed."""
+        views = list(self._live.values())
+        self._live.clear()
+        for view in views:
+            view.close()
+        return len(views)
+
+    @property
+    def live_segments(self) -> tuple[str, ...]:
+        return tuple(self._live)
+
+
+#: the process-wide arena
+arena = SharedArena()
+
+
+def reap_prefix(prefix: str) -> int:
+    """Unlink every orphaned segment under ``prefix``.
+
+    Called after a pool's workers are dead (respawn after a crash or
+    a timeout kill, and backend shutdown): any segment still carrying
+    the backend's prefix was placed by a worker whose descriptor
+    never reached the driver — a leak unless reclaimed here.
+    Segments the driver currently holds adopted are skipped.
+    """
+    if not prefix or not os.path.isdir(_SHM_DIR):
+        return 0
+    mod = _shm_module()
+    if mod is None:  # pragma: no cover - minimal builds
+        return 0
+    reaped = 0
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - racing namespace teardown
+        return 0
+    adopted = set(arena.live_segments)
+    for name in names:
+        if not name.startswith(prefix) or name in adopted:
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            reaped += 1
+        except OSError:  # pragma: no cover - raced with another reaper
+            pass
+    return reaped
+
+
+def live_segments(prefix: str = "rs") -> set[str]:
+    """Names of live ``/dev/shm`` segments under ``prefix`` (empty set
+    where the namespace is not enumerable) — the leak-check probe."""
+    if not os.path.isdir(_SHM_DIR):
+        return set()
+    try:
+        return {n for n in os.listdir(_SHM_DIR) if n.startswith(prefix)}
+    except OSError:  # pragma: no cover
+        return set()
+
+
+# -- content-addressed spec caches -----------------------------------------------------
+
+
+class SpecCache:
+    """Bounded LRU keyed by content hash.
+
+    Content addressing makes entries immortal-if-present: two values
+    under one key are bit-identical by construction, so there is no
+    invalidation protocol — only capacity eviction.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Any | None:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = self.misses = 0
+
+
+#: per-process memo of deserialised PlatformSpecs by content hash
+PLATFORM_CACHE = SpecCache(maxsize=64)
+#: per-process memo of group base scenarios by cap-free scenario hash
+SCENARIO_CACHE = SpecCache(maxsize=64)
+#: per-process memo of loaded checkpoint fork states by (root, key) —
+#: fork states are multi-MB array dicts, so the bound stays tight
+FORK_STATE_CACHE = SpecCache(maxsize=4)
+
+
+def seed_platform_cache(names: Iterable[str]) -> None:
+    """Driver-side cache warm-up before the pool forks.
+
+    Under the ``fork`` start method children inherit this process's
+    caches, so seeding here makes hash-only envelopes hit from the
+    very first task; ``spawn`` (or a pool forked earlier) answers
+    through the miss protocol instead.
+    """
+    from repro.platform import get_platform
+
+    for name in dict.fromkeys(names):
+        spec = get_platform(name)
+        PLATFORM_CACHE.put(spec.content_hash(), spec)
+
+
+#: head of the miss sentinel a worker returns instead of a result when
+#: a hash-only envelope references specs its caches do not hold
+SPEC_MISS = "__specmiss__"
+
+
+def spec_miss(missing: Sequence[str]) -> tuple[str, tuple[str, ...]]:
+    return (SPEC_MISS, tuple(missing))
+
+
+def is_spec_miss(obj: Any) -> bool:
+    return (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and obj[0] == SPEC_MISS
+    )
+
+
+# -- envelopes -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupEnvelope:
+    """Compact wire form of one lockstep group.
+
+    ``base`` is the cap-free base scenario — shipped once, then
+    ``None`` (the worker resolves it from its cache by ``group``
+    hash).  Cells are ``(name, caps)`` deltas; ``hashes`` pin each
+    reconstructed cell's content hash, so a worker whose
+    reconstruction drifts fails loudly instead of replaying the
+    wrong spec.
+    """
+
+    group: str
+    base: "Scenario | None"
+    cells: tuple[tuple[str, tuple], ...]
+    hashes: tuple[str, ...]
+
+    def resolve(self) -> "tuple[Scenario, ...] | tuple[str, tuple[str, ...]]":
+        """Reconstruct the group's scenarios in this process, or a
+        :func:`spec_miss` sentinel when the base is not cached."""
+        base = self.base
+        if base is None:
+            base = SCENARIO_CACHE.get(self.group)
+            if base is None:
+                return spec_miss([self.group])
+        else:
+            SCENARIO_CACHE.put(self.group, base)
+        cells = tuple(
+            base.with_(name=name, caps=caps) for name, caps in self.cells
+        )
+        for sc, expected in zip(cells, self.hashes):
+            got = sc.scenario_hash()
+            if got != expected:
+                raise ValueError(
+                    f"group envelope integrity failure: cell {sc.name!r} "
+                    f"reconstructed to {got}, envelope pinned {expected}"
+                )
+        return cells
+
+
+class SpecShipper:
+    """Driver-side ledger of which spec hashes have been delivered.
+
+    With ``compact`` off (non-fork pools, or spec caching disabled)
+    every envelope carries full spec dicts — the pre-data-plane wire
+    format.  With it on, a spec ships in full exactly once per sweep
+    and as a bare hash afterwards; :meth:`invalidate` reverts a hash
+    to full shipping after a worker reported a miss.
+    """
+
+    def __init__(self, *, compact: bool = False) -> None:
+        self.compact = bool(compact)
+        self._sent: set[str] = set()
+
+    def platform_payload(
+        self, scenarios: Sequence["Scenario"], *, full: bool = False
+    ) -> tuple[tuple[str, dict | None], ...]:
+        """``(content_hash, spec_dict | None)`` per referenced platform."""
+        from repro.platform import get_platform
+
+        entries: list[tuple[str, dict | None]] = []
+        for name in dict.fromkeys(sc.platform for sc in scenarios):
+            spec = get_platform(name)
+            h = spec.content_hash()
+            if self.compact and not full and h in self._sent:
+                entries.append((h, None))
+            else:
+                self._sent.add(h)
+                entries.append((h, spec.to_dict()))
+        return tuple(entries)
+
+    def group_base(self, base: "Scenario", group: str) -> "Scenario | None":
+        """The envelope's ``base`` field: the full spec on first
+        delivery (also seeding the driver-side cache, which forked
+        workers inherit), ``None`` afterwards."""
+        if not self.compact:
+            return base
+        SCENARIO_CACHE.put(group, base)
+        if group in self._sent:
+            return None
+        self._sent.add(group)
+        return base
+
+    def invalidate(self, hashes: Iterable[str]) -> None:
+        self._sent.difference_update(hashes)
+
+
+# -- transfer accounting ---------------------------------------------------------------
+
+
+@dataclass
+class TransferTally:
+    """Per-sweep data-plane accounting (mirrors ``CheckpointTally``).
+
+    ``bytes_shipped`` counts pickled payloads on the wire (task
+    envelopes plus any series arrays that fell back to pickling);
+    ``bytes_shared`` counts segment bytes adopted zero-copy;
+    ``fallbacks`` counts series payloads that wanted shm but pickled
+    instead.  Spec hits/misses aggregate the workers' cache stats.
+    """
+
+    bytes_shipped: int = 0
+    bytes_shared: int = 0
+    segments: int = 0
+    spec_hits: int = 0
+    spec_misses: int = 0
+    fallbacks: int = 0
+
+    def add(self, d: Mapping[str, int] | "TransferTally") -> None:
+        if isinstance(d, TransferTally):
+            d = d.to_dict()
+        for key, value in d.items():
+            if hasattr(self, key):
+                setattr(self, key, getattr(self, key) + int(value))
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_shared": self.bytes_shared,
+            "segments": self.segments,
+            "spec_hits": self.spec_hits,
+            "spec_misses": self.spec_misses,
+            "fallbacks": self.fallbacks,
+        }
+
+    def __bool__(self) -> bool:
+        return any(self.to_dict().values())
+
+    def note_envelope(self, obj: Any, count: int = 1) -> None:
+        """Charge ``count`` shipments of ``obj``'s pickled size."""
+        try:
+            self.bytes_shipped += len(pickle.dumps(obj)) * count
+        except Exception:  # pragma: no cover - unpicklable in-process task
+            pass
+
+
+def pickled_size(obj: Any) -> int:
+    try:
+        return len(pickle.dumps(obj))
+    except Exception:  # pragma: no cover - in-process-only payloads
+        return 0
+
+
+def format_bytes(n: int) -> str:
+    """``2.4 MB``-style human size (SI, one decimal)."""
+    size = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1000.0 or unit == "GB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1000.0
+    return f"{size:.1f} GB"  # pragma: no cover
+
+
+def transfer_summary(t: Mapping[str, int]) -> str:
+    """The ``SweepReport.summary()`` fragment for a transfer dict."""
+    parts = [f"{format_bytes(t.get('bytes_shipped', 0))} shipped"]
+    if t.get("bytes_shared"):
+        parts.append(
+            f"{format_bytes(t['bytes_shared'])} shm "
+            f"({t.get('segments', 0)} seg)"
+        )
+    hits, misses = t.get("spec_hits", 0), t.get("spec_misses", 0)
+    if hits or misses:
+        parts.append(f"spec-cache {hits}/{hits + misses} hit(s)")
+    if t.get("fallbacks"):
+        parts.append(f"{t['fallbacks']} pickle fallback(s)")
+    return "transfer: " + ", ".join(parts)
+
+
+def envelope_report(
+    scenarios: Sequence["Scenario"], groups: Sequence[Sequence[int]]
+) -> list[str]:
+    """``exp run --plan`` lines: projected envelope sizes and the data
+    plane's status for this host."""
+    lines = [
+        "data plane: shm array transport "
+        + ("on" if shm_available() else "off (pickle fallback)")
+        + " — series payloads ride /dev/shm segments; REPRO_SHM=0 forces pickle"
+    ]
+    if not groups:
+        return lines
+    full = compact = 0
+    for idxs in groups:
+        cells = tuple(scenarios[i] for i in idxs)
+        base = cells[0].with_(caps=())
+        env = GroupEnvelope(
+            group=base.scenario_hash(),
+            base=None,
+            cells=tuple((sc.name, sc.caps) for sc in cells),
+            hashes=tuple(sc.scenario_hash() for sc in cells),
+        )
+        full += pickled_size(cells)
+        compact += pickled_size(env)
+    ratio = full / compact if compact else 1.0
+    lines.append(
+        f"envelopes: {len(groups)} group(s): {format_bytes(full)} full -> "
+        f"{format_bytes(compact)} compact ({ratio:.1f}x smaller after first "
+        "delivery)"
+    )
+    return lines

@@ -32,6 +32,7 @@ series resolution, replaced platform) is silently treated as a miss.
 
 from __future__ import annotations
 
+import copy
 import errno
 import json
 import os
@@ -296,10 +297,15 @@ class MemoryStore(ResultStore):
         return self._results.get(key)
 
     def put_meta(self, name: str, payload: Mapping) -> None:
-        self._meta[name] = dict(payload)
+        # Deep copies on both sides: a caller mutating its payload (or
+        # the returned dict) must not reach the stored observations —
+        # the directory stores' JSON round-trip isolates them for free,
+        # and the cost model mutates what get_meta hands back.
+        self._meta[name] = copy.deepcopy(dict(payload))
 
     def get_meta(self, name: str) -> dict | None:
-        return self._meta.get(name)
+        entry = self._meta.get(name)
+        return copy.deepcopy(entry) if entry is not None else None
 
     def put(self, key: str, result: "RunResult") -> None:
         # Re-putting moves the key to the back of the eviction order.

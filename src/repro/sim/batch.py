@@ -45,7 +45,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -66,6 +66,7 @@ __all__ = [
     "BatchNodeArrays",
     "FORK_STATE_VERSION",
     "capture_fork_state",
+    "fork_state_nbytes",
     "install_fork_state",
     "run_replay_batch",
 ]
@@ -397,6 +398,17 @@ def capture_fork_state(donor: _Cell, fork_t: float) -> dict:
         ),
     }
     return {"meta": meta, "arrays": arrays}
+
+
+def fork_state_nbytes(state: Mapping[str, Any]) -> int:
+    """Total array payload of a captured fork state, in bytes.
+
+    The number that matters to the data plane: it is what a pool
+    worker would pickle (or place in a shm segment) to move the state
+    across a process boundary, and what the fork-state cache holds
+    resident per entry.
+    """
+    return int(sum(a.nbytes for a in state.get("arrays", {}).values()))
 
 
 def install_fork_state(

@@ -498,11 +498,22 @@ class TestCrossBackendEquivalence:
             "shard3": [make_backend("serial", shard=(k, 3)) for k in range(3)],
             "batchpool2": [make_backend("batch-pool", workers=2)],
             "batchpool4": [make_backend("batch-pool", workers=4)],
+            # The shm-off column: the same pool sweeps with the data
+            # plane's pickle fallback forced everywhere (REPRO_SHM=0
+            # semantics) must stay byte-identical to every other cell.
+            "batchpool2-shm-off": [make_backend("batch-pool", workers=2)],
+            "pool-shm-off": [make_backend("pool", workers=2)],
         }
         contents = {}
         for label, backends in configs.items():
+            from repro.exp import shm
+
             root = tmp_path / label
-            parts = self._sweep(root, backends, scenarios)
+            shm.set_shm_enabled(False if label.endswith("shm-off") else None)
+            try:
+                parts = self._sweep(root, backends, scenarios)
+            finally:
+                shm.set_shm_enabled(None)
             assert all(not r.cached for part in parts for r in part), label
             merged = merge_results(parts)
             assert {

@@ -66,6 +66,17 @@ TINY_CAP80 = TINY.with_(
 RETRY_FAST = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01)
 
 
+@pytest.fixture(autouse=True)
+def no_leaked_shm_segments():
+    """Every chaos test — crash, hang, timeout-kill — must leave /dev/shm clean."""
+    from repro.exp import shm
+
+    before = shm.live_segments()
+    yield
+    leaked = shm.live_segments() - before
+    assert not leaked, f"chaos test leaked shm segments: {sorted(leaked)}"
+
+
 def crash_plan(*scenarios, kind="crash", times=1, hang_seconds=30.0):
     return FaultPlan(
         specs=tuple(

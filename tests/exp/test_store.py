@@ -99,6 +99,21 @@ class TestMemoryStore:
         # A fresh runner starts cold.
         assert not GridRunner().run([TINY])[0].cached
 
+    def test_meta_does_not_alias_caller_dicts(self):
+        """Regression: get_meta/put_meta must deep-copy, so a caller
+        mutating its payload (or the returned dict — the cost model
+        does exactly that with its observation groups) cannot corrupt
+        the stored observations."""
+        store = MemoryStore()
+        payload = {"schema": 1, "groups": {"g": {"mean": 1.0, "n": 1}}}
+        store.put_meta("m", payload)
+        payload["groups"]["g"]["mean"] = 99.0
+        assert store.get_meta("m")["groups"]["g"]["mean"] == 1.0
+        returned = store.get_meta("m")
+        returned["groups"]["g"]["n"] = 42
+        returned["groups"].clear()
+        assert store.get_meta("m")["groups"]["g"] == {"mean": 1.0, "n": 1}
+
 
 class TestDirectoryStore:
     def test_corrupt_json_warns_names_path_and_heals(self, tmp_path, tiny_result):
@@ -308,6 +323,47 @@ class TestSharedDirectoryStore:
         for key in store.keys():
             assert store.get(key) is not None
         assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+
+    def test_concurrent_put_meta_last_writer_wins(self, tmp_path):
+        """Two runners flushing cost-model observations into one
+        shared store: every racing write commits atomically, the
+        survivor is one of the written payloads intact (last writer
+        wins, no torn JSON), and corrupt meta heals to missing."""
+        import threading
+
+        store = SharedDirectoryStore(tmp_path)
+        payloads = [
+            {"schema": 1, "groups": {f"g{w}": {"mean": float(w), "n": w + 1}}}
+            for w in range(2)
+        ]
+        errors: list[BaseException] = []
+        gate = threading.Barrier(2)
+
+        def flush(writer: int) -> None:
+            try:
+                gate.wait()
+                for _ in range(25):
+                    SharedDirectoryStore(tmp_path).put_meta(
+                        "cost-model", payloads[writer]
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=flush, args=(w,)) for w in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        survivor = store.get_meta("cost-model")
+        assert survivor in payloads  # intact, not interleaved
+        assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+        # Corruption heals to a silent miss, not an exception.
+        meta_path = next((tmp_path / "meta").glob("cost-model.json"))
+        meta_path.write_text("{torn")
+        assert SharedDirectoryStore(tmp_path).get_meta("cost-model") is None
 
 
 class TestMakeStore:
